@@ -1,0 +1,80 @@
+"""Figure 11 — execution time as a function of document size.
+
+Paper claims reproduced here (Section 6.3.5):
+
+- execution time grows steeply with document size for every query;
+- for small documents the (simulated) threading overhead makes
+  Whirlpool-M's advantage small, while for medium/large documents
+  Whirlpool-M clearly beats Whirlpool-S.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig11_vary_docsize, run_whirlpool_s
+from repro.bench.figures import bar_chart
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+
+DOCS = ("1M", "10M", "50M")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig11_vary_docsize(docs=DOCS)
+
+
+def test_fig11_table(payload):
+    rows = []
+    for query, per_doc in payload["series"].items():
+        for doc in DOCS:
+            entry = per_doc[doc]
+            rows.append(
+                [
+                    query,
+                    doc,
+                    fmt(entry["whirlpool_s_time"]),
+                    fmt(entry["whirlpool_m_time"]),
+                ]
+            )
+    emit(
+        format_table(
+            f"Figure 11 — execution time vs document size (k={payload['k']})",
+            ["query", "doc", "W-S time", "W-M time"],
+            rows,
+        )
+    )
+    emit(
+        bar_chart(
+            "Figure 11 (chart) — Whirlpool-S modeled seconds by (query, doc)",
+            {
+                f"{query} {doc}": round(per_doc[doc]["whirlpool_s_time"], 3)
+                for query, per_doc in payload["series"].items()
+                for doc in DOCS
+            },
+        )
+    )
+    write_results("fig11_vary_docsize", payload)
+
+    for query, per_doc in payload["series"].items():
+        times = [per_doc[doc]["whirlpool_s_time"] for doc in DOCS]
+        assert times[0] < times[1] < times[2], (
+            f"{query}: time should grow with document size, got {times}"
+        )
+
+
+def test_fig11_wm_wins_at_scale(payload):
+    # On the largest document, Whirlpool-M (2 simulated processors) is
+    # faster than Whirlpool-S for the multi-server queries.
+    for query in ("Q2", "Q3"):
+        entry = payload["series"][query]["50M"]
+        assert entry["whirlpool_m_time"] < entry["whirlpool_s_time"]
+
+
+def test_fig11_benchmark_large_doc(benchmark):
+    engine = get_engine("Q2", "50M")
+
+    def run():
+        return run_whirlpool_s(engine, 15)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.server_operations > 0

@@ -1,0 +1,77 @@
+"""Figure 3 — motivating example: join operations vs currentTopK.
+
+Paper claims reproduced here:
+
+- no static plan dominates across the currentTopK range;
+- Plan 6 (price→title→location) is best for currentTopK < 0.6;
+- Plan 5 (price→location→title) is best for 0.6 ≤ currentTopK ≤ 0.7;
+- the location-first plans (3/4) are by far the worst at low thresholds
+  but become best at high ones (location's approximate matches prune).
+"""
+
+import pytest
+
+from repro.bench.motivating import PLANS, best_plans, join_operations, sweep
+from repro.bench.reporting import emit, format_table, write_results
+
+
+@pytest.fixture(scope="module")
+def series():
+    return sweep()
+
+
+def test_fig3_series_shape(series):
+    rows = []
+    thresholds = [point[0] for point in series[1]]
+    for plan_id in sorted(PLANS):
+        rows.append(
+            [f"Plan {plan_id}"] + [str(ops) for _, ops in series[plan_id]]
+        )
+    emit(
+        format_table(
+            "Figure 3 — join operations vs currentTopK",
+            ["plan"] + [f"{t:.2f}" for t in thresholds],
+            rows,
+        )
+    )
+    write_results(
+        "fig3_motivating",
+        {str(plan): points for plan, points in series.items()},
+    )
+
+    # Plan 6 best at low thresholds.
+    assert best_plans(0.0) == [6]
+    assert best_plans(0.5) == [6]
+    # Plan 5 takes over in the middle band.
+    assert 5 in best_plans(0.65)
+    assert 6 not in best_plans(0.65)
+    # Location-first plans are worst at low thresholds ...
+    low_costs = {plan: join_operations(PLANS[plan], 0.0) for plan in PLANS}
+    assert low_costs[3] == max(low_costs.values())
+    # ... and improve dramatically at high thresholds, where Plan 6 stalls.
+    assert join_operations(PLANS[3], 0.75) < join_operations(PLANS[6], 0.75)
+    assert join_operations(PLANS[4], 0.75) < join_operations(PLANS[6], 0.75)
+
+
+def test_fig3_no_plan_dominates(series):
+    # For every plan there exists a threshold where some other plan is
+    # strictly better — static join ordering cannot be optimal.
+    thresholds = [point[0] for point in series[1]]
+    for plan_id in PLANS:
+        beaten = any(
+            any(
+                series[other][i][1] < series[plan_id][i][1]
+                for other in PLANS
+                if other != plan_id
+            )
+            for i in range(len(thresholds))
+        )
+        assert beaten, f"plan {plan_id} was never beaten — dominance should not happen"
+
+
+def test_fig3_benchmark(benchmark):
+    def run_sweep():
+        return sweep()
+
+    result = benchmark(run_sweep)
+    assert len(result) == 6

@@ -1,0 +1,83 @@
+"""Figure 5 — adaptive routing strategies (Whirlpool-S & Whirlpool-M).
+
+Paper claims reproduced here (Section 6.3.1):
+
+- max_score does not lead to fast executions (it reduces pruning);
+- min_score performs reasonably well;
+- min_alive_partial_matches beats both, for both engines, by pruning more
+  partial matches and therefore doing fewer server operations.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig5_routing_strategies, run_whirlpool_s
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig5_routing_strategies()
+
+
+def test_fig5_table(payload):
+    rows = []
+    for routing, series in payload["series"].items():
+        rows.append(
+            [
+                routing,
+                fmt(series["whirlpool_s_time"]),
+                series["whirlpool_s_ops"],
+                fmt(series["whirlpool_m_time"]),
+                series["whirlpool_m_ops"],
+            ]
+        )
+    emit(
+        format_table(
+            f"Figure 5 — routing strategies ({payload['query']}, "
+            f"{payload['doc']}, k={payload['k']})",
+            ["routing", "W-S time", "W-S ops", "W-M time", "W-M ops"],
+            rows,
+        )
+    )
+    write_results("fig5_routing", payload)
+
+    series = payload["series"]
+    # min_alive is the best strategy for both engines.
+    assert (
+        series["min_alive"]["whirlpool_s_ops"]
+        <= series["min_score"]["whirlpool_s_ops"]
+    )
+    assert (
+        series["min_alive"]["whirlpool_s_ops"]
+        < series["max_score"]["whirlpool_s_ops"]
+    )
+    assert (
+        series["min_alive"]["whirlpool_m_time"]
+        < series["max_score"]["whirlpool_m_time"]
+    )
+    # min_score also clearly beats max_score.
+    assert (
+        series["min_score"]["whirlpool_s_ops"]
+        < series["max_score"]["whirlpool_s_ops"]
+    )
+
+
+def test_fig5_benchmark_min_alive(benchmark):
+    engine = get_engine()
+
+    def run():
+        return run_whirlpool_s(engine, 15, routing="min_alive")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.answers) > 0
+
+
+def test_fig5_benchmark_max_score(benchmark):
+    engine = get_engine()
+
+    def run():
+        return run_whirlpool_s(engine, 15, routing="max_score")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.answers) > 0

@@ -1,0 +1,85 @@
+"""Figure 6 — query execution time: adaptive vs static routing.
+
+Paper claims reproduced here (Section 6.3.2):
+
+- for a given static routing strategy, Whirlpool-M ≤ Whirlpool-S ≤
+  LockStep (letting matches progress at different rates pays);
+- LockStep-NoPrun is worse than every pruning technique;
+- the adaptive routing strategy is at least as good as the best static
+  permutation for both Whirlpool engines.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_7_adaptive_vs_static, run_whirlpool_s
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig6_7_adaptive_vs_static()
+
+
+def test_fig6_table(payload):
+    rows = []
+    for name, entry in payload["algorithms"].items():
+        static = entry["static_time"]
+        rows.append(
+            [
+                name,
+                fmt(static["max"]),
+                fmt(static["median"]),
+                fmt(static["min"]),
+                fmt(entry["adaptive_time"]) if "adaptive_time" in entry else "-",
+            ]
+        )
+    emit(
+        format_table(
+            f"Figure 6 — execution time, static (max/median/min) vs adaptive "
+            f"({payload['query']}, {payload['doc']}, k={payload['k']}, "
+            f"{payload['orders_swept']} orders)",
+            ["algorithm", "max(STATIC)", "median(STATIC)", "min(STATIC)", "ADAPTIVE"],
+            rows,
+        )
+    )
+    write_results("fig6_adaptive_vs_static", payload)
+
+    algorithms = payload["algorithms"]
+    # LockStep-NoPrun is the worst technique across the board.
+    assert (
+        algorithms["lockstep_noprun"]["static_time"]["min"]
+        >= algorithms["lockstep"]["static_time"]["min"]
+    )
+    # Whirlpool-S static beats LockStep static (per-match progress wins).
+    assert (
+        algorithms["whirlpool_s"]["static_time"]["median"]
+        <= algorithms["lockstep"]["static_time"]["median"]
+    )
+    # Adaptive is at least as good as the best static permutation
+    # (tolerance: the sweep subsamples permutations).
+    for name in ("whirlpool_s", "whirlpool_m"):
+        adaptive = algorithms[name]["adaptive_time"]
+        best_static = algorithms[name]["static_time"]["min"]
+        assert adaptive <= best_static * 1.10, (
+            f"{name}: adaptive {adaptive} should be <= best static {best_static}"
+        )
+
+
+def test_fig6_whirlpool_m_faster_than_s(payload):
+    algorithms = payload["algorithms"]
+    # With 2 simulated processors, W-M's makespan beats sequential W-S.
+    assert (
+        algorithms["whirlpool_m"]["adaptive_time"]
+        < algorithms["whirlpool_s"]["adaptive_time"]
+    )
+
+
+def test_fig6_benchmark_adaptive(benchmark):
+    engine = get_engine()
+
+    def run():
+        return run_whirlpool_s(engine, 15)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.server_operations > 0

@@ -1,0 +1,77 @@
+"""Figure 7 — number of server operations: adaptive vs static routing.
+
+Same grid as Figure 6 but measuring workload (server operations), which is
+parallelism-independent.  Paper claims reproduced here:
+
+- pruning engines do far fewer operations than LockStep-NoPrun;
+- Whirlpool's adaptive routing does no more operations than the best
+  static permutation;
+- Whirlpool-M may do slightly *more* operations than Whirlpool-S at the
+  default setting (its win in Figure 6 comes from parallelism).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_7_adaptive_vs_static
+from repro.bench.reporting import emit, format_table, write_results
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig6_7_adaptive_vs_static()
+
+
+def test_fig7_table(payload):
+    rows = []
+    for name, entry in payload["algorithms"].items():
+        if name == "lockstep_noprun":
+            continue  # the paper's Figure 7 shows LockStep, W-S, W-M
+        static = entry["static_ops"]
+        rows.append(
+            [
+                name,
+                static["max"],
+                static["median"],
+                static["min"],
+                entry.get("adaptive_ops", "-"),
+            ]
+        )
+    emit(
+        format_table(
+            f"Figure 7 — server operations, static (max/median/min) vs adaptive "
+            f"({payload['query']}, {payload['doc']}, k={payload['k']})",
+            ["algorithm", "max(STATIC)", "median(STATIC)", "min(STATIC)", "ADAPTIVE"],
+            rows,
+        )
+    )
+    write_results("fig7_server_ops", payload)
+
+    algorithms = payload["algorithms"]
+    # Pruning engines beat the no-pruning ceiling on workload.
+    ceiling = algorithms["lockstep_noprun"]["static_ops"]["min"]
+    for name in ("lockstep", "whirlpool_s", "whirlpool_m"):
+        assert algorithms[name]["static_ops"]["min"] <= ceiling
+    # Adaptive W-S does no more ops than its best static plan (within the
+    # subsampled sweep's tolerance).
+    assert (
+        algorithms["whirlpool_s"]["adaptive_ops"]
+        <= algorithms["whirlpool_s"]["static_ops"]["min"] * 1.10
+    )
+
+
+def test_fig7_operation_counts_consistent(payload):
+    algorithms = payload["algorithms"]
+    # Static medians should not be below static minimums, etc.
+    for entry in algorithms.values():
+        ops = entry["static_ops"]
+        assert ops["min"] <= ops["median"] <= ops["max"]
+
+
+def test_fig7_benchmark(benchmark):
+    # Re-running the (cached-engine) driver is itself the measured unit:
+    # the sweep is the figure's workload.
+    def run():
+        return fig6_7_adaptive_vs_static()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["algorithms"]

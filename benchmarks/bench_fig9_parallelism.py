@@ -1,0 +1,82 @@
+"""Figure 9 — effect of parallelism on Whirlpool-M.
+
+Whirlpool-M runs through the deterministic discrete-event simulator with
+1, 2, 4 and unbounded processors (the paper's 1/2/4/∞ machines); the
+plotted quantity is its makespan over Whirlpool-S's sequential time.
+
+Paper claims reproduced here (Section 6.3.4):
+
+- with one processor, Whirlpool-M's threading overhead makes it *slower*
+  than Whirlpool-S;
+- with more processors Whirlpool-M overtakes Whirlpool-S;
+- speedup saturates once processors exceed the query's thread count
+  (#servers + router), so the small Q1 benefits least.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig9_parallelism, run_whirlpool_m_sim
+from repro.bench.figures import multi_series
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return fig9_parallelism()
+
+
+def test_fig9_table(payload):
+    processor_labels = ["1", "2", "4", "inf"]
+    rows = []
+    for query, ratios in payload["ratios"].items():
+        rows.append([query] + [fmt(ratios[label]) for label in processor_labels])
+    emit(
+        format_table(
+            f"Figure 9 — Whirlpool-M time / Whirlpool-S time "
+            f"(doc={payload['doc']}, k={payload['k']})",
+            ["query"] + [f"{label} proc" for label in processor_labels],
+            rows,
+        )
+    )
+    emit(
+        multi_series(
+            "Figure 9 (chart) — W-M/W-S ratio by processors (lower = faster)",
+            {
+                query: {label: ratios[label] for label in processor_labels}
+                for query, ratios in payload["ratios"].items()
+            },
+        )
+    )
+    write_results("fig9_parallelism", payload)
+
+    for query, ratios in payload["ratios"].items():
+        # One processor: threading overhead, no parallelism to recoup it.
+        assert ratios["1"] > 1.0, f"{query}: W-M should lose with 1 processor"
+        # Parallelism available: W-M wins.
+        assert ratios["2"] < 1.0, f"{query}: W-M should win with 2 processors"
+        # More processors never hurt (monotone non-increasing ratios).
+        assert ratios["2"] >= ratios["4"] - 1e-9
+        assert ratios["4"] >= ratios["inf"] - 1e-9
+
+
+def test_fig9_saturation_by_query_size(payload):
+    ratios = payload["ratios"]
+    # Q1 has 2 servers; its speedup saturates at few processors: going from
+    # 4 to unlimited processors changes nothing.
+    assert abs(ratios["Q1"]["4"] - ratios["Q1"]["inf"]) < 1e-9
+    # The larger queries keep improving further than Q1 does, relative to
+    # their own 2-processor ratio.
+    q1_gain = ratios["Q1"]["2"] - ratios["Q1"]["inf"]
+    q3_gain = ratios["Q3"]["2"] - ratios["Q3"]["inf"]
+    assert q3_gain >= q1_gain - 1e-9
+
+
+def test_fig9_benchmark_sim(benchmark):
+    engine = get_engine("Q2")
+
+    def run():
+        return run_whirlpool_m_sim(engine, 15, n_processors=4)
+
+    sim = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sim.makespan > 0

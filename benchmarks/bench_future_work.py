@@ -1,0 +1,156 @@
+"""Ablations of the paper's Section 7 future-work directions, implemented.
+
+Three extensions the paper sketches, each measured against its baseline:
+
+1. **Threads per server** — "We are investigating new directions such as
+   increasing the number of threads per server for maximal parallelism":
+   the simulator's `threads_per_server` knob, measured at unbounded
+   processors where the busiest single server is the bottleneck.
+2. **Bulk adaptivity** — "we plan on performing adaptivity operations 'in
+   bulk', by grouping tuples based on similarity of scores or nodes, in
+   order to decrease adaptivity overhead": the
+   :class:`~repro.core.router.BatchingRouter` cache-hit rate and its
+   effect on answers/work.
+3. **Estimated routing** — the selectivity-estimation-based router the
+   paper assumes is available (path-summary estimates vs exact probes).
+"""
+
+import pytest
+
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+from repro.core.router import BatchingRouter, MinAliveRouter
+from repro.core.whirlpool_s import WhirlpoolS
+from repro.simulate.cost import CostModel
+from repro.simulate.scheduler import SimulatedWhirlpoolM
+
+K = 15
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return get_engine("Q2")
+
+
+class TestThreadsPerServer:
+    @pytest.fixture(scope="class")
+    def makespans(self, engine):
+        out = {}
+        for threads in (1, 2, 4, 8):
+            sim = SimulatedWhirlpoolM(
+                pattern=engine.pattern,
+                index=engine.index,
+                score_model=engine.score_model,
+                k=K,
+                n_processors=None,
+                threads_per_server=threads,
+                cost_model=CostModel(),
+            ).simulate()
+            out[threads] = sim.makespan
+        return out
+
+    def test_threads_per_server_table(self, makespans):
+        rows = [[threads, fmt(makespan)] for threads, makespan in makespans.items()]
+        emit(
+            format_table(
+                "Future work — threads per server (Q2, inf processors, k=15)",
+                ["threads/server", "makespan"],
+                rows,
+            )
+        )
+        write_results("future_threads_per_server", {str(k): v for k, v in makespans.items()})
+        # More threads per server shrink the bottleneck server's queue time.
+        assert makespans[8] < makespans[1]
+        assert makespans[2] <= makespans[1] + 1e-9
+
+
+class TestBulkAdaptivity:
+    @pytest.fixture(scope="class")
+    def runs(self, engine):
+        plain = engine.run(K, routing="min_alive")
+        router = BatchingRouter(MinAliveRouter(), score_buckets=8)
+        runner = WhirlpoolS(
+            pattern=engine.pattern,
+            index=engine.index,
+            score_model=engine.score_model,
+            k=K,
+            router=router,
+        )
+        batched = runner.run()
+        return plain, batched, router
+
+    def test_bulk_adaptivity_table(self, runs):
+        plain, batched, router = runs
+        total = router.cache_hits + router.cache_misses
+        rows = [
+            ["plain", plain.stats.server_operations, "-", fmt(plain.stats.wall_time_seconds, 4)],
+            [
+                "batched",
+                batched.stats.server_operations,
+                f"{100.0 * router.cache_hits / total:.1f}%",
+                fmt(batched.stats.wall_time_seconds, 4),
+            ],
+        ]
+        emit(
+            format_table(
+                "Future work — bulk adaptivity (Q2, k=15)",
+                ["router", "ops", "cache hits", "wall s"],
+                rows,
+            )
+        )
+        write_results(
+            "future_bulk_adaptivity",
+            {
+                "plain_ops": plain.stats.server_operations,
+                "batched_ops": batched.stats.server_operations,
+                "cache_hits": router.cache_hits,
+                "cache_misses": router.cache_misses,
+            },
+        )
+        # Most decisions come from the cache (the saved overhead) ...
+        assert router.cache_hits > router.cache_misses
+        # ... and the answers do not change.
+        assert [round(a.score, 9) for a in batched.answers] == [
+            round(a.score, 9) for a in plain.answers
+        ]
+        # Work stays comparable (batching trades decision quality slightly).
+        assert batched.stats.server_operations <= plain.stats.server_operations * 1.5
+
+
+class TestEstimatedRouting:
+    def test_estimated_router_table(self, engine):
+        exact = engine.run(K, routing="min_alive")
+        estimated = engine.run(K, routing="min_alive_estimated")
+        rows = [
+            ["exact counts", exact.stats.server_operations, fmt(exact.stats.wall_time_seconds, 4)],
+            ["path-summary estimates", estimated.stats.server_operations, fmt(estimated.stats.wall_time_seconds, 4)],
+        ]
+        emit(
+            format_table(
+                "Future work — estimated vs exact size-based routing (Q2, k=15)",
+                ["estimates", "ops", "wall s"],
+                rows,
+            )
+        )
+        write_results(
+            "future_estimated_routing",
+            {
+                "exact_ops": exact.stats.server_operations,
+                "estimated_ops": estimated.stats.server_operations,
+            },
+        )
+        assert [round(a.score, 9) for a in estimated.answers] == [
+            round(a.score, 9) for a in exact.answers
+        ]
+        ceiling = engine.run(K, algorithm="lockstep_noprun").stats.server_operations
+        assert estimated.stats.server_operations <= ceiling
+
+
+def test_future_work_benchmark(benchmark):
+    engine = get_engine("Q2")
+
+    def run():
+        return engine.run(K, routing="min_alive_estimated")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.server_operations > 0

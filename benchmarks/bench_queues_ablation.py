@@ -1,0 +1,75 @@
+"""Ablation — server-queue prioritization policies (Section 6.1.3).
+
+The paper states that "for all configurations tested, a queue based on the
+maximum possible final score performed better than the other queues"; all
+reported LockStep / Whirlpool-M numbers assume it.  This bench sweeps the
+four policies on the default configuration for LockStep and the simulated
+Whirlpool-M.
+"""
+
+import pytest
+
+from repro.bench.experiments import queue_policy_ablation, run_lockstep
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+from repro.core.queues import QueuePolicy
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return queue_policy_ablation()
+
+
+def test_queue_policy_table(payload):
+    rows = []
+    for policy, entry in payload["series"].items():
+        rows.append(
+            [
+                policy,
+                entry["lockstep_ops"],
+                fmt(entry["lockstep_time"]),
+                entry["whirlpool_m_ops"],
+                fmt(entry["whirlpool_m_time"]),
+            ]
+        )
+    emit(
+        format_table(
+            f"Queue-policy ablation ({payload['query']}, {payload['doc']}, "
+            f"k={payload['k']})",
+            ["policy", "LS ops", "LS time", "W-M ops", "W-M time"],
+            rows,
+        )
+    )
+    write_results("queues_ablation", payload)
+
+    series = payload["series"]
+    max_final = series[QueuePolicy.MAX_FINAL_SCORE.value]
+    # Max-final-score is at least as good as every other policy for
+    # Whirlpool-M's makespan (the paper's configuration-wide claim),
+    # with a small tolerance for tie-breaking noise.
+    for policy, entry in series.items():
+        assert max_final["whirlpool_m_time"] <= entry["whirlpool_m_time"] * 1.05, (
+            f"max_final should not lose to {policy}"
+        )
+
+
+def test_queue_policies_all_return_same_answers():
+    engine = get_engine()
+    scores = None
+    for policy in QueuePolicy:
+        result = run_lockstep(engine, 15, queue_policy=policy)
+        got = sorted(round(answer.score, 9) for answer in result.answers)
+        if scores is None:
+            scores = got
+        else:
+            assert got == scores, f"policy {policy} changed the answer set"
+
+
+def test_queue_benchmark_max_final(benchmark):
+    engine = get_engine()
+
+    def run():
+        return run_lockstep(engine, 15, queue_policy=QueuePolicy.MAX_FINAL_SCORE)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.server_operations > 0

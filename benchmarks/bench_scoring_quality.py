@@ -1,0 +1,115 @@
+"""Scoring-function validation — the paper's deferred precision/recall study.
+
+"Validating the scoring functions using precision and recall is beyond the
+scope of this paper and the subject of future work" (§6.2.2).  Here it is:
+the heterogeneous-seller generator marks ground-truth relevant books (the
+reference record rendered by every seller schema), so ranking quality is
+measurable by construction:
+
+- the relaxed tf*idf top-k ranking should score far above a random
+  ordering on every IR metric;
+- exact-only evaluation should lose recall (it cannot see relevant books
+  in non-conforming seller schemas) while relaxed evaluation recovers it.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.biblio import BiblioConfig, generate_catalogs, reference_query
+from repro.core.engine import Engine
+from repro.scoring.quality import RankingEvaluation
+
+K = 20
+SEED = 23
+
+
+def _relevant_roots(database):
+    out = set()
+    for book in database.nodes_with_tag("book"):
+        if any(c.tag == "@ref" for c in book.children):
+            out.add(book.dewey)
+    return out
+
+
+@pytest.fixture(scope="module")
+def payload():
+    database = generate_catalogs(
+        BiblioConfig(books_per_seller=40, seed=SEED, reference_fraction=0.12)
+    )
+    relevant = _relevant_roots(database)
+    engine = Engine(database, reference_query())
+
+    relaxed = engine.run(K)
+    relaxed_ranking = [a.root_node.dewey for a in relaxed.answers]
+
+    exact = Engine(database, reference_query(), relaxed=False).run(K)
+    exact_ranking = [a.root_node.dewey for a in exact.answers]
+
+    rng = random.Random(SEED)
+    universe = [book.dewey for book in database.nodes_with_tag("book")]
+    rng.shuffle(universe)
+    random_ranking = universe[:K]
+
+    return {
+        "relevant_count": len(relevant),
+        "books": len(universe),
+        "tfidf": RankingEvaluation(relaxed_ranking, relevant, K).as_dict(),
+        "exact_only": RankingEvaluation(exact_ranking, relevant, K).as_dict(),
+        "random": RankingEvaluation(random_ranking, relevant, K).as_dict(),
+    }
+
+
+def test_scoring_quality_table(payload):
+    rows = []
+    for name in ("tfidf", "exact_only", "random"):
+        metrics = payload[name]
+        rows.append(
+            [
+                name,
+                fmt(metrics["precision"]),
+                fmt(metrics["recall"]),
+                fmt(metrics["map"]),
+                fmt(metrics["ndcg"]),
+                fmt(metrics["mrr"]),
+            ]
+        )
+    emit(
+        format_table(
+            f"Scoring validation — {payload['relevant_count']} relevant of "
+            f"{payload['books']} books, k={K}",
+            ["ranking", f"P@{K}", f"R@{K}", "MAP", f"nDCG@{K}", "MRR"],
+            rows,
+        )
+    )
+    write_results("scoring_quality", payload)
+
+    tfidf = payload["tfidf"]
+    rand = payload["random"]
+    # tf*idf beats random decisively on every metric.
+    assert tfidf["precision"] >= rand["precision"] * 1.5 or tfidf["precision"] > 0.6
+    assert tfidf["map"] > rand["map"]
+    assert tfidf["ndcg"] > rand["ndcg"]
+    assert tfidf["mrr"] >= rand["mrr"]
+    # A relevant answer appears at rank 1.
+    assert tfidf["mrr"] == pytest.approx(1.0)
+
+
+def test_relaxation_recovers_recall(payload):
+    """Exact evaluation misses relevant books hidden in non-conforming
+    seller schemas; relaxation recovers them."""
+    assert payload["tfidf"]["recall"] > payload["exact_only"]["recall"]
+
+
+def test_scoring_quality_benchmark(benchmark):
+    database = generate_catalogs(
+        BiblioConfig(books_per_seller=40, seed=SEED, reference_fraction=0.12)
+    )
+    engine = Engine(database, reference_query())
+
+    def run():
+        return engine.run(K)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.answers) == K

@@ -1,0 +1,100 @@
+"""Seed robustness — the headline claims must not be seed luck.
+
+Re-validates the three core qualitative claims on freshly generated
+documents under several seeds:
+
+1. min_alive routing ≤ max_score routing (operations);
+2. simulated Whirlpool-M at 2 processors beats sequential Whirlpool-S;
+3. adaptive routing stays close to the best of a static-plan sample.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_whirlpool_m_sim,
+    run_whirlpool_s,
+    static_orders,
+)
+from repro.bench.params import QUERIES
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.core.engine import Engine
+from repro.xmark.generator import generate_for_size
+
+SEEDS = (101, 202, 303)
+TARGET_BYTES = 150_000
+K = 15
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rows = {}
+    for seed in SEEDS:
+        database = generate_for_size(TARGET_BYTES, seed=seed)
+        engine = Engine(database, QUERIES["Q2"])
+        min_alive = run_whirlpool_s(engine, K, routing="min_alive")
+        max_score = run_whirlpool_s(engine, K, routing="max_score")
+        simulated = run_whirlpool_m_sim(engine, K)
+        orders = static_orders(sorted(engine.server_node_ids()), budget=8)
+        static_ops = [
+            run_whirlpool_s(engine, K, routing="static", order=order)
+            .stats.server_operations
+            for order in orders
+        ]
+        rows[seed] = {
+            "min_alive_ops": min_alive.stats.server_operations,
+            "max_score_ops": max_score.stats.server_operations,
+            "ws_time": min_alive.stats.server_operations * 0.0018,
+            "wm_time": simulated.makespan,
+            "best_static_ops": min(static_ops),
+            "median_static_ops": sorted(static_ops)[len(static_ops) // 2],
+        }
+    return rows
+
+
+def test_seed_robustness_table(payload):
+    rows = []
+    for seed, entry in payload.items():
+        rows.append(
+            [
+                seed,
+                entry["min_alive_ops"],
+                entry["max_score_ops"],
+                entry["best_static_ops"],
+                entry["median_static_ops"],
+                fmt(entry["ws_time"]),
+                fmt(entry["wm_time"]),
+            ]
+        )
+    emit(
+        format_table(
+            "Seed robustness (Q2-shaped, ~150 Kb docs, k=15)",
+            [
+                "seed",
+                "min_alive ops",
+                "max_score ops",
+                "best static",
+                "median static",
+                "W-S time",
+                "W-M time",
+            ],
+            rows,
+        )
+    )
+    write_results("seed_robustness", {str(k): v for k, v in payload.items()})
+
+    for seed, entry in payload.items():
+        assert entry["min_alive_ops"] <= entry["max_score_ops"], seed
+        assert entry["wm_time"] < entry["ws_time"], seed
+        assert entry["min_alive_ops"] <= entry["median_static_ops"], seed
+        assert entry["min_alive_ops"] <= entry["best_static_ops"] * 1.20, seed
+
+
+def test_seed_robustness_benchmark(benchmark):
+    database = generate_for_size(TARGET_BYTES, seed=SEEDS[0])
+    engine = Engine(database, QUERIES["Q2"])
+
+    def run():
+        return run_whirlpool_s(engine, K)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.server_operations > 0

@@ -1,0 +1,65 @@
+"""Table 2 — scalability: % of partial matches created by Whirlpool-M.
+
+The denominator is the total number of partial matches an algorithm with
+no pruning creates (LockStep-NoPrun); the numerator is what the pruning
+Whirlpool-M creates.
+
+Paper claims reproduced here (Section 6.3.6):
+
+- the percentage decreases as query size grows (Q3 ≪ Q1);
+- the percentage decreases as document size grows for the big queries;
+- Q1 stays near 100% (its root-spawned tuples cannot be avoided, only
+  their operations).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_lockstep, table2_scalability
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.bench.workloads import get_engine
+
+DOCS = ("1M", "10M", "50M")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return table2_scalability(docs=DOCS)
+
+
+def test_table2(payload):
+    rows = []
+    for query, row in payload["percentages"].items():
+        rows.append([query] + [f"{fmt(row[doc], 2)}%" for doc in DOCS])
+    emit(
+        format_table(
+            f"Table 2 — partial matches created by Whirlpool-M as % of max "
+            f"(k={payload['k']})",
+            ["query"] + list(DOCS),
+            rows,
+        )
+    )
+    write_results("table2_scalability", payload)
+
+    percentages = payload["percentages"]
+    for query, row in percentages.items():
+        for doc in DOCS:
+            assert 0.0 < row[doc] <= 100.0 + 1e-9
+    # Larger queries prune a larger fraction at scale.
+    assert percentages["Q3"]["50M"] < percentages["Q1"]["50M"]
+    assert percentages["Q2"]["50M"] < percentages["Q1"]["50M"]
+    # Q1 creates (nearly) all partial matches — pruning saves operations,
+    # not tuples, when the root spawns no combinational blow-up.
+    assert percentages["Q1"]["1M"] > 60.0
+    # Scalability: Q3's fraction shrinks (or has already saturated at a
+    # low plateau) as the document grows — it must never grow materially.
+    assert percentages["Q3"]["50M"] <= max(percentages["Q3"]["1M"], 12.0) * 1.10
+
+
+def test_table2_benchmark_noprun_denominator(benchmark):
+    engine = get_engine("Q2", "1M")
+
+    def run():
+        return run_lockstep(engine, 15, prune=False)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.partial_matches_created > 0

@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Benchmarks run against scaled-down documents by default
+(``REPRO_BENCH_SCALE=0.02`` → 20 Kb / 200 Kb / 1 Mb for the paper's
+1/10/50 Mb); set ``REPRO_BENCH_SCALE=1.0`` for paper-scale runs and
+``REPRO_BENCH_PERMS=120`` for the full static-permutation sweeps.
+
+Every bench prints its paper-shaped table (visible with ``pytest -s``) and
+persists a JSON artifact under ``bench_results/``.
+"""
+
+import os
+
+import pytest
+
+# Keep default scales modest so `pytest benchmarks/` finishes in CI time.
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.02")
+os.environ.setdefault("REPRO_BENCH_PERMS", "24")
+
+
+@pytest.fixture(scope="session")
+def perm_budget() -> int:
+    return int(os.environ["REPRO_BENCH_PERMS"])

@@ -1,0 +1,72 @@
+"""Quickstart: parse an XML document and run a top-k tree-pattern query.
+
+Run from the repository root::
+
+    python examples/quickstart.py
+"""
+
+import repro
+
+BOOKS = """
+<bib>
+  <book>
+    <title>wodehouse</title>
+    <info>
+      <publisher><name>psmith</name><location>london</location></publisher>
+      <isbn>1234</isbn>
+    </info>
+    <price>48.95</price>
+  </book>
+  <book>
+    <title>wodehouse</title>
+    <publisher><name>psmith</name></publisher>
+    <info><isbn>1234</isbn></info>
+  </book>
+  <book>
+    <reviews><title>wodehouse</title></reviews>
+    <name>london</name>
+    <price>48.95</price>
+  </book>
+  <book>
+    <title>leave it to psmith</title>
+    <price>12.50</price>
+  </book>
+</bib>
+"""
+
+
+def main() -> None:
+    # 1. Parse text into a queryable database (a forest of labeled trees).
+    database = repro.parse_document(BOOKS)
+    print(f"parsed {database.node_count()} nodes\n")
+
+    # 2. Ask for the top-3 books matching a tree-pattern query.  The
+    #    default engine (Whirlpool-S) evaluates the query *and* all its
+    #    relaxations, so structurally different books still match — with
+    #    scores reflecting how exactly they match.
+    query = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+    result = repro.topk(database, query, k=3)
+
+    print(f"query: {query}")
+    print(result.table())
+
+    # 3. Inspect how each answer matched: exact / relaxed / deleted parts.
+    print("\nper-answer match details:")
+    for answer in result.answers:
+        print(f"  {answer.root_node}: {answer.match.describe()}")
+
+    # 4. Exact-only evaluation is one flag away.
+    exact = repro.topk(database, query, k=3, relaxed=False)
+    print(f"\nexact-only answers: {[a.root_node.dewey for a in exact.answers]}")
+
+    # 5. Execution statistics come with every run.
+    stats = result.stats
+    print(
+        f"\nwork done: {stats.server_operations} server operations, "
+        f"{stats.partial_matches_created} partial matches created, "
+        f"{stats.partial_matches_pruned} pruned"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 660 editable-wheel support; on offline machines
+without `wheel`, `python setup.py develop` (or this shim via legacy pip)
+installs the package equivalently.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""ASCII rendering of figure series — plots without a plotting stack.
+
+The offline benchmark environment has no matplotlib; these helpers render
+the figure data as unicode bar/line charts in the bench output, so the
+*shape* claims are eyeballable straight from ``pytest -s`` or the JSON
+artifacts.
+
+- :func:`bar_chart` — labeled horizontal bars (one figure series);
+- :func:`multi_series` — several series as grouped bars;
+- :func:`sparkline` — a one-line trend for a numeric sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    filled = value / peak * width
+    whole = int(filled)
+    remainder = filled - whole
+    bar = "█" * whole
+    if remainder > 1e-9 and whole < width:
+        bar += _BLOCKS[min(int(remainder * len(_BLOCKS)), len(_BLOCKS) - 1)]
+    return bar
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labeled bar per entry."""
+    if not values:
+        return f"{title}\n  (no data)"
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        bar = _bar(value, peak, width)
+        lines.append(f"  {str(label).rjust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def multi_series(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Grouped bars: ``series`` maps series name → {x label: value}."""
+    if not series:
+        return f"{title}\n  (no data)"
+    peak = max(
+        (value for row in series.values() for value in row.values()), default=0.0
+    )
+    x_labels: List[str] = []
+    for row in series.values():
+        for label in row:
+            if label not in x_labels:
+                x_labels.append(label)
+    series_width = max(len(name) for name in series)
+    label_width = max(len(str(label)) for label in x_labels)
+    lines = [title]
+    for x_label in x_labels:
+        lines.append(f"  {str(x_label).rjust(label_width)}:")
+        for name, row in series.items():
+            if x_label not in row:
+                continue
+            value = row[x_label]
+            bar = _bar(value, peak, width)
+            lines.append(
+                f"    {name.rjust(series_width)} |{bar} {value:g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▅▇ etc.; empty input renders empty."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARKS[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - low) / (high - low) * (len(_SPARKS) - 1))
+        out.append(_SPARKS[index])
+    return "".join(out)

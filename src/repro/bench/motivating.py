@@ -1,0 +1,108 @@
+"""The Section 2 motivating example — data behind Figure 3.
+
+Book 1(d) has three exact ``title`` matches (score 0.3 each), five
+approximate ``location`` matches (0.3, 0.2, 0.1, 0.1, 0.1) and one exact
+``price`` match (0.2).  A top-1 query joins ``book`` with the three
+predicates under one of the six static plans (permutations of title /
+location / price; the root is always evaluated first), pruning tuples whose
+maximum possible final score falls below an externally fixed
+``currentTopK`` value.
+
+The paper plots, per plan, the total number of join operations (join
+predicate comparisons) against ``currentTopK`` and observes that no plan
+dominates: price-first (Plan 6) wins at low thresholds, price-location
+(Plan 5) in the middle, and the location-first plans (3/4) at high
+thresholds, despite being by far the worst at low ones.
+:func:`join_operations` reproduces that simulation; a comparison costs one
+unit per (tuple, candidate) pair, the join-predicate comparisons the text
+counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+#: Per-predicate candidate scores of book 1(d), straight from Section 2.
+BOOK_D_SCORES: Dict[str, Tuple[float, ...]] = {
+    "title": (0.3, 0.3, 0.3),
+    "location": (0.3, 0.2, 0.1, 0.1, 0.1),
+    "price": (0.2,),
+}
+
+#: The paper's plan numbering: "Plan 6 (join book with price then with
+#: title then with location)", "Plan 5 (price then location then title)",
+#: "Plan 4 (location then price then title)", "Plan 3 (location then title
+#: then price)".  Plans 1/2 are the title-first permutations.
+PLANS: Dict[int, Tuple[str, str, str]] = {
+    1: ("title", "location", "price"),
+    2: ("title", "price", "location"),
+    3: ("location", "title", "price"),
+    4: ("location", "price", "title"),
+    5: ("price", "location", "title"),
+    6: ("price", "title", "location"),
+}
+
+
+def join_operations(
+    plan: Sequence[str],
+    current_top_k: float,
+    scores: Dict[str, Tuple[float, ...]] = None,
+) -> int:
+    """Join-predicate comparisons to evaluate book 1(d) under one plan.
+
+    Tuples start as the bare book (score 0) and are joined with each
+    predicate in plan order; a tuple entering a server is compared against
+    every candidate (one comparison each) and spawns one extended tuple per
+    candidate.  Before being processed at a server, a tuple whose maximum
+    possible final score (current score + best remaining candidate per
+    unjoined predicate) is below ``current_top_k`` is pruned.
+    """
+    scores = scores if scores is not None else BOOK_D_SCORES
+    tuples: List[float] = [0.0]
+    comparisons = 0
+    remaining = list(plan)
+    while remaining:
+        predicate = remaining.pop(0)
+        candidates = scores[predicate]
+        max_rest = sum(max(scores[other]) for other in remaining)
+        max_here = max(candidates)
+        survivors = [
+            score
+            for score in tuples
+            if score + max_here + max_rest >= current_top_k
+        ]
+        comparisons += len(survivors) * len(candidates)
+        tuples = [score + candidate for score in survivors for candidate in candidates]
+    return comparisons
+
+
+def sweep(
+    thresholds: Sequence[float] = None,
+) -> Dict[int, List[Tuple[float, int]]]:
+    """Figure 3's series: per plan, (currentTopK, join operations) points."""
+    if thresholds is None:
+        thresholds = [round(0.05 * i, 2) for i in range(21)]
+    return {
+        plan_id: [(t, join_operations(order, t)) for t in thresholds]
+        for plan_id, order in PLANS.items()
+    }
+
+
+def best_plans(threshold: float) -> List[int]:
+    """Plan ids minimizing join operations at one ``currentTopK`` value."""
+    costs = {
+        plan_id: join_operations(order, threshold)
+        for plan_id, order in PLANS.items()
+    }
+    minimum = min(costs.values())
+    return sorted(plan_id for plan_id, cost in costs.items() if cost == minimum)
+
+
+def all_permutation_plans() -> Dict[Tuple[str, str, str], int]:
+    """Sanity helper: every permutation maps to its paper plan id."""
+    inverse = {order: plan_id for plan_id, order in PLANS.items()}
+    return {
+        permutation: inverse[permutation]
+        for permutation in itertools.permutations(("title", "location", "price"))
+    }

@@ -1,0 +1,67 @@
+"""The paper's evaluation parameter grid — Table 1, defaults in bold.
+
+| Parameter        | Values                         | Default |
+|------------------|--------------------------------|---------|
+| Query size       | 3 (Q1), 6 (Q2), 8 (Q3) nodes   | Q2      |
+| Document size    | 1 Mb, 10 Mb, 50 Mb             | 10 Mb   |
+| k                | 3, 15, 75                      | 15      |
+| Parallelism      | 1, 2, 4, ∞                     | 2       |
+| Scoring function | sparse, dense                  | sparse  |
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+#: The three queries of Section 6.2.1, verbatim.
+QUERIES: Dict[str, str] = {
+    "Q1": "//item[./description/parlist]",
+    "Q2": "//item[./description/parlist and ./mailbox/mail/text]",
+    "Q3": (
+        "//item[./mailbox/mail/text[./bold and ./keyword]"
+        " and ./name and ./incategory]"
+    ),
+}
+
+#: Query sizes in pattern nodes, as stated by the paper.
+QUERY_SIZES: Dict[str, int] = {"Q1": 3, "Q2": 6, "Q3": 8}
+
+#: Document-size labels → paper byte sizes.
+PAPER_DOC_SIZES: Dict[str, int] = {
+    "1M": 1_000_000,
+    "10M": 10_000_000,
+    "50M": 50_000_000,
+}
+
+#: Table 1 values (defaults first).
+K_VALUES: Tuple[int, ...] = (15, 3, 75)
+PARALLELISM_VALUES: Tuple[Optional[int], ...] = (2, 1, 4, None)  # None = ∞
+SCORING_FUNCTIONS: Tuple[str, ...] = ("sparse", "dense")
+
+DEFAULTS = {
+    "query": "Q2",
+    "doc": "10M",
+    "k": 15,
+    "parallelism": 2,
+    "scoring": "sparse",
+    "seed": 42,
+}
+
+
+def bench_scale() -> float:
+    """Scale factor applied to the paper's document sizes.
+
+    ``REPRO_BENCH_SCALE=1.0`` reproduces paper-size documents; the default
+    0.02 keeps the whole suite CI-friendly.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+def paper_doc_bytes(label: str) -> int:
+    """Scaled byte target for a paper document label ('1M', '10M', '50M')."""
+    if label not in PAPER_DOC_SIZES:
+        raise KeyError(
+            f"unknown document label {label!r}; expected one of {sorted(PAPER_DOC_SIZES)}"
+        )
+    return max(int(PAPER_DOC_SIZES[label] * bench_scale()), 10_000)

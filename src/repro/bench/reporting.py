@@ -1,0 +1,56 @@
+"""Plain-text tables and result persistence for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper figure or table
+reports, and appends a machine-readable copy under ``bench_results/`` so
+EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Sequence
+
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "bench_results")
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Fixed-width text table with a title line."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[col]) for col, value in enumerate(row))
+
+    lines = [title, render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def write_results(name: str, payload: Dict) -> str:
+    """Persist one experiment's payload as JSON; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Compact float formatting for table cells."""
+    return f"{value:.{digits}f}"
+
+
+def emit(text: str) -> None:
+    """Print a bench table (visible under ``pytest -s``) and archive it."""
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "tables.txt"), "a") as handle:
+        handle.write(text + "\n\n")

@@ -1,0 +1,58 @@
+"""Workload construction with process-level caching.
+
+Generating a document and building its indexes/statistics dominates bench
+setup, so databases and engines are cached per (label, seed, normalization)
+for the lifetime of the process.  All benches share the one cache; tests
+can :func:`clear_cache` for isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.bench.params import DEFAULTS, QUERIES, paper_doc_bytes
+from repro.core.engine import Engine
+from repro.xmark.generator import generate_for_size
+from repro.xmldb.model import Database
+
+_database_cache: Dict[Tuple[str, int], Database] = {}
+_engine_cache: Dict[Tuple[str, str, int, str], Engine] = {}
+
+
+def get_database(doc_label: str = None, seed: int = None) -> Database:
+    """The (scaled) benchmark document for a paper size label."""
+    doc_label = doc_label if doc_label is not None else DEFAULTS["doc"]
+    seed = seed if seed is not None else DEFAULTS["seed"]
+    key = (doc_label, seed)
+    if key not in _database_cache:
+        _database_cache[key] = generate_for_size(paper_doc_bytes(doc_label), seed=seed)
+    return _database_cache[key]
+
+
+def get_engine(
+    query_label: str = None,
+    doc_label: str = None,
+    seed: int = None,
+    normalization: str = None,
+) -> Engine:
+    """An :class:`Engine` bound to one of Q1/Q2/Q3 over a cached document."""
+    query_label = query_label if query_label is not None else DEFAULTS["query"]
+    doc_label = doc_label if doc_label is not None else DEFAULTS["doc"]
+    seed = seed if seed is not None else DEFAULTS["seed"]
+    normalization = (
+        normalization if normalization is not None else DEFAULTS["scoring"]
+    )
+    key = (query_label, doc_label, seed, normalization)
+    if key not in _engine_cache:
+        _engine_cache[key] = Engine(
+            get_database(doc_label, seed),
+            QUERIES[query_label],
+            normalization=normalization,
+        )
+    return _engine_cache[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached databases and engines."""
+    _database_cache.clear()
+    _engine_cache.clear()

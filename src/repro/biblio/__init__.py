@@ -1,0 +1,26 @@
+"""Heterogeneous bibliographic data: books from different online sellers.
+
+The paper's introduction motivates approximate top-k matching with
+"structurally heterogeneous data (e.g., querying books from different
+online sellers)" — Figure 1 is exactly that.  This package generates such
+data at scale: the same logical book catalog rendered in several seller
+schemas with varying nesting, element placement and missing fields, so one
+query matches some sellers exactly and others only through relaxations.
+
+Use :func:`generate_catalogs` for a forest database (one document per
+seller) and :data:`SELLER_SCHEMAS` to see/extend the structural variants.
+"""
+
+from repro.biblio.generator import (
+    BiblioConfig,
+    SELLER_SCHEMAS,
+    generate_catalogs,
+    reference_query,
+)
+
+__all__ = [
+    "BiblioConfig",
+    "SELLER_SCHEMAS",
+    "generate_catalogs",
+    "reference_query",
+]

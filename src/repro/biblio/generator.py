@@ -1,0 +1,231 @@
+"""Generator for heterogeneous multi-seller book catalogs.
+
+Each *seller schema* is a function from one logical book record to an XML
+subtree; the schemas differ exactly along the axes the three relaxations
+repair:
+
+- ``nested``  — the Figure 1(a) shape: everything where the reference
+  query expects it (exact matches);
+- ``flat``    — publisher hangs off the book, not under ``info``
+  (needs subtree promotion);
+- ``deep``    — title buried under ``metadata/bibliographic`` (needs edge
+  generalization);
+- ``reviews`` — title only inside a review, publisher missing entirely
+  (needs edge generalization + leaf deletion);
+- ``minimal`` — bare title and price (needs leaf deletions).
+
+A logical record is (title, author, publisher name, city, isbn, price);
+records are drawn deterministically from a seeded vocabulary so equal
+configs generate identical forests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.errors import GeneratorError
+from repro.xmldb.model import Database, XMLNode
+
+TITLES: Tuple[str, ...] = (
+    "wodehouse", "leave it to psmith", "summer lightning", "heavy weather",
+    "pigs have wings", "galahad at blandings", "service with a smile",
+    "uncle dynamite", "the code of the woosters", "joy in the morning",
+    "right ho jeeves", "the mating season", "cocktail time", "quick service",
+)
+
+AUTHORS: Tuple[str, ...] = (
+    "p g wodehouse", "a a milne", "j k jerome", "e f benson",
+    "saki", "g k chesterton", "e m delafield", "stella gibbons",
+)
+
+PUBLISHERS: Tuple[str, ...] = (
+    "psmith", "herbert jenkins", "doubleday", "penguin", "everyman",
+    "overlook", "arrow",
+)
+
+CITIES: Tuple[str, ...] = (
+    "london", "new york", "paris", "toronto", "dublin", "edinburgh",
+)
+
+
+@dataclass(frozen=True)
+class BookRecord:
+    """One logical book, independent of any seller's schema."""
+
+    title: str
+    author: str
+    publisher: str
+    city: str
+    isbn: str
+    price: str
+
+
+def _schema_nested(record: BookRecord) -> XMLNode:
+    book = XMLNode("book")
+    book.child("title", record.title)
+    info = book.child("info")
+    publisher = info.child("publisher")
+    publisher.child("name", record.publisher)
+    publisher.child("location", record.city)
+    info.child("isbn", record.isbn)
+    book.child("price", record.price)
+    return book
+
+
+def _schema_flat(record: BookRecord) -> XMLNode:
+    book = XMLNode("book")
+    book.child("title", record.title)
+    publisher = book.child("publisher")
+    publisher.child("name", record.publisher)
+    publisher.child("location", record.city)
+    info = book.child("info")
+    info.child("isbn", record.isbn)
+    book.child("price", record.price)
+    return book
+
+
+def _schema_deep(record: BookRecord) -> XMLNode:
+    book = XMLNode("book")
+    metadata = book.child("metadata")
+    bibliographic = metadata.child("bibliographic")
+    bibliographic.child("title", record.title)
+    bibliographic.child("author", record.author)
+    info = book.child("info")
+    publisher = info.child("publisher")
+    publisher.child("name", record.publisher)
+    info.child("isbn", record.isbn)
+    book.child("price", record.price)
+    return book
+
+
+def _schema_reviews(record: BookRecord) -> XMLNode:
+    book = XMLNode("book")
+    reviews = book.child("reviews")
+    review = reviews.child("review")
+    review.child("title", record.title)
+    review.child("rating", "4")
+    book.child("name", record.city)
+    book.child("price", record.price)
+    return book
+
+
+def _schema_minimal(record: BookRecord) -> XMLNode:
+    book = XMLNode("book")
+    book.child("title", record.title)
+    book.child("price", record.price)
+    return book
+
+
+SellerSchema = Callable[[BookRecord], XMLNode]
+
+#: Seller name → schema renderer, ordered from most to least query-exact.
+SELLER_SCHEMAS: Dict[str, SellerSchema] = {
+    "nested": _schema_nested,
+    "flat": _schema_flat,
+    "deep": _schema_deep,
+    "reviews": _schema_reviews,
+    "minimal": _schema_minimal,
+}
+
+
+@dataclass
+class BiblioConfig:
+    """Catalog generator parameters.
+
+    ``seller_mix`` maps seller names to relative weights; omitted sellers
+    get weight 0.  ``books_per_seller`` books are generated per seller with
+    a positive weight (weights scale the per-seller counts).
+    """
+
+    books_per_seller: int = 20
+    seed: int = 42
+    seller_mix: Dict[str, float] = field(
+        default_factory=lambda: {name: 1.0 for name in SELLER_SCHEMAS}
+    )
+    #: Fraction of records that are the *reference book* (title
+    #: "wodehouse" published by "psmith") — guarantees the Figure 2(a)
+    #: query is non-degenerate on every seller.
+    reference_fraction: float = 0.15
+
+    def validate(self) -> None:
+        if self.books_per_seller < 0:
+            raise GeneratorError(
+                f"books_per_seller must be >= 0, got {self.books_per_seller}"
+            )
+        if not 0.0 <= self.reference_fraction <= 1.0:
+            raise GeneratorError(
+                f"reference_fraction must be in [0, 1], got {self.reference_fraction}"
+            )
+        for seller, weight in self.seller_mix.items():
+            if seller not in SELLER_SCHEMAS:
+                raise GeneratorError(
+                    f"unknown seller schema {seller!r}; "
+                    f"available: {sorted(SELLER_SCHEMAS)}"
+                )
+            if weight < 0:
+                raise GeneratorError(f"seller weight must be >= 0, got {weight}")
+
+
+REFERENCE_RECORD = BookRecord(
+    title="wodehouse",
+    author="p g wodehouse",
+    publisher="psmith",
+    city="london",
+    isbn="1234",
+    price="48.95",
+)
+
+
+def _random_record(rng: random.Random) -> BookRecord:
+    return BookRecord(
+        title=rng.choice(TITLES),
+        author=rng.choice(AUTHORS),
+        publisher=rng.choice(PUBLISHERS),
+        city=rng.choice(CITIES),
+        isbn=str(rng.randint(1000, 9999)),
+        price=f"{rng.randint(5, 60)}.{rng.randint(0, 99):02d}",
+    )
+
+
+def generate_catalogs(config: BiblioConfig = None) -> Database:
+    """Generate one catalog document per (positively weighted) seller.
+
+    Each document is rooted at ``<catalog seller="...">`` with book
+    children in the seller's schema; the whole forest shares one logical
+    record stream, so the same titles/publishers recur across sellers with
+    different structure — the metasearch scenario.
+    """
+    config = config if config is not None else BiblioConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    database = Database()
+    for seller, schema in SELLER_SCHEMAS.items():
+        weight = config.seller_mix.get(seller, 0.0)
+        count = int(round(config.books_per_seller * weight))
+        if count <= 0:
+            continue
+        catalog = XMLNode("catalog")
+        catalog.child("@seller", seller)
+        for book_index in range(count):
+            if book_index == 0 or rng.random() < config.reference_fraction:
+                record = REFERENCE_RECORD
+            else:
+                record = _random_record(rng)
+            book = schema(record)
+            if record is REFERENCE_RECORD:
+                # Ground-truth marker for ranking-quality experiments: a
+                # metadata attribute queries never mention, so it cannot
+                # leak into scores.
+                book.child("@ref", "true")
+            catalog.add_child(book)
+        database.add_document(catalog)
+    return database
+
+
+def reference_query(title: str = "wodehouse", publisher: str = "psmith") -> str:
+    """The Figure 2(a)-shaped query the seller schemas are designed around."""
+    return (
+        f"/book[./title = '{title}' and ./info/publisher/name = '{publisher}']"
+    )

@@ -1,0 +1,266 @@
+"""Command-line interface: query documents, generate data, run experiments.
+
+Installed as ``python -m repro``::
+
+    python -m repro query books.xml "/book[.//title = 'wodehouse']" -k 5
+    python -m repro query auction.xml "//item[./name]" --exact --stats
+    python -m repro explain "//item[./description/parlist]"
+    python -m repro generate --size 1000000 --seed 7 -o auction.xml
+    python -m repro bench fig5
+
+Every subcommand is a thin shell over the library API; anything the CLI
+prints can be obtained programmatically from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.engine import ALGORITHMS, Engine
+from repro.core.threshold import threshold_query
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Whirlpool: adaptive top-k queries over XML (ICDE 2005).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser(
+        "query", help="run a top-k (or threshold) query against an XML file"
+    )
+    query.add_argument("file", help="path to the XML document")
+    query.add_argument("xpath", help="tree-pattern query in the XPath subset")
+    query.add_argument("-k", type=int, default=10, help="answers to return")
+    query.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="whirlpool_s",
+        help="evaluation algorithm",
+    )
+    query.add_argument(
+        "--routing",
+        default="min_alive",
+        help="routing strategy (min_alive, min_alive_estimated, "
+        "max_score, min_score)",
+    )
+    query.add_argument(
+        "--exact", action="store_true", help="exact matches only (no relaxation)"
+    )
+    query.add_argument(
+        "--normalization",
+        choices=("sparse", "dense", "raw"),
+        default="sparse",
+        help="score normalization (Section 6.2.2)",
+    )
+    query.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="return ALL answers scoring at least this value instead of top-k",
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="print execution statistics"
+    )
+    query.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="show per-answer relaxation provenance",
+    )
+
+    explain = commands.add_parser(
+        "explain", help="show a query's pattern, predicates and plan"
+    )
+    explain.add_argument("xpath", help="tree-pattern query in the XPath subset")
+    explain.add_argument(
+        "--relaxations",
+        action="store_true",
+        help="also enumerate the (capped) relaxation closure",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate an XMark-like auction document"
+    )
+    size = generate.add_mutually_exclusive_group()
+    size.add_argument("--items", type=int, default=None, help="number of items")
+    size.add_argument(
+        "--size", type=int, default=None, help="approximate size in bytes"
+    )
+    generate.add_argument("--seed", type=int, default=42, help="generator seed")
+    generate.add_argument(
+        "-o", "--output", default=None, help="output file (default: stdout)"
+    )
+
+    bench = commands.add_parser("bench", help="run one experiment driver")
+    bench.add_argument(
+        "experiment",
+        choices=(
+            "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
+            "table2", "queues", "scoring", "all",
+        ),
+        help="which paper artifact to regenerate ('all' runs every driver)",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_query(args) -> int:
+    from repro.xmldb.parser import parse_document
+
+    with open(args.file) as handle:
+        database = parse_document(handle.read())
+    engine = Engine(
+        database,
+        args.xpath,
+        relaxed=not args.exact,
+        normalization=args.normalization,
+    )
+    if args.threshold is not None:
+        result = threshold_query(engine, min_score=args.threshold)
+    else:
+        result = engine.run(args.k, algorithm=args.algorithm, routing=args.routing)
+
+    if args.json:
+        payload = {
+            "answers": [
+                {
+                    "dewey": ".".join(map(str, answer.root_node.dewey)),
+                    "tag": answer.root_node.tag,
+                    "score": answer.score,
+                    "match": answer.match.describe(),
+                }
+                for answer in result.answers
+            ],
+            "stats": result.stats.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(result.table())
+    if args.explain:
+        print()
+        for answer in result.answers:
+            print(answer.explain(engine.pattern))
+            print()
+    if args.stats:
+        print("\nexecution statistics:")
+        for key, value in result.stats.as_dict().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.query.predicates import component_predicates
+    from repro.query.xpath import parse_xpath
+    from repro.relax.enumeration import enumerate_relaxations
+    from repro.relax.plan import compile_plan
+
+    pattern = parse_xpath(args.xpath)
+    print("pattern:")
+    for line in pattern.describe().splitlines():
+        print(f"  {line}")
+
+    print("\ncomponent predicates (Definition 4.1):")
+    for predicate in component_predicates(pattern):
+        relaxable = " (relaxable)" if predicate.is_relaxable() else ""
+        print(f"  {predicate.describe()}{relaxable}")
+
+    plan = compile_plan(pattern)
+    print(f"\ncompiled plan: {len(plan.servers)} servers")
+    for node_id in plan.server_ids():
+        server = plan.server(node_id)
+        print(
+            f"  server {server.tag}#{node_id}: probe={server.probe_axis}, "
+            f"{len(server.conditionals)} conditional predicates"
+        )
+
+    if args.relaxations:
+        closure = enumerate_relaxations(pattern, limit=50)
+        print(f"\nrelaxation closure (first {len(closure)} queries):")
+        for relaxed in closure[:20]:
+            print(f"  {relaxed.to_xpath()}")
+        if len(closure) > 20:
+            print(f"  ... and {len(closure) - 20} more")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.xmark.generator import generate_database, generate_for_size
+    from repro.xmark.schema import XMarkConfig
+    from repro.xmldb.serializer import serialize
+
+    if args.size is not None:
+        database = generate_for_size(args.size, seed=args.seed)
+    else:
+        items = args.items if args.items is not None else 100
+        database = generate_database(XMarkConfig(items=items, seed=args.seed))
+    text = serialize(database)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(text.encode('utf-8'))} bytes "
+            f"({len(database.nodes_with_tag('item'))} items) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import experiments
+
+    drivers = {
+        "fig5": experiments.fig5_routing_strategies,
+        "fig6": experiments.fig6_7_adaptive_vs_static,
+        "fig8": experiments.fig8_adaptivity_cost,
+        "fig9": experiments.fig9_parallelism,
+        "fig10": experiments.fig10_vary_k,
+        "fig11": experiments.fig11_vary_docsize,
+        "table2": experiments.table2_scalability,
+        "queues": experiments.queue_policy_ablation,
+        "scoring": experiments.scoring_function_ablation,
+    }
+    if args.experiment == "all":
+        payload = {name: driver() for name, driver in drivers.items()}
+    else:
+        payload = drivers[args.experiment]()
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "explain": _cmd_explain,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

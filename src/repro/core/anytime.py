@@ -1,0 +1,152 @@
+"""Anytime top-k: stop after a budget, return the best-so-far with a bound.
+
+Adaptive, priority-driven evaluation has a property the lock-step
+baselines lack: at any instant the system's state is a *usable* partial
+answer — the current top-k set plus a certificate of how wrong it can
+still be (the largest upper bound among unprocessed partial matches).
+This module exposes that as an API:
+
+    outcome = anytime_topk(engine, k=10, max_operations=500)
+    outcome.answers         # best known top-k
+    outcome.is_final        # True iff the budget sufficed for exactness
+    outcome.guarantee()     # max score any unseen answer could still reach
+
+Because Whirlpool-S always advances the partial match with the highest
+maximum possible final score, the first k *completed* answers it produces
+are provably final early — often long before the queue drains — and the
+anytime wrapper detects that, too (the classic Upper-style early stop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import EngineBase, TopKResult
+from repro.core.queues import MatchQueue, QueuePolicy
+from repro.errors import EngineError
+
+
+class AnytimeOutcome:
+    """Result of a budgeted run: answers + exactness certificate."""
+
+    __slots__ = ("result", "is_final", "pending_bound", "operations_used")
+
+    def __init__(
+        self,
+        result: TopKResult,
+        is_final: bool,
+        pending_bound: float,
+        operations_used: int,
+    ):
+        self.result = result
+        self.is_final = is_final
+        self.pending_bound = pending_bound
+        self.operations_used = operations_used
+
+    @property
+    def answers(self):
+        """Best-known top-k answers (final iff :attr:`is_final`)."""
+        return self.result.answers
+
+    def guarantee(self) -> float:
+        """Largest final score any *unfinished* candidate could still reach.
+
+        Every reported answer whose score is ≥ this bound is definitively
+        in the top-k; when the bound is below the k-th reported score, the
+        whole answer set is final.
+        """
+        return self.pending_bound
+
+    def __repr__(self) -> str:
+        status = "final" if self.is_final else f"bound={self.pending_bound:.4f}"
+        return (
+            f"AnytimeOutcome({len(self.answers)} answers, "
+            f"{self.operations_used} ops, {status})"
+        )
+
+
+class AnytimeWhirlpool(EngineBase):
+    """Whirlpool-S control flow with an operation budget and early stop."""
+
+    algorithm = "whirlpool_anytime"
+
+    def __init__(self, *args, max_operations: Optional[int] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_operations is not None and max_operations < 0:
+            raise EngineError(
+                f"max_operations must be >= 0 or None, got {max_operations}"
+            )
+        self.max_operations = max_operations
+
+    def run_anytime(self) -> AnytimeOutcome:
+        """Run until exact, early-provable, or out of budget."""
+        self.stats.start_clock()
+        queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        for seed in self.seed_matches():
+            if self.server_ids:
+                queue.put(seed)
+            else:
+                self.stats.record_completed()
+
+        pending_bound = 0.0
+        status = "exact"  # exact (drained) | early (certificate) | budget
+        while True:
+            if (
+                self.max_operations is not None
+                and self.stats.server_operations >= self.max_operations
+            ):
+                head = queue.get_nowait()
+                if head is not None:
+                    status = "budget"
+                    pending_bound = head.upper_bound
+                break
+            match = queue.get_nowait()
+            if match is None:
+                break
+            if self.topk.is_pruned(match):
+                self.stats.record_pruned()
+                continue
+            # Early-stop certificate: the head of a max-final-score queue
+            # bounds every remaining candidate; once the k-th best known
+            # COMPLETE answer matches it, nothing can change the top-k.
+            answers = self.topk.answers()
+            if len(answers) >= self.k:
+                kth = answers[self.k - 1].score
+                all_complete = all(
+                    answer.match.is_complete(self.server_ids) for answer in answers
+                )
+                if all_complete and kth >= match.upper_bound:
+                    status = "early"
+                    pending_bound = match.upper_bound
+                    break
+            self.stats.record_routing_decision()
+            server_id = self.router.choose(match, self)
+            for extension in self.servers[server_id].process(match, self.stats):
+                survivor = self.absorb_extension(extension, parent=match)
+                if survivor is not None:
+                    queue.put(survivor)
+
+        self.stats.stop_clock()
+        return AnytimeOutcome(
+            result=self.make_result(),
+            is_final=status != "budget",
+            pending_bound=pending_bound,
+            operations_used=self.stats.server_operations,
+        )
+
+
+def anytime_topk(
+    engine,
+    k: int,
+    max_operations: Optional[int] = None,
+) -> AnytimeOutcome:
+    """Budgeted top-k over an :class:`repro.core.engine.Engine`'s state."""
+    runner = AnytimeWhirlpool(
+        pattern=engine.pattern,
+        index=engine.index,
+        score_model=engine.score_model,
+        k=k,
+        relaxed=engine.relaxed,
+        max_operations=max_operations,
+    )
+    return runner.run_anytime()

@@ -1,0 +1,212 @@
+"""Shared engine machinery: setup, seeding, extension handling, results.
+
+All four algorithms (Whirlpool-S, Whirlpool-M, LockStep, LockStep-NoPrun)
+share everything except their control flow: the compiled plan, one
+:class:`~repro.core.server.Server` per non-root query node, the score
+model's per-server maximum contributions (bound material), the shared
+top-k set, and the statistics bundle.  :class:`EngineBase` holds that and
+implements the two steps every engine performs identically:
+
+- **seeding** — the root server generates one initial partial match per
+  candidate root node (Section 5.1: "the book server ... initializes the
+  set of partial matches");
+- **absorbing extensions** — refresh bound, report to the top-k set,
+  detect completion, prune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.match import PartialMatch
+from repro.core.queues import MatchQueue, QueuePolicy
+from repro.core.router import MinAliveRouter, RoutingStrategy
+from repro.core.server import Server
+from repro.core.stats import ExecutionStats
+from repro.core.topk import TopKAnswer, TopKSet
+from repro.errors import EngineError
+from repro.query.pattern import TreePattern
+from repro.relax.plan import compile_plan
+from repro.scoring.model import ScoreModel
+from repro.xmldb.index import DatabaseIndex
+
+
+class TopKResult:
+    """Outcome of one engine run: the answers plus the execution metrics."""
+
+    __slots__ = ("answers", "stats", "algorithm", "k", "pattern")
+
+    def __init__(
+        self,
+        answers: List[TopKAnswer],
+        stats: ExecutionStats,
+        algorithm: str,
+        k: int,
+        pattern: TreePattern,
+    ):
+        self.answers = answers
+        self.stats = stats
+        self.algorithm = algorithm
+        self.k = k
+        self.pattern = pattern
+
+    def scores(self) -> List[float]:
+        """Answer scores, best first."""
+        return [answer.score for answer in self.answers]
+
+    def root_deweys(self) -> List:
+        """Dewey ids of the answer roots, best first."""
+        return [answer.root_node.dewey for answer in self.answers]
+
+    def table(self) -> str:
+        """Render the answers as a small text table."""
+        lines = [f"top-{self.k} answers ({self.algorithm}):"]
+        for rank, answer in enumerate(self.answers, start=1):
+            lines.append(
+                f"  {rank:2d}. score={answer.score:8.4f}  root={answer.root_node!r}"
+            )
+        if not self.answers:
+            lines.append("  (no answers)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKResult({self.algorithm}, k={self.k}, "
+            f"answers={len(self.answers)}, ops={self.stats.server_operations})"
+        )
+
+
+class EngineBase:
+    """Common state and helpers for the four evaluation algorithms."""
+
+    algorithm = "abstract"
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        index: DatabaseIndex,
+        score_model: ScoreModel,
+        k: int,
+        relaxed: bool = True,
+        router: Optional[RoutingStrategy] = None,
+        queue_policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
+        thread_safe_stats: bool = False,
+        observer=None,
+        join_algorithm: str = "index",
+    ):
+        if k <= 0:
+            raise EngineError(f"k must be positive, got {k}")
+        self.pattern = pattern
+        self.index = index
+        self.score_model = score_model
+        self.k = k
+        self.relaxed = relaxed
+        self.queue_policy = queue_policy
+
+        self.plan = compile_plan(pattern, relaxed)
+        self.servers: Dict[int, Server] = {}
+        for node_id in self.plan.server_ids():
+            server = Server(
+                self.plan.server(node_id),
+                index,
+                score_model,
+                relaxed,
+                join_algorithm=join_algorithm,
+            )
+            server.set_root_tag(pattern.root.tag)
+            self.servers[node_id] = server
+
+        self.server_ids: List[int] = sorted(self.servers)
+        self.max_contributions: Dict[int, float] = {
+            node_id: score_model.max_contribution(node_id)
+            for node_id in self.server_ids
+        }
+        threshold_source = "all" if relaxed else "complete"
+        self.topk = TopKSet(k, threshold_source=threshold_source)
+        self.router: RoutingStrategy = router if router is not None else MinAliveRouter()
+        self.stats = ExecutionStats(thread_safe=thread_safe_stats)
+        #: Optional :class:`~repro.core.trace.EngineObserver` receiving
+        #: seed / route / extension / prune events.
+        self.observer = observer
+
+    # -- shared steps --------------------------------------------------------------
+
+    def seed_matches(self) -> List[PartialMatch]:
+        """Root-server output: one initial match per candidate root node."""
+        root = self.pattern.root
+        seeds: List[PartialMatch] = []
+        for node in self.index[root.tag].all():
+            if not root.matches_value(node.value):
+                continue
+            match = PartialMatch.initial(node)
+            match.refresh_bound(self.max_contributions)
+            seeds.append(match)
+        self.stats.record_created(len(seeds))
+        for match in seeds:
+            self.topk.observe(match, complete=match.is_complete(self.server_ids))
+            if self.observer is not None:
+                self.observer.on_seed(match, self.topk.threshold())
+        return seeds
+
+    def absorb_extension(
+        self, extension: PartialMatch, parent: Optional[PartialMatch] = None
+    ) -> Optional[PartialMatch]:
+        """Bound + report + completion + pruning for one fresh extension.
+
+        Returns the extension when it must continue through more servers,
+        ``None`` when it completed or was pruned.  ``parent`` is only used
+        to notify the observer (lineage tracking).
+        """
+        extension.refresh_bound(self.max_contributions)
+        complete = extension.is_complete(self.server_ids)
+        self.topk.observe(extension, complete)
+        if complete:
+            self.stats.record_completed()
+            self._notify_extension(parent, extension, "completed")
+            return None
+        if self.topk.is_pruned(extension):
+            self.stats.record_pruned()
+            self._notify_extension(parent, extension, "pruned")
+            return None
+        self._notify_extension(parent, extension, "alive")
+        return extension
+
+    def _notify_extension(self, parent, extension, outcome: str) -> None:
+        if self.observer is not None and parent is not None:
+            self.observer.on_extension(
+                parent, extension, outcome, self.topk.threshold()
+            )
+
+    def notify_route(self, match: PartialMatch, server_id: int) -> None:
+        """Observer hook for a routing decision."""
+        if self.observer is not None:
+            self.observer.on_route(match, server_id, self.topk.threshold())
+
+    def notify_prune(self, match: PartialMatch) -> None:
+        """Observer hook for a discarded match."""
+        if self.observer is not None:
+            self.observer.on_prune(match, self.topk.threshold())
+
+    def make_result(self) -> TopKResult:
+        """Package the top-k set into a :class:`TopKResult`."""
+        return TopKResult(
+            answers=self.topk.answers(),
+            stats=self.stats,
+            algorithm=self.algorithm,
+            k=self.k,
+            pattern=self.pattern,
+        )
+
+    def make_server_queue(self, node_id: int) -> MatchQueue:
+        """A server queue under this engine's queue policy."""
+        return MatchQueue(
+            policy=self.queue_policy,
+            server_id=node_id,
+            max_contributions=self.max_contributions,
+        )
+
+    # -- interface --------------------------------------------------------------------
+
+    def run(self) -> TopKResult:
+        """Execute the algorithm and return the top-k answers + stats."""
+        raise NotImplementedError

@@ -1,0 +1,193 @@
+"""The one-call facade: build indexes, score model and engine, then run.
+
+Typical use::
+
+    from repro import Engine
+
+    engine = Engine(database, "//item[./description/parlist]")
+    result = engine.run(k=15, algorithm="whirlpool_s")
+    for answer in result.answers:
+        print(answer.score, answer.root_node)
+
+The facade owns everything derived from (database, query): the restricted
+tag index, the database statistics, the tf*idf score model.  Each
+:meth:`Engine.run` builds a fresh algorithm instance, so one Engine can be
+reused across k values, algorithms and routing strategies — which is
+precisely what the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.core.base import EngineBase, TopKResult
+from repro.core.lockstep import LockStep, LockStepNoPrun
+from repro.core.queues import QueuePolicy
+from repro.core.router import make_router
+from repro.core.whirlpool_m import WhirlpoolM
+from repro.core.whirlpool_s import WhirlpoolS
+from repro.errors import EngineError
+from repro.query.pattern import TreePattern
+from repro.query.xpath import parse_xpath
+from repro.scoring.model import ScoreModel, build_score_model
+from repro.scoring.tfidf import score_all_answers
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode
+from repro.xmldb.stats import DatabaseStatistics
+
+ALGORITHMS: Dict[str, Type[EngineBase]] = {
+    "whirlpool_s": WhirlpoolS,
+    "whirlpool_m": WhirlpoolM,
+    "lockstep": LockStep,
+    "lockstep_noprun": LockStepNoPrun,
+}
+
+
+class Engine:
+    """Bound (database, query) pair ready to answer top-k requests."""
+
+    def __init__(
+        self,
+        database: Database,
+        query: Union[str, TreePattern],
+        relaxed: bool = True,
+        scoring: str = "tfidf",
+        normalization: str = "sparse",
+        seed: int = 0,
+        score_model: Optional[ScoreModel] = None,
+    ):
+        self.database = database
+        self.pattern = parse_xpath(query) if isinstance(query, str) else query
+        self.relaxed = relaxed
+        self.index = DatabaseIndex(database, tags=self.pattern.tags())
+        self.statistics = DatabaseStatistics(self.index)
+        if score_model is not None:
+            self.score_model = score_model
+        else:
+            self.score_model = build_score_model(
+                self.pattern,
+                stats=self.statistics,
+                kind=scoring,
+                normalization=normalization,
+                seed=seed,
+            )
+
+    # -- running -------------------------------------------------------------------
+
+    def path_summary(self):
+        """The database's :class:`~repro.xmldb.summary.PathSummary`
+        (built lazily; backs the ``min_alive_estimated`` router)."""
+        summary = getattr(self, "_path_summary", None)
+        if summary is None:
+            from repro.xmldb.summary import PathSummary
+
+            summary = self._path_summary = PathSummary(self.database)
+        return summary
+
+    def run(
+        self,
+        k: int,
+        algorithm: str = "whirlpool_s",
+        routing: str = "min_alive",
+        static_order: Optional[Sequence[int]] = None,
+        queue_policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
+        routing_batch: Optional[int] = None,
+        observer=None,
+        join_algorithm: str = "index",
+    ) -> TopKResult:
+        """Evaluate the top-k query with one algorithm/policy combination.
+
+        Parameters
+        ----------
+        k:
+            Number of distinct root answers to return.
+        algorithm:
+            ``whirlpool_s`` / ``whirlpool_m`` / ``lockstep`` /
+            ``lockstep_noprun``.
+        routing:
+            ``min_alive`` (default), ``max_score``, ``min_score``,
+            ``min_alive_estimated`` (path-summary estimates instead of
+            exact probes) or ``static`` (requires ``static_order``).
+            Ignored by the lock-step algorithms, which are static by
+            nature and instead honour ``static_order`` as their order.
+        static_order:
+            Permutation of server node ids for static routing / lock-step.
+        queue_policy:
+            Server-queue prioritization (Section 6.1.3).
+        routing_batch:
+            When set, wrap the router in a
+            :class:`~repro.core.router.BatchingRouter` with that many
+            score buckets — the paper's "adaptivity in bulk" future-work
+            idea, trading routing precision for decision reuse.
+        observer:
+            Optional :class:`~repro.core.trace.EngineObserver` (e.g. an
+            :class:`~repro.core.trace.ExecutionTrace`) receiving seed /
+            route / extension / prune events.
+        join_algorithm:
+            ``"index"`` (Dewey-interval binary search, default) or
+            ``"scan"`` (the paper's nested-loop baseline) — identical
+            answers, different comparison counts.
+        """
+        engine_cls = ALGORITHMS.get(algorithm)
+        if engine_cls is None:
+            raise EngineError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{', '.join(sorted(ALGORITHMS))}"
+            )
+
+        kwargs = dict(
+            pattern=self.pattern,
+            index=self.index,
+            score_model=self.score_model,
+            k=k,
+            relaxed=self.relaxed,
+            queue_policy=queue_policy,
+            observer=observer,
+            join_algorithm=join_algorithm,
+        )
+        if engine_cls in (LockStep, LockStepNoPrun):
+            return engine_cls(order=static_order, **kwargs).run()
+        if routing == "min_alive_estimated":
+            from repro.core.router import EstimatedMinAliveRouter
+
+            router = EstimatedMinAliveRouter(self.path_summary())
+        else:
+            router = make_router(routing, order=static_order)
+        if routing_batch is not None:
+            from repro.core.router import BatchingRouter
+
+            router = BatchingRouter(router, score_buckets=routing_batch)
+        kwargs["router"] = router
+        return engine_cls(**kwargs).run()
+
+    # -- oracles ----------------------------------------------------------------------
+
+    def tfidf_ranking(self) -> List[Tuple[XMLNode, float]]:
+        """Brute-force Definition 4.4 ranking of every candidate root."""
+        return score_all_answers(self.pattern, self.index, self.statistics)
+
+    def server_node_ids(self) -> List[int]:
+        """Preorder ids of the query's server nodes (for static orders)."""
+        return [node.node_id for node in self.pattern.non_root_nodes()]
+
+
+def topk(
+    database: Database,
+    query: Union[str, TreePattern],
+    k: int,
+    algorithm: str = "whirlpool_s",
+    **kwargs,
+) -> TopKResult:
+    """One-shot convenience: build an :class:`Engine` and run it once.
+
+    Engine-construction keyword arguments (``relaxed``, ``scoring``,
+    ``normalization``, ``seed``, ``score_model``) and run arguments
+    (``routing``, ``static_order``, ``queue_policy``) are both accepted.
+    """
+    engine_kwargs = {
+        key: kwargs.pop(key)
+        for key in ("relaxed", "scoring", "normalization", "seed", "score_model")
+        if key in kwargs
+    }
+    engine = Engine(database, query, **engine_kwargs)
+    return engine.run(k, algorithm=algorithm, **kwargs)

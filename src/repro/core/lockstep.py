@@ -1,0 +1,91 @@
+"""LockStep baselines (Section 6.1.2).
+
+``LockStep`` "considers one server at a time and processes all partial
+matches sequentially through a server before proceeding to the next
+server" — the plan-relaxation evaluation of EDBT'02 (≈ OptThres) with a
+top-k set pruning matches between servers.  The server order is static by
+nature; benches sweep permutations for the min/median/max static plans.
+
+``LockStep-NoPrun`` disables pruning entirely: every partial match goes
+through every server, scores are computed for all matches, and the k best
+are selected at the end.  Besides being the paper's worst baseline, it
+computes the *maximum possible number of partial matches* — the
+denominator of Table 2's scalability ratio — and the ground-truth ranking
+the other engines are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.base import EngineBase, TopKResult
+from repro.core.match import PartialMatch
+from repro.errors import EngineError
+
+
+class LockStep(EngineBase):
+    """All matches pass through one server before the next is considered."""
+
+    algorithm = "lockstep"
+    prune = True
+
+    def __init__(self, *args, order: Optional[Sequence[int]] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if order is None:
+            order = list(self.server_ids)
+        order = list(order)
+        if sorted(order) != self.server_ids:
+            raise EngineError(
+                f"lock-step order {order} must be a permutation of {self.server_ids}"
+            )
+        self.order = order
+
+    def run(self) -> TopKResult:
+        self.stats.start_clock()
+        matches: List[PartialMatch] = list(self.seed_matches())
+        if not self.server_ids:
+            for _ in matches:
+                self.stats.record_completed()
+            matches = []
+
+        for server_id in self.order:
+            server = self.servers[server_id]
+            # Within the server, matches are consumed in priority-queue
+            # order (Section 6.1.3; max-final-score by default).
+            queue = self.make_server_queue(server_id)
+            for match in matches:
+                queue.put(match)
+            survivors: List[PartialMatch] = []
+            while True:
+                match = queue.get_nowait()
+                if match is None:
+                    break
+                if self.prune and self.topk.is_pruned(match):
+                    self.stats.record_pruned()
+                    self.notify_prune(match)
+                    continue
+                self.notify_route(match, server_id)
+                for extension in server.process(match, self.stats):
+                    if self.prune:
+                        survivor = self.absorb_extension(extension, parent=match)
+                        if survivor is not None:
+                            survivors.append(survivor)
+                    else:
+                        extension.refresh_bound(self.max_contributions)
+                        complete = extension.is_complete(self.server_ids)
+                        self.topk.observe(extension, complete)
+                        if complete:
+                            self.stats.record_completed()
+                        else:
+                            survivors.append(extension)
+            matches = survivors
+
+        self.stats.stop_clock()
+        return self.make_result()
+
+
+class LockStepNoPrun(LockStep):
+    """LockStep without pruning — computes everything, sorts at the end."""
+
+    algorithm = "lockstep_noprun"
+    prune = False

@@ -1,0 +1,125 @@
+"""Server priority queues — the four policies of Section 6.1.3.
+
+- **FIFO** — arrival order; sensitive to processing order.
+- **Current score** — highest current score first.
+- **Maximum possible next score** — current score plus the maximum
+  contribution *this* server could add.
+- **Maximum possible final score** — the upper bound; the most adaptive
+  policy and the paper's winner ("for all configurations tested, a queue
+  based on the maximum possible final score performed better").
+
+:class:`MatchQueue` is a thread-safe priority queue over partial matches
+keyed by the chosen policy; the single-threaded engines use it without
+contention, Whirlpool-M's server threads block on :meth:`MatchQueue.get`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.match import PartialMatch
+
+
+class QueuePolicy(enum.Enum):
+    """Server-queue prioritization policies (Section 6.1.3)."""
+
+    FIFO = "fifo"
+    CURRENT_SCORE = "current_score"
+    MAX_NEXT_SCORE = "max_next_score"
+    MAX_FINAL_SCORE = "max_final_score"
+
+
+class MatchQueue:
+    """Thread-safe priority queue of partial matches under one policy.
+
+    Parameters
+    ----------
+    policy:
+        Which :class:`QueuePolicy` orders the queue.
+    server_id:
+        Required for ``MAX_NEXT_SCORE`` — the query node whose maximum
+        contribution is added to the current score.
+    max_contributions:
+        Per-server maximum contributions (needed by ``MAX_NEXT_SCORE``).
+    """
+
+    def __init__(
+        self,
+        policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
+        server_id: Optional[int] = None,
+        max_contributions: Optional[Dict[int, float]] = None,
+    ):
+        if policy is QueuePolicy.MAX_NEXT_SCORE:
+            if server_id is None or max_contributions is None:
+                raise ValueError(
+                    "MAX_NEXT_SCORE requires server_id and max_contributions"
+                )
+        self.policy = policy
+        self._server_id = server_id
+        self._max_contributions = max_contributions or {}
+        self._heap: List = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- ordering -------------------------------------------------------------
+
+    def _key(self, match: PartialMatch) -> float:
+        if self.policy is QueuePolicy.FIFO:
+            return float(match.arrival)
+        if self.policy is QueuePolicy.CURRENT_SCORE:
+            return -match.score
+        if self.policy is QueuePolicy.MAX_NEXT_SCORE:
+            return -match.max_next_score(self._server_id, self._max_contributions)
+        return -match.upper_bound
+
+    # -- queue API -------------------------------------------------------------
+
+    def put(self, match: PartialMatch) -> None:
+        """Enqueue one match (key computed at insertion time)."""
+        with self._lock:
+            heapq.heappush(self._heap, (self._key(match), match.arrival, match))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[PartialMatch]:
+        """Dequeue the head match; ``None`` on timeout or after close."""
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def get_nowait(self) -> Optional[PartialMatch]:
+        """Dequeue without blocking; ``None`` when empty."""
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Wake all blocked getters; subsequent gets on empty return None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def empty(self) -> bool:
+        """True iff no match is queued."""
+        return len(self) == 0
+
+    def drain(self) -> List[PartialMatch]:
+        """Remove and return all queued matches in priority order."""
+        with self._lock:
+            out = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+        return out
+
+    def __repr__(self) -> str:
+        return f"MatchQueue({self.policy.value}, size={len(self)})"

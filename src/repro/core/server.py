@@ -1,0 +1,290 @@
+"""Whirlpool servers — Section 5.2.1 and Algorithm 1 at runtime.
+
+One server exists per non-root query node.  Given a partial match, the
+server:
+
+1. **probes the index** for candidate nodes with its tag that satisfy the
+   (relaxed) structural predicate against the match's root image — the
+   composition of the axes from the server node to the query root
+   (Algorithm 1's first step);
+2. **evaluates the conditional predicate sequence** against every query
+   node already instantiated in the match — exact axis first, then its
+   relaxation ("if not child, then descendant");
+3. **spawns extensions**: one per surviving candidate, scored through the
+   score model (exact matches earn the exact component predicate's
+   contribution, relaxed matches the relaxed predicate's); when no
+   candidate survives and relaxation is on, the single *deleted* extension
+   (outer-join semantics of leaf deletion) is emitted instead.
+
+Match-quality semantics: in relaxed mode, validity *and* quality are
+root-anchored — a candidate is EXACT iff the exact root-to-node composed
+axis holds, RELAXED iff only its relaxation does.  Subtree promotion
+legitimately breaks pairwise axes, so conditional predicates do not gate
+relaxed candidates; root-anchored quality also keeps tuple scores
+independent of the order servers run in (Definition 4.4's component
+predicates are root-anchored for the same reason).  In exact mode both the
+exact root axis and the full conditional predicate sequence are mandatory
+filters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.match import PartialMatch
+from repro.core.stats import ExecutionStats
+from repro.relax.plan import ServerPredicates
+from repro.scoring.model import MatchQuality, ScoreModel
+from repro.xmldb.index import DatabaseIndex
+
+
+class CandidateCounts:
+    """Exact per-root candidate counts (total and exact-quality)."""
+
+    __slots__ = ("total", "exact")
+
+    def __init__(self, total: int, exact: int):
+        self.total = total
+        self.exact = exact
+
+    def __repr__(self) -> str:
+        return f"CandidateCounts(total={self.total}, exact={self.exact})"
+
+
+class RoutingEstimates:
+    """Per-server fan-out statistics consumed by the size-based router."""
+
+    __slots__ = ("fanout_total", "fanout_exact", "p_empty")
+
+    def __init__(self, fanout_total: float, fanout_exact: float, p_empty: float):
+        self.fanout_total = fanout_total
+        self.fanout_exact = fanout_exact
+        self.p_empty = p_empty
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingEstimates(total={self.fanout_total:.2f}, "
+            f"exact={self.fanout_exact:.2f}, p_empty={self.p_empty:.2f})"
+        )
+
+
+class Server:
+    """Evaluation server for one query node.
+
+    ``join_algorithm`` selects how candidates are located per operation:
+
+    - ``"index"`` (default) — binary-search the tag index down to the root
+      image's subtree interval, then filter by depth range;
+    - ``"scan"`` — the paper's baseline ("a simple nested-loop algorithm
+      based on Dewey"): linearly scan every node of the server's tag and
+      test the structural predicate per node.
+
+    Both return identical candidates; they differ only in comparisons
+    performed, which ``bench_join_algorithms.py`` measures — the comparison
+    the paper explicitly skips ("since we are not comparing join algorithm
+    performance").
+    """
+
+    JOIN_ALGORITHMS = ("index", "scan")
+
+    def __init__(
+        self,
+        spec: ServerPredicates,
+        index: DatabaseIndex,
+        score_model: ScoreModel,
+        relaxed: bool = True,
+        join_algorithm: str = "index",
+    ):
+        if join_algorithm not in self.JOIN_ALGORITHMS:
+            raise ValueError(
+                f"unknown join_algorithm {join_algorithm!r}; "
+                f"expected one of {self.JOIN_ALGORITHMS}"
+            )
+        self.spec = spec
+        self.index = index
+        self.score_model = score_model
+        self.relaxed = relaxed
+        self.join_algorithm = join_algorithm
+
+    def _probe(self, root_dewey):
+        """Locate candidates; returns (candidates, comparisons_paid)."""
+        if self.join_algorithm == "index":
+            candidates = self.index.related(
+                self.spec.tag, root_dewey, self.spec.probe_axis
+            )
+            return candidates, len(candidates)
+        # Nested-loop scan: every node with the tag is compared against
+        # the root image (the paper's per-server join baseline).
+        all_nodes = self.index[self.spec.tag].all()
+        candidates = [
+            node
+            for node in all_nodes
+            if self.spec.probe_axis.matches(root_dewey, node.dewey)
+        ]
+        return candidates, len(all_nodes)
+
+    @property
+    def node_id(self) -> int:
+        """Preorder id of the query node this server instantiates."""
+        return self.spec.node_id
+
+    @property
+    def tag(self) -> str:
+        """Tag of the query node this server instantiates."""
+        return self.spec.tag
+
+    # -- the server operation -----------------------------------------------------
+
+    def process(
+        self, match: PartialMatch, stats: Optional[ExecutionStats] = None
+    ) -> List[PartialMatch]:
+        """Run one server operation: extend ``match`` at this query node.
+
+        Returns the spawned extensions (unpruned — pruning is the caller's
+        job, since it needs the shared top-k set).  Never returns an empty
+        list in relaxed mode (the deleted extension survives); may in exact
+        mode, which kills the match.
+        """
+        spec = self.spec
+        root_dewey = match.root_node.dewey
+        candidates, comparisons = self._probe(root_dewey)
+
+        extensions: List[PartialMatch] = []
+        for candidate in candidates:
+            if not spec.value_matches(candidate.value):
+                continue
+
+            exact = spec.exact_root_axis.matches(root_dewey, candidate.dewey)
+            if not self.relaxed:
+                # Exact mode: the conditional predicate sequence is a
+                # mandatory filter — every instantiated related node must
+                # stand in the exact composed axis to the candidate.
+                if not exact:
+                    continue
+                alive = True
+                for conditional in spec.conditionals:
+                    other = match.instantiations.get(conditional.other_id)
+                    if other is None:  # not instantiated yet
+                        continue
+                    comparisons += 1
+                    if not conditional.holds_exactly(candidate.dewey, other.dewey):
+                        alive = False
+                        break
+                if not alive:
+                    continue
+            # Relaxed mode: validity and quality are root-anchored only
+            # (Definition 4.4's component predicates relate the root to
+            # each node; subtree promotion legitimately breaks pairwise
+            # axes).  Keeping quality independent of the conditional
+            # checks makes tuple scores independent of server order — the
+            # invariant the cross-engine tests rely on.
+
+            quality = MatchQuality.EXACT if exact else MatchQuality.RELAXED
+            contribution = self.score_model.contribution(
+                spec.node_id, quality, candidate
+            )
+            extensions.append(
+                match.extend(spec.node_id, candidate, quality, contribution)
+            )
+
+        if not extensions and self.relaxed:
+            extensions.append(
+                match.extend(spec.node_id, None, MatchQuality.DELETED, 0.0)
+            )
+            if stats is not None:
+                stats.record_deleted_extension()
+
+        if stats is not None:
+            stats.record_server_operation(spec.node_id, comparisons)
+            stats.record_created(len(extensions))
+        return extensions
+
+    # -- estimates for the router -----------------------------------------------------
+
+    def set_root_tag(self, root_tag: str) -> None:
+        """Tell the server its query root tag (needed for fan-out estimates)."""
+        self._root_tag = root_tag
+        self._estimates_cache: Optional[RoutingEstimates] = None
+
+    def routing_estimates(self) -> "RoutingEstimates":
+        """Fan-out statistics driving the size-based router.
+
+        Computed lazily, once, by scanning the root-tag index: mean number
+        of probe candidates per root image (total and exact-quality), and
+        the fraction of root images with an empty probe (those spawn the
+        single outer-join deleted extension).  The analog of the paper's
+        "estimates... obtained by using work on selectivity estimation for
+        XML".
+        """
+        cached = getattr(self, "_estimates_cache", None)
+        if cached is not None:
+            return cached
+        root_tag = getattr(self, "_root_tag", None)
+        if root_tag is None:
+            raise RuntimeError("set_root_tag() must be called before routing_estimates()")
+
+        anchors = self.index[root_tag].all()
+        if not anchors:
+            estimates = RoutingEstimates(0.0, 0.0, 1.0)
+        else:
+            total = 0
+            exact_total = 0
+            empty = 0
+            for anchor in anchors:
+                related = self.index.related(
+                    self.spec.tag, anchor.dewey, self.spec.probe_axis
+                )
+                if self.spec.value is not None:
+                    related = [
+                        node for node in related if self.spec.value_matches(node.value)
+                    ]
+                total += len(related)
+                exact_total += sum(
+                    1
+                    for node in related
+                    if self.spec.exact_root_axis.matches(anchor.dewey, node.dewey)
+                )
+                if not related:
+                    empty += 1
+            estimates = RoutingEstimates(
+                fanout_total=total / len(anchors),
+                fanout_exact=exact_total / len(anchors),
+                p_empty=empty / len(anchors),
+            )
+        self._estimates_cache = estimates
+        return estimates
+
+    def estimated_fanout(self) -> float:
+        """Mean candidate count per root image (shortcut for tests)."""
+        return self.routing_estimates().fanout_total
+
+    def candidate_counts(self, root_dewey) -> "CandidateCounts":
+        """(total, exact-quality) candidate counts for one root image.
+
+        This is the size-based router's per-match signal: how many
+        extensions this server would spawn for a match anchored at
+        ``root_dewey``.  Cached per root image — the probe repeats the
+        index work the eventual server operation does, which is precisely
+        the "cost of adaptivity" the paper's Figure 8 charges.
+        """
+        cache = getattr(self, "_count_cache", None)
+        if cache is None:
+            cache = self._count_cache = {}
+        counts = cache.get(root_dewey)
+        if counts is not None:
+            return counts
+        related = self.index.related(self.spec.tag, root_dewey, self.spec.probe_axis)
+        if self.spec.value is not None:
+            related = [node for node in related if self.spec.value_matches(node.value)]
+        exact = sum(
+            1
+            for node in related
+            if self.spec.exact_root_axis.matches(root_dewey, node.dewey)
+        )
+        counts = CandidateCounts(total=len(related), exact=exact)
+        cache[root_dewey] = counts
+        return counts
+
+    def __repr__(self) -> str:
+        mode = "relaxed" if self.relaxed else "exact"
+        return f"Server({self.tag}#{self.node_id}, {mode})"

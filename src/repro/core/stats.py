@@ -1,0 +1,140 @@
+"""Execution statistics — the paper's evaluation measures (Section 6.2.3).
+
+Collected by every engine:
+
+- **server operations** — one per partial match processed by a server (the
+  unit of Figure 7's y-axis);
+- **join comparisons** — one per candidate node compared against a partial
+  match (the unit of the motivating example's Figure 3);
+- **partial matches created** — the numerator of Table 2's scalability
+  ratio;
+- **pruned / completed / routing decisions** and per-server breakdowns.
+
+Counters increment through methods so Whirlpool-M can wrap them in a lock;
+the single-threaded engines use the lock-free default.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+
+class ExecutionStats:
+    """Mutable counter bundle; one instance per engine run."""
+
+    def __init__(self, thread_safe: bool = False):
+        self.server_operations = 0
+        self.join_comparisons = 0
+        self.partial_matches_created = 0
+        self.partial_matches_pruned = 0
+        self.extensions_generated = 0
+        self.deleted_extensions = 0
+        self.completed_matches = 0
+        self.routing_decisions = 0
+        self.per_server_operations: Dict[int, int] = {}
+        self.wall_time_seconds = 0.0
+        self.simulated_time = 0.0
+        self._lock: Optional[threading.Lock] = threading.Lock() if thread_safe else None
+        self._start = 0.0
+
+    # -- timing -----------------------------------------------------------------
+
+    def start_clock(self) -> None:
+        """Mark the start of the run."""
+        self._start = time.perf_counter()
+
+    def stop_clock(self) -> None:
+        """Record wall time since :meth:`start_clock`."""
+        self.wall_time_seconds = time.perf_counter() - self._start
+
+    # -- counters ----------------------------------------------------------------
+
+    def _locked(self, fn) -> None:
+        if self._lock is None:
+            fn()
+        else:
+            with self._lock:
+                fn()
+
+    def record_server_operation(self, server_id: int, comparisons: int) -> None:
+        """One partial match processed at one server."""
+
+        def update() -> None:
+            self.server_operations += 1
+            self.join_comparisons += comparisons
+            self.per_server_operations[server_id] = (
+                self.per_server_operations.get(server_id, 0) + 1
+            )
+
+        self._locked(update)
+
+    def record_created(self, count: int = 1) -> None:
+        """New partial matches spawned (extensions or root seeds)."""
+
+        def update() -> None:
+            self.partial_matches_created += count
+            self.extensions_generated += count
+
+        self._locked(update)
+
+    def record_deleted_extension(self) -> None:
+        """A leaf-deletion (outer-join null) extension was emitted."""
+        self._locked(lambda: setattr(self, "deleted_extensions", self.deleted_extensions + 1))
+
+    def record_pruned(self, count: int = 1) -> None:
+        """Partial matches discarded against the top-k threshold."""
+        self._locked(
+            lambda: setattr(
+                self, "partial_matches_pruned", self.partial_matches_pruned + count
+            )
+        )
+
+    def record_completed(self) -> None:
+        """A match finished all servers."""
+        self._locked(
+            lambda: setattr(self, "completed_matches", self.completed_matches + 1)
+        )
+
+    def record_routing_decision(self) -> None:
+        """The router picked a next server for one match."""
+        self._locked(
+            lambda: setattr(self, "routing_decisions", self.routing_decisions + 1)
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reporting / JSON dumps."""
+        return {
+            "server_operations": self.server_operations,
+            "join_comparisons": self.join_comparisons,
+            "partial_matches_created": self.partial_matches_created,
+            "partial_matches_pruned": self.partial_matches_pruned,
+            "extensions_generated": self.extensions_generated,
+            "deleted_extensions": self.deleted_extensions,
+            "completed_matches": self.completed_matches,
+            "routing_decisions": self.routing_decisions,
+            "wall_time_seconds": self.wall_time_seconds,
+            "simulated_time": self.simulated_time,
+        }
+
+    def modeled_time(self, operation_cost: float, routing_cost: float = 0.0) -> float:
+        """Execution-time model used by the Figure 8 cost sweep.
+
+        ``operations × operation_cost + routing decisions × routing_cost``
+        — the paper's own abstraction when it varies per-operation cost.
+        """
+        return (
+            self.server_operations * operation_cost
+            + self.routing_decisions * routing_cost
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionStats(ops={self.server_operations}, "
+            f"created={self.partial_matches_created}, "
+            f"pruned={self.partial_matches_pruned}, "
+            f"wall={self.wall_time_seconds:.4f}s)"
+        )

@@ -1,0 +1,154 @@
+"""Whirlpool-M — the multi-threaded engine (Section 6.1.2).
+
+One thread per server, one router thread, and the calling thread plays the
+paper's "main thread [that] checks for termination of top-k query
+execution".  All shared structures (top-k set, statistics, the queues) are
+thread-safe; termination is detected by an in-flight counter that tracks
+every partial match living in any queue or being processed — when it drops
+to zero, no component can ever produce new work.
+
+CPython's GIL means this implementation demonstrates the *concurrent
+architecture* (and its different, parallelism-driven pruning behaviour —
+the top-k threshold grows in a different order than under Whirlpool-S)
+rather than true CPU speedup; the deterministic processor-count model for
+the paper's parallelism experiments lives in :mod:`repro.simulate`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.core.base import EngineBase, TopKResult
+from repro.core.queues import MatchQueue, QueuePolicy
+
+_POLL_SECONDS = 0.02
+
+
+class _InFlight:
+    """Counter of matches alive anywhere in the system."""
+
+    def __init__(self):
+        self._count = 0
+        self._cond = threading.Condition()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._cond:
+            self._count += amount
+
+    def dec(self) -> None:
+        with self._cond:
+            self._count -= 1
+            if self._count <= 0:
+                self._cond.notify_all()
+
+    def wait_zero(self) -> None:
+        with self._cond:
+            while self._count > 0:
+                self._cond.wait(_POLL_SECONDS)
+
+
+class WhirlpoolM(EngineBase):
+    """Multi-threaded adaptive top-k evaluation.
+
+    ``threads_per_server`` implements the paper's future-work direction
+    ("increasing the number of threads per server for maximal
+    parallelism"): each server queue is drained by that many worker
+    threads.  With GIL-releasing operation costs (e.g. the latency-injected
+    index of :mod:`repro.simulate.latency`), extra threads overlap more
+    waits on the hottest servers.
+    """
+
+    algorithm = "whirlpool_m"
+
+    def __init__(self, *args, threads_per_server: int = 1, **kwargs):
+        kwargs.setdefault("thread_safe_stats", True)
+        super().__init__(*args, **kwargs)
+        if threads_per_server < 1:
+            from repro.errors import EngineError
+
+            raise EngineError(
+                f"threads_per_server must be >= 1, got {threads_per_server}"
+            )
+        self.threads_per_server = threads_per_server
+
+    def run(self) -> TopKResult:
+        self.stats.start_clock()
+        router_queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        server_queues: Dict[int, MatchQueue] = {
+            node_id: self.make_server_queue(node_id) for node_id in self.server_ids
+        }
+        in_flight = _InFlight()
+        stop = threading.Event()
+
+        def router_loop() -> None:
+            while not stop.is_set():
+                match = router_queue.get(timeout=_POLL_SECONDS)
+                if match is None:
+                    continue
+                if self.topk.is_pruned(match):
+                    self.stats.record_pruned()
+                    self.notify_prune(match)
+                    in_flight.dec()
+                    continue
+                self.stats.record_routing_decision()
+                server_id = self.router.choose(match, self)
+                self.notify_route(match, server_id)
+                in_flight.inc()
+                server_queues[server_id].put(match)
+                in_flight.dec()
+
+        def server_loop(node_id: int) -> None:
+            server = self.servers[node_id]
+            queue = server_queues[node_id]
+            while not stop.is_set():
+                match = queue.get(timeout=_POLL_SECONDS)
+                if match is None:
+                    continue
+                if self.topk.is_pruned(match):
+                    self.stats.record_pruned()
+                    self.notify_prune(match)
+                    in_flight.dec()
+                    continue
+                for extension in server.process(match, self.stats):
+                    survivor = self.absorb_extension(extension, parent=match)
+                    if survivor is not None:
+                        in_flight.inc()
+                        router_queue.put(survivor)
+                in_flight.dec()
+
+        threads: List[threading.Thread] = [
+            threading.Thread(target=router_loop, name="whirlpool-router", daemon=True)
+        ]
+        threads.extend(
+            threading.Thread(
+                target=server_loop,
+                args=(node_id,),
+                name=f"whirlpool-server-{node_id}-{worker}",
+                daemon=True,
+            )
+            for node_id in self.server_ids
+            for worker in range(self.threads_per_server)
+        )
+        for thread in threads:
+            thread.start()
+
+        seeds = self.seed_matches()
+        if self.server_ids:
+            in_flight.inc(len(seeds))
+            for seed in seeds:
+                router_queue.put(seed)
+        else:
+            for _ in seeds:
+                self.stats.record_completed()
+
+        in_flight.wait_zero()
+        stop.set()
+        router_queue.close()
+        for queue in server_queues.values():
+            queue.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        self.stats.stop_clock()
+        return self.make_result()

@@ -1,0 +1,58 @@
+"""Whirlpool-S — the single-threaded adaptive engine (Section 6.1.2).
+
+Per the paper, Whirlpool-S drops the per-server queues: "a partial match is
+processed by a server as soon as it is routed to it, therefore ... partial
+matches are only kept in the router's queue", ordered by maximum possible
+final score.  The loop is:
+
+1. pop the partial match with the highest maximum possible final score;
+2. re-check it against the (possibly grown) top-k threshold;
+3. ask the routing strategy for its next server, process it there;
+4. absorb the extensions (report / complete / prune) and push survivors
+   back into the router queue.
+
+This mirrors Upper/MPro's "process the tuple with the highest possible
+final score first", with Whirlpool's join model (one operation produces all
+extensions at once).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import EngineBase, TopKResult
+from repro.core.queues import MatchQueue, QueuePolicy
+
+
+class WhirlpoolS(EngineBase):
+    """Single-threaded adaptive top-k evaluation."""
+
+    algorithm = "whirlpool_s"
+
+    def run(self) -> TopKResult:
+        self.stats.start_clock()
+        router_queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        for seed in self.seed_matches():
+            if self.server_ids:
+                router_queue.put(seed)
+            else:
+                self.stats.record_completed()
+
+        while True:
+            match = router_queue.get_nowait()
+            if match is None:
+                break
+            if self.topk.is_pruned(match):
+                self.stats.record_pruned()
+                self.notify_prune(match)
+                continue
+
+            self.stats.record_routing_decision()
+            server_id = self.router.choose(match, self)
+            self.notify_route(match, server_id)
+            extensions = self.servers[server_id].process(match, self.stats)
+            for extension in extensions:
+                survivor = self.absorb_extension(extension, parent=match)
+                if survivor is not None:
+                    router_queue.put(survivor)
+
+        self.stats.stop_clock()
+        return self.make_result()

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Whirlpool reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  Parsing problems carry enough
+position information to point at the offending character.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    position:
+        Character offset into the input where the problem was detected.
+    line:
+        1-based line number of the problem, when known.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        self.message = message
+        self.position = position
+        self.line = line
+        location = ""
+        if line >= 0:
+            location = f" (line {line})"
+        elif position >= 0:
+            location = f" (offset {position})"
+        super().__init__(f"{message}{location}")
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when the XPath-subset parser rejects a query string."""
+
+    def __init__(self, message: str, query: str = "", position: int = -1):
+        self.message = message
+        self.query = query
+        self.position = position
+        detail = ""
+        if query:
+            detail = f" in query {query!r}"
+            if position >= 0:
+                detail += f" at offset {position}"
+        super().__init__(f"{message}{detail}")
+
+
+class PatternError(ReproError):
+    """Raised for structurally invalid tree patterns (cycles, bad edges)."""
+
+
+class RelaxationError(ReproError):
+    """Raised when a relaxation is applied to a node/edge it does not fit."""
+
+
+class ScoringError(ReproError):
+    """Raised for invalid scoring configurations (e.g. unknown function)."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid engine configurations or execution failures."""
+
+
+class GeneratorError(ReproError):
+    """Raised for invalid XMark generator parameters."""

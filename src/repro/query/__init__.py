@@ -1,0 +1,28 @@
+"""Tree-pattern queries: the paper's XPath subset.
+
+- :mod:`repro.query.pattern` — tree patterns (rooted, node-labeled, pc/ad
+  edges, value predicates on leaves);
+- :mod:`repro.query.xpath` — parser from the XPath subset used throughout
+  the paper (``/book[.//title = 'wodehouse' and ./info/publisher/name =
+  'psmith']``) to tree patterns;
+- :mod:`repro.query.predicates` — component-predicate decomposition
+  (Definition 4.1) via the depth-range axis algebra;
+- :mod:`repro.query.matcher` — a naive exhaustive matcher used as the
+  correctness oracle for the engines.
+"""
+
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.query.xpath import parse_xpath
+from repro.query.predicates import ComponentPredicate, component_predicates
+from repro.query.matcher import find_matches, count_matches
+
+__all__ = [
+    "Axis",
+    "PatternNode",
+    "TreePattern",
+    "parse_xpath",
+    "ComponentPredicate",
+    "component_predicates",
+    "find_matches",
+    "count_matches",
+]

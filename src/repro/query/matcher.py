@@ -1,0 +1,101 @@
+"""Naive exhaustive tree-pattern matcher — the engines' correctness oracle.
+
+Semantics: an (exact) match of pattern ``Q`` in database ``D`` is a mapping
+from pattern nodes to data nodes such that tags match, value tests hold, and
+each pattern edge's axis holds between the images.  The answer to the query
+is the image of the pattern root; several matches may share a root image
+(that multiplicity is exactly the ``tf`` of Definition 4.3, per predicate).
+
+This matcher recurses over the pattern with index probes per edge — clear
+and obviously correct, but exponential in the worst case.  Tests use it to
+validate every engine; it also powers ``LockStep-NoPrun``'s ground truth in
+integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.query.pattern import PatternNode, TreePattern
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode
+
+Embedding = Dict[int, XMLNode]
+"""A total match: pattern node id → data node."""
+
+
+def _index_for(database_or_index) -> DatabaseIndex:
+    if isinstance(database_or_index, DatabaseIndex):
+        return database_or_index
+    if isinstance(database_or_index, Database):
+        return DatabaseIndex(database_or_index)
+    raise TypeError(f"expected Database or DatabaseIndex, got {type(database_or_index)!r}")
+
+
+def _node_admissible(pattern_node: PatternNode, data_node: XMLNode) -> bool:
+    if pattern_node.tag != data_node.tag:
+        return False
+    return pattern_node.matches_value(data_node.value)
+
+
+def _match_subtree(
+    pattern_node: PatternNode, image: XMLNode, index: DatabaseIndex
+) -> List[Embedding]:
+    """All embeddings of ``pattern_node``'s subtree with the node at ``image``.
+
+    Children are independent given the parent image, so the embeddings of
+    the subtree are the cross product of per-child embedding sets; an empty
+    set for any child kills the whole subtree.
+    """
+    result: List[Embedding] = [{pattern_node.node_id: image}]
+    for child in pattern_node.children:
+        axis = child.axis.depth_range()
+        child_embeddings: List[Embedding] = []
+        for candidate in index.related(child.tag, image.dewey, axis):
+            if _node_admissible(child, candidate):
+                child_embeddings.extend(_match_subtree(child, candidate, index))
+        if not child_embeddings:
+            return []
+        result = [
+            {**left, **right} for left in result for right in child_embeddings
+        ]
+    return result
+
+
+def find_matches(
+    pattern: TreePattern,
+    database_or_index,
+    root_node: Optional[XMLNode] = None,
+) -> List[Embedding]:
+    """All exact matches of ``pattern``; optionally anchored at one root.
+
+    Returns one :data:`Embedding` per match, in an order determined by the
+    document order of the instantiated nodes.
+    """
+    index = _index_for(database_or_index)
+    root = pattern.root
+    if root_node is not None:
+        candidates = [root_node] if _node_admissible(root, root_node) else []
+    else:
+        candidates = [
+            node for node in index[root.tag].all() if _node_admissible(root, node)
+        ]
+    matches: List[Embedding] = []
+    for candidate in candidates:
+        matches.extend(_match_subtree(root, candidate, index))
+    return matches
+
+
+def count_matches(pattern: TreePattern, database_or_index) -> int:
+    """Number of exact matches (tuples, not distinct roots)."""
+    return len(find_matches(pattern, database_or_index))
+
+
+def distinct_roots(matches: List[Embedding], pattern: TreePattern) -> List[XMLNode]:
+    """Distinct root images across ``matches``, in document order."""
+    root_id = pattern.root.node_id
+    seen = {}
+    for match in matches:
+        node = match[root_id]
+        seen.setdefault(node.dewey, node)
+    return [seen[key] for key in sorted(seen)]

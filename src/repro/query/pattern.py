@@ -1,0 +1,296 @@
+"""Tree patterns — the paper's query model (Section 2).
+
+A tree pattern is a rooted tree whose nodes are labeled by element tags,
+whose leaves may additionally carry an equality test on the element value,
+and whose edges are XPath axes: ``pc`` (parent-child) or ``ad``
+(ancestor-descendant).  The root is the returned node.
+
+:class:`TreePattern` instances are mutable only through the relaxation API
+(:mod:`repro.relax`); everything the engine consumes (servers, component
+predicates) is derived from a frozen snapshot of the node list.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PatternError
+from repro.xmldb.dewey import DepthRange
+
+
+class Axis(enum.Enum):
+    """Tree-pattern edge axes."""
+
+    PC = "pc"
+    AD = "ad"
+
+    def depth_range(self) -> DepthRange:
+        """The depth-range semantics of the axis."""
+        return DepthRange.pc() if self is Axis.PC else DepthRange.ad()
+
+    def __str__(self) -> str:
+        return self.value
+
+
+VALUE_OPS = ("eq", "contains")
+"""Supported value-test operators: equality and substring containment."""
+
+
+def value_test(op: str, expected: str, actual: Optional[str]) -> bool:
+    """Evaluate a value test; an absent value never matches."""
+    if actual is None:
+        return False
+    if op == "eq":
+        return actual == expected
+    if op == "contains":
+        return expected in actual
+    raise PatternError(f"unknown value operator {op!r}")
+
+
+class PatternNode:
+    """One node of a tree pattern.
+
+    Attributes
+    ----------
+    tag:
+        Element tag the node must match.
+    value:
+        Optional value test on the matched element's text value.
+    value_op:
+        How ``value`` is tested: ``"eq"`` (equality — the paper's only
+        content predicate) or ``"contains"`` (substring containment — the
+        IR-style extension, written ``~=`` in the XPath subset).
+    axis:
+        Axis of the incoming edge (``None`` on the root).
+    optional:
+        True once leaf deletion has been applied — a match may leave this
+        node (and its subtree) uninstantiated.
+    """
+
+    __slots__ = (
+        "tag", "value", "value_op", "axis", "optional", "parent", "children", "node_id"
+    )
+
+    def __init__(self, tag: str, value: Optional[str] = None, value_op: str = "eq"):
+        if not tag:
+            raise PatternError("pattern node tag must be non-empty")
+        if value_op not in VALUE_OPS:
+            raise PatternError(
+                f"unknown value operator {value_op!r}; expected one of {VALUE_OPS}"
+            )
+        self.tag = tag
+        self.value = value
+        self.value_op = value_op
+        self.axis: Optional[Axis] = None
+        self.optional = False
+        self.parent: Optional[PatternNode] = None
+        self.children: List[PatternNode] = []
+        self.node_id: int = -1
+
+    def matches_value(self, actual: Optional[str]) -> bool:
+        """Evaluate this node's value test against a data node's value."""
+        if self.value is None:
+            return True
+        return value_test(self.value_op, self.value, actual)
+
+    def add_child(self, child: "PatternNode", axis: Axis) -> "PatternNode":
+        """Attach ``child`` below this node via ``axis`` and return it."""
+        if child.parent is not None:
+            raise PatternError(
+                f"pattern node {child.tag!r} is already attached under {child.parent.tag!r}"
+            )
+        child.parent = self
+        child.axis = axis
+        self.children.append(child)
+        return child
+
+    def is_leaf(self) -> bool:
+        """True iff the node has no pattern children."""
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["PatternNode"]:
+        """This node and all pattern descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def path_from_root(self) -> List["PatternNode"]:
+        """Nodes from the pattern root down to (and including) this node."""
+        path: List[PatternNode] = []
+        node: Optional[PatternNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``title='wodehouse'``."""
+        if self.value is not None:
+            op = "~" if self.value_op == "contains" else "="
+            return f"{self.tag}{op}{self.value!r}"
+        return self.tag
+
+    def __repr__(self) -> str:
+        axis = f" {self.axis}" if self.axis else ""
+        optional = " optional" if self.optional else ""
+        return f"PatternNode({self.label()}{axis}{optional})"
+
+
+class TreePattern:
+    """A rooted tree pattern; the root is the returned node."""
+
+    def __init__(self, root: PatternNode):
+        if root.parent is not None:
+            raise PatternError("pattern root must not have a parent")
+        self.root = root
+        self._renumber()
+
+    # -- structure ----------------------------------------------------------
+
+    def _renumber(self) -> None:
+        """(Re)assign stable preorder ids; call after structural edits."""
+        self._nodes: List[PatternNode] = list(self.root.iter_subtree())
+        for node_id, node in enumerate(self._nodes):
+            node.node_id = node_id
+
+    def nodes(self) -> List[PatternNode]:
+        """All pattern nodes in preorder (root first)."""
+        return list(self._nodes)
+
+    def non_root_nodes(self) -> List[PatternNode]:
+        """All nodes except the returned root — one engine server each."""
+        return self._nodes[1:]
+
+    def node(self, node_id: int) -> PatternNode:
+        """Resolve a preorder node id."""
+        return self._nodes[node_id]
+
+    def size(self) -> int:
+        """Number of pattern nodes (the paper's 'query size')."""
+        return len(self._nodes)
+
+    def edges(self) -> List[Tuple[PatternNode, PatternNode, Axis]]:
+        """All (parent, child, axis) edges in preorder."""
+        out = []
+        for node in self._nodes:
+            for child in node.children:
+                out.append((node, child, child.axis))
+        return out
+
+    def leaves(self) -> List[PatternNode]:
+        """All leaf nodes."""
+        return [node for node in self._nodes if node.is_leaf()]
+
+    def tags(self) -> List[str]:
+        """Distinct tags mentioned by the pattern (index construction set)."""
+        return sorted({node.tag for node in self._nodes})
+
+    # -- copying -------------------------------------------------------------
+
+    def copy(self) -> "TreePattern":
+        """Deep copy; node ids are preserved by the shared preorder."""
+        mapping: Dict[int, PatternNode] = {}
+
+        def clone(node: PatternNode) -> PatternNode:
+            copy = PatternNode(node.tag, node.value, node.value_op)
+            copy.optional = node.optional
+            mapping[id(node)] = copy
+            for child in node.children:
+                copy.add_child(clone(child), child.axis)
+            return copy
+
+        return TreePattern(clone(self.root))
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_xpath(self) -> str:
+        """Render back to the XPath subset (best effort, for diagnostics).
+
+        Single-child chains render as path steps
+        (``./info/publisher/name = 'psmith'``); branching uses brackets.
+        """
+
+        def render_relative(node: PatternNode) -> str:
+            step = "//" if node.axis is Axis.AD else "/"
+            operator = "~=" if node.value_op == "contains" else "="
+            text = f"{step}{node.tag}"
+            if node.value is not None and not node.children:
+                return f".{text} {operator} '{node.value}'"
+            if len(node.children) == 1 and node.value is None:
+                # Continue the chain: "./info" + "/publisher..." .
+                continuation = render_relative(node.children[0])
+                return "." + text + continuation[1:]
+            predicates = [render_relative(child) for child in node.children]
+            if node.value is not None:
+                predicates.insert(0, f". {operator} '{node.value}'")
+            if predicates:
+                text += "[" + " and ".join(predicates) + "]"
+            return "." + text
+
+        root = self.root
+        root_operator = "~=" if root.value_op == "contains" else "="
+        text = f"/{root.tag}"
+        predicates = [render_relative(child) for child in root.children]
+        if root.value is not None:
+            predicates.insert(0, f". {root_operator} '{root.value}'")
+        if predicates:
+            text += "[" + " and ".join(predicates) + "]"
+        return text
+
+    def describe(self) -> str:
+        """Indented multi-line description (diagnostics and examples)."""
+        lines: List[str] = []
+
+        def walk(node: PatternNode, depth: int) -> None:
+            edge = f"-{node.axis}-" if node.axis else "root"
+            optional = " (optional)" if node.optional else ""
+            lines.append(f"{'  ' * depth}{edge} {node.label()}{optional}")
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TreePattern({self.to_xpath()})"
+
+
+def pattern_from_spec(spec) -> TreePattern:
+    """Build a pattern from a nested tuple spec — a test convenience.
+
+    Spec grammar::
+
+        spec  := (tag, axis?, value?, [child_spec, ...]?)
+
+    where ``axis`` is ``"pc"``/``"ad"`` (ignored on the root, defaults to
+    ``pc`` on children).  Example::
+
+        pattern_from_spec(
+            ("book", [("title", "ad", "wodehouse"), ("price", "pc")])
+        )
+    """
+
+    def build(node_spec, is_root: bool) -> Tuple[PatternNode, Axis]:
+        if isinstance(node_spec, str):
+            return PatternNode(node_spec), Axis.PC
+        tag = node_spec[0]
+        axis = Axis.PC
+        value: Optional[str] = None
+        children: List = []
+        for part in node_spec[1:]:
+            if isinstance(part, list):
+                children = part
+            elif part in ("pc", "ad"):
+                axis = Axis(part)
+            else:
+                value = part
+        node = PatternNode(tag, value)
+        for child_spec in children:
+            child, child_axis = build(child_spec, False)
+            node.add_child(child, child_axis)
+        return node, axis
+
+    root, _ = build(spec, True)
+    return TreePattern(root)

@@ -1,0 +1,114 @@
+"""Component-predicate decomposition (Definition 4.1).
+
+An XPath tree pattern ``Q`` with answer node ``q0`` and other nodes
+``q1..ql`` decomposes into the set ``{p(q0, qi)}`` where ``p`` is the axis
+relating ``q0`` to ``qi`` — obtained by composing the axes on the edges of
+the root-to-``qi`` path.  Composition lives in the depth-range algebra
+(:class:`repro.xmldb.dewey.DepthRange`): ``pc`` composes to exact depth
+offsets, anything through an ``ad`` edge becomes unbounded.
+
+These predicates are the unit of scoring: ``idf`` and ``tf`` (Definitions
+4.2/4.3) are defined per component predicate, and each engine server
+contributes the score of exactly one component predicate (plus its value
+test, when present).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.query.pattern import PatternNode, TreePattern
+from repro.xmldb.dewey import DepthRange
+
+
+class ComponentPredicate:
+    """One atomic predicate ``p(q0, qi)`` of a query's decomposition.
+
+    Attributes
+    ----------
+    anchor_tag:
+        Tag of the query root ``q0``.
+    target:
+        The pattern node ``qi`` this predicate reaches.
+    axis:
+        Composed root-to-target axis, as a depth range.
+    relaxed_axis:
+        The edge-generalized version of ``axis`` (what Algorithm 1's
+        ``getComposition`` probes with) — descendant-at-any-depth unless the
+        axis is already unbounded.
+    value:
+        The target node's value test, when it has one.
+    """
+
+    __slots__ = ("anchor_tag", "target", "axis", "relaxed_axis", "value", "value_op")
+
+    def __init__(self, anchor_tag: str, target: PatternNode, axis: DepthRange):
+        self.anchor_tag = anchor_tag
+        self.target = target
+        self.axis = axis
+        self.relaxed_axis = axis.relaxed()
+        self.value: Optional[str] = target.value
+        self.value_op: str = target.value_op
+
+    @property
+    def target_tag(self) -> str:
+        """Tag of the target query node."""
+        return self.target.tag
+
+    def is_relaxable(self) -> bool:
+        """True iff relaxation actually weakens the axis."""
+        return self.relaxed_axis != self.axis
+
+    def describe(self) -> str:
+        """Readable form, e.g. ``item[.//text='x']`` or ``book[./title]``."""
+        if self.axis.is_exact_pc():
+            step = "./"
+        elif self.axis.is_ad():
+            step = ".//"
+        else:
+            hi = "inf" if self.axis.hi is None else str(self.axis.hi)
+            step = f".[depth {self.axis.lo}..{hi}]/"
+        operator = "~=" if self.value_op == "contains" else "="
+        value = f"{operator}'{self.value}'" if self.value is not None else ""
+        return f"{self.anchor_tag}[{step}{self.target_tag}{value}]"
+
+    def __repr__(self) -> str:
+        return f"ComponentPredicate({self.describe()})"
+
+
+def composed_axis(ancestor: PatternNode, descendant: PatternNode) -> DepthRange:
+    """Compose the axes along the pattern path from ``ancestor`` down to
+    ``descendant`` (the paper's ``getComposition``).
+
+    Raises
+    ------
+    ValueError
+        If ``descendant`` is not in ``ancestor``'s pattern subtree.
+    """
+    path = descendant.path_from_root()
+    try:
+        start = path.index(ancestor)
+    except ValueError:
+        raise ValueError(
+            f"{descendant.label()} is not a pattern descendant of {ancestor.label()}"
+        )
+    axis = DepthRange.self_axis()
+    for node in path[start + 1 :]:
+        axis = axis.compose(node.axis.depth_range())
+    return axis
+
+
+def component_predicates(pattern: TreePattern) -> List[ComponentPredicate]:
+    """The set ``P_Q`` of Definition 4.1, in preorder of the target nodes.
+
+    One predicate per non-root node.  (The paper's example also lists a
+    ``q0[parent::doc-root]`` predicate; in our forest model every root-tag
+    node is a legal answer anchor, so that predicate is identically true and
+    is omitted.)  A value test on the root itself is exposed separately by
+    the scorer.
+    """
+    root = pattern.root
+    return [
+        ComponentPredicate(root.tag, node, composed_axis(root, node))
+        for node in pattern.non_root_nodes()
+    ]

@@ -1,0 +1,202 @@
+"""Parser for the paper's XPath subset into tree patterns.
+
+Grammar (whitespace-insensitive between tokens)::
+
+    query      := ('/' | '//') NAME brackets*
+    brackets   := '[' predicate ('and' predicate)* ']'
+    predicate  := relpath valuetest?
+    relpath    := '.' step+
+    step       := ('/' | '//') NAME brackets*
+    valuetest  := ('=' | '~=') STRING (single- or double-quoted;
+                                       '~=' is substring containment —
+                                       an extension beyond the paper)
+
+The returned node is the query root — matching the paper, where every query
+is a tree pattern whose root is the answer node (e.g. ``//item[...]``,
+``/book[...]``).  A leading ``//`` only changes where in the document the
+root may bind; since our data model queries a forest (any node with the root
+tag is a candidate), ``/x`` and ``//x`` parse identically, which matches the
+paper's evaluation queries.
+
+Examples parsed by this module, straight from the paper::
+
+    /book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']
+    //item[./description/parlist]
+    //item[./description/parlist and ./mailbox/mail/text]
+    //item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XPathSyntaxError
+from repro.query.pattern import Axis, PatternNode, TreePattern
+
+
+class _Cursor:
+    """Character cursor with skip/expect helpers and error context."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, query=self.text, position=self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        """Consume ``token`` if present (after skipping whitespace)."""
+        self.skip_ws()
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise self.error(f"expected {token!r}")
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while not self.eof():
+            ch = self.text[self.pos]
+            if ch.isalnum() or ch in "_-.@":
+                self.pos += 1
+            else:
+                break
+        if self.pos == start:
+            raise self.error("expected an element name")
+        return self.text[start : self.pos]
+
+    def read_string(self) -> str:
+        self.skip_ws()
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a quoted string")
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        return value
+
+
+def _read_axis(cursor: _Cursor) -> Optional[Axis]:
+    """Read a step separator; ``//`` = AD, ``/`` = PC, neither = None."""
+    cursor.skip_ws()
+    if cursor.startswith("//"):
+        cursor.pos += 2
+        return Axis.AD
+    if cursor.startswith("/"):
+        cursor.pos += 1
+        return Axis.PC
+    return None
+
+
+def _parse_brackets(cursor: _Cursor, owner: PatternNode) -> None:
+    """Parse zero or more ``[...]`` groups hanging off ``owner``."""
+    while cursor.take("["):
+        while True:
+            _parse_predicate(cursor, owner)
+            cursor.skip_ws()
+            if cursor.startswith("and") and not (
+                cursor.peek(3).isalnum() or cursor.peek(3) in "_-."
+            ):
+                cursor.pos += 3
+                continue
+            break
+        cursor.expect("]")
+
+
+def _read_value_operator(cursor: _Cursor):
+    """Consume '=' (equality) or '~=' (containment); None if neither."""
+    if cursor.startswith("~="):
+        cursor.pos += 2
+        return "contains"
+    if cursor.peek() == "=":
+        cursor.pos += 1
+        return "eq"
+    return None
+
+
+def _parse_predicate(cursor: _Cursor, owner: PatternNode) -> None:
+    """Parse one relative-path predicate and graft it under ``owner``."""
+    cursor.skip_ws()
+    if not cursor.take("."):
+        raise cursor.error("predicates must start with '.'")
+
+    # A bare ". = 'v'" (or ". ~= 'v'") value test on the owner itself.
+    cursor.skip_ws()
+    operator = _read_value_operator(cursor)
+    if operator is not None:
+        value = cursor.read_string()
+        if owner.value is not None and (owner.value, owner.value_op) != (value, operator):
+            raise cursor.error(f"conflicting value tests on <{owner.tag}>")
+        owner.value = value
+        owner.value_op = operator
+        return
+
+    node = owner
+    steps = 0
+    while True:
+        axis = _read_axis(cursor)
+        if axis is None:
+            break
+        tag = cursor.read_name()
+        child = PatternNode(tag)
+        node.add_child(child, axis)
+        node = child
+        steps += 1
+        _parse_brackets(cursor, node)
+
+    if steps == 0:
+        raise cursor.error("expected at least one step after '.'")
+
+    cursor.skip_ws()
+    operator = _read_value_operator(cursor)
+    if operator is not None:
+        node.value = cursor.read_string()
+        node.value_op = operator
+
+
+def parse_xpath(query: str) -> TreePattern:
+    """Parse a query in the supported XPath subset into a :class:`TreePattern`.
+
+    Raises
+    ------
+    XPathSyntaxError
+        On any construct outside the subset (multi-step main paths,
+        unsupported axes, stray input).
+    """
+    cursor = _Cursor(query)
+    axis = _read_axis(cursor)
+    if axis is None:
+        raise cursor.error("query must start with '/' or '//'")
+    tag = cursor.read_name()
+    root = PatternNode(tag)
+    _parse_brackets(cursor, root)
+    cursor.skip_ws()
+    if not cursor.eof():
+        if cursor.peek() == "/":
+            raise cursor.error(
+                "multi-step main paths are not part of the tree-pattern subset; "
+                "express the extra steps as predicates on the returned root"
+            )
+        raise cursor.error("unexpected trailing input")
+    return TreePattern(root)

@@ -1,0 +1,46 @@
+"""Query relaxation (Section 2, following Amer-Yahia/Cho/Srivastava EDBT'02).
+
+Three relaxations and their compositions:
+
+- *edge generalization* — replace a ``pc`` edge by ``ad``;
+- *leaf deletion* — make a leaf node optional (rewriting view: remove it);
+- *subtree promotion* — move a subtree from its parent to its grandparent
+  under an ``ad`` edge.
+
+Every exact match of the original query remains a match of each relaxed
+query.  Two consumers:
+
+- :mod:`repro.relax.enumerate` materializes the (exponential) set of
+  relaxed queries — the rewriting-based baseline the paper argues against;
+- :mod:`repro.relax.plan` encodes *all* relaxations at once in a single
+  outer-join-style plan: per-query-node predicate sequences ("if not child,
+  then descendant") plus optional-node semantics, which is what the
+  Whirlpool servers execute (Algorithm 1).
+"""
+
+from repro.relax.relaxations import (
+    RelaxationKind,
+    RelaxationStep,
+    applicable_relaxations,
+    apply_relaxation,
+    edge_generalization,
+    delete_leaf,
+    subtree_promotion,
+)
+from repro.relax.enumeration import enumerate_relaxations
+from repro.relax.plan import ConditionalPredicate, RelaxedPlan, ServerPredicates, compile_plan
+
+__all__ = [
+    "RelaxationKind",
+    "RelaxationStep",
+    "applicable_relaxations",
+    "apply_relaxation",
+    "edge_generalization",
+    "delete_leaf",
+    "subtree_promotion",
+    "enumerate_relaxations",
+    "ConditionalPredicate",
+    "RelaxedPlan",
+    "ServerPredicates",
+    "compile_plan",
+]

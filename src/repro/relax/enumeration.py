@@ -1,0 +1,100 @@
+"""Closure enumeration of relaxed queries — the rewriting-based baseline.
+
+Rewriting strategies (Chinenyanga & Kushmerick, Delobel & Rousset, Schlieder
+— Section 3) evaluate a relaxed query workload by enumerating every query
+derivable from the original by relaxation.  The paper cites the exponential
+size of this set as the reason to prefer the single outer-join plan; this
+module makes that blow-up measurable and gives tests a second, independent
+semantics of "approximate match" to validate the engine against:
+
+    a fragment is an approximate answer of Q  iff  it is an exact answer of
+    some query in ``enumerate_relaxations(Q)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set
+
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.relax.relaxations import applicable_relaxations, apply_relaxation
+
+
+def canonical_form(pattern: TreePattern) -> str:
+    """Order-insensitive canonical string for pattern identity.
+
+    Children are sorted by their own canonical form, so two patterns equal
+    up to sibling order collapse to one key.
+    """
+
+    def render(node: PatternNode) -> str:
+        axis = node.axis.value if node.axis else "root"
+        value = (
+            f"{node.value_op}:{node.value}" if node.value is not None else ""
+        )
+        children = sorted(render(child) for child in node.children)
+        inner = ",".join(children)
+        return f"{axis}:{node.tag}{value}({inner})"
+
+    return render(pattern.root)
+
+
+def enumerate_relaxations(
+    pattern: TreePattern,
+    max_steps: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[TreePattern]:
+    """All distinct queries reachable by composing relaxations (BFS).
+
+    Parameters
+    ----------
+    pattern:
+        The original query; always first in the returned list.
+    max_steps:
+        Cap on the number of primitive relaxations composed (``None`` =
+        full closure).
+    limit:
+        Safety cap on the number of distinct queries produced; the search
+        stops once reached.  The closure is exponential in the query size —
+        that is the point the paper makes — so callers enumerating large
+        queries should set one.
+    """
+    seen: Set[str] = {canonical_form(pattern)}
+    result: List[TreePattern] = [pattern]
+    frontier = deque([(pattern, 0)])
+    while frontier:
+        current, steps = frontier.popleft()
+        if max_steps is not None and steps >= max_steps:
+            continue
+        for step in applicable_relaxations(current):
+            relaxed = apply_relaxation(current, step)
+            key = canonical_form(relaxed)
+            if key in seen:
+                continue
+            seen.add(key)
+            result.append(relaxed)
+            if limit is not None and len(result) >= limit:
+                return result
+            frontier.append((relaxed, steps + 1))
+    return result
+
+
+def closure_size(pattern: TreePattern, limit: Optional[int] = None) -> int:
+    """Number of distinct relaxed queries (counting the original)."""
+    return len(enumerate_relaxations(pattern, limit=limit))
+
+
+def iter_fully_relaxed(pattern: TreePattern) -> TreePattern:
+    """The single maximally edge-generalized pattern (all edges ``ad``).
+
+    Note this is *not* the whole closure: leaf deletions and promotions
+    produce structurally different queries.  It is the pattern whose exact
+    matches are the candidate universe the outer-join plan explores before
+    optional-node semantics kick in.
+    """
+    relaxed = pattern.copy()
+    for node in relaxed.nodes():
+        if node.axis is Axis.PC:
+            node.axis = Axis.AD
+    relaxed._renumber()
+    return relaxed

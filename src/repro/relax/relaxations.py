@@ -1,0 +1,137 @@
+"""The three relaxation operations on tree patterns.
+
+Each operation is functional: it takes a pattern plus the preorder id of the
+node/edge it targets and returns a *new* pattern (inputs are never mutated).
+The operations validate applicability and raise
+:class:`~repro.errors.RelaxationError` otherwise, mirroring the paper's
+applicability conditions:
+
+- edge generalization applies to any ``pc`` edge;
+- leaf deletion applies to any non-root leaf;
+- subtree promotion applies to any node with a grandparent (its subtree is
+  reattached to the grandparent under an ``ad`` edge).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.errors import RelaxationError
+from repro.query.pattern import Axis, PatternNode, TreePattern
+
+
+class RelaxationKind(enum.Enum):
+    """The three primitive relaxations."""
+
+    EDGE_GENERALIZATION = "edge_generalization"
+    LEAF_DELETION = "leaf_deletion"
+    SUBTREE_PROMOTION = "subtree_promotion"
+
+
+class RelaxationStep:
+    """One applicable relaxation: a kind plus the target node's preorder id.
+
+    For edge generalization the target is the *child* endpoint of the edge.
+    """
+
+    __slots__ = ("kind", "node_id")
+
+    def __init__(self, kind: RelaxationKind, node_id: int):
+        self.kind = kind
+        self.node_id = node_id
+
+    def __repr__(self) -> str:
+        return f"RelaxationStep({self.kind.value}, node={self.node_id})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelaxationStep)
+            and self.kind == other.kind
+            and self.node_id == other.node_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.node_id))
+
+
+def _copy_and_find(pattern: TreePattern, node_id: int) -> Tuple[TreePattern, PatternNode]:
+    copy = pattern.copy()
+    nodes = copy.nodes()
+    if node_id < 0 or node_id >= len(nodes):
+        raise RelaxationError(f"no pattern node with id {node_id}")
+    return copy, nodes[node_id]
+
+
+def edge_generalization(pattern: TreePattern, child_id: int) -> TreePattern:
+    """Replace the ``pc`` edge above node ``child_id`` with ``ad``."""
+    copy, node = _copy_and_find(pattern, child_id)
+    if node.parent is None:
+        raise RelaxationError("the root has no incoming edge to generalize")
+    if node.axis is not Axis.PC:
+        raise RelaxationError(
+            f"edge above {node.label()} is already {node.axis}; nothing to generalize"
+        )
+    node.axis = Axis.AD
+    copy._renumber()
+    return copy
+
+
+def delete_leaf(pattern: TreePattern, leaf_id: int) -> TreePattern:
+    """Remove the leaf node ``leaf_id`` (the rewriting view of leaf deletion).
+
+    The engine's plan encoding instead treats nodes as *optional*
+    (outer-join semantics); this function exists for the rewriting baseline
+    and for reasoning about the relaxation lattice.
+    """
+    copy, node = _copy_and_find(pattern, leaf_id)
+    if node.parent is None:
+        raise RelaxationError("cannot delete the returned root node")
+    if node.children:
+        raise RelaxationError(f"{node.label()} is not a leaf; delete its leaves first")
+    node.parent.children.remove(node)
+    copy._renumber()
+    return copy
+
+
+def subtree_promotion(pattern: TreePattern, node_id: int) -> TreePattern:
+    """Move the subtree rooted at ``node_id`` under its grandparent (``ad``)."""
+    copy, node = _copy_and_find(pattern, node_id)
+    parent = node.parent
+    if parent is None:
+        raise RelaxationError("cannot promote the returned root node")
+    grandparent = parent.parent
+    if grandparent is None:
+        raise RelaxationError(
+            f"{node.label()} hangs off the root; there is no grandparent to promote to"
+        )
+    parent.children.remove(node)
+    node.parent = None
+    node.axis = None
+    grandparent.add_child(node, Axis.AD)
+    copy._renumber()
+    return copy
+
+
+def apply_relaxation(pattern: TreePattern, step: RelaxationStep) -> TreePattern:
+    """Dispatch a :class:`RelaxationStep` to its operation."""
+    if step.kind is RelaxationKind.EDGE_GENERALIZATION:
+        return edge_generalization(pattern, step.node_id)
+    if step.kind is RelaxationKind.LEAF_DELETION:
+        return delete_leaf(pattern, step.node_id)
+    return subtree_promotion(pattern, step.node_id)
+
+
+def applicable_relaxations(pattern: TreePattern) -> List[RelaxationStep]:
+    """All single relaxation steps applicable to ``pattern``."""
+    steps: List[RelaxationStep] = []
+    for node in pattern.nodes():
+        if node.parent is None:
+            continue
+        if node.axis is Axis.PC:
+            steps.append(RelaxationStep(RelaxationKind.EDGE_GENERALIZATION, node.node_id))
+        if not node.children:
+            steps.append(RelaxationStep(RelaxationKind.LEAF_DELETION, node.node_id))
+        if node.parent.parent is not None:
+            steps.append(RelaxationStep(RelaxationKind.SUBTREE_PROMOTION, node.node_id))
+    return steps

@@ -1,0 +1,54 @@
+"""Scoring: the paper's XML tf*idf (Section 4) and its engine-facing models.
+
+Two layers:
+
+- :mod:`repro.scoring.tfidf` — the literal Definitions 4.2–4.4: per
+  component predicate ``idf`` over the database, per answer ``tf``, and the
+  whole-answer score ``Σ idf·tf``.
+- :mod:`repro.scoring.model` — the incremental view the engine consumes: a
+  :class:`ScoreModel` maps (query node, match quality) to a score
+  contribution, with *sparse*/*dense* normalizations (Section 6.2.2) and
+  synthetic/random variants for experiments.
+"""
+
+from repro.scoring.tfidf import (
+    predicate_idf,
+    predicate_tf,
+    score_answer,
+    score_all_answers,
+)
+from repro.scoring.model import (
+    MatchQuality,
+    ScoreModel,
+    TfIdfScoreModel,
+    RandomScoreModel,
+    TableScoreModel,
+    build_score_model,
+)
+from repro.scoring.quality import (
+    RankingEvaluation,
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+__all__ = [
+    "predicate_idf",
+    "predicate_tf",
+    "score_answer",
+    "score_all_answers",
+    "MatchQuality",
+    "ScoreModel",
+    "TfIdfScoreModel",
+    "RandomScoreModel",
+    "TableScoreModel",
+    "build_score_model",
+    "RankingEvaluation",
+    "average_precision",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+]

@@ -1,0 +1,106 @@
+"""Ranking-quality metrics: precision, recall, MAP, nDCG, MRR.
+
+The paper closes its scoring section with: "Validating the scoring
+functions using precision and recall is beyond the scope of this paper and
+the subject of future work."  This module is that future work: standard IR
+metrics over a ranked answer list and a ground-truth relevant set, used by
+``bench_scoring_quality.py`` to validate the XML tf*idf ranking against
+known-relevant answers on generated data (where ground truth is available
+by construction).
+
+All functions take ``ranked`` — answer identifiers best-first — and
+``relevant`` — the set of relevant identifiers; identifiers can be any
+hashable (the benches use root Dewey ids).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence, Set
+
+
+def precision_at_k(ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> float:
+    """Fraction of the top k that is relevant (0 for k <= 0)."""
+    if k <= 0:
+        return 0.0
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / k
+
+
+def recall_at_k(ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> float:
+    """Fraction of the relevant set found in the top k (1 if none exist)."""
+    if not relevant:
+        return 1.0
+    top = list(ranked)[: max(k, 0)]
+    return sum(1 for item in top if item in relevant) / len(relevant)
+
+
+def average_precision(ranked: Sequence[Hashable], relevant: Set[Hashable]) -> float:
+    """Mean of precision@rank over the ranks of relevant hits (binary AP).
+
+    Unretrieved relevant items contribute 0, so AP is recall-sensitive.
+    """
+    if not relevant:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def reciprocal_rank(ranked: Sequence[Hashable], relevant: Set[Hashable]) -> float:
+    """1 / rank of the first relevant answer (0 when none retrieved)."""
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def ndcg_at_k(ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance."""
+    if not relevant or k <= 0:
+        return 1.0 if not relevant else 0.0
+    gain = 0.0
+    for rank, item in enumerate(list(ranked)[:k], start=1):
+        if item in relevant:
+            gain += 1.0 / math.log2(rank + 1)
+    ideal_hits = min(len(relevant), k)
+    ideal = sum(1.0 / math.log2(rank + 1) for rank in range(1, ideal_hits + 1))
+    return gain / ideal if ideal > 0 else 0.0
+
+
+class RankingEvaluation:
+    """All metrics for one ranking, bundled for reporting."""
+
+    __slots__ = ("k", "precision", "recall", "map", "mrr", "ndcg")
+
+    def __init__(self, ranked: Sequence[Hashable], relevant: Set[Hashable], k: int):
+        self.k = k
+        self.precision = precision_at_k(ranked, relevant, k)
+        self.recall = recall_at_k(ranked, relevant, k)
+        self.map = average_precision(ranked, relevant)
+        self.mrr = reciprocal_rank(ranked, relevant)
+        self.ndcg = ndcg_at_k(ranked, relevant, k)
+
+    def as_dict(self) -> dict:
+        """Flat dict for JSON artifacts."""
+        return {
+            "k": self.k,
+            "precision": self.precision,
+            "recall": self.recall,
+            "map": self.map,
+            "mrr": self.mrr,
+            "ndcg": self.ndcg,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RankingEvaluation(P@{self.k}={self.precision:.3f}, "
+            f"R@{self.k}={self.recall:.3f}, MAP={self.map:.3f}, "
+            f"nDCG@{self.k}={self.ndcg:.3f})"
+        )

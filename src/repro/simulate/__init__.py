@@ -1,0 +1,22 @@
+"""Deterministic parallelism and cost models.
+
+The paper measures Whirlpool-M on machines with 1, 2, 4 and "infinite"
+processors (Figure 9) and sweeps the per-operation cost to locate the point
+where adaptivity pays (Figure 8).  CPython's GIL rules out measuring real
+CPU parallelism, so this package substitutes a **discrete-event
+simulation** of the Whirlpool-M architecture: the same servers, router,
+queues, score model and top-k set as the real engine, scheduled over an
+explicit processor count with explicit per-operation and per-routing
+costs.  The simulated makespan plays the role of wall-clock time.
+
+Because the simulated schedule determines *when* the top-k threshold
+grows, the simulation also reproduces the paper's second-order effect:
+with more processors, threshold growth interleaves differently, routing
+decisions change, and the total operation count itself can move
+(Section 6.3.5's counter-intuitive Whirlpool-M < Whirlpool-S op counts).
+"""
+
+from repro.simulate.cost import CostModel
+from repro.simulate.scheduler import SimulatedWhirlpoolM, SimulationResult
+
+__all__ = ["CostModel", "SimulatedWhirlpoolM", "SimulationResult"]

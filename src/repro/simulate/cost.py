@@ -1,0 +1,37 @@
+"""Cost model for simulated execution time.
+
+The paper reports results "for the case where join operations cost around
+1.8 msecs each" (Section 6.3.3) and sweeps that cost from 10 µs to 1 s in
+Figure 8; routing decisions carry their own (much smaller) overhead — the
+"cost of adaptivity".  :class:`CostModel` bundles both constants.
+"""
+
+from __future__ import annotations
+
+
+class CostModel:
+    """Per-event costs, in (simulated) seconds."""
+
+    __slots__ = ("operation_cost", "routing_cost")
+
+    #: The paper's default join-operation cost (Section 6.3.3).
+    DEFAULT_OPERATION_COST = 0.0018
+
+    def __init__(
+        self,
+        operation_cost: float = DEFAULT_OPERATION_COST,
+        routing_cost: float = 0.0,
+    ):
+        if operation_cost < 0 or routing_cost < 0:
+            raise ValueError("costs must be non-negative")
+        self.operation_cost = operation_cost
+        self.routing_cost = routing_cost
+
+    def sequential_time(self, operations: int, routings: int) -> float:
+        """Time a purely sequential engine (Whirlpool-S) would take."""
+        return operations * self.operation_cost + routings * self.routing_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"CostModel(op={self.operation_cost!r}, routing={self.routing_cost!r})"
+        )

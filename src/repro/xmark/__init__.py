@@ -1,0 +1,34 @@
+"""XMark-like auction document generator.
+
+The paper's evaluation (Section 6.2.1) uses documents produced by the XMark
+``xmlgen`` tool and three queries over ``item`` elements.  This package is
+a deterministic Python substitute implementing the XMark DTD fragment those
+queries exercise:
+
+- **recursive** elements (``parlist``/``listitem``) — enable edge
+  generalization;
+- **optional** elements (``incategory``, ``mailbox``) — enable leaf
+  deletion;
+- **shared** elements (``text``, reachable under both ``description`` and
+  ``mail``) — enable subtree promotion.
+
+:func:`generate_database` builds a forest for an item count;
+:func:`generate_for_size` calibrates the item count to a serialized target
+byte size, matching the paper's 1 Mb / 10 Mb / 50 Mb document axis.
+"""
+
+from repro.xmark.schema import XMarkConfig, REGIONS, VOCABULARY
+from repro.xmark.generator import (
+    generate_database,
+    generate_for_size,
+    estimate_bytes_per_item,
+)
+
+__all__ = [
+    "XMarkConfig",
+    "REGIONS",
+    "VOCABULARY",
+    "generate_database",
+    "generate_for_size",
+    "estimate_bytes_per_item",
+]

@@ -1,0 +1,172 @@
+"""Deterministic XMark-subset document generation.
+
+Documents have the shape::
+
+    site
+      regions
+        africa | asia | ...        (one element per populated region)
+          item (id attribute)
+            location, quantity, [name], payment
+            description
+              text | parlist( listitem( text | parlist(...) )* )
+            shipping
+            [incategory]*          (optional, possibly several)
+            [mailbox ( mail(from, to, date, [text]) )*]
+
+``text`` elements may contain ``bold`` / ``keyword`` / ``emph`` children —
+the *shared* element of the paper (the same structure appears below both
+``description`` and ``mail``), which is what makes subtree promotion
+meaningful on this data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import GeneratorError
+from repro.xmark.schema import CATEGORIES, CITIES, REGIONS, VOCABULARY, XMarkConfig
+from repro.xmldb.model import Database, XMLNode
+from repro.xmldb.serializer import document_size_bytes
+
+
+def _sentence(rng: random.Random, config: XMarkConfig) -> str:
+    lo, hi = config.sentence_words
+    count = rng.randint(lo, hi)
+    return " ".join(rng.choice(VOCABULARY) for _ in range(count))
+
+
+def _text_element(rng: random.Random, config: XMarkConfig) -> XMLNode:
+    """A ``text`` node with optional bold/keyword/emph markup children."""
+    text = XMLNode("text", _sentence(rng, config))
+    if rng.random() < config.p_bold:
+        text.child("bold", rng.choice(VOCABULARY))
+    if rng.random() < config.p_keyword:
+        text.child("keyword", rng.choice(VOCABULARY))
+    if rng.random() < config.p_emph:
+        text.child("emph", rng.choice(VOCABULARY))
+    return text
+
+
+def _parlist(rng: random.Random, config: XMarkConfig, depth: int) -> XMLNode:
+    """A recursive ``parlist`` of ``listitem`` elements."""
+    parlist = XMLNode("parlist")
+    lo, hi = config.parlist_items_range
+    for _ in range(rng.randint(lo, hi)):
+        listitem = parlist.child("listitem")
+        recurse = depth < config.max_parlist_depth and rng.random() < config.p_nested_parlist
+        if recurse:
+            listitem.add_child(_parlist(rng, config, depth + 1))
+        else:
+            listitem.add_child(_text_element(rng, config))
+    return parlist
+
+
+def _description(rng: random.Random, config: XMarkConfig) -> XMLNode:
+    description = XMLNode("description")
+    if rng.random() < config.p_parlist:
+        description.add_child(_parlist(rng, config, depth=1))
+    else:
+        description.add_child(_text_element(rng, config))
+    return description
+
+
+def _mailbox(rng: random.Random, config: XMarkConfig) -> XMLNode:
+    mailbox = XMLNode("mailbox")
+    lo, hi = config.mail_range
+    for _ in range(rng.randint(lo, hi)):
+        mail = mailbox.child("mail")
+        mail.child("from", f"{rng.choice(VOCABULARY)}@auctions.example")
+        mail.child("to", f"{rng.choice(VOCABULARY)}@auctions.example")
+        mail.child(
+            "date",
+            f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1998, 2004)}",
+        )
+        if rng.random() < config.p_mail_text:
+            mail.add_child(_text_element(rng, config))
+    return mailbox
+
+
+def _item(rng: random.Random, config: XMarkConfig, item_id: int) -> XMLNode:
+    item = XMLNode("item")
+    item.child("@id", f"item{item_id}")
+    item.child("location", rng.choice(CITIES))
+    item.child("quantity", str(rng.randint(1, 10)))
+    if rng.random() < config.p_name:
+        item.child("name", f"{rng.choice(VOCABULARY)} {rng.choice(VOCABULARY)}")
+    item.child("payment", rng.choice(("cash", "check", "credit card")))
+    item.add_child(_description(rng, config))
+    item.child("shipping", rng.choice(("buyer pays", "seller pays", "international")))
+    lo, hi = config.incategory_range
+    categories = rng.sample(CATEGORIES, k=min(rng.randint(lo, hi), len(CATEGORIES)))
+    for category in categories:
+        incategory = item.child("incategory")
+        incategory.child("@category", category)
+    if rng.random() < config.p_mailbox:
+        item.add_child(_mailbox(rng, config))
+    return item
+
+
+def generate_root(config: XMarkConfig) -> XMLNode:
+    """Generate the bare ``site`` tree for ``config`` (unattached)."""
+    config.validate()
+    rng = random.Random(config.seed)
+    site = XMLNode("site")
+    regions = site.child("regions")
+    region_nodes = {}
+    for item_id in range(config.items):
+        region = rng.choice(REGIONS)
+        if region not in region_nodes:
+            region_nodes[region] = XMLNode(region)
+        region_nodes[region].add_child(_item(rng, config, item_id))
+    for region in REGIONS:
+        if region in region_nodes:
+            regions.add_child(region_nodes[region])
+    return site
+
+
+def generate_database(config: XMarkConfig) -> Database:
+    """Generate a single-document :class:`~repro.xmldb.model.Database`."""
+    database = Database()
+    database.add_document(generate_root(config))
+    return database
+
+
+def estimate_bytes_per_item(config: XMarkConfig, sample_items: int = 50) -> float:
+    """Mean serialized bytes per item, from a small sample document."""
+    if sample_items <= 0:
+        raise GeneratorError(f"sample_items must be positive, got {sample_items}")
+    sample_config = XMarkConfig(**{**config.__dict__, "items": sample_items})
+    database = generate_database(sample_config)
+    overhead_config = XMarkConfig(**{**config.__dict__, "items": 0})
+    overhead = document_size_bytes(generate_database(overhead_config))
+    return max((document_size_bytes(database) - overhead) / sample_items, 1.0)
+
+
+def generate_for_size(
+    target_bytes: int,
+    seed: int = 42,
+    config: Optional[XMarkConfig] = None,
+    tolerance: float = 0.1,
+) -> Database:
+    """Generate a document whose serialized size approximates ``target_bytes``.
+
+    Calibrates the item count from a sample, generates, then corrects once
+    if outside ``tolerance`` — good to a few percent, which is all the
+    paper's 1/10/50 Mb axis needs.
+    """
+    if target_bytes <= 0:
+        raise GeneratorError(f"target_bytes must be positive, got {target_bytes}")
+    base = config if config is not None else XMarkConfig()
+    per_item = estimate_bytes_per_item(
+        XMarkConfig(**{**base.__dict__, "seed": seed})
+    )
+    items = max(int(target_bytes / per_item), 1)
+    attempt = XMarkConfig(**{**base.__dict__, "items": items, "seed": seed})
+    database = generate_database(attempt)
+    size = document_size_bytes(database)
+    if abs(size - target_bytes) / target_bytes > tolerance:
+        items = max(int(items * target_bytes / size), 1)
+        attempt = XMarkConfig(**{**base.__dict__, "items": items, "seed": seed})
+        database = generate_database(attempt)
+    return database

@@ -1,0 +1,126 @@
+"""Schema constants and generator configuration for the XMark subset.
+
+The knobs mirror the structural features the paper's queries probe:
+
+- ``Q1: //item[./description/parlist]`` — needs items whose description
+  holds a ``parlist`` (vs plain ``text``), with *recursive* nesting;
+- ``Q2: ... and ./mailbox/mail/text`` — needs optional mailboxes with
+  mails carrying ``text``;
+- ``Q3: //item[./mailbox/mail/text[./bold and ./keyword] and ./name and
+  ./incategory]`` — needs ``bold``/``keyword`` markup inside ``text`` and
+  optional ``incategory`` tags.
+
+Every probability below is the chance a generated element takes the
+structural branch that makes the corresponding predicate match *exactly*;
+the complements create the approximate-match population that relaxation
+recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+REGIONS: Tuple[str, ...] = (
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+)
+
+# A small Shakespeare-flavoured vocabulary in the spirit of xmlgen's word
+# list; enough variety for distinct names/keywords without bloating memory.
+VOCABULARY: Tuple[str, ...] = (
+    "gold", "silver", "amber", "ivory", "jade", "quartz", "topaz", "opal",
+    "willow", "cedar", "maple", "aspen", "birch", "rowan", "alder", "hazel",
+    "duke", "earl", "baron", "knight", "squire", "herald", "falcon", "raven",
+    "harbor", "meadow", "garden", "orchard", "valley", "summit", "brook",
+    "lantern", "compass", "sextant", "anchor", "rudder", "mast", "sail",
+    "sonnet", "ballad", "ode", "verse", "stanza", "refrain", "chorus",
+    "ember", "frost", "zephyr", "tempest", "aurora", "eclipse", "meridian",
+)
+
+CATEGORIES: Tuple[str, ...] = tuple(f"category{i}" for i in range(40))
+
+CITIES: Tuple[str, ...] = (
+    "london", "paris", "tokyo", "cairo", "sydney", "lagos", "lima",
+    "oslo", "delhi", "quito", "dakar", "hanoi", "turin", "kyoto",
+)
+
+
+@dataclass
+class XMarkConfig:
+    """Generator parameters (all distributions are seeded & deterministic).
+
+    Attributes
+    ----------
+    items:
+        Number of ``item`` elements across all regions.
+    seed:
+        Master seed; equal configs generate byte-identical forests.
+    p_parlist:
+        Probability a description holds a ``parlist`` rather than ``text``.
+    p_nested_parlist:
+        Probability a ``listitem`` recurses into another ``parlist``
+        (depth-limited by ``max_parlist_depth``).
+    p_mailbox:
+        Probability an item has a mailbox at all.
+    mail_range:
+        (min, max) number of mails in a mailbox.
+    p_mail_text:
+        Probability a mail carries a ``text`` body.
+    p_bold / p_keyword / p_emph:
+        Probability a ``text`` element contains each markup child.
+    incategory_range:
+        (min, max) number of ``incategory`` tags; 0 is allowed (optional).
+    p_name:
+        Probability an item carries a ``name`` (paper: optional nodes).
+    parlist_items_range:
+        (min, max) ``listitem`` count per ``parlist``.
+    """
+
+    items: int = 100
+    seed: int = 42
+    p_parlist: float = 0.45
+    p_nested_parlist: float = 0.35
+    max_parlist_depth: int = 3
+    p_mailbox: float = 0.65
+    mail_range: Tuple[int, int] = (1, 4)
+    p_mail_text: float = 0.8
+    p_bold: float = 0.5
+    p_keyword: float = 0.5
+    p_emph: float = 0.3
+    incategory_range: Tuple[int, int] = (0, 3)
+    p_name: float = 0.9
+    parlist_items_range: Tuple[int, int] = (1, 3)
+    sentence_words: Tuple[int, int] = (3, 8)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.GeneratorError` on invalid knobs."""
+        from repro.errors import GeneratorError
+
+        if self.items < 0:
+            raise GeneratorError(f"items must be >= 0, got {self.items}")
+        for name in (
+            "p_parlist",
+            "p_nested_parlist",
+            "p_mailbox",
+            "p_mail_text",
+            "p_bold",
+            "p_keyword",
+            "p_emph",
+            "p_name",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise GeneratorError(f"{name} must be in [0, 1], got {value}")
+        for name in ("mail_range", "incategory_range", "parlist_items_range", "sentence_words"):
+            lo, hi = getattr(self, name)
+            if lo < 0 or hi < lo:
+                raise GeneratorError(f"{name} must be a valid (lo, hi) range, got {(lo, hi)}")
+        if self.max_parlist_depth < 1:
+            raise GeneratorError(
+                f"max_parlist_depth must be >= 1, got {self.max_parlist_depth}"
+            )

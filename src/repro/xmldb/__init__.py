@@ -1,0 +1,34 @@
+"""XML substrate: data model, Dewey encoding, parser, indexes, statistics.
+
+This package implements the storage layer the paper's engine runs on:
+
+- :mod:`repro.xmldb.dewey` — Dewey identifiers and structural-axis tests;
+- :mod:`repro.xmldb.model` — node-labeled tree / forest data model;
+- :mod:`repro.xmldb.parser` — a small, dependency-free XML parser;
+- :mod:`repro.xmldb.serializer` — model → text round-tripping;
+- :mod:`repro.xmldb.index` — per-tag Dewey-ordered indexes;
+- :mod:`repro.xmldb.stats` — selectivity / fan-out statistics used by
+  the adaptive router.
+"""
+
+from repro.xmldb.dewey import Dewey, DepthRange
+from repro.xmldb.model import XMLNode, XMLDocument, Database
+from repro.xmldb.parser import parse_document, parse_forest
+from repro.xmldb.serializer import serialize, document_size_bytes
+from repro.xmldb.index import TagIndex, DatabaseIndex
+from repro.xmldb.stats import DatabaseStatistics
+
+__all__ = [
+    "Dewey",
+    "DepthRange",
+    "XMLNode",
+    "XMLDocument",
+    "Database",
+    "parse_document",
+    "parse_forest",
+    "serialize",
+    "document_size_bytes",
+    "TagIndex",
+    "DatabaseIndex",
+    "DatabaseStatistics",
+]

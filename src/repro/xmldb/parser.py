@@ -1,0 +1,261 @@
+"""A small, dependency-free XML parser producing :class:`XMLNode` trees.
+
+The parser covers the XML subset the XMark-like generator emits plus the
+common constructs found in benchmark documents: elements, attributes,
+character data, CDATA sections, comments, processing instructions, the five
+predefined entities and numeric character references.  It does not implement
+DTD validation or namespaces — the paper's data model has no use for either.
+
+Attributes are modeled as child nodes whose tag is the attribute name
+prefixed with ``@`` (so ``<item id="i3">`` yields a child ``@id`` with value
+``"i3"``).  That keeps the node-labeled-tree model uniform: tree patterns
+may mention ``@id`` like any other tag.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import XMLParseError
+from repro.xmldb.model import Database, XMLNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class _Tokenizer:
+    """Character-level cursor over the XML text with error reporting."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message: str) -> XMLParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return XMLParseError(message, position=self.pos, line=line)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def read_until(self, token: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated construct, expected {token!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch.isalnum() or ch in "_-.:":
+                self.pos += 1
+            else:
+                break
+        if self.pos == start:
+            raise self.error("expected an XML name")
+        return self.text[start : self.pos]
+
+
+def _decode_text(text: str, tokenizer: _Tokenizer) -> str:
+    """Replace entity and character references in character data."""
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end < 0:
+            raise tokenizer.error("unterminated entity reference")
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise tokenizer.error(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _skip_misc(tokenizer: _Tokenizer) -> None:
+    """Skip whitespace, comments, PIs and doctype between/around elements."""
+    while True:
+        tokenizer.skip_whitespace()
+        if tokenizer.startswith("<!--"):
+            tokenizer.advance(4)
+            tokenizer.read_until("-->")
+        elif tokenizer.startswith("<?"):
+            tokenizer.advance(2)
+            tokenizer.read_until("?>")
+        elif tokenizer.startswith("<!DOCTYPE") or tokenizer.startswith("<!doctype"):
+            tokenizer.read_until(">")
+        else:
+            return
+
+
+def _parse_attributes(tokenizer: _Tokenizer) -> List[Tuple[str, str]]:
+    attributes: List[Tuple[str, str]] = []
+    while True:
+        tokenizer.skip_whitespace()
+        ch = tokenizer.peek()
+        if ch in (">", "/") or tokenizer.eof():
+            return attributes
+        name = tokenizer.read_name()
+        tokenizer.skip_whitespace()
+        tokenizer.expect("=")
+        tokenizer.skip_whitespace()
+        quote = tokenizer.peek()
+        if quote not in ("'", '"'):
+            raise tokenizer.error("attribute value must be quoted")
+        tokenizer.advance(1)
+        raw = tokenizer.read_until(quote)
+        attributes.append((name, _decode_text(raw, tokenizer)))
+
+
+def _parse_element(tokenizer: _Tokenizer) -> XMLNode:
+    tokenizer.expect("<")
+    tag = tokenizer.read_name()
+    node = XMLNode(tag)
+    for attr_name, attr_value in _parse_attributes(tokenizer):
+        node.child("@" + attr_name, attr_value)
+    tokenizer.skip_whitespace()
+    if tokenizer.startswith("/>"):
+        tokenizer.advance(2)
+        return node
+    tokenizer.expect(">")
+
+    text_parts: List[str] = []
+    while True:
+        if tokenizer.eof():
+            raise tokenizer.error(f"unexpected end of input inside <{tag}>")
+        if tokenizer.startswith("</"):
+            tokenizer.advance(2)
+            closing = tokenizer.read_name()
+            if closing != tag:
+                raise tokenizer.error(
+                    f"mismatched closing tag </{closing}>, expected </{tag}>"
+                )
+            tokenizer.skip_whitespace()
+            tokenizer.expect(">")
+            break
+        if tokenizer.startswith("<!--"):
+            tokenizer.advance(4)
+            tokenizer.read_until("-->")
+        elif tokenizer.startswith("<![CDATA["):
+            tokenizer.advance(9)
+            text_parts.append(tokenizer.read_until("]]>"))
+        elif tokenizer.startswith("<?"):
+            tokenizer.advance(2)
+            tokenizer.read_until("?>")
+        elif tokenizer.peek() == "<":
+            node.add_child(_parse_element(tokenizer))
+        else:
+            start = tokenizer.pos
+            next_tag = tokenizer.text.find("<", start)
+            if next_tag < 0:
+                raise tokenizer.error(f"unexpected end of input inside <{tag}>")
+            raw = tokenizer.text[start:next_tag]
+            tokenizer.pos = next_tag
+            text_parts.append(_decode_text(raw, tokenizer))
+
+    text = "".join(text_parts).strip()
+    if text:
+        node.value = text
+    return node
+
+
+def parse_document(text: str) -> Database:
+    """Parse one XML document into a single-document :class:`Database`.
+
+    Nesting depth is bounded by the interpreter's recursion limit
+    (roughly a thousand levels); pathological documents raise
+    :class:`~repro.errors.XMLParseError` instead of ``RecursionError``.
+    """
+    try:
+        database, remainder = _parse_one(text)
+    except RecursionError:
+        raise XMLParseError(
+            "document nesting exceeds the supported depth "
+            "(~1000 levels of elements)"
+        )
+    tokenizer = remainder
+    _skip_misc(tokenizer)
+    if not tokenizer.eof():
+        raise tokenizer.error("trailing content after document element")
+    return database
+
+
+def _parse_one(text: str) -> Tuple[Database, _Tokenizer]:
+    tokenizer = _Tokenizer(text)
+    _skip_misc(tokenizer)
+    if tokenizer.eof():
+        raise tokenizer.error("empty document")
+    root = _parse_element(tokenizer)
+    database = Database()
+    database.add_document(root)
+    return database, tokenizer
+
+
+def parse_forest(texts) -> Database:
+    """Parse several XML documents into one forest :class:`Database`.
+
+    ``texts`` is an iterable of document strings; documents join the forest
+    in iteration order, which fixes their Dewey document ordinals.
+    """
+    database = Database()
+    for text in texts:
+        tokenizer = _Tokenizer(text)
+        _skip_misc(tokenizer)
+        if tokenizer.eof():
+            raise tokenizer.error("empty document")
+        root = _parse_element(tokenizer)
+        _skip_misc(tokenizer)
+        if not tokenizer.eof():
+            raise tokenizer.error("trailing content after document element")
+        database.add_document(root)
+    return database
+
+
+def parse_fragment(text: str) -> XMLNode:
+    """Parse a standalone element into a bare (unattached) node tree."""
+    tokenizer = _Tokenizer(text)
+    _skip_misc(tokenizer)
+    node = _parse_element(tokenizer)
+    _skip_misc(tokenizer)
+    if not tokenizer.eof():
+        raise tokenizer.error("trailing content after fragment element")
+    return node

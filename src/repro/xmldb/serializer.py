@@ -1,0 +1,75 @@
+"""Serialization of the node-labeled tree model back to XML text.
+
+The serializer is the inverse of :mod:`repro.xmldb.parser` for the model's
+canonical form: attribute children (``@name``) become XML attributes, node
+values become character data, and the five predefined entities are escaped.
+It also provides :func:`document_size_bytes`, which the benchmark harness
+uses to calibrate generator scales against the paper's 1/10/50 Mb document
+sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.xmldb.model import Database, XMLDocument, XMLNode
+
+
+def _escape_text(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def _serialize_node(node: XMLNode, out: List[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    attributes = [child for child in node.children if child.tag.startswith("@")]
+    elements = [child for child in node.children if not child.tag.startswith("@")]
+
+    out.append(pad)
+    out.append(f"<{node.tag}")
+    for attribute in attributes:
+        out.append(f' {attribute.tag[1:]}="{_escape_attribute(attribute.value or "")}"')
+
+    if not elements and node.value is None:
+        out.append(f"/>{newline}")
+        return
+
+    out.append(">")
+    if node.value is not None:
+        out.append(_escape_text(node.value))
+    if elements:
+        out.append(newline)
+        for child in elements:
+            _serialize_node(child, out, indent + 1, pretty)
+        out.append(pad)
+    out.append(f"</{node.tag}>{newline}")
+
+
+def serialize(source: Union[Database, XMLDocument, XMLNode], pretty: bool = True) -> str:
+    """Serialize a database, document or node subtree to XML text.
+
+    A multi-document database serializes to the concatenation of its
+    documents, which :func:`repro.xmldb.parser.parse_forest` accepts back
+    only document-by-document; single documents round-trip through
+    :func:`repro.xmldb.parser.parse_document`.
+    """
+    if isinstance(source, Database):
+        return "".join(serialize(document, pretty) for document in source.documents)
+    if isinstance(source, XMLDocument):
+        source = source.root
+    out: List[str] = []
+    _serialize_node(source, out, 0, pretty)
+    return "".join(out)
+
+
+def document_size_bytes(source: Union[Database, XMLDocument, XMLNode]) -> int:
+    """UTF-8 size of the serialized form — the paper's 'document size' axis."""
+    return len(serialize(source, pretty=True).encode("utf-8"))

@@ -1,0 +1,129 @@
+"""Path summaries: a DataGuide-style structural index with counts.
+
+The paper's size-based router assumes "estimates of the number of
+extensions computed by the server for a partial match (such estimates
+could be obtained by using work on selectivity estimation for XML)".  The
+default :class:`~repro.core.router.MinAliveRouter` uses exact per-root
+index counts (precise but it repeats probe work); this module provides the
+cheap estimation substrate the paper alludes to:
+
+- :class:`PathSummary` — one node per distinct root-to-node *tag path* in
+  the database (a strong DataGuide for trees), annotated with the number
+  of data nodes on that path;
+- :meth:`PathSummary.estimate_related` — expected number of ``tag`` nodes
+  related to a node on a given path by a depth-range axis, computed purely
+  from summary counts (no data access).
+
+Construction is one pass over the database; estimates are O(#paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.xmldb.dewey import DepthRange
+from repro.xmldb.model import Database
+
+TagPath = Tuple[str, ...]
+"""A root-to-node path of tags, e.g. ``("site", "regions", "africa")``."""
+
+
+class PathSummary:
+    """Distinct tag paths of a database forest, with node counts."""
+
+    def __init__(self, database: Database):
+        self.counts: Dict[TagPath, int] = {}
+        self._by_tag: Dict[str, List[TagPath]] = {}
+        for document in database.documents:
+            stack = [(document.root, (document.root.tag,))]
+            while stack:
+                node, path = stack.pop()
+                self.counts[path] = self.counts.get(path, 0) + 1
+                for child in node.children:
+                    stack.append((child, path + (child.tag,)))
+        for path in self.counts:
+            self._by_tag.setdefault(path[-1], []).append(path)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def path_count(self, path: TagPath) -> int:
+        """Number of data nodes on an exact tag path (0 if absent)."""
+        return self.counts.get(path, 0)
+
+    def paths_with_tag(self, tag: str) -> List[TagPath]:
+        """All distinct paths ending in ``tag``."""
+        return list(self._by_tag.get(tag, []))
+
+    def tag_count(self, tag: str) -> int:
+        """Total number of nodes with ``tag``."""
+        return sum(self.counts[path] for path in self._by_tag.get(tag, ()))
+
+    def distinct_paths(self) -> int:
+        """Number of distinct tag paths (the summary's size)."""
+        return len(self.counts)
+
+    # -- estimation -------------------------------------------------------------
+
+    def estimate_related(
+        self, anchor_tag: str, target_tag: str, axis: DepthRange
+    ) -> float:
+        """Expected number of ``target_tag`` nodes related by ``axis`` to
+        one ``anchor_tag`` node.
+
+        Uses the uniformity assumption standard in XML selectivity
+        estimation: target nodes on a path extending an anchor path are
+        spread evenly over that path's anchor nodes.
+        """
+        anchor_paths = self._by_tag.get(anchor_tag, [])
+        total_anchors = sum(self.counts[path] for path in anchor_paths)
+        if total_anchors == 0:
+            return 0.0
+        expected = 0.0
+        for anchor_path in anchor_paths:
+            anchors_here = self.counts[anchor_path]
+            for target_path in self._by_tag.get(target_tag, []):
+                if len(target_path) <= len(anchor_path):
+                    continue
+                if target_path[: len(anchor_path)] != anchor_path:
+                    continue
+                depth_difference = len(target_path) - len(anchor_path)
+                if depth_difference < axis.lo:
+                    continue
+                if axis.hi is not None and depth_difference > axis.hi:
+                    continue
+                expected += self.counts[target_path]
+        return expected / total_anchors
+
+    def estimate_satisfaction(
+        self, anchor_tag: str, target_tag: str, axis: DepthRange
+    ) -> float:
+        """Estimated fraction of anchors with ≥ 1 related target.
+
+        Approximated as ``min(1, expected fan-out)`` per anchor path,
+        weighted by anchor counts — exact when targets distribute at most
+        one per anchor, optimistic otherwise (standard estimator caveat).
+        """
+        anchor_paths = self._by_tag.get(anchor_tag, [])
+        total_anchors = sum(self.counts[path] for path in anchor_paths)
+        if total_anchors == 0:
+            return 0.0
+        satisfied = 0.0
+        for anchor_path in anchor_paths:
+            anchors_here = self.counts[anchor_path]
+            fanout_here = 0.0
+            for target_path in self._by_tag.get(target_tag, []):
+                if len(target_path) <= len(anchor_path):
+                    continue
+                if target_path[: len(anchor_path)] != anchor_path:
+                    continue
+                depth_difference = len(target_path) - len(anchor_path)
+                if depth_difference < axis.lo:
+                    continue
+                if axis.hi is not None and depth_difference > axis.hi:
+                    continue
+                fanout_here += self.counts[target_path]
+            satisfied += anchors_here * min(fanout_here / anchors_here, 1.0)
+        return satisfied / total_anchors
+
+    def __repr__(self) -> str:
+        return f"PathSummary({self.distinct_paths()} paths)"

@@ -1,0 +1,96 @@
+"""Tests for anytime (budgeted) top-k evaluation."""
+
+import pytest
+
+from repro.core.anytime import AnytimeWhirlpool, anytime_topk
+from repro.core.engine import Engine
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def engine(xmark_db):
+    return Engine(xmark_db, "//item[./description/parlist and ./mailbox/mail/text]")
+
+
+class TestUnbudgeted:
+    def test_no_budget_is_exact(self, engine):
+        reference = engine.run(10, algorithm="whirlpool_s")
+        outcome = anytime_topk(engine, k=10)
+        assert outcome.is_final
+        assert [round(a.score, 9) for a in outcome.answers] == [
+            round(a.score, 9) for a in reference.answers
+        ]
+
+    def test_early_stop_saves_operations(self, engine):
+        """The certificate fires before the queue drains for small k."""
+        full = engine.run(1, algorithm="whirlpool_s")
+        outcome = anytime_topk(engine, k=1)
+        assert outcome.is_final
+        assert outcome.operations_used <= full.stats.server_operations
+        assert outcome.answers[0].score == pytest.approx(full.answers[0].score)
+        # The certificate is coherent: the reported answer beats the bound.
+        assert outcome.answers[0].score >= outcome.guarantee() - 1e-9
+
+
+class TestBudgeted:
+    def test_tiny_budget_reports_not_final(self, engine):
+        outcome = anytime_topk(engine, k=10, max_operations=3)
+        assert not outcome.is_final
+        assert outcome.operations_used <= 3
+        assert outcome.guarantee() > 0.0
+
+    def test_budget_zero(self, engine):
+        outcome = anytime_topk(engine, k=5, max_operations=0)
+        assert not outcome.is_final
+        assert outcome.operations_used == 0
+
+    def test_scores_never_overstate(self, engine):
+        """Budgeted answers are lower bounds of the true scores."""
+        truth = {
+            a.root_node.dewey: a.score
+            for a in engine.run(len(engine.index["item"])).answers
+        }
+        outcome = anytime_topk(engine, k=10, max_operations=50)
+        for answer in outcome.answers:
+            assert answer.score <= truth[answer.root_node.dewey] + 1e-9
+
+    def test_growing_budget_converges(self, engine):
+        reference = [
+            round(a.score, 9) for a in engine.run(5, algorithm="whirlpool_s").answers
+        ]
+        last = None
+        for budget in (5, 50, 500, None):
+            outcome = anytime_topk(engine, k=5, max_operations=budget)
+            last = [round(a.score, 9) for a in outcome.answers]
+            if outcome.is_final:
+                break
+        assert last == reference
+
+    def test_guarantee_interpretation(self, engine):
+        """Answers scoring >= the guarantee are definitively top-k."""
+        truth_top = {
+            a.root_node.dewey
+            for a in engine.run(10, algorithm="whirlpool_s").answers
+        }
+        outcome = anytime_topk(engine, k=10, max_operations=200)
+        certain = [
+            a for a in outcome.answers if a.score >= outcome.guarantee()
+        ]
+        for answer in certain:
+            assert answer.root_node.dewey in truth_top
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self, engine):
+        with pytest.raises(EngineError):
+            AnytimeWhirlpool(
+                pattern=engine.pattern,
+                index=engine.index,
+                score_model=engine.score_model,
+                k=1,
+                max_operations=-1,
+            )
+
+    def test_repr(self, engine):
+        outcome = anytime_topk(engine, k=3, max_operations=10)
+        assert "ops" in repr(outcome)

@@ -1,0 +1,144 @@
+"""Smoke tests for the benchmark drivers at a tiny scale.
+
+These verify the harness plumbing (payload shapes, caching, reporting) so
+benchmark failures mean a *claim* regressed, not the harness.  The shape
+assertions themselves live in ``benchmarks/``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.params import DEFAULTS, QUERIES, paper_doc_bytes
+from repro.bench.reporting import format_table, write_results
+from repro.bench.workloads import clear_cache, get_database, get_engine
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    previous = os.environ.get("REPRO_BENCH_SCALE")
+    os.environ["REPRO_BENCH_SCALE"] = "0.003"
+    clear_cache()
+    yield
+    if previous is None:
+        del os.environ["REPRO_BENCH_SCALE"]
+    else:
+        os.environ["REPRO_BENCH_SCALE"] = previous
+    clear_cache()
+
+
+class TestParams:
+    def test_queries_match_paper(self):
+        assert QUERIES["Q1"] == "//item[./description/parlist]"
+        assert "mailbox/mail/text" in QUERIES["Q2"]
+        assert "incategory" in QUERIES["Q3"]
+
+    def test_paper_doc_bytes_scaled(self):
+        assert paper_doc_bytes("1M") < paper_doc_bytes("10M") < paper_doc_bytes("50M")
+        with pytest.raises(KeyError):
+            paper_doc_bytes("3M")
+
+    def test_defaults_are_paper_defaults(self):
+        assert DEFAULTS["query"] == "Q2"
+        assert DEFAULTS["doc"] == "10M"
+        assert DEFAULTS["k"] == 15
+        assert DEFAULTS["scoring"] == "sparse"
+
+
+class TestWorkloads:
+    def test_database_cached(self):
+        first = get_database("1M")
+        second = get_database("1M")
+        assert first is second
+
+    def test_engine_cached_by_configuration(self):
+        a = get_engine("Q1", "1M")
+        b = get_engine("Q1", "1M")
+        c = get_engine("Q1", "1M", normalization="dense")
+        assert a is b
+        assert a is not c
+
+    def test_clear_cache(self):
+        first = get_database("1M")
+        clear_cache()
+        second = get_database("1M")
+        assert first is not second
+
+
+class TestDrivers:
+    def test_fig5_payload(self):
+        payload = experiments.fig5_routing_strategies(doc="1M")
+        assert set(payload["series"]) == {"max_score", "min_score", "min_alive"}
+        for entry in payload["series"].values():
+            assert entry["whirlpool_s_ops"] > 0
+            assert entry["whirlpool_m_time"] > 0
+
+    def test_fig6_7_payload(self):
+        payload = experiments.fig6_7_adaptive_vs_static(query="Q1", doc="1M")
+        algorithms = payload["algorithms"]
+        assert set(algorithms) == {
+            "lockstep_noprun",
+            "lockstep",
+            "whirlpool_s",
+            "whirlpool_m",
+        }
+        for name in ("whirlpool_s", "whirlpool_m"):
+            assert "adaptive_time" in algorithms[name]
+        for entry in algorithms.values():
+            summary = entry["static_time"]
+            assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_fig8_payload(self):
+        payload = experiments.fig8_adaptivity_cost(
+            query="Q1", doc="1M", operation_costs=(1e-3, 1e-1)
+        )
+        for cost in (1e-3, 1e-1):
+            assert payload["ratios"][cost]["lockstep_noprun"] == pytest.approx(1.0)
+
+    def test_fig9_payload(self):
+        payload = experiments.fig9_parallelism(doc="1M", processors=(1, None))
+        for ratios in payload["ratios"].values():
+            assert set(ratios) == {"1", "inf"}
+
+    def test_fig10_fig11_payloads(self):
+        fig10 = experiments.fig10_vary_k(doc="1M", k_values=(1, 5))
+        assert set(fig10["series"]) == set(QUERIES)
+        fig11 = experiments.fig11_vary_docsize(docs=("1M",))
+        for per_doc in fig11["series"].values():
+            assert "1M" in per_doc
+
+    def test_table2_payload(self):
+        payload = experiments.table2_scalability(docs=("1M",))
+        for row in payload["percentages"].values():
+            assert 0 < row["1M"] <= 100.0 + 1e-9
+
+    def test_static_orders_budget(self):
+        orders = experiments.static_orders([1, 2, 3], budget=3)
+        assert len(orders) == 3
+        assert (1, 2, 3) in orders and (3, 2, 1) in orders
+        full = experiments.static_orders([1, 2, 3], budget=100)
+        assert len(full) == 6
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table("T", ["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        # title + header + separator + 2 data rows
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        table = format_table("T", ["col"], [])
+        assert "col" in table
+
+    def test_write_results(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.reporting.RESULTS_DIR", str(tmp_path)
+        )
+        path = write_results("unit", {"x": 1})
+        with open(path) as handle:
+            assert json.load(handle) == {"x": 1}

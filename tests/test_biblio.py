@@ -1,0 +1,114 @@
+"""Tests for the heterogeneous multi-seller catalog generator."""
+
+import pytest
+
+from repro.biblio import BiblioConfig, SELLER_SCHEMAS, generate_catalogs, reference_query
+from repro.core.engine import Engine, topk
+from repro.errors import GeneratorError
+from repro.query.matcher import distinct_roots, find_matches
+from repro.query.xpath import parse_xpath
+from repro.xmldb.serializer import serialize
+
+
+class TestGeneration:
+    def test_one_document_per_seller(self):
+        db = generate_catalogs(BiblioConfig(books_per_seller=5, seed=1))
+        assert len(db) == len(SELLER_SCHEMAS)
+        sellers = set()
+        for document in db.documents:
+            seller = next(
+                c.value for c in document.root.children if c.tag == "@seller"
+            )
+            sellers.add(seller)
+        assert sellers == set(SELLER_SCHEMAS)
+
+    def test_deterministic(self):
+        a = generate_catalogs(BiblioConfig(books_per_seller=4, seed=9))
+        b = generate_catalogs(BiblioConfig(books_per_seller=4, seed=9))
+        assert serialize(a) == serialize(b)
+
+    def test_seller_mix_weights(self):
+        config = BiblioConfig(
+            books_per_seller=10,
+            seed=2,
+            seller_mix={"nested": 2.0, "minimal": 0.5},
+        )
+        db = generate_catalogs(config)
+        assert len(db) == 2
+        counts = {
+            next(c.value for c in doc.root.children if c.tag == "@seller"): sum(
+                1 for c in doc.root.children if c.tag == "book"
+            )
+            for doc in db.documents
+        }
+        assert counts == {"nested": 20, "minimal": 5}
+
+    def test_validation(self):
+        with pytest.raises(GeneratorError):
+            generate_catalogs(BiblioConfig(books_per_seller=-1))
+        with pytest.raises(GeneratorError):
+            generate_catalogs(BiblioConfig(seller_mix={"amazon": 1.0}))
+        with pytest.raises(GeneratorError):
+            generate_catalogs(BiblioConfig(seller_mix={"nested": -1.0}))
+
+
+class TestStructuralVariants:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_catalogs(BiblioConfig(books_per_seller=30, seed=7))
+
+    def test_nested_books_match_reference_query_exactly(self, db):
+        pattern = parse_xpath(reference_query())
+        roots = distinct_roots(find_matches(pattern, db), pattern)
+        assert roots, "nested sellers should produce exact matches"
+        # Exact matches come only from the 'nested' seller's document.
+        nested_doc = next(
+            doc
+            for doc in db.documents
+            if any(
+                c.tag == "@seller" and c.value == "nested"
+                for c in doc.root.children
+            )
+        )
+        for root in roots:
+            assert root.dewey[0] == nested_doc.ordinal
+
+    def test_relaxed_query_reaches_other_sellers(self, db):
+        relaxed = parse_xpath("/book[.//title = 'wodehouse']")
+        roots = distinct_roots(find_matches(relaxed, db), relaxed)
+        documents = {root.dewey[0] for root in roots}
+        assert len(documents) >= 4  # title exists in most seller schemas
+
+    def test_topk_ranks_exact_sellers_first(self, db):
+        result = topk(db, reference_query(), k=10)
+        assert result.answers
+        first = result.answers[0]
+        # The best answer must be an exact match from the nested schema.
+        assert first.match.exact_everywhere() or first.score >= result.answers[-1].score
+        scores = [a.score for a in result.answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deep_schema_needs_edge_generalization(self, db):
+        exact = parse_xpath("/book[./title = 'wodehouse']")
+        relaxed = parse_xpath("/book[.//title = 'wodehouse']")
+        exact_roots = {m[0].dewey for m in find_matches(exact, db)}
+        relaxed_roots = {m[0].dewey for m in find_matches(relaxed, db)}
+        assert exact_roots < relaxed_roots  # strictly more via relaxation
+
+
+class TestMetasearchScenario:
+    def test_relaxed_topk_spans_sellers(self):
+        db = generate_catalogs(BiblioConfig(books_per_seller=25, seed=3))
+        engine = Engine(db, reference_query())
+        result = engine.run(20)
+        documents = {a.root_node.dewey[0] for a in result.answers}
+        assert len(documents) >= 3, "top-k should mix sellers"
+
+    def test_homogeneous_catalog_all_exact(self):
+        config = BiblioConfig(
+            books_per_seller=10, seed=4, seller_mix={"nested": 1.0}
+        )
+        db = generate_catalogs(config)
+        result = topk(db, reference_query(title="wodehouse"), k=5, relaxed=False)
+        for answer in result.answers:
+            assert answer.match.exact_everywhere()

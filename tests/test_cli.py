@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import BOOKS_XML
+
+
+@pytest.fixture
+def books_file(tmp_path):
+    path = tmp_path / "books.xml"
+    path.write_text(BOOKS_XML)
+    return str(path)
+
+
+class TestQuery:
+    def test_basic_query(self, books_file, capsys):
+        code = main(["query", books_file, "/book[.//title = 'wodehouse']", "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top-2 answers" in out
+        assert "score=" in out
+
+    def test_stats_flag(self, books_file, capsys):
+        code = main(["query", books_file, "/book[./title]", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "server_operations" in out
+
+    def test_json_output(self, books_file, capsys):
+        code = main(["query", books_file, "/book[./title]", "--json", "-k", "1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["answers"]) == 1
+        assert "score" in payload["answers"][0]
+        assert "server_operations" in payload["stats"]
+
+    def test_exact_flag(self, books_file, capsys):
+        query = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+        code = main(["query", books_file, query, "--exact", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["answers"]) == 1
+
+    def test_threshold_mode(self, books_file, capsys):
+        code = main(
+            ["query", books_file, "/book[.//title]", "--threshold", "0.0", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["answers"]) == 3
+
+    def test_explain_flag(self, books_file, capsys):
+        query = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+        code = main(["query", books_file, query, "--explain", "-k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact match" in out
+        assert "DELETED" in out
+
+    def test_algorithm_choice(self, books_file, capsys):
+        code = main(
+            ["query", books_file, "/book[./title]", "--algorithm", "lockstep"]
+        )
+        assert code == 0
+        assert "lockstep" in capsys.readouterr().out
+
+    def test_bad_query_exits_2(self, books_file, capsys):
+        code = main(["query", books_file, "not-a-query"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        code = main(["query", "/no/such/file.xml", "/a"])
+        assert code == 2
+
+
+class TestExplain:
+    def test_explain_output(self, capsys):
+        code = main(["explain", "//item[./description/parlist]"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "component predicates" in out
+        assert "item[./description]" in out
+        assert "compiled plan: 2 servers" in out
+
+    def test_explain_relaxations(self, capsys):
+        code = main(["explain", "/a[./b/c]", "--relaxations"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "relaxation closure" in out
+        assert "/a[.//b" in out or "/a[./b" in out
+
+
+class TestGenerate:
+    def test_generate_items_to_stdout(self, capsys):
+        code = main(["generate", "--items", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("<site>")
+        assert out.count("<item ") == 3
+
+    def test_generate_to_file_roundtrips(self, tmp_path, capsys):
+        target = str(tmp_path / "auction.xml")
+        code = main(["generate", "--items", "5", "-o", target])
+        assert code == 0
+        from repro.xmldb.parser import parse_document
+
+        database = parse_document(open(target).read())
+        assert len(database.nodes_with_tag("item")) == 5
+
+    def test_generate_by_size(self, tmp_path):
+        target = str(tmp_path / "sized.xml")
+        code = main(["generate", "--size", "50000", "-o", target])
+        assert code == 0
+        import os
+
+        assert abs(os.path.getsize(target) - 50000) / 50000 < 0.3
+
+    def test_generate_deterministic(self, capsys):
+        main(["generate", "--items", "2", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["generate", "--items", "2", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestBench:
+    def test_bench_fig5_json(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.003")
+        from repro.bench.workloads import clear_cache
+
+        clear_cache()
+        code = main(["bench", "fig5"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "series" in payload
+        clear_cache()

@@ -1,0 +1,140 @@
+"""Tests for the ``~=`` containment value-test extension."""
+
+import pytest
+
+from repro.core.engine import Engine, topk
+from repro.core.threshold import threshold_query
+from repro.errors import PatternError, XPathSyntaxError
+from repro.query.matcher import count_matches, find_matches
+from repro.query.pattern import PatternNode, value_test
+from repro.query.predicates import component_predicates
+from repro.query.xpath import parse_xpath
+from repro.xmldb.parser import parse_document
+
+
+@pytest.fixture
+def db():
+    return parse_document(
+        """
+        <bib>
+          <book><title>leave it to psmith</title><price>10</price></book>
+          <book><title>psmith journalist</title></book>
+          <book><title>summer lightning</title><price>12</price></book>
+          <book><reviews><title>mike and psmith</title></reviews></book>
+        </bib>
+        """
+    )
+
+
+class TestValueTestHelper:
+    def test_eq(self):
+        assert value_test("eq", "x", "x")
+        assert not value_test("eq", "x", "xy")
+        assert not value_test("eq", "x", None)
+
+    def test_contains(self):
+        assert value_test("contains", "smith", "leave it to psmith")
+        assert not value_test("contains", "zebra", "leave it to psmith")
+        assert not value_test("contains", "x", None)
+
+    def test_unknown_op(self):
+        with pytest.raises(PatternError):
+            value_test("regex", "x", "x")
+        with pytest.raises(PatternError):
+            PatternNode("a", "v", value_op="regex")
+
+
+class TestParsing:
+    def test_contains_operator(self):
+        pattern = parse_xpath("/book[./title ~= 'psmith']")
+        title = pattern.nodes()[1]
+        assert title.value == "psmith"
+        assert title.value_op == "contains"
+
+    def test_equality_still_default(self):
+        pattern = parse_xpath("/book[./title = 'psmith']")
+        assert pattern.nodes()[1].value_op == "eq"
+
+    def test_self_containment_test(self):
+        pattern = parse_xpath("/book[./title[. ~= 'light']]")
+        assert pattern.nodes()[1].value_op == "contains"
+
+    def test_to_xpath_roundtrip(self):
+        text = "/book[./title ~= 'psmith']"
+        pattern = parse_xpath(text)
+        assert parse_xpath(pattern.to_xpath()).to_xpath() == pattern.to_xpath()
+        assert "~=" in pattern.to_xpath()
+
+    def test_label_shows_containment(self):
+        pattern = parse_xpath("/book[./title ~= 'psmith']")
+        assert "~" in pattern.nodes()[1].label()
+
+
+class TestMatcherSemantics:
+    def test_contains_matches_substrings(self, db):
+        pattern = parse_xpath("/book[./title ~= 'psmith']")
+        assert count_matches(pattern, db) == 2  # child titles only
+
+    def test_relaxed_axis_reaches_review_title(self, db):
+        pattern = parse_xpath("/book[.//title ~= 'psmith']")
+        assert count_matches(pattern, db) == 3
+
+    def test_equality_narrower_than_containment(self, db):
+        eq_pattern = parse_xpath("/book[./title = 'psmith journalist']")
+        contains_pattern = parse_xpath("/book[./title ~= 'psmith']")
+        eq_roots = {m[0].dewey for m in find_matches(eq_pattern, db)}
+        contains_roots = {m[0].dewey for m in find_matches(contains_pattern, db)}
+        assert eq_roots < contains_roots
+
+
+class TestScoring:
+    def test_component_predicate_carries_op(self, db):
+        pattern = parse_xpath("/book[./title ~= 'psmith']")
+        predicate = component_predicates(pattern)[0]
+        assert predicate.value_op == "contains"
+        assert "~=" in predicate.describe()
+
+    def test_containment_idf_smaller_than_equality(self, db):
+        """A containment test is satisfied by at least as many anchors as
+        the corresponding equality, so its idf cannot be larger."""
+        engine_eq = Engine(db, "/book[./title = 'psmith journalist']", normalization="raw")
+        engine_contains = Engine(db, "/book[./title ~= 'psmith']", normalization="raw")
+        idf_eq = engine_eq.score_model.max_contribution(1)
+        idf_contains = engine_contains.score_model.max_contribution(1)
+        assert idf_contains <= idf_eq
+
+
+class TestEngines:
+    def test_topk_with_containment(self, db):
+        result = topk(db, "/book[./title ~= 'psmith' and ./price]", k=4)
+        assert len(result.answers) == 4
+        scores = [a.score for a in result.answers]
+        assert scores == sorted(scores, reverse=True)
+        # The book with both a matching title and a price ranks first.
+        assert result.answers[0].root_node.dewey == (0, 0)
+
+    def test_exact_mode_with_containment(self, db):
+        result = topk(db, "/book[./title ~= 'psmith']", k=5, relaxed=False)
+        assert {a.root_node.dewey for a in result.answers} == {(0, 0), (0, 1)}
+
+    def test_all_engines_agree(self, db):
+        query = "/book[.//title ~= 'psmith' and ./price]"
+        reference = None
+        for algorithm in ("whirlpool_s", "whirlpool_m", "lockstep", "lockstep_noprun"):
+            result = topk(db, query, k=4, algorithm=algorithm)
+            scores = [round(a.score, 9) for a in result.answers]
+            if reference is None:
+                reference = scores
+            else:
+                assert scores == reference, algorithm
+
+    def test_threshold_query_with_containment(self, db):
+        engine = Engine(db, "/book[./title ~= 'psmith']")
+        everything = threshold_query(engine, min_score=0.0)
+        assert len(everything.answers) == 4
+
+    def test_root_containment_filter(self, db):
+        result = topk(db, "/book[. ~= 'psmith']", k=5)
+        # Root value tests apply to the book's own (direct) text value,
+        # which these books lack -> no candidates.
+        assert result.answers == []

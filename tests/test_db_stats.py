@@ -1,0 +1,101 @@
+"""Tests for database statistics (idf counts, fan-outs, caching)."""
+
+import math
+
+import pytest
+
+from repro.xmldb.dewey import DepthRange
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.parser import parse_document
+from repro.xmldb.stats import DatabaseStatistics, PredicateStatistics
+
+
+@pytest.fixture
+def db():
+    # 4 books: two with a child title, one with a nested title, one bare.
+    return parse_document(
+        """
+        <bib>
+          <book><title>alpha</title></book>
+          <book><title>beta</title><title>alpha</title></book>
+          <book><reviews><title>alpha</title></reviews></book>
+          <book><isbn>1</isbn></book>
+        </bib>
+        """
+    )
+
+
+@pytest.fixture
+def stats(db):
+    return DatabaseStatistics(DatabaseIndex(db))
+
+
+class TestPredicateStatistics:
+    def test_counts(self, stats):
+        pc = stats.predicate("book", "title", DepthRange.pc())
+        assert pc.anchor_count == 4
+        assert pc.satisfying_count == 2
+        assert pc.fanouts.count(0) == 2
+        assert sorted(pc.fanouts) == [0, 0, 1, 2]
+
+    def test_ad_counts_more(self, stats):
+        ad = stats.predicate("book", "title", DepthRange.ad())
+        assert ad.satisfying_count == 3
+
+    def test_selectivity(self, stats):
+        pc = stats.predicate("book", "title", DepthRange.pc())
+        assert pc.selectivity() == pytest.approx(0.5)
+
+    def test_idf_matches_definition(self, stats):
+        pc = stats.predicate("book", "title", DepthRange.pc())
+        assert pc.idf() == pytest.approx(math.log(4 / 2))
+        ad = stats.predicate("book", "title", DepthRange.ad())
+        assert ad.idf() == pytest.approx(math.log(4 / 3))
+        # Relaxation can only shrink idf.
+        assert ad.idf() <= pc.idf()
+
+    def test_idf_of_unsatisfied_predicate_is_max(self, stats):
+        none = stats.predicate("book", "nothing", DepthRange.pc())
+        assert none.satisfying_count == 0
+        assert none.idf() == pytest.approx(math.log(5))
+
+    def test_idf_empty_database(self):
+        empty = PredicateStatistics("x", "y", DepthRange.pc(), [])
+        assert empty.idf() == 0.0
+        assert empty.selectivity() == 0.0
+        assert empty.mean_fanout() == 0.0
+
+    def test_fanout_statistics(self, stats):
+        pc = stats.predicate("book", "title", DepthRange.pc())
+        assert pc.mean_fanout() == pytest.approx(3 / 4)
+        assert pc.mean_fanout_when_present() == pytest.approx(3 / 2)
+        assert pc.max_fanout() == 2
+        assert pc.fanout_histogram() == {0: 2, 1: 1, 2: 1}
+
+    def test_value_predicate(self, stats):
+        alpha = stats.value_predicate("book", "title", DepthRange.pc(), "alpha")
+        assert alpha.satisfying_count == 2
+        beta = stats.value_predicate("book", "title", DepthRange.pc(), "beta")
+        assert beta.satisfying_count == 1
+        missing = stats.value_predicate("book", "title", DepthRange.pc(), "gamma")
+        assert missing.satisfying_count == 0
+
+
+class TestCaching:
+    def test_predicates_cached(self, stats):
+        before = stats.cached_predicates()
+        first = stats.predicate("book", "title", DepthRange.pc())
+        second = stats.predicate("book", "title", DepthRange.pc())
+        assert first is second
+        assert stats.cached_predicates() == before + 1
+
+    def test_value_predicates_cached_separately(self, stats):
+        structural = stats.predicate("book", "title", DepthRange.pc())
+        valued = stats.value_predicate("book", "title", DepthRange.pc(), "alpha")
+        assert structural is not valued
+        assert stats.cached_predicates() >= 2
+
+    def test_tag_count(self, stats):
+        assert stats.tag_count("book") == 4
+        assert stats.tag_count("title") == 4
+        assert stats.tag_count("absent") == 0

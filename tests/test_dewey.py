@@ -1,0 +1,188 @@
+"""Unit and property tests for Dewey identifiers and the depth-range algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmldb import dewey as dw
+from repro.xmldb.dewey import DepthRange
+
+deweys = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=6).map(tuple)
+
+
+class TestBasicPredicates:
+    def test_is_child(self):
+        assert dw.is_child((0,), (0, 1))
+        assert not dw.is_child((0,), (0, 1, 2))
+        assert not dw.is_child((0, 1), (0,))
+        assert not dw.is_child((0,), (1, 0))
+
+    def test_is_parent_inverse_of_child(self):
+        assert dw.is_parent((0, 1), (0,))
+        assert not dw.is_parent((0,), (0, 1))
+
+    def test_is_descendant(self):
+        assert dw.is_descendant((0,), (0, 1))
+        assert dw.is_descendant((0,), (0, 1, 2))
+        assert not dw.is_descendant((0,), (0,))
+        assert not dw.is_descendant((0, 1), (0, 2))
+
+    def test_is_descendant_or_self(self):
+        assert dw.is_descendant_or_self((0,), (0,))
+        assert dw.is_descendant_or_self((0,), (0, 3, 4))
+        assert not dw.is_descendant_or_self((0, 1), (0,))
+
+    def test_following_sibling(self):
+        assert dw.is_following_sibling((0, 1), (0, 2))
+        assert not dw.is_following_sibling((0, 2), (0, 1))
+        assert not dw.is_following_sibling((0, 1), (0, 1))
+        assert not dw.is_following_sibling((0, 1), (1, 2))
+        assert not dw.is_following_sibling((0,), (1,))
+
+    def test_is_sibling_symmetric(self):
+        assert dw.is_sibling((0, 1), (0, 2))
+        assert dw.is_sibling((0, 2), (0, 1))
+        assert not dw.is_sibling((0, 1), (0, 1))
+
+    def test_common_prefix(self):
+        assert dw.common_prefix((0, 1, 2), (0, 1, 3)) == (0, 1)
+        assert dw.common_prefix((0,), (1,)) == ()
+        assert dw.common_prefix((0, 1), (0, 1, 2)) == (0, 1)
+
+    def test_depth(self):
+        assert dw.depth((0,)) == 0
+        assert dw.depth((0, 3, 1)) == 2
+
+    def test_subtree_interval_contains_descendants(self):
+        lo, hi = dw.subtree_interval((0, 1))
+        assert lo <= (0, 1) < hi
+        assert lo <= (0, 1, 5, 2) < hi
+        assert not (lo <= (0, 2) < hi)
+        assert not (lo <= (0, 0, 9) < hi)
+
+    def test_dewey_str_roundtrip(self):
+        assert dw.dewey_str((0, 2, 1)) == "0.2.1"
+        assert dw.parse_dewey("0.2.1") == (0, 2, 1)
+        assert dw.parse_dewey("") == ()
+
+    def test_sort_deweys_is_document_order(self):
+        items = [(0, 2), (0,), (0, 1, 5), (0, 1)]
+        assert dw.sort_deweys(items) == [(0,), (0, 1), (0, 1, 5), (0, 2)]
+
+
+class TestDepthRange:
+    def test_axis_constructors(self):
+        assert DepthRange.pc().is_exact_pc()
+        assert DepthRange.ad().is_ad()
+        assert DepthRange.self_axis().is_self()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DepthRange(-1, None)
+        with pytest.raises(ValueError):
+            DepthRange(3, 2)
+
+    def test_compose_pc_pc_is_exact_two(self):
+        composed = DepthRange.pc().compose(DepthRange.pc())
+        assert composed.lo == 2 and composed.hi == 2
+
+    def test_compose_with_ad_is_unbounded(self):
+        composed = DepthRange.pc().compose(DepthRange.ad())
+        assert composed.lo == 2 and composed.hi is None
+        composed = DepthRange.ad().compose(DepthRange.pc())
+        assert composed.lo == 2 and composed.hi is None
+
+    def test_compose_with_self_is_identity(self):
+        pc = DepthRange.pc()
+        assert DepthRange.self_axis().compose(pc) == pc
+        assert pc.compose(DepthRange.self_axis()) == pc
+
+    def test_relaxed(self):
+        assert DepthRange.pc().relaxed() == DepthRange.ad()
+        assert DepthRange(2, 2).relaxed() == DepthRange.ad()
+        assert DepthRange.ad().relaxed() == DepthRange.ad()
+        assert DepthRange.self_axis().relaxed() == DepthRange.self_axis()
+
+    def test_subsumes(self):
+        assert DepthRange.ad().subsumes(DepthRange.pc())
+        assert not DepthRange.pc().subsumes(DepthRange.ad())
+        assert DepthRange.ad().subsumes(DepthRange(2, 2))
+        assert DepthRange(1, 3).subsumes(DepthRange(2, 2))
+        assert not DepthRange(1, 3).subsumes(DepthRange(2, None))
+
+    def test_matches_pc(self):
+        pc = DepthRange.pc()
+        assert pc.matches((0,), (0, 1))
+        assert not pc.matches((0,), (0, 1, 2))
+        assert not pc.matches((0,), (1, 0))
+
+    def test_matches_exact_depth_two(self):
+        grandchild = DepthRange(2, 2)
+        assert grandchild.matches((0,), (0, 1, 2))
+        assert not grandchild.matches((0,), (0, 1))
+        assert not grandchild.matches((0,), (0, 1, 2, 3))
+
+    def test_matches_self(self):
+        axis = DepthRange.self_axis()
+        assert axis.matches((0, 1), (0, 1))
+        assert not axis.matches((0, 1), (0, 1, 0))
+
+    def test_hashable_and_eq(self):
+        assert DepthRange.pc() == DepthRange(1, 1)
+        assert hash(DepthRange.pc()) == hash(DepthRange(1, 1))
+        assert DepthRange.pc() != DepthRange.ad()
+        assert len({DepthRange.pc(), DepthRange(1, 1), DepthRange.ad()}) == 2
+
+    def test_repr_names_common_axes(self):
+        assert "pc" in repr(DepthRange.pc())
+        assert "ad" in repr(DepthRange.ad())
+        assert "self" in repr(DepthRange.self_axis())
+        assert "2" in repr(DepthRange(2, 2))
+
+
+class TestDepthRangeProperties:
+    @given(deweys, deweys)
+    def test_child_implies_descendant(self, a, b):
+        if dw.is_child(a, b):
+            assert dw.is_descendant(a, b)
+
+    @given(deweys, deweys)
+    def test_descendant_matches_ad_range(self, a, b):
+        assert dw.is_descendant(a, b) == DepthRange.ad().matches(a, b)
+
+    @given(deweys, deweys)
+    def test_child_matches_pc_range(self, a, b):
+        assert dw.is_child(a, b) == DepthRange.pc().matches(a, b)
+
+    @given(deweys)
+    def test_subtree_interval_covers_self(self, a):
+        lo, hi = dw.subtree_interval(a)
+        assert lo <= a < hi
+
+    @given(deweys, deweys)
+    def test_subtree_interval_equals_descendant_or_self(self, a, b):
+        lo, hi = dw.subtree_interval(a)
+        assert (lo <= b < hi) == dw.is_descendant_or_self(a, b)
+
+    @given(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    )
+    def test_compose_adds_bounds(self, lo1, extra1, lo2, extra2):
+        first = DepthRange(lo1, lo1 + extra1)
+        second = DepthRange(lo2, lo2 + extra2)
+        composed = first.compose(second)
+        assert composed.lo == lo1 + lo2
+        assert composed.hi == lo1 + extra1 + lo2 + extra2
+
+    @given(deweys, deweys)
+    def test_relaxed_is_weaker(self, a, b):
+        for axis in (DepthRange.pc(), DepthRange(2, 2), DepthRange(1, 3)):
+            if axis.matches(a, b):
+                assert axis.relaxed().matches(a, b)
+
+    @given(st.integers(0, 4), st.integers(0, 4))
+    def test_subsumes_reflexive(self, lo, extra):
+        axis = DepthRange(lo, lo + extra)
+        assert axis.subsumes(axis)

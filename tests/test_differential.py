@@ -1,0 +1,157 @@
+"""Differential property tests: engines vs independent brute-force oracles
+on randomized databases, patterns and score models.
+
+The relaxed-mode oracle exploits root-anchored independence: the best
+tuple for a root decomposes per query node as
+
+    best(root) = Σ_n  max( contribution(n, quality(c)) for valid c,
+                           default 0 (deletion) )
+
+which is computable with no search at all — a completely different code
+path from the engines.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Engine
+from repro.query.matcher import distinct_roots, find_matches
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.query.predicates import composed_axis
+from repro.scoring.model import MatchQuality
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode
+
+TAGS = ("r", "x", "y", "z")
+
+
+def _random_database(rng: random.Random) -> Database:
+    def build(depth):
+        node = XMLNode(rng.choice(TAGS))
+        if depth > 0:
+            for _ in range(rng.randint(0, 3)):
+                node.add_child(build(depth - 1))
+        return node
+
+    roots = [build(3) for _ in range(rng.randint(1, 3))]
+    # Ensure some candidate roots exist.
+    roots.append(XMLNode("r"))
+    for root in roots:
+        if rng.random() < 0.7 and root.tag != "r":
+            root.tag = "r"
+    return Database.from_roots(roots)
+
+
+def _random_pattern(rng: random.Random) -> TreePattern:
+    root = PatternNode("r")
+    for _ in range(rng.randint(1, 3)):
+        child = PatternNode(rng.choice(TAGS[1:]))
+        root.add_child(child, rng.choice((Axis.PC, Axis.AD)))
+        if rng.random() < 0.5:
+            grandchild = PatternNode(rng.choice(TAGS[1:]))
+            child.add_child(grandchild, rng.choice((Axis.PC, Axis.AD)))
+    return TreePattern(root)
+
+
+def _oracle_best_scores(engine: Engine):
+    """Per-root best tuple score, computed by per-node decomposition."""
+    pattern = engine.pattern
+    index = engine.index
+    model = engine.score_model
+    out = {}
+    for root in index[pattern.root.tag].all():
+        total = 0.0
+        for node in pattern.non_root_nodes():
+            exact_axis = composed_axis(pattern.root, node)
+            relaxed_axis = exact_axis.relaxed()
+            best = 0.0  # deletion
+            for candidate in index.related(node.tag, root.dewey, relaxed_axis):
+                if node.value is not None and candidate.value != node.value:
+                    continue
+                quality = (
+                    MatchQuality.EXACT
+                    if exact_axis.matches(root.dewey, candidate.dewey)
+                    else MatchQuality.RELAXED
+                )
+                best = max(best, model.contribution(node.node_id, quality, candidate))
+            total += best
+        out[root.dewey] = total
+    return out
+
+
+class TestRelaxedModeDifferential:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_engine_scores_equal_decomposed_oracle(self, seed):
+        rng = random.Random(seed)
+        database = _random_database(rng)
+        pattern = _random_pattern(rng)
+        engine = Engine(database, pattern)
+        root_count = len(engine.index[pattern.root.tag])
+        if root_count == 0:
+            return
+        result = engine.run(root_count, algorithm="whirlpool_s")
+        oracle = _oracle_best_scores(engine)
+        got = {a.root_node.dewey: a.score for a in result.answers}
+        assert set(got) == set(oracle)
+        for dewey, score in oracle.items():
+            assert got[dewey] == pytest.approx(score), (dewey, pattern.to_xpath())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_all_algorithms_agree_on_random_inputs(self, seed):
+        rng = random.Random(seed)
+        database = _random_database(rng)
+        pattern = _random_pattern(rng)
+        engine = Engine(database, pattern)
+        if len(engine.index[pattern.root.tag]) == 0:
+            return
+        k = rng.randint(1, 4)
+        reference = sorted(
+            round(a.score, 9)
+            for a in engine.run(k, algorithm="lockstep_noprun").answers
+        )
+        for algorithm in ("whirlpool_s", "lockstep"):
+            got = sorted(
+                round(a.score, 9) for a in engine.run(k, algorithm=algorithm).answers
+            )
+            assert got == reference, (algorithm, pattern.to_xpath())
+
+
+class TestExactModeDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_exact_mode_equals_matcher(self, seed):
+        rng = random.Random(seed)
+        database = _random_database(rng)
+        pattern = _random_pattern(rng)
+        oracle_roots = {
+            root.dewey
+            for root in distinct_roots(find_matches(pattern, database), pattern)
+        }
+        engine = Engine(database, pattern, relaxed=False)
+        result = engine.run(max(len(oracle_roots), 1) + 3)
+        got = {a.root_node.dewey for a in result.answers}
+        assert got == oracle_roots, pattern.to_xpath()
+
+
+class TestRandomScoreModels:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from(["sparse", "dense", "raw"]))
+    def test_oracle_holds_under_random_scores(self, seed, normalization):
+        rng = random.Random(seed)
+        database = _random_database(rng)
+        pattern = _random_pattern(rng)
+        engine = Engine(
+            database, pattern, scoring="random", seed=seed, normalization=normalization
+        )
+        root_count = len(engine.index[pattern.root.tag])
+        if root_count == 0:
+            return
+        result = engine.run(root_count)
+        oracle = _oracle_best_scores(engine)
+        got = {a.root_node.dewey: a.score for a in result.answers}
+        for dewey, score in oracle.items():
+            assert got[dewey] == pytest.approx(score)

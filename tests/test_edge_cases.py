@@ -1,0 +1,144 @@
+"""Edge cases across the stack: degenerate databases, extreme queries."""
+
+import pytest
+
+from repro.core.engine import Engine, topk
+from repro.query.xpath import parse_xpath
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode, build_tree
+from repro.xmldb.parser import parse_document
+from repro.xmldb.stats import DatabaseStatistics
+
+
+class TestDegenerateDatabases:
+    def test_empty_database(self):
+        db = Database()
+        result = topk(db, "/book[./title]", k=3)
+        assert result.answers == []
+        assert result.stats.server_operations == 0
+
+    def test_database_without_root_tag(self):
+        db = parse_document("<zoo><lion/></zoo>")
+        result = topk(db, "/book[./title]", k=3)
+        assert result.answers == []
+
+    def test_single_node_database(self):
+        db = Database.from_roots([XMLNode("book")])
+        result = topk(db, "/book[./title]", k=1)
+        assert len(result.answers) == 1
+        assert result.answers[0].score == 0.0  # title deleted
+
+    def test_root_tag_present_predicate_tags_absent(self):
+        db = parse_document("<bib><book/><book/></bib>")
+        result = topk(db, "/book[./title and ./price]", k=2)
+        assert len(result.answers) == 2
+        for answer in result.answers:
+            assert answer.match.deleted_nodes() == [1, 2]
+
+    def test_exact_mode_no_matches(self):
+        db = parse_document("<bib><book/></bib>")
+        result = topk(db, "/book[./title]", k=2, relaxed=False)
+        assert result.answers == []
+
+
+class TestExtremeQueries:
+    def test_k_larger_than_candidates(self, books_db):
+        result = topk(books_db, "/book[.//title]", k=1000)
+        assert len(result.answers) == 3
+
+    def test_k_equals_one(self, books_db):
+        result = topk(books_db, "/book[.//title]", k=1)
+        assert len(result.answers) == 1
+
+    def test_deep_chain_query(self):
+        xml = "<a><b><c><d><e><f>deep</f></e></d></c></b></a>"
+        db = parse_document(xml)
+        result = topk(db, "/a[./b/c/d/e/f = 'deep']", k=1)
+        assert len(result.answers) == 1
+        assert result.answers[0].match.exact_everywhere()
+
+    def test_wide_query_many_predicates(self):
+        children = "".join(f"<c{i}>v</c{i}>" for i in range(8))
+        db = parse_document(f"<bib><item>{children}</item><item/></bib>")
+        query = "/item[" + " and ".join(f"./c{i}" for i in range(8)) + "]"
+        result = topk(db, query, k=2)
+        assert len(result.answers) == 2
+        assert result.answers[0].score > result.answers[1].score
+
+    def test_duplicate_tag_query(self):
+        """Two query nodes with the same tag must stay distinguishable."""
+        db = parse_document("<r><x><y/></x><y/></r>")
+        result = topk(db, "/r[./x/y and ./y]", k=1)
+        assert len(result.answers) == 1
+        match = result.answers[0].match
+        assert len(match.instantiated_nodes()) == 3
+
+    def test_self_referential_tags(self):
+        """Recursive data: query tag equals root tag."""
+        db = parse_document("<a><a><a/></a></a>")
+        result = topk(db, "/a[./a]", k=3)
+        assert len(result.answers) == 3
+        scores = [answer.score for answer in result.answers]
+        assert scores[0] >= scores[-1]
+
+    def test_root_value_and_structure(self):
+        db = parse_document("<bib><book>note</book><book>other</book></bib>")
+        result = topk(db, "/book[. = 'note']", k=5)
+        assert len(result.answers) == 1
+
+
+class TestStatisticsEdges:
+    def test_stats_on_empty_index(self):
+        db = Database()
+        stats = DatabaseStatistics(DatabaseIndex(db))
+        from repro.xmldb.dewey import DepthRange
+
+        predicate = stats.predicate("a", "b", DepthRange.pc())
+        assert predicate.idf() == 0.0
+        assert predicate.mean_fanout() == 0.0
+
+    def test_engine_on_forest_spanning_documents(self):
+        db = Database.from_roots(
+            [
+                build_tree(("book", [("title", "x")])),
+                build_tree(("book", [("title", "y")])),
+                build_tree(("other", [("title", "x")])),
+            ]
+        )
+        result = topk(db, "/book[./title = 'x']", k=3)
+        assert result.answers[0].root_node.dewey == (0,)
+        assert result.answers[0].score > result.answers[1].score
+
+
+class TestScoreTies:
+    def test_many_identical_books_distinct_roots(self):
+        xml = "<bib>" + "<book><t>v</t></book>" * 10 + "</bib>"
+        db = parse_document(xml)
+        result = topk(db, "/book[./t = 'v']", k=4)
+        assert len(result.answers) == 4
+        assert len({a.root_node.dewey for a in result.answers}) == 4
+        assert len({round(a.score, 9) for a in result.answers}) == 1
+
+    def test_tie_order_is_document_order(self):
+        xml = "<bib>" + "<book><t>v</t></book>" * 5 + "</bib>"
+        db = parse_document(xml)
+        result = topk(db, "/book[./t = 'v']", k=3)
+        deweys = [a.root_node.dewey for a in result.answers]
+        assert deweys == sorted(deweys)
+
+
+class TestMultipleCandidatesPerNode:
+    def test_tuple_explosion_bounded_by_pruning(self):
+        """A node with many candidates spawns many tuples; with k=1 the
+        threshold kills most before completion."""
+        titles = "".join(f"<t>v{i}</t>" for i in range(12))
+        db = parse_document(f"<bib><book>{titles}</book><book><t>v0</t></book></bib>")
+        engine = Engine(db, "/book[./t and ./t]")
+        pruned_run = engine.run(1)
+        full_run = engine.run(1, algorithm="lockstep_noprun")
+        assert pruned_run.stats.partial_matches_created <= (
+            full_run.stats.partial_matches_created
+        )
+        assert [round(a.score, 9) for a in pruned_run.answers] == [
+            round(a.score, 9) for a in full_run.answers
+        ]

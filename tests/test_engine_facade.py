@@ -1,0 +1,117 @@
+"""Tests for the Engine facade and the repro.topk convenience function."""
+
+import pytest
+
+import repro
+from repro.core.engine import Engine, topk
+from repro.errors import EngineError, XPathSyntaxError
+from repro.query.xpath import parse_xpath
+from repro.scoring.model import RandomScoreModel, ScoreModel
+
+
+class TestEngineConstruction:
+    def test_accepts_query_string(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        assert engine.pattern.root.tag == "book"
+
+    def test_accepts_pattern(self, books_db):
+        pattern = parse_xpath("/book[./title]")
+        engine = Engine(books_db, pattern)
+        assert engine.pattern is pattern
+
+    def test_invalid_query_raises(self, books_db):
+        with pytest.raises(XPathSyntaxError):
+            Engine(books_db, "not a query")
+
+    def test_index_restricted_to_query_tags(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        assert set(engine.index.tags()) == {"book", "title"}
+
+    def test_custom_score_model(self, books_db):
+        model = ScoreModel({1: 5.0}, {1: 1.0})
+        engine = Engine(books_db, "/book[./title]", score_model=model)
+        assert engine.score_model is model
+        result = engine.run(1)
+        assert result.answers[0].score == pytest.approx(5.0)
+
+    def test_random_scoring_kind(self, books_db):
+        engine = Engine(books_db, "/book[./title]", scoring="random", seed=3)
+        assert isinstance(engine.score_model, RandomScoreModel)
+
+
+class TestRun:
+    def test_unknown_algorithm(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        with pytest.raises(EngineError):
+            engine.run(1, algorithm="quantum")
+
+    def test_invalid_k(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        with pytest.raises(EngineError):
+            engine.run(0)
+
+    def test_static_routing_needs_order(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        with pytest.raises(EngineError):
+            engine.run(1, routing="static")
+        result = engine.run(1, routing="static", static_order=[1])
+        assert len(result.answers) == 1
+
+    def test_engine_reusable_across_runs(self, books_db):
+        engine = Engine(books_db, "/book[.//title]")
+        first = engine.run(1)
+        second = engine.run(3)
+        third = engine.run(2, algorithm="lockstep")
+        assert len(first.answers) == 1
+        assert len(second.answers) == 3
+        assert len(third.answers) == 2
+
+    def test_server_node_ids(self, books_db):
+        engine = Engine(books_db, "/book[./title and ./price]")
+        assert engine.server_node_ids() == [1, 2]
+
+    def test_tfidf_ranking_oracle(self, books_db):
+        engine = Engine(books_db, "/book[.//title = 'wodehouse']")
+        ranking = engine.tfidf_ranking()
+        assert len(ranking) == 3
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestTopKFunction:
+    def test_splits_engine_and_run_kwargs(self, books_db):
+        result = topk(
+            books_db,
+            "/book[./title]",
+            k=2,
+            relaxed=True,
+            normalization="dense",
+            routing="min_score",
+        )
+        assert len(result.answers) == 2
+
+    def test_result_helpers(self, books_db):
+        result = topk(books_db, "/book[.//title = 'wodehouse']", k=3)
+        assert result.scores() == [a.score for a in result.answers]
+        assert result.root_deweys() == [a.root_node.dewey for a in result.answers]
+        table = result.table()
+        assert "top-3" in table
+        assert "score=" in table
+
+    def test_empty_result_table(self, books_db):
+        result = topk(books_db, "/zebra", k=2)
+        assert result.answers == []
+        assert "(no answers)" in result.table()
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self, books_db):
+        result = repro.topk(books_db, "/book[.//title = 'wodehouse']", k=3)
+        assert len(result.answers) == 3

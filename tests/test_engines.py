@@ -1,0 +1,183 @@
+"""Engine-level tests: Whirlpool-S, Whirlpool-M, LockStep, LockStep-NoPrun.
+
+The key invariants:
+
+- every algorithm returns the same top-k answer scores (modulo ties);
+- relaxed top-k with ``sum``-free tuple scoring ranks exact matches above
+  relaxed ones;
+- exact mode returns exactly the matcher oracle's roots;
+- pruning never changes answers, only work.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.engine import Engine, topk
+from repro.core.lockstep import LockStep, LockStepNoPrun
+from repro.core.queues import QueuePolicy
+from repro.core.whirlpool_m import WhirlpoolM
+from repro.core.whirlpool_s import WhirlpoolS
+from repro.errors import EngineError
+from repro.query.matcher import distinct_roots, find_matches
+from repro.query.xpath import parse_xpath
+
+ALGORITHMS = ("whirlpool_s", "whirlpool_m", "lockstep", "lockstep_noprun")
+
+PAPER_QUERY = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+
+
+class TestPaperBooks:
+    def test_relaxed_ranking_on_figure1(self, books_db):
+        """Book (a) matches exactly; (b) needs relaxations; (c) needs more —
+        scores must rank them in that order."""
+        result = topk(books_db, PAPER_QUERY, k=3)
+        assert [a.root_node.dewey for a in result.answers] == [(0, 0), (0, 1), (0, 2)]
+        scores = [a.score for a in result.answers]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_all_algorithms_agree(self, books_db):
+        baseline = None
+        for algorithm in ALGORITHMS:
+            result = topk(books_db, PAPER_QUERY, k=3, algorithm=algorithm)
+            scores = [round(a.score, 9) for a in result.answers]
+            roots = [a.root_node.dewey for a in result.answers]
+            if baseline is None:
+                baseline = (scores, roots)
+            else:
+                assert (scores, roots) == baseline, algorithm
+
+    def test_exact_mode_matches_oracle(self, books_db):
+        pattern = parse_xpath(PAPER_QUERY)
+        oracle = {
+            root.dewey
+            for root in distinct_roots(find_matches(pattern, books_db), pattern)
+        }
+        result = topk(books_db, PAPER_QUERY, k=5, relaxed=False)
+        assert {a.root_node.dewey for a in result.answers} == oracle
+
+    def test_k_limits_answers(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=1)
+        assert len(result.answers) == 1
+        assert result.answers[0].root_node.dewey == (0, 0)
+
+    def test_answers_are_distinct_roots(self, books_db):
+        result = topk(books_db, "/book[.//title = 'wodehouse']", k=3)
+        roots = [a.root_node.dewey for a in result.answers]
+        assert len(roots) == len(set(roots))
+
+
+class TestStatsAccounting:
+    def test_pruning_reduces_work(self, xmark_db):
+        query = "//item[./description/parlist and ./mailbox/mail/text]"
+        engine = Engine(xmark_db, query)
+        pruned = engine.run(3, algorithm="lockstep")
+        unpruned = engine.run(3, algorithm="lockstep_noprun")
+        assert pruned.stats.server_operations <= unpruned.stats.server_operations
+        assert pruned.stats.partial_matches_created <= (
+            unpruned.stats.partial_matches_created
+        )
+        # ...and identical answers.
+        assert [round(a.score, 9) for a in pruned.answers] == [
+            round(a.score, 9) for a in unpruned.answers
+        ]
+
+    def test_stats_populated(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=2)
+        stats = result.stats
+        assert stats.server_operations > 0
+        assert stats.partial_matches_created >= 3  # at least the seeds
+        assert stats.wall_time_seconds > 0
+        assert sum(stats.per_server_operations.values()) == stats.server_operations
+
+    def test_routing_decisions_counted_for_whirlpool_s(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=2, algorithm="whirlpool_s")
+        assert result.stats.routing_decisions > 0
+
+    def test_as_dict_keys(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=2)
+        payload = result.stats.as_dict()
+        for key in (
+            "server_operations",
+            "join_comparisons",
+            "partial_matches_created",
+            "partial_matches_pruned",
+            "wall_time_seconds",
+        ):
+            assert key in payload
+
+    def test_modeled_time(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=2, algorithm="whirlpool_s")
+        stats = result.stats
+        assert stats.modeled_time(0.001) == pytest.approx(
+            stats.server_operations * 0.001
+        )
+        assert stats.modeled_time(0.001, routing_cost=0.1) > stats.modeled_time(0.001)
+
+
+class TestLockStepSpecifics:
+    def test_order_must_be_permutation(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        with pytest.raises(EngineError):
+            LockStep(
+                pattern=engine.pattern,
+                index=engine.index,
+                score_model=engine.score_model,
+                k=1,
+                order=[1, 2],
+            )
+
+    def test_all_orders_same_answers(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        expected = None
+        for order in itertools.permutations(engine.server_node_ids()):
+            result = engine.run(2, algorithm="lockstep", static_order=list(order))
+            scores = [round(a.score, 9) for a in result.answers]
+            if expected is None:
+                expected = scores
+            else:
+                assert scores == expected, order
+
+    def test_noprun_counts_maximum_matches(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        noprun = engine.run(1, algorithm="lockstep_noprun")
+        pruned = engine.run(1, algorithm="lockstep")
+        assert (
+            noprun.stats.partial_matches_created
+            >= pruned.stats.partial_matches_created
+        )
+
+
+class TestWhirlpoolM:
+    def test_threaded_engine_agrees_with_sequential(self, xmark_db):
+        query = "//item[./description/parlist]"
+        engine = Engine(xmark_db, query)
+        sequential = engine.run(10, algorithm="whirlpool_s")
+        for _ in range(3):  # threaded scheduling varies; answers must not
+            threaded = engine.run(10, algorithm="whirlpool_m")
+            assert [round(a.score, 9) for a in threaded.answers] == [
+                round(a.score, 9) for a in sequential.answers
+            ]
+
+    def test_queue_policies_accepted(self, books_db):
+        for policy in QueuePolicy:
+            result = topk(
+                books_db, PAPER_QUERY, k=2, algorithm="whirlpool_m",
+                queue_policy=policy,
+            )
+            assert len(result.answers) == 2
+
+
+class TestSingleNodeQuery:
+    def test_query_with_no_predicates(self, books_db):
+        """A bare root query has zero servers; every candidate completes
+        immediately with score 0."""
+        for algorithm in ALGORITHMS:
+            result = topk(books_db, "/book", k=2, algorithm=algorithm)
+            assert len(result.answers) == 2
+            assert all(a.score == 0.0 for a in result.answers)
+            assert result.stats.server_operations == 0
+
+    def test_root_value_test(self, books_db):
+        result = topk(books_db, "/book[. = 'nope']", k=2)
+        assert result.answers == []

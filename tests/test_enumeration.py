@@ -1,0 +1,117 @@
+"""Tests for relaxed-query enumeration: closure, canonical forms, and the
+exact-match-preservation property (matches survive every relaxation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.matcher import find_matches
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.query.xpath import parse_xpath
+from repro.relax.enumeration import (
+    canonical_form,
+    closure_size,
+    enumerate_relaxations,
+    iter_fully_relaxed,
+)
+from repro.relax.relaxations import applicable_relaxations, apply_relaxation
+
+
+class TestCanonicalForm:
+    def test_sibling_order_insensitive(self):
+        a = parse_xpath("/a[./b and ./c]")
+        b = parse_xpath("/a[./c and ./b]")
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_axis_sensitive(self):
+        a = parse_xpath("/a[./b]")
+        b = parse_xpath("/a[.//b]")
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_value_sensitive(self):
+        a = parse_xpath("/a[./b = 'x']")
+        b = parse_xpath("/a[./b = 'y']")
+        assert canonical_form(a) != canonical_form(b)
+
+
+class TestEnumeration:
+    def test_original_first(self):
+        query = parse_xpath("/a[./b]")
+        closure = enumerate_relaxations(query)
+        assert closure[0] is query
+
+    def test_tiny_closure(self):
+        # /a[./b]: the original, the edge-generalized /a[.//b], and /a
+        # (leaf deletion; deleting after generalizing collapses to the
+        # same query) -> 3 distinct queries.
+        closure = enumerate_relaxations(parse_xpath("/a[./b]"))
+        forms = {canonical_form(p) for p in closure}
+        assert len(forms) == len(closure)
+        assert closure_size(parse_xpath("/a[./b]")) == 3
+
+    def test_closure_grows_fast_with_query_size(self):
+        small = closure_size(parse_xpath("/a[./b]"))
+        medium = closure_size(parse_xpath("/a[./b and ./c]"))
+        large = closure_size(parse_xpath("/a[./b/c and ./d]"))
+        assert small < medium < large
+
+    def test_max_steps_bounds_depth(self):
+        query = parse_xpath("/a[./b/c and ./d]")
+        one_step = enumerate_relaxations(query, max_steps=1)
+        full = enumerate_relaxations(query)
+        assert len(one_step) == len(applicable_relaxations(query)) + 1
+        assert len(one_step) < len(full)
+
+    def test_limit_caps_output(self):
+        query = parse_xpath("/a[./b/c and ./d]")
+        capped = enumerate_relaxations(query, limit=5)
+        assert len(capped) == 5
+
+    def test_fully_relaxed_edges(self):
+        query = parse_xpath("/a[./b/c]")
+        relaxed = iter_fully_relaxed(query)
+        assert all(n.axis is Axis.AD for n in relaxed.non_root_nodes())
+        # Original untouched.
+        assert query.nodes()[1].axis is Axis.PC
+
+
+class TestExactMatchPreservation:
+    """The defining property of the framework: exact matches of the
+    original query are matches of every relaxed query (Section 2)."""
+
+    def test_on_paper_books(self, books_db):
+        query = parse_xpath(
+            "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+        )
+        original_roots = {
+            match[0].dewey for match in find_matches(query, books_db)
+        }
+        assert original_roots  # non-degenerate
+        for relaxed in enumerate_relaxations(query, limit=60):
+            relaxed_roots = {
+                match[relaxed.root.node_id].dewey
+                for match in find_matches(relaxed, books_db)
+            }
+            assert original_roots <= relaxed_roots, relaxed.to_xpath()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_on_random_xmark_fragments(self, xmark_db, seed):
+        """Single relaxation steps preserve root matches on XMark data."""
+        import random
+
+        rng = random.Random(seed)
+        queries = [
+            "//item[./description/parlist]",
+            "//item[./mailbox/mail/text]",
+            "//item[./name and ./incategory]",
+            "//listitem[./text/bold]",
+        ]
+        query = parse_xpath(rng.choice(queries))
+        steps = applicable_relaxations(query)
+        if not steps:
+            return
+        step = rng.choice(steps)
+        relaxed = apply_relaxation(query, step)
+        original = {m[0].dewey for m in find_matches(query, xmark_db)}
+        after = {m[0].dewey for m in find_matches(relaxed, xmark_db)}
+        assert original <= after

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    EngineError,
+    GeneratorError,
+    PatternError,
+    RelaxationError,
+    ReproError,
+    ScoringError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            XMLParseError,
+            XPathSyntaxError,
+            PatternError,
+            RelaxationError,
+            ScoringError,
+            EngineError,
+            GeneratorError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+        assert issubclass(exc_cls, Exception)
+
+    def test_catch_all_boundary(self, books_db):
+        """One except clause covers any library failure."""
+        from repro import topk
+
+        with pytest.raises(ReproError):
+            topk(books_db, "not an xpath", k=1)
+        with pytest.raises(ReproError):
+            topk(books_db, "/book", k=1, algorithm="nope")
+
+
+class TestMessages:
+    def test_xml_parse_error_position(self):
+        error = XMLParseError("boom", position=12)
+        assert "offset 12" in str(error)
+        error = XMLParseError("boom", line=3)
+        assert "line 3" in str(error)
+        assert XMLParseError("boom").message == "boom"
+
+    def test_xpath_error_context(self):
+        error = XPathSyntaxError("bad token", query="/a[", position=3)
+        text = str(error)
+        assert "/a[" in text and "offset 3" in text
+        assert XPathSyntaxError("plain").message == "plain"

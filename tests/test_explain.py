@@ -1,0 +1,74 @@
+"""Tests for answer explanation (relaxation provenance) and the
+threads-per-server option of the real Whirlpool-M."""
+
+import pytest
+
+from repro.core.engine import Engine, topk
+from repro.core.whirlpool_m import WhirlpoolM
+from repro.errors import EngineError
+
+PAPER_QUERY = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+
+
+class TestExplain:
+    def test_exact_answer_explanation(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=3)
+        text = result.answers[0].explain(result.pattern)
+        assert "exact match" in text
+        assert "RELAXED" not in text
+        assert "DELETED" not in text
+
+    def test_relaxed_answer_explanation(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=3)
+        text = result.answers[1].explain(result.pattern)
+        assert "RELAXED" in text
+        assert "edge generalization / subtree promotion" in text
+
+    def test_deleted_answer_explanation(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=3)
+        text = result.answers[2].explain(result.pattern)
+        assert "DELETED" in text
+        assert "leaf deletion" in text
+
+    def test_pending_nodes_reported(self, books_db):
+        from repro.core.match import PartialMatch
+
+        engine = Engine(books_db, PAPER_QUERY)
+        seed = PartialMatch.initial(books_db.node_by_dewey((0, 0)))
+        text = seed.explain(engine.pattern)
+        assert text.count("pending") == 4
+
+    def test_explanation_lists_every_query_node(self, books_db):
+        result = topk(books_db, PAPER_QUERY, k=1)
+        text = result.answers[0].explain(result.pattern)
+        for tag in ("title", "info", "publisher", "name"):
+            assert tag in text
+
+
+class TestThreadsPerServerReal:
+    def test_validates(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        with pytest.raises(EngineError):
+            WhirlpoolM(
+                pattern=engine.pattern,
+                index=engine.index,
+                score_model=engine.score_model,
+                k=1,
+                threads_per_server=0,
+            )
+
+    @pytest.mark.parametrize("threads", [1, 2, 3])
+    def test_answers_stable_across_thread_counts(self, xmark_db, threads):
+        engine = Engine(xmark_db, "//item[./description/parlist]")
+        reference = [
+            round(a.score, 9) for a in engine.run(8, algorithm="whirlpool_s").answers
+        ]
+        runner = WhirlpoolM(
+            pattern=engine.pattern,
+            index=engine.index,
+            score_model=engine.score_model,
+            k=8,
+            threads_per_server=threads,
+        )
+        result = runner.run()
+        assert [round(a.score, 9) for a in result.answers] == reference

@@ -1,0 +1,133 @@
+"""Tests for the TA/NRA middleware baselines over predicate score lists."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Engine
+from repro.core.fagin import (
+    NoRandomAccess,
+    PredicateList,
+    ThresholdAlgorithm,
+    build_predicate_lists,
+    fagin_topk,
+)
+from repro.errors import EngineError
+from repro.xmldb.model import Database, XMLNode
+
+
+def _lists_from_scores(per_list):
+    """Build PredicateLists over synthetic roots from raw score rows."""
+    universe = sorted({dewey for row in per_list for dewey, _ in row})
+    nodes = {}
+    db = Database.from_roots([XMLNode("r") for _ in universe])
+    for dewey, document in zip(universe, db.documents):
+        nodes[dewey] = document.root
+    lists = []
+    for index, row in enumerate(per_list):
+        entries = [
+            (score, nodes[dewey].dewey, nodes[dewey]) for dewey, score in row
+        ]
+        lists.append(PredicateList(f"p{index}", entries))
+    return lists, nodes
+
+
+def _brute_force_topk(lists, k):
+    totals = {}
+    nodes = {}
+    for predicate_list in lists:
+        for score, dewey, node in predicate_list.entries:
+            totals[dewey] = totals.get(dewey, 0.0) + score
+            nodes[dewey] = node
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return [(nodes[dewey], score) for dewey, score in ranked[:k]]
+
+
+class TestAgainstBruteForce:
+    def test_simple_case(self):
+        lists, _ = _lists_from_scores(
+            [
+                [(0, 0.9), (1, 0.5), (2, 0.1)],
+                [(1, 0.8), (2, 0.7), (0, 0.2)],
+            ]
+        )
+        expected = [round(s, 9) for _, s in _brute_force_topk(lists, 2)]
+        assert [round(s, 9) for s in ThresholdAlgorithm(lists, 2).run().scores()] == expected
+        assert [round(s, 9) for s in NoRandomAccess(lists, 2).run().scores()] == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 8), st.floats(0.01, 1.0)),
+                min_size=0,
+                max_size=8,
+                unique_by=lambda pair: pair[0],
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(1, 5),
+    )
+    def test_random_lists(self, rows, k):
+        lists, _ = _lists_from_scores(rows)
+        if not any(len(l) for l in lists):
+            return
+        expected = [round(s, 9) for _, s in _brute_force_topk(lists, k)]
+        ta = [round(s, 9) for s in ThresholdAlgorithm(lists, k).run().scores()]
+        nra = [round(s, 9) for s in NoRandomAccess(lists, k).run().scores()]
+        assert ta == expected
+        assert nra == expected
+
+
+class TestAgainstTfIdfOracle:
+    @pytest.fixture(scope="class")
+    def engine(self, xmark_db):
+        return Engine(xmark_db, "//item[./description/parlist and ./name]")
+
+    @pytest.mark.parametrize("algorithm", ["ta", "nra"])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_definition_44_ranking(self, engine, algorithm, k):
+        oracle = engine.tfidf_ranking()[:k]
+        result = fagin_topk(
+            engine.pattern, engine.index, engine.statistics, k, algorithm=algorithm
+        )
+        assert [round(s, 9) for s in result.scores()] == [
+            round(s, 9) for _n, s in oracle
+        ]
+
+    def test_early_termination_saves_accesses(self, engine):
+        lists = build_predicate_lists(engine.pattern, engine.index, engine.statistics)
+        total_entries = sum(len(l) for l in lists)
+        result = ThresholdAlgorithm(lists, 1).run()
+        assert result.sorted_accesses < total_entries
+
+    def test_nra_never_random_accesses(self, engine):
+        lists = build_predicate_lists(engine.pattern, engine.index, engine.statistics)
+        result = NoRandomAccess(lists, 3).run()
+        assert result.random_accesses == 0
+        assert result.sorted_accesses > 0
+
+
+class TestValidation:
+    def test_bad_k(self):
+        lists, _ = _lists_from_scores([[(0, 0.5)]])
+        with pytest.raises(EngineError):
+            ThresholdAlgorithm(lists, 0)
+        with pytest.raises(EngineError):
+            NoRandomAccess(lists, 0)
+
+    def test_empty_lists_rejected(self):
+        with pytest.raises(EngineError):
+            ThresholdAlgorithm([], 1)
+
+    def test_unknown_algorithm(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        with pytest.raises(EngineError):
+            fagin_topk(engine.pattern, engine.index, engine.statistics, 1, "magic")
+
+    def test_all_zero_idf_lists(self, books_db):
+        """Predicates satisfied by every root give empty lists; the
+        algorithms must still terminate (everything ties at 0)."""
+        engine = Engine(books_db, "/book[.//title]")
+        result = fagin_topk(engine.pattern, engine.index, engine.statistics, 2, "nra")
+        assert len(result.answers) <= 2

@@ -1,0 +1,59 @@
+"""Tests for the ASCII figure renderers."""
+
+from hypothesis import given, strategies as st
+
+from repro.bench.figures import bar_chart, multi_series, sparkline
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        chart = bar_chart("T", {"alpha": 10.0, "beta": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[1] and "10" in lines[1]
+        assert "beta" in lines[2]
+        # alpha's bar is the longest (the peak).
+        assert lines[1].count("█") == 10
+        assert lines[2].count("█") == 5
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart("T", {})
+
+    def test_zero_values(self):
+        chart = bar_chart("T", {"x": 0.0, "y": 0.0})
+        assert "x" in chart and "y" in chart
+
+
+class TestMultiSeries:
+    def test_grouped_rendering(self):
+        chart = multi_series(
+            "T",
+            {"W-S": {"Q1": 2.0, "Q2": 4.0}, "W-M": {"Q1": 1.0, "Q2": 2.0}},
+            width=8,
+        )
+        assert "Q1" in chart and "Q2" in chart
+        assert "W-S" in chart and "W-M" in chart
+
+    def test_missing_cells_skipped(self):
+        chart = multi_series("T", {"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "x" in chart and "y" in chart
+
+    def test_empty(self):
+        assert "(no data)" in multi_series("T", {})
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=30))
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)

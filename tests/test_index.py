@@ -1,0 +1,145 @@
+"""Tests for Dewey-ordered tag indexes, including a brute-force property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xmldb.dewey import DepthRange
+from repro.xmldb.index import DatabaseIndex, TagIndex
+from repro.xmldb.model import Database, XMLNode, build_tree
+from repro.xmldb.parser import parse_document
+
+
+@pytest.fixture
+def small_db():
+    return parse_document(
+        "<a><b><c/><b><c/></b></b><c/><d><c><c/></c></d></a>"
+    )
+
+
+class TestTagIndex:
+    def test_document_order(self, small_db):
+        index = DatabaseIndex(small_db)
+        deweys = [node.dewey for node in index["c"].all()]
+        assert deweys == sorted(deweys)
+        assert len(deweys) == 5
+
+    def test_insert_keeps_order(self):
+        db = parse_document("<a><b/><b/></a>")
+        index = TagIndex("b", db.nodes_with_tag("b"))
+        late = XMLNode("b")
+        db.documents[0].root.add_child(late)
+        index.insert(late)
+        deweys = [node.dewey for node in index.all()]
+        assert deweys == sorted(deweys)
+        assert len(index) == 3
+
+    def test_insert_rejects_wrong_tag(self):
+        index = TagIndex("b")
+        with pytest.raises(ValueError):
+            index.insert(XMLNode("c"))
+
+    def test_in_subtree(self, small_db):
+        index = DatabaseIndex(small_db)
+        root = small_db.documents[0].root
+        b_outer = root.children[0]
+        inside = index["c"].in_subtree(b_outer.dewey)
+        assert len(inside) == 2
+        assert all(node.dewey[: len(b_outer.dewey)] == b_outer.dewey for node in inside)
+
+    def test_in_subtree_excludes_self_by_default(self, small_db):
+        index = DatabaseIndex(small_db)
+        c_nodes = index["c"].all()
+        nested_parent = [n for n in c_nodes if index["c"].in_subtree(n.dewey)]
+        assert nested_parent, "fixture should contain a c inside a c"
+        target = nested_parent[0]
+        assert target not in index["c"].in_subtree(target.dewey)
+        assert target in index["c"].in_subtree(target.dewey, include_self=True)
+
+    def test_related_self_axis(self, small_db):
+        index = DatabaseIndex(small_db)
+        node = index["c"].all()[0]
+        hits = index["c"].related(node.dewey, DepthRange.self_axis())
+        assert hits == [node]
+        assert index["c"].related((9, 9), DepthRange.self_axis()) == []
+
+    def test_related_pc_vs_ad(self, small_db):
+        index = DatabaseIndex(small_db)
+        root = small_db.documents[0].root
+        children = index["c"].related(root.dewey, DepthRange.pc())
+        descendants = index["c"].related(root.dewey, DepthRange.ad())
+        assert len(children) == 1
+        assert len(descendants) == 5
+        assert set(n.dewey for n in children) <= set(n.dewey for n in descendants)
+
+    def test_count_in_subtree_excludes_self(self, small_db):
+        index = DatabaseIndex(small_db)
+        root = small_db.documents[0].root
+        assert index["c"].count_in_subtree(root.dewey) == 5
+        nested = [n for n in index["c"].all() if index["c"].count_in_subtree(n.dewey)]
+        assert nested
+        assert index["c"].count_in_subtree(nested[0].dewey) == 1
+
+
+class TestDatabaseIndex:
+    def test_restricted_tags(self, small_db):
+        index = DatabaseIndex(small_db, tags=["c", "zzz"])
+        assert index.count("c") == 5
+        assert index.count("b") == 0  # not indexed
+        assert index.count("zzz") == 0
+        assert "zzz" in index  # pre-created empty index
+
+    def test_unknown_tag_returns_empty(self, small_db):
+        index = DatabaseIndex(small_db)
+        assert index.related("nothing", (0,), DepthRange.ad()) == []
+        assert len(index["nothing"]) == 0
+
+    def test_tags_listing(self, small_db):
+        index = DatabaseIndex(small_db)
+        assert set(index.tags()) == {"a", "b", "c", "d"}
+
+
+# -- property: related() agrees with the brute-force definition ---------------
+
+_branches = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def _random_db(draw):
+    """A random small database with tags from {x, y}."""
+
+    def build(depth):
+        tag = draw(st.sampled_from(["x", "y"]))
+        node = XMLNode(tag)
+        if depth > 0:
+            for _ in range(draw(_branches)):
+                node.add_child(build(depth - 1))
+        return node
+
+    return Database.from_roots([build(3)])
+
+
+@st.composite
+def _random_axis(draw):
+    lo = draw(st.integers(min_value=0, max_value=3))
+    unbounded = draw(st.booleans())
+    if unbounded:
+        return DepthRange(lo, None)
+    return DepthRange(lo, lo + draw(st.integers(min_value=0, max_value=2)))
+
+
+class TestRelatedProperty:
+    @settings(max_examples=60)
+    @given(_random_db(), _random_axis())
+    def test_related_matches_bruteforce(self, db, axis):
+        index = DatabaseIndex(db)
+        all_nodes = list(db.iter_nodes())
+        for anchor in all_nodes:
+            expected = sorted(
+                node.dewey
+                for node in all_nodes
+                if node.tag == "y" and axis.matches(anchor.dewey, node.dewey)
+            )
+            got = sorted(
+                node.dewey for node in index.related("y", anchor.dewey, axis)
+            )
+            assert got == expected

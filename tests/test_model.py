@@ -1,0 +1,135 @@
+"""Tests for the node-labeled tree model (nodes, documents, databases)."""
+
+import pytest
+
+from repro.xmldb.model import Database, XMLDocument, XMLNode, build_tree
+
+
+class TestXMLNode:
+    def test_requires_tag(self):
+        with pytest.raises(ValueError):
+            XMLNode("")
+
+    def test_child_builder_returns_child(self):
+        book = XMLNode("book")
+        title = book.child("title", "wodehouse")
+        assert title.tag == "title"
+        assert title.value == "wodehouse"
+        assert title.parent is book
+        assert book.children == [title]
+
+    def test_cannot_attach_twice(self):
+        a, b = XMLNode("a"), XMLNode("b")
+        c = XMLNode("c")
+        a.add_child(c)
+        with pytest.raises(ValueError):
+            b.add_child(c)
+
+    def test_deweys_assigned_on_document_creation(self):
+        root = build_tree(("a", [("b",), ("c", [("d",)])]))
+        XMLDocument(root, ordinal=3)
+        assert root.dewey == (3,)
+        assert root.children[0].dewey == (3, 0)
+        assert root.children[1].dewey == (3, 1)
+        assert root.children[1].children[0].dewey == (3, 1, 0)
+
+    def test_late_attachment_extends_deweys(self):
+        root = XMLNode("a")
+        XMLDocument(root)
+        child = root.child("b")
+        assert child.dewey == (0, 0)
+        grandchild = child.child("c")
+        assert grandchild.dewey == (0, 0, 0)
+
+    def test_iter_subtree_document_order(self):
+        root = build_tree(("a", [("b", [("c",)]), ("d",)]))
+        XMLDocument(root)
+        tags = [node.tag for node in root.iter_subtree()]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_descendants_excludes_self(self):
+        root = build_tree(("a", [("b",)]))
+        XMLDocument(root)
+        assert [node.tag for node in root.descendants()] == ["b"]
+
+    def test_find_all(self):
+        root = build_tree(("a", [("b",), ("c", [("b",)])]))
+        XMLDocument(root)
+        assert len(root.find_all("b")) == 2
+        assert len(root.find_all("a")) == 1
+        assert root.find_all("zzz") == []
+
+    def test_text_concatenates_subtree(self):
+        root = build_tree(("a", "x", [("b", "y"), ("c", [("d", "z")])]))
+        XMLDocument(root)
+        assert root.text() == "x y z"
+
+    def test_depth(self):
+        root = build_tree(("a", [("b", [("c",)])]))
+        XMLDocument(root)
+        assert root.depth() == 0
+        assert root.children[0].children[0].depth() == 2
+
+    def test_equality_by_tag_and_dewey(self):
+        db1 = Database.from_roots([build_tree(("a", [("b",)]))])
+        db2 = Database.from_roots([build_tree(("a", [("b",)]))])
+        a1 = db1.documents[0].root
+        a2 = db2.documents[0].root
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+
+class TestDocumentAndDatabase:
+    def test_node_count(self):
+        db = Database.from_roots([build_tree(("a", [("b",), ("c",)]))])
+        assert db.node_count() == 3
+        assert db.documents[0].node_count() == 3
+
+    def test_node_by_dewey(self):
+        db = Database.from_roots(
+            [build_tree(("a", [("b",)])), build_tree(("x", [("y", [("z",)])]))]
+        )
+        assert db.node_by_dewey((0,)).tag == "a"
+        assert db.node_by_dewey((1, 0, 0)).tag == "z"
+        assert db.node_by_dewey((1, 5)) is None
+        assert db.node_by_dewey((7,)) is None
+        assert db.node_by_dewey(()) is None
+
+    def test_forest_ordinals(self):
+        db = Database.from_roots([XMLNode("a"), XMLNode("b"), XMLNode("c")])
+        assert [doc.root.dewey for doc in db.documents] == [(0,), (1,), (2,)]
+        assert len(db) == 3
+
+    def test_nodes_with_tag(self):
+        db = Database.from_roots(
+            [build_tree(("a", [("b",)])), build_tree(("b", [("b",)]))]
+        )
+        assert len(db.nodes_with_tag("b")) == 3
+        assert db.nodes_with_tag("nope") == []
+
+    def test_tag_histogram(self):
+        db = Database.from_roots([build_tree(("a", [("b",), ("b",), ("c",)]))])
+        assert db.tag_histogram() == {"a": 1, "b": 2, "c": 1}
+
+    def test_iter_nodes_across_documents(self):
+        db = Database.from_roots([XMLNode("a"), XMLNode("b")])
+        assert [node.tag for node in db.iter_nodes()] == ["a", "b"]
+
+
+class TestBuildTree:
+    def test_bare_string(self):
+        node = build_tree("leaf")
+        assert node.tag == "leaf" and node.value is None
+
+    def test_tag_value(self):
+        node = build_tree(("title", "wodehouse"))
+        assert node.value == "wodehouse"
+
+    def test_tag_children(self):
+        node = build_tree(("a", [("b",), "c"]))
+        assert [child.tag for child in node.children] == ["b", "c"]
+
+    def test_tag_value_children(self):
+        node = build_tree(("a", "v", [("b", "w")]))
+        assert node.value == "v"
+        assert node.children[0].value == "w"

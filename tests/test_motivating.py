@@ -1,0 +1,90 @@
+"""Tests for the Figure 3 motivating-example harness."""
+
+import pytest
+
+from repro.bench.motivating import (
+    BOOK_D_SCORES,
+    PLANS,
+    all_permutation_plans,
+    best_plans,
+    join_operations,
+    sweep,
+)
+
+
+class TestJoinOperations:
+    def test_no_pruning_counts(self):
+        """At threshold 0 nothing is pruned; counts follow fan-outs:
+        price-first = 1·1 + 1·3 + 3·5 = 19 comparisons."""
+        assert join_operations(("price", "title", "location"), 0.0) == 19
+        assert join_operations(("title", "location", "price"), 0.0) == 33
+        assert join_operations(("location", "title", "price"), 0.0) == 35
+
+    def test_all_pruned_above_max_score(self):
+        """Max possible tuple score is 0.8; any higher threshold prunes
+        everything before the first comparison."""
+        for order in PLANS.values():
+            assert join_operations(order, 0.85) == 0
+
+    def test_pruning_monotone_in_threshold(self):
+        for order in PLANS.values():
+            previous = join_operations(order, 0.0)
+            for step in range(1, 21):
+                current = join_operations(order, step * 0.05)
+                assert current <= previous
+                previous = current
+
+    def test_custom_scores(self):
+        scores = {"x": (1.0,), "y": (1.0, 1.0)}
+        assert join_operations(("x", "y"), 0.0, scores) == 1 + 2
+        assert join_operations(("y", "x"), 0.0, scores) == 2 + 2
+
+
+class TestPaperClaims:
+    def test_plan6_best_at_low_thresholds(self):
+        for threshold in (0.0, 0.2, 0.4, 0.55):
+            assert best_plans(threshold) == [6]
+
+    def test_plan5_best_mid_band(self):
+        assert 5 in best_plans(0.65)
+        assert 5 in best_plans(0.7)
+
+    def test_location_first_plans_win_high_band(self):
+        costs = {p: join_operations(PLANS[p], 0.75) for p in PLANS}
+        assert costs[4] < costs[6]
+        assert costs[3] < costs[6]
+
+    def test_location_first_plans_worst_low_band(self):
+        costs = {p: join_operations(PLANS[p], 0.3) for p in PLANS}
+        assert costs[3] == max(costs.values())
+
+    def test_no_plan_dominates(self):
+        thresholds = [i * 0.05 for i in range(17)]  # below global max score
+        for plan_id in PLANS:
+            strictly_beaten = any(
+                any(
+                    join_operations(PLANS[other], t) < join_operations(PLANS[plan_id], t)
+                    for other in PLANS
+                    if other != plan_id
+                )
+                for t in thresholds
+            )
+            assert strictly_beaten
+
+
+class TestHelpers:
+    def test_scores_match_paper(self):
+        assert BOOK_D_SCORES["title"] == (0.3, 0.3, 0.3)
+        assert BOOK_D_SCORES["location"] == (0.3, 0.2, 0.1, 0.1, 0.1)
+        assert BOOK_D_SCORES["price"] == (0.2,)
+
+    def test_sweep_structure(self):
+        series = sweep(thresholds=[0.0, 0.5, 1.0])
+        assert set(series) == set(PLANS)
+        for points in series.values():
+            assert [t for t, _ in points] == [0.0, 0.5, 1.0]
+
+    def test_all_permutations_covered(self):
+        mapping = all_permutation_plans()
+        assert len(mapping) == 6
+        assert sorted(mapping.values()) == [1, 2, 3, 4, 5, 6]

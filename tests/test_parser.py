@@ -1,0 +1,166 @@
+"""Tests for the XML parser: structure, entities, attributes, errors,
+round-tripping (including a hypothesis round-trip over random trees)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLParseError
+from repro.xmldb.model import XMLNode
+from repro.xmldb.parser import parse_document, parse_forest, parse_fragment
+from repro.xmldb.serializer import serialize
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        db = parse_document("<a/>")
+        assert db.documents[0].root.tag == "a"
+
+    def test_nested_elements(self):
+        db = parse_document("<a><b><c/></b><d/></a>")
+        root = db.documents[0].root
+        assert [child.tag for child in root.children] == ["b", "d"]
+        assert root.children[0].children[0].tag == "c"
+
+    def test_text_content(self):
+        db = parse_document("<title>wodehouse</title>")
+        assert db.documents[0].root.value == "wodehouse"
+
+    def test_whitespace_only_text_ignored(self):
+        db = parse_document("<a>\n  <b/>\n</a>")
+        assert db.documents[0].root.value is None
+
+    def test_mixed_content_keeps_parent_text(self):
+        db = parse_document("<p>hello <b>bold</b> world</p>")
+        root = db.documents[0].root
+        assert "hello" in root.value and "world" in root.value
+        assert root.children[0].value == "bold"
+
+    def test_attributes_become_at_children(self):
+        db = parse_document('<item id="i3" featured="yes"/>')
+        root = db.documents[0].root
+        tags = {child.tag: child.value for child in root.children}
+        assert tags == {"@id": "i3", "@featured": "yes"}
+
+    def test_single_quoted_attributes(self):
+        db = parse_document("<a x='1'/>")
+        assert db.documents[0].root.children[0].value == "1"
+
+    def test_xml_declaration_and_comments_skipped(self):
+        db = parse_document('<?xml version="1.0"?><!-- hi --><a><!-- there --><b/></a>')
+        root = db.documents[0].root
+        assert [child.tag for child in root.children] == ["b"]
+
+    def test_doctype_skipped(self):
+        db = parse_document("<!DOCTYPE site SYSTEM 'auction.dtd'><site/>")
+        assert db.documents[0].root.tag == "site"
+
+    def test_cdata(self):
+        db = parse_document("<a><![CDATA[x < y & z]]></a>")
+        assert db.documents[0].root.value == "x < y & z"
+
+    def test_entities(self):
+        db = parse_document("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>")
+        assert db.documents[0].root.value == "<tag> & \"q\" 'a'"
+
+    def test_numeric_character_references(self):
+        db = parse_document("<a>&#65;&#x42;</a>")
+        assert db.documents[0].root.value == "AB"
+
+    def test_entities_in_attributes(self):
+        db = parse_document('<a x="&amp;&lt;"/>')
+        assert db.documents[0].root.children[0].value == "&<"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a x=1/>",
+            "<a/><b/>",
+            "<a>&unknown;</a>",
+            "<a>&broken</a>",
+            "<a",
+            "just text",
+        ],
+    )
+    def test_rejected_inputs(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+    def test_error_carries_line(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_document("<a>\n<b>\n</a>")
+        assert excinfo.value.line >= 1
+
+
+class TestForestAndFragment:
+    def test_parse_forest(self):
+        db = parse_forest(["<a/>", "<b><c/></b>"])
+        assert len(db) == 2
+        assert db.documents[1].root.children[0].dewey == (1, 0)
+
+    def test_parse_forest_rejects_trailing(self):
+        with pytest.raises(XMLParseError):
+            parse_forest(["<a/><oops/>"])
+
+    def test_parse_fragment_unattached(self):
+        node = parse_fragment("<x><y/></x>")
+        assert isinstance(node, XMLNode)
+        assert node.dewey == ()
+        assert node.children[0].tag == "y"
+
+
+# -- property-based round-trip ------------------------------------------------
+
+_tags = st.sampled_from(["a", "b", "item", "name", "x1", "with-dash", "u_z"])
+_values = st.text(
+    alphabet="abcXYZ012 .,:;!?()#\u00e9\u03bb\u4e2d",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s != "")
+
+
+def _tree_strategy(depth: int):
+    node = st.tuples(_tags, st.none() | _values)
+    if depth == 0:
+        return node.map(lambda pair: XMLNode(pair[0], pair[1]))
+
+    def build(args):
+        (tag, value), children = args
+        parent = XMLNode(tag, value)
+        for child in children:
+            parent.add_child(child)
+        return parent
+
+    return st.tuples(
+        node, st.lists(_tree_strategy(depth - 1), max_size=3)
+    ).map(build)
+
+
+def _shape(node: XMLNode):
+    return (node.tag, node.value, tuple(_shape(child) for child in node.children))
+
+
+class TestRoundTrip:
+    @given(_tree_strategy(3))
+    def test_serialize_parse_roundtrip(self, tree):
+        from repro.xmldb.model import Database
+
+        db = Database.from_roots([tree])
+        text = serialize(db)
+        reparsed = parse_document(text)
+        assert _shape(reparsed.documents[0].root) == _shape(db.documents[0].root)
+
+    @given(_tree_strategy(2))
+    def test_compact_serialization_roundtrip(self, tree):
+        from repro.xmldb.model import Database
+
+        db = Database.from_roots([tree])
+        text = serialize(db, pretty=False)
+        reparsed = parse_document(text)
+        assert _shape(reparsed.documents[0].root) == _shape(db.documents[0].root)

@@ -1,0 +1,134 @@
+"""Tests for tree patterns: structure, ids, copying, rendering."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.query.pattern import Axis, PatternNode, TreePattern, pattern_from_spec
+
+
+@pytest.fixture
+def paper_query():
+    """Figure 2(a): /book[./title='wodehouse' and ./info/publisher/name='psmith']."""
+    return pattern_from_spec(
+        (
+            "book",
+            [
+                ("title", "pc", "wodehouse"),
+                ("info", "pc", [("publisher", "pc", [("name", "pc", "psmith")])]),
+            ],
+        )
+    )
+
+
+class TestStructure:
+    def test_preorder_ids(self, paper_query):
+        labels = [(node.node_id, node.tag) for node in paper_query.nodes()]
+        assert labels == [
+            (0, "book"),
+            (1, "title"),
+            (2, "info"),
+            (3, "publisher"),
+            (4, "name"),
+        ]
+
+    def test_size_and_non_root(self, paper_query):
+        assert paper_query.size() == 5
+        assert [n.tag for n in paper_query.non_root_nodes()] == [
+            "title",
+            "info",
+            "publisher",
+            "name",
+        ]
+
+    def test_edges(self, paper_query):
+        edges = [(p.tag, c.tag, axis) for p, c, axis in paper_query.edges()]
+        assert ("book", "title", Axis.PC) in edges
+        assert ("publisher", "name", Axis.PC) in edges
+        assert len(edges) == 4
+
+    def test_leaves(self, paper_query):
+        assert {n.tag for n in paper_query.leaves()} == {"title", "name"}
+
+    def test_tags_sorted_unique(self, paper_query):
+        assert paper_query.tags() == ["book", "info", "name", "publisher", "title"]
+
+    def test_path_from_root(self, paper_query):
+        name = paper_query.nodes()[4]
+        assert [n.tag for n in name.path_from_root()] == [
+            "book",
+            "info",
+            "publisher",
+            "name",
+        ]
+
+    def test_node_lookup(self, paper_query):
+        assert paper_query.node(3).tag == "publisher"
+
+
+class TestValidation:
+    def test_empty_tag_rejected(self):
+        with pytest.raises(PatternError):
+            PatternNode("")
+
+    def test_double_attach_rejected(self):
+        a, b, c = PatternNode("a"), PatternNode("b"), PatternNode("c")
+        a.add_child(c, Axis.PC)
+        with pytest.raises(PatternError):
+            b.add_child(c, Axis.AD)
+
+    def test_root_with_parent_rejected(self):
+        a, b = PatternNode("a"), PatternNode("b")
+        a.add_child(b, Axis.PC)
+        with pytest.raises(PatternError):
+            TreePattern(b)
+
+
+class TestCopy:
+    def test_copy_is_deep(self, paper_query):
+        copy = paper_query.copy()
+        copy.nodes()[1].value = "changed"
+        copy.nodes()[1].axis = Axis.AD
+        assert paper_query.nodes()[1].value == "wodehouse"
+        assert paper_query.nodes()[1].axis is Axis.PC
+
+    def test_copy_preserves_ids_and_flags(self, paper_query):
+        paper_query.nodes()[4].optional = True
+        copy = paper_query.copy()
+        assert [n.node_id for n in copy.nodes()] == [0, 1, 2, 3, 4]
+        assert copy.nodes()[4].optional
+        paper_query.nodes()[4].optional = False
+
+
+class TestRendering:
+    def test_to_xpath_roundtrips_through_parser(self, paper_query):
+        from repro.query.xpath import parse_xpath
+
+        text = paper_query.to_xpath()
+        reparsed = parse_xpath(text)
+        assert reparsed.to_xpath() == text
+        assert [n.tag for n in reparsed.nodes()] == [n.tag for n in paper_query.nodes()]
+
+    def test_describe_mentions_axes_and_values(self, paper_query):
+        description = paper_query.describe()
+        assert "root book" in description
+        assert "-pc-" in description
+        assert "'wodehouse'" in description
+
+    def test_describe_marks_optional(self, paper_query):
+        paper_query.nodes()[1].optional = True
+        assert "(optional)" in paper_query.describe()
+        paper_query.nodes()[1].optional = False
+
+
+class TestSpecBuilder:
+    def test_ad_axis(self):
+        pattern = pattern_from_spec(("a", [("b", "ad")]))
+        assert pattern.nodes()[1].axis is Axis.AD
+
+    def test_default_axis_is_pc(self):
+        pattern = pattern_from_spec(("a", [("b",)]))
+        assert pattern.nodes()[1].axis is Axis.PC
+
+    def test_string_children(self):
+        pattern = pattern_from_spec(("a", ["b", "c"]))
+        assert [n.tag for n in pattern.non_root_nodes()] == ["b", "c"]

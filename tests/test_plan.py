@@ -1,0 +1,90 @@
+"""Tests for the outer-join plan encoding (Algorithm 1)."""
+
+import pytest
+
+from repro.query.xpath import parse_xpath
+from repro.relax.plan import ConditionalPredicate, compile_plan
+from repro.xmldb.dewey import DepthRange
+
+
+@pytest.fixture
+def query():
+    return parse_xpath(
+        "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+    )
+
+
+class TestCompilePlan:
+    def test_one_server_per_non_root_node(self, query):
+        plan = compile_plan(query)
+        assert plan.server_ids() == [1, 2, 3, 4]
+        assert plan.root_tag == "book"
+        assert plan.relaxed
+
+    def test_probe_axes_relaxed(self, query):
+        plan = compile_plan(query, relaxed=True)
+        # name: exact composition book->name is depth 3..3; probe relaxes to ad.
+        name_server = plan.server(4)
+        assert name_server.exact_root_axis == DepthRange(3, 3)
+        assert name_server.probe_axis == DepthRange.ad()
+
+    def test_probe_axes_exact_mode(self, query):
+        plan = compile_plan(query, relaxed=False)
+        assert plan.server(4).probe_axis == DepthRange(3, 3)
+        assert plan.server(2).probe_axis == DepthRange.pc()
+
+    def test_value_tests_on_servers(self, query):
+        plan = compile_plan(query)
+        assert plan.server(1).value == "wodehouse"
+        assert plan.server(4).value == "psmith"
+        assert plan.server(2).value is None
+
+    def test_publisher_conditionals(self, query):
+        """The paper's example: the publisher server checks predicates
+        against info (its query parent) and name (its query child)."""
+        plan = compile_plan(query)
+        publisher = plan.server(3)
+        by_tag = {c.other_tag: c for c in publisher.conditionals}
+        assert set(by_tag) == {"info", "name"}
+        assert by_tag["info"].direction == "up"       # info is above publisher
+        assert by_tag["info"].exact == DepthRange.pc()
+        assert by_tag["name"].direction == "down"     # name is below publisher
+        assert by_tag["name"].exact == DepthRange.pc()
+
+    def test_leaf_server_conditionals_reach_all_ancestors(self, query):
+        plan = compile_plan(query)
+        name = plan.server(4)
+        tags = {c.other_tag for c in name.conditionals}
+        # name relates upward to publisher and info (root excluded).
+        assert tags == {"publisher", "info"}
+
+    def test_title_has_no_conditionals(self, query):
+        # title has no non-root ancestors and no descendants.
+        plan = compile_plan(query)
+        assert plan.server(1).conditionals == []
+
+
+class TestConditionalPredicate:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalPredicate(1, "x", "sideways", DepthRange.pc())
+
+    def test_holds_exactly_down(self):
+        cp = ConditionalPredicate(1, "x", "down", DepthRange.pc())
+        assert cp.holds_exactly((0, 1), (0, 1, 2))
+        assert not cp.holds_exactly((0, 1), (0, 1, 2, 3))
+
+    def test_holds_exactly_up(self):
+        cp = ConditionalPredicate(1, "x", "up", DepthRange.pc())
+        # server node is the descendant: other -> server must be pc.
+        assert cp.holds_exactly((0, 1, 2), (0, 1))
+        assert not cp.holds_exactly((0, 1, 2, 3), (0, 1))
+
+    def test_holds_relaxed(self):
+        cp = ConditionalPredicate(1, "x", "down", DepthRange.pc())
+        assert cp.holds_relaxed((0, 1), (0, 1, 2, 3))
+        assert not cp.holds_relaxed((0, 1), (0, 2))
+
+    def test_relaxed_is_precomputed(self):
+        cp = ConditionalPredicate(1, "x", "down", DepthRange(2, 2))
+        assert cp.relaxed == DepthRange.ad()

@@ -1,0 +1,90 @@
+"""Tests for component-predicate decomposition (Definition 4.1)."""
+
+import pytest
+
+from repro.query.pattern import pattern_from_spec
+from repro.query.predicates import ComponentPredicate, component_predicates, composed_axis
+from repro.query.xpath import parse_xpath
+from repro.xmldb.dewey import DepthRange
+
+
+@pytest.fixture
+def pattern():
+    return parse_xpath(
+        "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+    )
+
+
+class TestComposition:
+    def test_single_pc(self, pattern):
+        info = pattern.nodes()[2]
+        assert composed_axis(pattern.root, info) == DepthRange.pc()
+
+    def test_single_ad(self, pattern):
+        title = pattern.nodes()[1]
+        assert composed_axis(pattern.root, title) == DepthRange.ad()
+
+    def test_pc_chain_is_exact_depth(self, pattern):
+        name = pattern.nodes()[4]
+        assert composed_axis(pattern.root, name) == DepthRange(3, 3)
+
+    def test_pc_through_ad_is_unbounded(self):
+        mixed = parse_xpath("/a[.//b/c]")
+        c = mixed.nodes()[2]
+        axis = composed_axis(mixed.root, c)
+        assert axis.lo == 2 and axis.hi is None
+
+    def test_non_descendant_rejected(self, pattern):
+        title = pattern.nodes()[1]
+        info = pattern.nodes()[2]
+        with pytest.raises(ValueError):
+            composed_axis(title, info)
+
+    def test_self_composition(self, pattern):
+        assert composed_axis(pattern.root, pattern.root) == DepthRange.self_axis()
+
+
+class TestComponentPredicates:
+    def test_one_per_non_root_node(self, pattern):
+        predicates = component_predicates(pattern)
+        assert len(predicates) == 4
+        assert [p.target_tag for p in predicates] == [
+            "title",
+            "info",
+            "publisher",
+            "name",
+        ]
+
+    def test_values_attached(self, pattern):
+        predicates = {p.target_tag: p for p in component_predicates(pattern)}
+        assert predicates["title"].value == "wodehouse"
+        assert predicates["name"].value == "psmith"
+        assert predicates["info"].value is None
+
+    def test_relaxed_axis(self, pattern):
+        predicates = {p.target_tag: p for p in component_predicates(pattern)}
+        assert predicates["name"].axis == DepthRange(3, 3)
+        assert predicates["name"].relaxed_axis == DepthRange.ad()
+        # title's axis is already ad, so relaxation changes nothing.
+        assert predicates["title"].axis == predicates["title"].relaxed_axis
+        assert not predicates["title"].is_relaxable()
+        assert predicates["name"].is_relaxable()
+
+    def test_describe(self, pattern):
+        predicates = {p.target_tag: p for p in component_predicates(pattern)}
+        assert predicates["title"].describe() == "book[.//title='wodehouse']"
+        assert predicates["info"].describe() == "book[./info]"
+        assert "depth 3..3" in predicates["name"].describe()
+
+    def test_paper_example_decomposition(self):
+        """The paper's example: /a[./b and ./c[.//d]] decomposes into
+        a[./b], a[./c], a[.//d] (we omit the trivially-true doc-root
+        predicate; following-sibling is outside the pc/ad pattern model)."""
+        pattern = pattern_from_spec(
+            ("a", [("b", "pc"), ("c", "pc", [("d", "ad")])])
+        )
+        predicates = component_predicates(pattern)
+        rendered = [p.describe() for p in predicates]
+        assert rendered == ["a[./b]", "a[./c]", "a[.[depth 2..inf]/d]"]
+        # a -> c (pc) -> d (ad) composes to depth >= 2; its relaxation is ad.
+        assert predicates[2].relaxed_axis == DepthRange.ad()

@@ -1,0 +1,102 @@
+"""Tests for the IR ranking-quality metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scoring.quality import (
+    RankingEvaluation,
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+RANKED = ["a", "b", "c", "d", "e"]
+RELEVANT = {"a", "c", "f"}
+
+
+class TestHandComputed:
+    def test_precision_at_k(self):
+        assert precision_at_k(RANKED, RELEVANT, 1) == 1.0
+        assert precision_at_k(RANKED, RELEVANT, 2) == 0.5
+        assert precision_at_k(RANKED, RELEVANT, 3) == pytest.approx(2 / 3)
+        assert precision_at_k(RANKED, RELEVANT, 0) == 0.0
+        assert precision_at_k([], RELEVANT, 3) == 0.0
+
+    def test_recall_at_k(self):
+        assert recall_at_k(RANKED, RELEVANT, 1) == pytest.approx(1 / 3)
+        assert recall_at_k(RANKED, RELEVANT, 5) == pytest.approx(2 / 3)
+        assert recall_at_k(RANKED, set(), 5) == 1.0
+
+    def test_average_precision(self):
+        # hits at ranks 1 and 3: AP = (1/1 + 2/3) / 3
+        assert average_precision(RANKED, RELEVANT) == pytest.approx((1 + 2 / 3) / 3)
+        assert average_precision(RANKED, set()) == 1.0
+        assert average_precision([], {"x"}) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(RANKED, RELEVANT) == 1.0
+        assert reciprocal_rank(RANKED, {"c"}) == pytest.approx(1 / 3)
+        assert reciprocal_rank(RANKED, {"zzz"}) == 0.0
+
+    def test_ndcg(self):
+        perfect = ndcg_at_k(["a", "c"], {"a", "c"}, 2)
+        assert perfect == pytest.approx(1.0)
+        worse = ndcg_at_k(["x", "a", "c"], {"a", "c"}, 3)
+        assert 0.0 < worse < 1.0
+        assert ndcg_at_k(RANKED, set(), 3) == 1.0
+        assert ndcg_at_k([], {"a"}, 3) == 0.0
+
+    def test_evaluation_bundle(self):
+        evaluation = RankingEvaluation(RANKED, RELEVANT, 3)
+        payload = evaluation.as_dict()
+        assert payload["precision"] == pytest.approx(2 / 3)
+        assert payload["mrr"] == 1.0
+        assert "P@3" in repr(evaluation)
+
+
+_rankings = st.lists(st.integers(0, 20), max_size=15, unique=True)
+_relevants = st.sets(st.integers(0, 20), max_size=10)
+_ks = st.integers(1, 15)
+
+
+class TestProperties:
+    @given(_rankings, _relevants, _ks)
+    def test_metrics_bounded(self, ranked, relevant, k):
+        for metric in (
+            precision_at_k(ranked, relevant, k),
+            recall_at_k(ranked, relevant, k),
+            average_precision(ranked, relevant),
+            reciprocal_rank(ranked, relevant),
+            ndcg_at_k(ranked, relevant, k),
+        ):
+            assert 0.0 <= metric <= 1.0 + 1e-12
+
+    @given(_rankings, _relevants, _ks)
+    def test_recall_monotone_in_k(self, ranked, relevant, k):
+        assert recall_at_k(ranked, relevant, k) <= recall_at_k(
+            ranked, relevant, k + 1
+        ) + 1e-12
+
+    @given(_relevants, _ks)
+    def test_perfect_ranking_perfect_scores(self, relevant, k):
+        ranked = sorted(relevant)
+        if not relevant:
+            return
+        assert precision_at_k(ranked, relevant, min(k, len(ranked))) == 1.0
+        assert average_precision(ranked, relevant) == pytest.approx(1.0)
+        assert ndcg_at_k(ranked, relevant, max(k, len(ranked))) == pytest.approx(1.0)
+
+    @given(_rankings, _relevants)
+    def test_prefix_swap_with_relevant_first_never_hurts_ap(self, ranked, relevant):
+        """Moving a relevant item to the front never decreases AP."""
+        if not ranked or not relevant:
+            return
+        hit = next((item for item in ranked if item in relevant), None)
+        if hit is None:
+            return
+        promoted = [hit] + [item for item in ranked if item != hit]
+        assert average_precision(promoted, relevant) >= (
+            average_precision(ranked, relevant) - 1e-12
+        )

@@ -1,0 +1,142 @@
+"""Tests for the four server-queue prioritization policies."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.match import PartialMatch
+from repro.core.queues import MatchQueue, QueuePolicy
+from repro.xmldb.model import Database, XMLNode
+
+
+def _matches(specs):
+    """specs: list of (score, bound) -> matches created in order."""
+    db = Database.from_roots([XMLNode("r") for _ in specs])
+    out = []
+    for document, (score, bound) in zip(db.documents, specs):
+        match = PartialMatch.initial(document.root)
+        match.score = score
+        match.upper_bound = bound
+        out.append(match)
+    return out
+
+
+class TestPolicies:
+    def test_fifo_order(self):
+        queue = MatchQueue(QueuePolicy.FIFO)
+        matches = _matches([(0.9, 0.9), (0.1, 0.1), (0.5, 0.5)])
+        for match in matches:
+            queue.put(match)
+        assert [queue.get_nowait() for _ in range(3)] == matches
+
+    def test_current_score_order(self):
+        queue = MatchQueue(QueuePolicy.CURRENT_SCORE)
+        matches = _matches([(0.1, 0.9), (0.8, 0.8), (0.5, 1.5)])
+        for match in matches:
+            queue.put(match)
+        scores = [queue.get_nowait().score for _ in range(3)]
+        assert scores == [0.8, 0.5, 0.1]
+
+    def test_max_final_score_order(self):
+        queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        matches = _matches([(0.1, 0.9), (0.8, 0.8), (0.5, 1.5)])
+        for match in matches:
+            queue.put(match)
+        bounds = [queue.get_nowait().upper_bound for _ in range(3)]
+        assert bounds == [1.5, 0.9, 0.8]
+
+    def test_max_next_score_order(self):
+        contributions = {7: 0.5}
+        queue = MatchQueue(
+            QueuePolicy.MAX_NEXT_SCORE, server_id=7, max_contributions=contributions
+        )
+        matches = _matches([(0.1, 0.0), (0.3, 0.0)])
+        for match in matches:
+            queue.put(match)
+        scores = [queue.get_nowait().score for _ in range(2)]
+        assert scores == [0.3, 0.1]
+
+    def test_max_next_requires_configuration(self):
+        with pytest.raises(ValueError):
+            MatchQueue(QueuePolicy.MAX_NEXT_SCORE)
+
+    def test_ties_break_by_arrival(self):
+        queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        matches = _matches([(0.5, 1.0), (0.5, 1.0), (0.5, 1.0)])
+        for match in matches:
+            queue.put(match)
+        assert [queue.get_nowait() for _ in range(3)] == matches
+
+
+class TestQueueMechanics:
+    def test_get_nowait_empty(self):
+        assert MatchQueue().get_nowait() is None
+
+    def test_len_and_empty(self):
+        queue = MatchQueue()
+        assert queue.empty() and len(queue) == 0
+        queue.put(_matches([(0.1, 0.1)])[0])
+        assert not queue.empty() and len(queue) == 1
+
+    def test_drain_returns_priority_order(self):
+        queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        matches = _matches([(0.1, 0.2), (0.1, 0.9)])
+        for match in matches:
+            queue.put(match)
+        drained = queue.drain()
+        assert [m.upper_bound for m in drained] == [0.9, 0.2]
+        assert queue.empty()
+
+    def test_get_timeout_returns_none(self):
+        queue = MatchQueue()
+        start = time.perf_counter()
+        assert queue.get(timeout=0.05) is None
+        assert time.perf_counter() - start >= 0.04
+
+    def test_blocking_get_receives_put(self):
+        queue = MatchQueue()
+        match = _matches([(0.5, 0.5)])[0]
+        received = []
+
+        def consumer():
+            received.append(queue.get(timeout=2.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        queue.put(match)
+        thread.join(timeout=2.0)
+        assert received == [match]
+
+    def test_close_unblocks_getters(self):
+        queue = MatchQueue()
+        results = []
+
+        def consumer():
+            results.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert results == [None]
+        assert not thread.is_alive()
+
+
+class TestHeapProperty:
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=1, max_size=20))
+    def test_max_final_is_always_nonincreasing(self, raw):
+        specs = [(score, score + extra) for score, extra in raw]
+        queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        for match in _matches(specs):
+            queue.put(match)
+        bounds = []
+        while True:
+            match = queue.get_nowait()
+            if match is None:
+                break
+            bounds.append(match.upper_bound)
+        assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for the three relaxation operations and their applicability."""
+
+import pytest
+
+from repro.errors import RelaxationError
+from repro.query.pattern import Axis
+from repro.query.xpath import parse_xpath
+from repro.relax.relaxations import (
+    RelaxationKind,
+    RelaxationStep,
+    applicable_relaxations,
+    apply_relaxation,
+    delete_leaf,
+    edge_generalization,
+    subtree_promotion,
+)
+
+
+@pytest.fixture
+def query():
+    # /book[./title='wodehouse' and ./info/publisher/name='psmith']
+    return parse_xpath(
+        "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+    )
+
+
+class TestEdgeGeneralization:
+    def test_pc_becomes_ad(self, query):
+        relaxed = edge_generalization(query, 1)  # title edge
+        assert relaxed.nodes()[1].axis is Axis.AD
+        # Original untouched.
+        assert query.nodes()[1].axis is Axis.PC
+
+    def test_figure_2b(self, query):
+        """Figure 2(b) is obtained from 2(a) by generalizing book-title."""
+        relaxed = edge_generalization(query, 1)
+        assert relaxed.to_xpath() == (
+            "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+        )
+
+    def test_root_rejected(self, query):
+        with pytest.raises(RelaxationError):
+            edge_generalization(query, 0)
+
+    def test_already_ad_rejected(self, query):
+        relaxed = edge_generalization(query, 1)
+        with pytest.raises(RelaxationError):
+            edge_generalization(relaxed, 1)
+
+    def test_bad_id_rejected(self, query):
+        with pytest.raises(RelaxationError):
+            edge_generalization(query, 99)
+
+
+class TestLeafDeletion:
+    def test_removes_leaf(self, query):
+        relaxed = delete_leaf(query, 4)  # name
+        assert relaxed.size() == 4
+        assert "name" not in [n.tag for n in relaxed.nodes()]
+
+    def test_cascading_deletion(self, query):
+        """Figure 2(d)'s derivation deletes name then publisher."""
+        relaxed = delete_leaf(query, 4)
+        publisher_id = next(
+            n.node_id for n in relaxed.nodes() if n.tag == "publisher"
+        )
+        relaxed = delete_leaf(relaxed, publisher_id)
+        assert [n.tag for n in relaxed.nodes()] == ["book", "title", "info"]
+
+    def test_internal_node_rejected(self, query):
+        with pytest.raises(RelaxationError):
+            delete_leaf(query, 2)  # info has children
+
+    def test_root_rejected(self):
+        single = parse_xpath("/book[./title]")
+        with pytest.raises(RelaxationError):
+            delete_leaf(single, 0)
+
+
+class TestSubtreePromotion:
+    def test_promotes_to_grandparent_with_ad(self, query):
+        publisher_id = 3
+        relaxed = subtree_promotion(query, publisher_id)
+        publisher = next(n for n in relaxed.nodes() if n.tag == "publisher")
+        assert publisher.parent.tag == "info".replace("info", "book") or publisher.parent.tag == "book"
+        assert publisher.axis is Axis.AD
+        # The name child moves with its subtree.
+        assert publisher.children[0].tag == "name"
+
+    def test_promotion_keeps_subtree_intact(self, query):
+        relaxed = subtree_promotion(query, 3)
+        name = next(n for n in relaxed.nodes() if n.tag == "name")
+        assert name.value == "psmith"
+        assert name.parent.tag == "publisher"
+
+    def test_node_under_root_rejected(self, query):
+        with pytest.raises(RelaxationError):
+            subtree_promotion(query, 1)  # title hangs off the root
+
+    def test_root_rejected(self, query):
+        with pytest.raises(RelaxationError):
+            subtree_promotion(query, 0)
+
+
+class TestApplicability:
+    def test_applicable_set(self, query):
+        steps = applicable_relaxations(query)
+        kinds = {(s.kind, s.node_id) for s in steps}
+        # Every non-root pc edge can be generalized.
+        for node_id in (1, 2, 3, 4):
+            assert (RelaxationKind.EDGE_GENERALIZATION, node_id) in kinds
+        # Leaves: title (1) and name (4).
+        assert (RelaxationKind.LEAF_DELETION, 1) in kinds
+        assert (RelaxationKind.LEAF_DELETION, 4) in kinds
+        assert (RelaxationKind.LEAF_DELETION, 2) not in kinds
+        # Promotion: nodes with a grandparent — publisher (3) and name (4).
+        assert (RelaxationKind.SUBTREE_PROMOTION, 3) in kinds
+        assert (RelaxationKind.SUBTREE_PROMOTION, 4) in kinds
+        assert (RelaxationKind.SUBTREE_PROMOTION, 1) not in kinds
+
+    def test_apply_relaxation_dispatch(self, query):
+        for step in applicable_relaxations(query):
+            relaxed = apply_relaxation(query, step)
+            assert relaxed is not query
+
+    def test_step_equality_and_hash(self):
+        a = RelaxationStep(RelaxationKind.LEAF_DELETION, 1)
+        b = RelaxationStep(RelaxationKind.LEAF_DELETION, 1)
+        c = RelaxationStep(RelaxationKind.SUBTREE_PROMOTION, 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != c

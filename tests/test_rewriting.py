@@ -1,0 +1,92 @@
+"""Tests for the rewriting-based baseline, incl. cross-validation against
+Whirlpool — the two evaluation strategies must agree on answers."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.rewriting import RewritingEngine
+from repro.errors import EngineError
+from repro.query.xpath import parse_xpath
+
+
+def _rewriting(engine, k, max_queries=None):
+    return RewritingEngine(
+        pattern=engine.pattern,
+        index=engine.index,
+        score_model=engine.score_model,
+        k=k,
+        max_queries=max_queries,
+    )
+
+
+PAPER_QUERY = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+
+
+class TestCrossValidation:
+    """The closure covers every combination of relaxations, so the best
+    tuple per root must coincide with Whirlpool's."""
+
+    def test_paper_books_agree(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        whirlpool = engine.run(3, algorithm="whirlpool_s")
+        rewriting = _rewriting(engine, 3).run()
+        assert [
+            (a.root_node.dewey, round(a.score, 9)) for a in rewriting.answers
+        ] == [(a.root_node.dewey, round(a.score, 9)) for a in whirlpool.answers]
+
+    def test_q1_on_xmark_agrees(self, xmark_db):
+        engine = Engine(xmark_db, "//item[./description/parlist]")
+        whirlpool = engine.run(8, algorithm="whirlpool_s")
+        rewriting = _rewriting(engine, 8).run()
+        assert [round(a.score, 9) for a in rewriting.answers] == [
+            round(a.score, 9) for a in whirlpool.answers
+        ]
+
+    def test_two_predicate_query_agrees(self, xmark_db):
+        engine = Engine(xmark_db, "//item[./name and ./incategory]")
+        whirlpool = engine.run(10, algorithm="whirlpool_s")
+        rewriting = _rewriting(engine, 10).run()
+        assert [round(a.score, 9) for a in rewriting.answers] == [
+            round(a.score, 9) for a in whirlpool.answers
+        ]
+
+
+class TestBaselineCost:
+    def test_queries_evaluated_is_closure_size(self, books_db):
+        from repro.relax.enumeration import closure_size
+
+        engine = Engine(books_db, PAPER_QUERY)
+        rewriting = _rewriting(engine, 3)
+        rewriting.run()
+        assert rewriting.queries_evaluated == closure_size(engine.pattern)
+
+    def test_max_queries_caps_work(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        rewriting = _rewriting(engine, 3, max_queries=10)
+        rewriting.run()
+        assert rewriting.queries_evaluated == 10
+
+    def test_rewriting_does_more_work_than_whirlpool(self, xmark_db):
+        """The paper's Section 3 claim: the outer-join plan beats the
+        rewriting enumeration (exponential number of relaxed queries)."""
+        engine = Engine(xmark_db, "//item[./description/parlist]")
+        whirlpool = engine.run(5, algorithm="whirlpool_s")
+        rewriting = _rewriting(engine, 5)
+        rewriting.run()
+        assert rewriting.queries_evaluated > 1
+        assert rewriting.stats.join_comparisons > whirlpool.stats.join_comparisons
+
+    def test_k_validated(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        with pytest.raises(EngineError):
+            _rewriting(engine, 0)
+
+
+class TestStats:
+    def test_stats_recorded(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        result = _rewriting(engine, 2).run()
+        assert result.algorithm == "rewriting"
+        assert result.stats.partial_matches_created > 0
+        assert result.stats.completed_matches == result.stats.partial_matches_created
+        assert result.stats.wall_time_seconds > 0

@@ -1,0 +1,157 @@
+"""Tests for engine-facing score models and normalizations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ScoringError
+from repro.query.xpath import parse_xpath
+from repro.scoring.model import (
+    MatchQuality,
+    RandomScoreModel,
+    ScoreModel,
+    TableScoreModel,
+    TfIdfScoreModel,
+    build_score_model,
+)
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode
+from repro.xmldb.parser import parse_document
+from repro.xmldb.stats import DatabaseStatistics
+
+
+@pytest.fixture
+def query():
+    return parse_xpath("/book[./title = 'x' and ./info/publisher]")
+
+
+@pytest.fixture
+def stats():
+    db = parse_document(
+        """
+        <bib>
+          <book><title>x</title><info><publisher/></info></book>
+          <book><title>x</title></book>
+          <book><info><details><publisher/></details></info></book>
+          <book/>
+        </bib>
+        """
+    )
+    return DatabaseStatistics(DatabaseIndex(db))
+
+
+class TestScoreModelBase:
+    def test_contribution_by_quality(self):
+        model = ScoreModel({1: 2.0}, {1: 0.5})
+        assert model.contribution(1, MatchQuality.EXACT) == 2.0
+        assert model.contribution(1, MatchQuality.RELAXED) == 0.5
+        assert model.contribution(1, MatchQuality.DELETED) == 0.0
+
+    def test_unknown_node_contributes_zero(self):
+        model = ScoreModel({1: 2.0}, {1: 0.5})
+        assert model.contribution(9, MatchQuality.EXACT) == 0.0
+
+    def test_max_contribution_and_total(self):
+        model = ScoreModel({1: 2.0, 2: 1.0}, {1: 0.5, 2: 3.0})
+        assert model.max_contribution(1) == 2.0
+        assert model.max_contribution(2) == 3.0
+        assert model.max_total() == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoreModel({1: -1.0}, {1: 0.0})
+
+    def test_describe_lists_nodes(self):
+        model = ScoreModel({1: 2.0}, {1: 0.5})
+        assert "node 1" in model.describe()
+
+
+class TestTfIdfScoreModel:
+    def test_relaxed_never_exceeds_exact(self, query, stats):
+        model = TfIdfScoreModel(query, stats, normalization="raw")
+        for node_id in model.node_ids():
+            assert model.contribution(node_id, MatchQuality.RELAXED) <= (
+                model.contribution(node_id, MatchQuality.EXACT) + 1e-12
+            )
+
+    def test_sparse_normalization_unit_peaks(self, query, stats):
+        model = TfIdfScoreModel(query, stats, normalization="sparse")
+        for node_id in model.node_ids():
+            assert model.max_contribution(node_id) == pytest.approx(1.0)
+
+    def test_dense_normalization_global_peak(self, query, stats):
+        model = TfIdfScoreModel(query, stats, normalization="dense")
+        peaks = [model.max_contribution(n) for n in model.node_ids()]
+        assert max(peaks) == pytest.approx(1.0)
+        # Dense keeps the skew: not all peaks are 1.
+        assert min(peaks) < 1.0
+
+    def test_unknown_normalization_rejected(self, query, stats):
+        with pytest.raises(ScoringError):
+            TfIdfScoreModel(query, stats, normalization="banana")
+
+
+class TestRandomScoreModel:
+    def test_deterministic_by_seed(self, query):
+        a = RandomScoreModel(query, seed=3)
+        b = RandomScoreModel(query, seed=3)
+        c = RandomScoreModel(query, seed=4)
+        assert a.describe() == b.describe()
+        assert a.describe() != c.describe()
+
+    def test_all_nodes_covered(self, query):
+        model = RandomScoreModel(query, seed=1)
+        assert model.node_ids() == [n.node_id for n in query.non_root_nodes()]
+
+    @given(st.integers(0, 1000))
+    def test_relaxed_below_exact(self, seed):
+        query = parse_xpath("/a[./b and ./c/d]")
+        model = RandomScoreModel(query, seed=seed, normalization="raw")
+        for node_id in model.node_ids():
+            assert 0 <= model.contribution(node_id, MatchQuality.RELAXED)
+            assert model.contribution(node_id, MatchQuality.RELAXED) <= (
+                model.contribution(node_id, MatchQuality.EXACT)
+            )
+
+
+class TestTableScoreModel:
+    def test_per_candidate_scores(self):
+        db = Database.from_roots(
+            [XMLNode("book")]
+        )
+        node = db.documents[0].root
+        model = TableScoreModel(
+            exact={1: 0.1},
+            candidate_scores={(1, node.dewey): 0.77},
+        )
+        assert model.contribution(1, MatchQuality.EXACT, node) == 0.77
+        assert model.contribution(1, MatchQuality.EXACT, None) == 0.1
+        assert model.contribution(1, MatchQuality.DELETED, node) == 0.0
+
+    def test_max_contribution_covers_table(self):
+        model = TableScoreModel(
+            exact={1: 0.1},
+            candidate_scores={(1, (0, 0)): 0.3, (1, (0, 1)): 0.9},
+        )
+        assert model.max_contribution(1) == 0.9
+
+    def test_fallback_relaxed_defaults_to_exact(self):
+        model = TableScoreModel(exact={1: 0.4})
+        assert model.contribution(1, MatchQuality.RELAXED) == 0.4
+
+
+class TestFactory:
+    def test_tfidf_requires_stats(self, query):
+        with pytest.raises(ScoringError):
+            build_score_model(query, kind="tfidf", stats=None)
+
+    def test_random_kind(self, query):
+        model = build_score_model(query, kind="random", seed=5)
+        assert isinstance(model, RandomScoreModel)
+
+    def test_unknown_kind(self, query):
+        with pytest.raises(ScoringError):
+            build_score_model(query, kind="mystery")
+
+    def test_tfidf_kind(self, query, stats):
+        model = build_score_model(query, stats=stats, kind="tfidf")
+        assert isinstance(model, TfIdfScoreModel)

@@ -1,0 +1,70 @@
+"""Tests for XML serialization and document sizing."""
+
+from repro.xmldb.model import Database, XMLDocument, XMLNode, build_tree
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import document_size_bytes, serialize
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(XMLNode("a"), pretty=False) == "<a/>"
+
+    def test_value_serialized(self):
+        assert serialize(XMLNode("a", "hi"), pretty=False) == "<a>hi</a>"
+
+    def test_children_serialized_in_order(self):
+        tree = build_tree(("a", [("b",), ("c", "x")]))
+        assert serialize(tree, pretty=False) == "<a><b/><c>x</c></a>"
+
+    def test_attributes_rendered(self):
+        tree = XMLNode("item")
+        tree.child("@id", "i1")
+        tree.child("name", "gold")
+        out = serialize(tree, pretty=False)
+        assert out == '<item id="i1"><name>gold</name></item>'
+
+    def test_escaping_text(self):
+        out = serialize(XMLNode("a", "x < y & z > w"), pretty=False)
+        assert out == "<a>x &lt; y &amp; z &gt; w</a>"
+
+    def test_escaping_attributes(self):
+        tree = XMLNode("a")
+        tree.child("@q", 'say "hi" & <bye>')
+        out = serialize(tree, pretty=False)
+        assert 'q="say &quot;hi&quot; &amp; &lt;bye&gt;"' in out
+
+    def test_pretty_output_indents(self):
+        tree = build_tree(("a", [("b", [("c",)])]))
+        out = serialize(tree, pretty=True)
+        lines = out.strip().split("\n")
+        assert lines[0] == "<a>"
+        assert lines[1].startswith("  <b>")
+        assert lines[2].startswith("    <c/>")
+
+    def test_serialize_document_and_database(self):
+        db = Database.from_roots([build_tree(("a", [("b",)])), XMLNode("c")])
+        text_db = serialize(db, pretty=False)
+        assert text_db == "<a><b/></a><c/>"
+        text_doc = serialize(db.documents[0], pretty=False)
+        assert text_doc == "<a><b/></a>"
+
+    def test_roundtrip_with_parser(self):
+        original = "<site><regions><africa><item id=\"i0\"><name>gold duke</name></item></africa></regions></site>"
+        db = parse_document(original)
+        again = parse_document(serialize(db))
+        assert again.node_count() == db.node_count()
+        assert again.tag_histogram() == db.tag_histogram()
+
+
+class TestDocumentSize:
+    def test_size_positive_and_grows(self):
+        small = Database.from_roots([build_tree(("a", [("b",)]))])
+        large = Database.from_roots(
+            [build_tree(("a", [("b", "some longer text content")] * 1))]
+        )
+        assert 0 < document_size_bytes(small) < document_size_bytes(large)
+
+    def test_size_counts_utf8_bytes(self):
+        ascii_db = Database.from_roots([XMLNode("a", "xx")])
+        unicode_db = Database.from_roots([XMLNode("a", "中中")])
+        assert document_size_bytes(unicode_db) > document_size_bytes(ascii_db)

@@ -1,0 +1,134 @@
+"""Tests for the path summary and the summary-estimated router."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Engine
+from repro.xmldb.dewey import DepthRange
+from repro.xmldb.model import Database, XMLNode
+from repro.xmldb.parser import parse_document
+from repro.xmldb.summary import PathSummary
+
+
+@pytest.fixture
+def db():
+    return parse_document(
+        """
+        <a>
+          <b><c/><c/></b>
+          <b><c/></b>
+          <d><b><c/></b></d>
+        </a>
+        """
+    )
+
+
+class TestPathSummary:
+    def test_counts_per_path(self, db):
+        summary = PathSummary(db)
+        assert summary.path_count(("a",)) == 1
+        assert summary.path_count(("a", "b")) == 2
+        assert summary.path_count(("a", "b", "c")) == 3
+        assert summary.path_count(("a", "d", "b", "c")) == 1
+        assert summary.path_count(("a", "zzz")) == 0
+
+    def test_distinct_paths(self, db):
+        summary = PathSummary(db)
+        assert summary.distinct_paths() == 6
+
+    def test_tag_count_matches_database(self, db):
+        summary = PathSummary(db)
+        for tag in ("a", "b", "c", "d"):
+            assert summary.tag_count(tag) == len(db.nodes_with_tag(tag))
+
+    def test_paths_with_tag(self, db):
+        summary = PathSummary(db)
+        assert sorted(summary.paths_with_tag("b")) == [
+            ("a", "b"),
+            ("a", "d", "b"),
+        ]
+
+    def test_estimate_related_exact_for_uniform_data(self, db):
+        summary = PathSummary(db)
+        # a -> c (ad): 4 c's under the single a.
+        assert summary.estimate_related("a", "c", DepthRange.ad()) == pytest.approx(4.0)
+        # a -> b (pc): 2 direct b children.
+        assert summary.estimate_related("a", "b", DepthRange.pc()) == pytest.approx(2.0)
+        # b -> c (pc): 4 c's spread over 3 b's.
+        assert summary.estimate_related("b", "c", DepthRange.pc()) == pytest.approx(4 / 3)
+
+    def test_estimate_respects_depth_bounds(self, db):
+        summary = PathSummary(db)
+        # c at exactly depth 2 under a: the (a,b,c) path only.
+        assert summary.estimate_related(
+            "a", "c", DepthRange(2, 2)
+        ) == pytest.approx(3.0)
+        assert summary.estimate_related(
+            "a", "c", DepthRange(3, 3)
+        ) == pytest.approx(1.0)
+
+    def test_estimate_satisfaction_bounds(self, db):
+        summary = PathSummary(db)
+        satisfaction = summary.estimate_satisfaction("b", "c", DepthRange.pc())
+        assert 0.0 < satisfaction <= 1.0
+        assert summary.estimate_satisfaction("c", "b", DepthRange.pc()) == 0.0
+        assert summary.estimate_satisfaction("zzz", "c", DepthRange.pc()) == 0.0
+
+    def test_multi_document_forest(self):
+        db = Database.from_roots([XMLNode("a"), XMLNode("a")])
+        db.documents[0].root.child("b")
+        summary = PathSummary(db)
+        assert summary.path_count(("a",)) == 2
+        assert summary.estimate_related("a", "b", DepthRange.pc()) == pytest.approx(0.5)
+
+
+class TestSummaryEstimatesAgainstTruth:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_mean_fanout_is_exact_under_uniformity_per_path(self, seed):
+        """The summary's estimate of the mean fan-out equals the true mean
+        (the uniformity assumption only affects per-node variance)."""
+        import random
+
+        rng = random.Random(seed)
+        root = XMLNode("r")
+        for _ in range(rng.randint(1, 4)):
+            x = root.child("x")
+            for _ in range(rng.randint(0, 3)):
+                x.child("y")
+        db = Database.from_roots([root])
+        summary = PathSummary(db)
+        xs = db.nodes_with_tag("x")
+        true_mean = sum(
+            sum(1 for c in x.children if c.tag == "y") for x in xs
+        ) / len(xs)
+        assert summary.estimate_related("x", "y", DepthRange.pc()) == pytest.approx(
+            true_mean
+        )
+
+
+class TestEstimatedRouter:
+    def test_estimated_router_runs_and_agrees(self, xmark_db):
+        engine = Engine(xmark_db, "//item[./description/parlist and ./name]")
+        exact = engine.run(10, routing="min_alive")
+        estimated = engine.run(10, routing="min_alive_estimated")
+        assert [round(a.score, 9) for a in estimated.answers] == [
+            round(a.score, 9) for a in exact.answers
+        ]
+
+    def test_estimated_router_work_is_reasonable(self, xmark_db):
+        """Estimates are coarser than exact counts, so the estimated router
+        may do more operations — but not catastrophically more, and far
+        fewer than no pruning at all."""
+        engine = Engine(xmark_db, "//item[./description/parlist and ./name]")
+        exact = engine.run(10, routing="min_alive").stats.server_operations
+        estimated = engine.run(
+            10, routing="min_alive_estimated"
+        ).stats.server_operations
+        ceiling = engine.run(10, algorithm="lockstep_noprun").stats.server_operations
+        assert estimated <= ceiling
+        assert estimated <= exact * 2.5
+
+    def test_path_summary_cached_on_engine(self, books_db):
+        engine = Engine(books_db, "/book[./title]")
+        assert engine.path_summary() is engine.path_summary()

@@ -1,0 +1,85 @@
+"""Cross-validation: the path summary's estimates vs exact statistics.
+
+On tree data, the summary's expected fan-out must equal the exact mean
+fan-out from :class:`~repro.xmldb.stats.DatabaseStatistics` — the summary
+only loses *per-node variance*, never the aggregate.  Satisfaction is an
+upper bound (the min(1, fanout) approximation is optimistic).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xmldb.dewey import DepthRange
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import Database, XMLNode
+from repro.xmldb.stats import DatabaseStatistics
+from repro.xmldb.summary import PathSummary
+
+TAGS = ("a", "b", "c")
+
+
+def _random_db(seed: int) -> Database:
+    rng = random.Random(seed)
+
+    def build(depth):
+        node = XMLNode(rng.choice(TAGS))
+        if depth > 0:
+            for _ in range(rng.randint(0, 3)):
+                node.add_child(build(depth - 1))
+        return node
+
+    return Database.from_roots([build(3) for _ in range(rng.randint(1, 3))])
+
+
+AXES = [
+    DepthRange.pc(),
+    DepthRange.ad(),
+    DepthRange(2, 2),
+    DepthRange(2, None),
+]
+
+
+class TestAggregateAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from(AXES))
+    def test_mean_fanout_agrees_exactly(self, seed, axis):
+        database = _random_db(seed)
+        summary = PathSummary(database)
+        stats = DatabaseStatistics(DatabaseIndex(database))
+        for anchor_tag in TAGS:
+            for target_tag in TAGS:
+                if stats.tag_count(anchor_tag) == 0:
+                    continue
+                exact = stats.predicate(anchor_tag, target_tag, axis).mean_fanout()
+                estimated = summary.estimate_related(anchor_tag, target_tag, axis)
+                assert estimated == pytest.approx(exact), (
+                    anchor_tag,
+                    target_tag,
+                    axis,
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from(AXES))
+    def test_satisfaction_is_optimistic_bound(self, seed, axis):
+        database = _random_db(seed)
+        summary = PathSummary(database)
+        stats = DatabaseStatistics(DatabaseIndex(database))
+        for anchor_tag in TAGS:
+            for target_tag in TAGS:
+                if stats.tag_count(anchor_tag) == 0:
+                    continue
+                exact = stats.predicate(anchor_tag, target_tag, axis).selectivity()
+                estimated = summary.estimate_satisfaction(anchor_tag, target_tag, axis)
+                assert estimated >= exact - 1e-9
+                assert estimated <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_tag_counts_agree(self, seed):
+        database = _random_db(seed)
+        summary = PathSummary(database)
+        stats = DatabaseStatistics(DatabaseIndex(database))
+        for tag in TAGS:
+            assert summary.tag_count(tag) == stats.tag_count(tag)

@@ -1,0 +1,124 @@
+"""Tests for the XML tf*idf scoring function (Definitions 4.2–4.4)."""
+
+import math
+
+import pytest
+
+from repro.query.predicates import component_predicates
+from repro.query.xpath import parse_xpath
+from repro.scoring.tfidf import (
+    idf_table,
+    max_tf_table,
+    predicate_idf,
+    predicate_tf,
+    score_all_answers,
+    score_answer,
+)
+from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.parser import parse_document
+from repro.xmldb.stats import DatabaseStatistics
+
+
+@pytest.fixture
+def db():
+    # Three books: two have child titles (one has two), one has none.
+    return parse_document(
+        """
+        <bib>
+          <book><title>x</title><title>y</title><price>9</price></book>
+          <book><title>x</title></book>
+          <book><price>9</price></book>
+        </bib>
+        """
+    )
+
+
+@pytest.fixture
+def index(db):
+    return DatabaseIndex(db)
+
+
+@pytest.fixture
+def stats(index):
+    return DatabaseStatistics(index)
+
+
+class TestIdfAndTf:
+    def test_idf_definition(self, stats):
+        query = parse_xpath("/book[./title]")
+        predicate = component_predicates(query)[0]
+        # 3 books, 2 satisfy ./title.
+        assert predicate_idf(predicate, stats) == pytest.approx(math.log(3 / 2))
+
+    def test_idf_with_value(self, stats):
+        query = parse_xpath("/book[./title = 'y']")
+        predicate = component_predicates(query)[0]
+        # only 1 book has title 'y'.
+        assert predicate_idf(predicate, stats) == pytest.approx(math.log(3 / 1))
+
+    def test_tf_counts_ways(self, db, index):
+        query = parse_xpath("/book[./title]")
+        predicate = component_predicates(query)[0]
+        book0 = db.node_by_dewey((0, 0))
+        book2 = db.node_by_dewey((0, 2))
+        assert predicate_tf(predicate, book0, index) == 2
+        assert predicate_tf(predicate, book2, index) == 0
+
+    def test_tf_value_aware(self, db, index):
+        query = parse_xpath("/book[./title = 'x']")
+        predicate = component_predicates(query)[0]
+        book0 = db.node_by_dewey((0, 0))
+        assert predicate_tf(predicate, book0, index) == 1
+
+
+class TestScoreAnswer:
+    def test_score_is_sum_of_idf_times_tf(self, db, index, stats):
+        query = parse_xpath("/book[./title and ./price]")
+        book0 = db.node_by_dewey((0, 0))
+        idf_title = math.log(3 / 2)
+        idf_price = math.log(3 / 2)
+        expected = idf_title * 2 + idf_price * 1
+        assert score_answer(query, book0, index, stats) == pytest.approx(expected)
+
+    def test_more_satisfied_predicates_score_higher(self, db, index, stats):
+        query = parse_xpath("/book[./title and ./price]")
+        scores = {
+            anchor.dewey: score
+            for anchor, score in score_all_answers(query, index, stats)
+        }
+        assert scores[(0, 0)] > scores[(0, 1)]
+        assert scores[(0, 0)] > scores[(0, 2)]
+
+    def test_ranking_best_first(self, db, index, stats):
+        query = parse_xpath("/book[./title]")
+        ranked = score_all_answers(query, index, stats)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_universal_predicate_contributes_zero(self, index, stats):
+        """A predicate satisfied by every anchor has idf 0 (log 1)."""
+        query = parse_xpath("/book[.//title]")
+        db2 = parse_document("<bib><book><title>t</title></book></bib>")
+        index2 = DatabaseIndex(db2)
+        stats2 = DatabaseStatistics(index2)
+        book = db2.node_by_dewey((0, 0))
+        assert score_answer(query, book, index2, stats2) == pytest.approx(0.0)
+
+    def test_root_value_filter_in_ranking(self, stats, index):
+        query = parse_xpath("/book[. = 'special' and ./title]")
+        ranked = score_all_answers(query, index, stats)
+        assert ranked == []  # no book has that value
+
+
+class TestTables:
+    def test_idf_table_keys(self, stats):
+        query = parse_xpath("/book[./title and ./price]")
+        table = idf_table(query, stats)
+        assert set(table) == {1, 2}
+        assert all(value >= 0 for value in table.values())
+
+    def test_max_tf_table(self, stats):
+        query = parse_xpath("/book[./title and ./price]")
+        table = max_tf_table(query, stats)
+        assert table[1] == 2  # one book has two titles
+        assert table[2] == 1

@@ -1,0 +1,104 @@
+"""Tests for threshold queries (all answers above a fixed score bound)."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.threshold import FixedThresholdSet, ThresholdWhirlpool, threshold_query
+from repro.errors import EngineError
+
+PAPER_QUERY = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+
+
+class TestFixedThresholdSet:
+    def test_is_pruned_uses_constant(self):
+        from repro.core.match import PartialMatch
+        from repro.xmldb.model import Database, XMLNode
+
+        db = Database.from_roots([XMLNode("r")])
+        match = PartialMatch.initial(db.documents[0].root)
+        match.upper_bound = 0.4
+        bucket = FixedThresholdSet(0.5)
+        assert bucket.is_pruned(match)
+        match.upper_bound = 0.5
+        assert not bucket.is_pruned(match)
+        assert bucket.threshold() == 0.5
+
+    def test_only_complete_qualifying_matches_recorded(self):
+        from repro.core.match import PartialMatch
+        from repro.xmldb.model import Database, XMLNode
+
+        db = Database.from_roots([XMLNode("r"), XMLNode("r")])
+        good = PartialMatch.initial(db.documents[0].root)
+        good.score = 0.9
+        partial = PartialMatch.initial(db.documents[1].root)
+        partial.score = 0.9
+        low = PartialMatch.initial(db.documents[1].root)
+        low.score = 0.1
+        bucket = FixedThresholdSet(0.5)
+        bucket.observe(good, complete=True)
+        bucket.observe(partial, complete=False)
+        bucket.observe(low, complete=True)
+        answers = bucket.answers()
+        assert len(answers) == 1
+        assert answers[0].score == pytest.approx(0.9)
+
+
+class TestThresholdQuery:
+    def test_zero_threshold_returns_everything(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        result = threshold_query(engine, min_score=0.0)
+        assert len(result.answers) == 3  # every book qualifies (relaxed)
+
+    def test_threshold_filters(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        everything = threshold_query(engine, min_score=0.0)
+        scores = sorted((a.score for a in everything.answers), reverse=True)
+        cut = (scores[0] + scores[1]) / 2
+        result = threshold_query(engine, min_score=cut)
+        assert len(result.answers) == 1
+        assert result.answers[0].score >= cut
+
+    def test_unreachable_threshold_empty(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        ceiling = engine.score_model.max_total()
+        result = threshold_query(engine, min_score=ceiling + 1.0)
+        assert result.answers == []
+
+    def test_agrees_with_topk_ranking(self, xmark_db):
+        """Threshold answers = the prefix of the full ranking above the bound."""
+        engine = Engine(xmark_db, "//item[./description/parlist]")
+        full = engine.run(len(engine.index["item"]))
+        bound = full.answers[4].score  # the 5th best score
+        result = threshold_query(engine, min_score=bound)
+        expected = [a for a in full.answers if a.score >= bound]
+        assert [round(a.score, 9) for a in result.answers] == [
+            round(a.score, 9) for a in expected
+        ]
+
+    def test_pruning_reduces_work(self, xmark_db):
+        engine = Engine(xmark_db, "//item[./description/parlist and ./name]")
+        loose = threshold_query(engine, min_score=0.0)
+        tight = threshold_query(engine, min_score=engine.score_model.max_total())
+        assert tight.stats.server_operations <= loose.stats.server_operations
+
+    def test_exact_mode_threshold(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY, relaxed=False)
+        result = threshold_query(engine, min_score=0.0)
+        assert [a.root_node.dewey for a in result.answers] == [(0, 0)]
+
+    def test_negative_threshold_rejected(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        with pytest.raises(EngineError):
+            ThresholdWhirlpool(
+                pattern=engine.pattern,
+                index=engine.index,
+                score_model=engine.score_model,
+                k=1,
+                min_score=-0.5,
+            )
+
+    def test_answers_sorted(self, books_db):
+        engine = Engine(books_db, PAPER_QUERY)
+        result = threshold_query(engine, min_score=0.0)
+        scores = [a.score for a in result.answers]
+        assert scores == sorted(scores, reverse=True)

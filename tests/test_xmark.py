@@ -1,0 +1,147 @@
+"""Tests for the XMark-like generator: determinism, schema features, sizing."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.xmark.generator import (
+    estimate_bytes_per_item,
+    generate_database,
+    generate_for_size,
+)
+from repro.xmark.schema import REGIONS, XMarkConfig
+from repro.xmldb.serializer import document_size_bytes, serialize
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(XMarkConfig(items=120, seed=5))
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        a = generate_database(XMarkConfig(items=30, seed=9))
+        b = generate_database(XMarkConfig(items=30, seed=9))
+        assert serialize(a) == serialize(b)
+
+    def test_different_seed_different_document(self):
+        a = generate_database(XMarkConfig(items=30, seed=9))
+        b = generate_database(XMarkConfig(items=30, seed=10))
+        assert serialize(a) != serialize(b)
+
+
+class TestSchemaFeatures:
+    def test_structure_root(self, db):
+        root = db.documents[0].root
+        assert root.tag == "site"
+        assert root.children[0].tag == "regions"
+        region_tags = {child.tag for child in root.children[0].children}
+        assert region_tags <= set(REGIONS)
+
+    def test_item_count(self, db):
+        assert len(db.nodes_with_tag("item")) == 120
+
+    def test_recursive_parlist_present(self, db):
+        """Edge generalization needs recursive elements (parlist in parlist)."""
+        nested = [
+            node
+            for node in db.nodes_with_tag("parlist")
+            if any(n.tag == "parlist" for n in node.descendants())
+        ]
+        assert nested, "expected at least one nested parlist"
+
+    def test_optional_elements(self, db):
+        """Leaf deletion needs optional nodes: some items lack mailbox /
+        incategory / name, some have them."""
+        items = db.nodes_with_tag("item")
+        for tag in ("mailbox", "incategory", "name"):
+            with_tag = [i for i in items if any(c.tag == tag for c in i.children)]
+            assert 0 < len(with_tag) < len(items), f"{tag} should be optional"
+
+    def test_shared_text_element(self, db):
+        """Subtree promotion needs shared elements: text appears under both
+        description-side (listitem/description) and mail."""
+        texts = db.nodes_with_tag("text")
+        parents = {t.parent.tag for t in texts}
+        assert "mail" in parents
+        assert parents & {"description", "listitem"}
+
+    def test_text_markup_children(self, db):
+        texts = db.nodes_with_tag("text")
+        child_tags = {c.tag for t in texts for c in t.children}
+        assert {"bold", "keyword"} <= child_tags
+
+    def test_items_have_required_children(self, db):
+        for item in db.nodes_with_tag("item")[:20]:
+            child_tags = {c.tag for c in item.children}
+            assert "location" in child_tags
+            assert "description" in child_tags
+            assert "@id" in child_tags
+
+    def test_parlist_depth_bounded(self):
+        config = XMarkConfig(items=60, seed=1, max_parlist_depth=2, p_nested_parlist=0.9)
+        db = generate_database(config)
+        for parlist in db.nodes_with_tag("parlist"):
+            depth = 1
+            node = parlist.parent
+            while node is not None:
+                if node.tag == "parlist":
+                    depth += 1
+                node = node.parent
+            assert depth <= 2
+
+
+class TestSizing:
+    def test_estimate_bytes_per_item_positive(self):
+        assert estimate_bytes_per_item(XMarkConfig(seed=2)) > 100
+
+    def test_generate_for_size_hits_target(self):
+        target = 150_000
+        db = generate_for_size(target, seed=4)
+        size = document_size_bytes(db)
+        assert abs(size - target) / target < 0.25
+
+    def test_generate_for_size_rejects_nonpositive(self):
+        with pytest.raises(GeneratorError):
+            generate_for_size(0)
+
+
+class TestValidation:
+    def test_negative_items_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_database(XMarkConfig(items=-1))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_database(XMarkConfig(items=1, p_parlist=1.5))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_database(XMarkConfig(items=1, mail_range=(3, 1)))
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_database(XMarkConfig(items=1, max_parlist_depth=0))
+
+    def test_zero_items_allowed(self):
+        db = generate_database(XMarkConfig(items=0))
+        assert db.nodes_with_tag("item") == []
+
+
+class TestPaperQueriesHaveMatches:
+    """The generator must produce exact matches for Q1–Q3 so the paper's
+    workloads are non-degenerate."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//item[./description/parlist]",
+            "//item[./description/parlist and ./mailbox/mail/text]",
+            "//item[./mailbox/mail/text[./bold and ./keyword]"
+            " and ./name and ./incategory]",
+        ],
+    )
+    def test_exact_matches_exist(self, db, query):
+        from repro.query import find_matches, parse_xpath
+
+        pattern = parse_xpath(query)
+        assert len(find_matches(pattern, db)) > 0

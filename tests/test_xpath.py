@@ -1,0 +1,133 @@
+"""Tests for the XPath-subset parser, including all the paper's queries."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.query.pattern import Axis
+from repro.query.xpath import parse_xpath
+
+
+class TestPaperQueries:
+    def test_figure_2a(self):
+        pattern = parse_xpath(
+            "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+        )
+        nodes = {n.tag: n for n in pattern.nodes()}
+        assert pattern.root.tag == "book"
+        assert nodes["title"].value == "wodehouse"
+        assert nodes["title"].axis is Axis.PC
+        assert nodes["name"].value == "psmith"
+        assert [n.tag for n in nodes["name"].path_from_root()] == [
+            "book",
+            "info",
+            "publisher",
+            "name",
+        ]
+
+    def test_figure_2c_with_ad_axes(self):
+        pattern = parse_xpath(
+            "/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']"
+        )
+        nodes = {n.tag: n for n in pattern.nodes()}
+        assert nodes["title"].axis is Axis.AD
+        assert nodes["publisher"].axis is Axis.AD
+        assert nodes["name"].axis is Axis.PC
+
+    def test_q1(self):
+        pattern = parse_xpath("//item[./description/parlist]")
+        assert pattern.size() == 3
+        assert [n.tag for n in pattern.nodes()] == ["item", "description", "parlist"]
+
+    def test_q2(self):
+        pattern = parse_xpath(
+            "//item[./description/parlist and ./mailbox/mail/text]"
+        )
+        assert pattern.size() == 6
+        assert {n.tag for n in pattern.leaves()} == {"parlist", "text"}
+
+    def test_q3(self):
+        pattern = parse_xpath(
+            "//item[./mailbox/mail/text[./bold and ./keyword]"
+            " and ./name and ./incategory]"
+        )
+        assert pattern.size() == 8
+        text = next(n for n in pattern.nodes() if n.tag == "text")
+        assert {c.tag for c in text.children} == {"bold", "keyword"}
+
+
+class TestGrammar:
+    def test_nested_brackets(self):
+        pattern = parse_xpath("/a[./b[./c and ./d[.//e]]]")
+        tags = [n.tag for n in pattern.nodes()]
+        assert tags == ["a", "b", "c", "d", "e"]
+        e = pattern.nodes()[4]
+        assert e.axis is Axis.AD
+
+    def test_multiple_bracket_groups(self):
+        pattern = parse_xpath("/a[./b][./c]")
+        assert [n.tag for n in pattern.non_root_nodes()] == ["b", "c"]
+
+    def test_double_quoted_strings(self):
+        pattern = parse_xpath('/a[./b = "x y"]')
+        assert pattern.nodes()[1].value == "x y"
+
+    def test_whitespace_tolerance(self):
+        pattern = parse_xpath("  / a [ . / b = 'v'  and  .// c ] ")
+        assert [n.tag for n in pattern.nodes()] == ["a", "b", "c"]
+        assert pattern.nodes()[1].value == "v"
+
+    def test_self_value_test(self):
+        pattern = parse_xpath("/a[./b[. = 'v']]")
+        assert pattern.nodes()[1].value == "v"
+
+    def test_attribute_name_step(self):
+        pattern = parse_xpath("/item[./@id = 'i3']")
+        assert pattern.nodes()[1].tag == "@id"
+        assert pattern.nodes()[1].value == "i3"
+
+    def test_and_prefix_tag_not_confused(self):
+        # A tag starting with "and" must not be eaten by the conjunction.
+        pattern = parse_xpath("/a[./android and ./b]")
+        assert [n.tag for n in pattern.non_root_nodes()] == ["android", "b"]
+
+    def test_leading_double_slash_equivalent(self):
+        a = parse_xpath("/item[./name]")
+        b = parse_xpath("//item[./name]")
+        assert a.to_xpath() == b.to_xpath()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "book",
+            "/",
+            "/a[",
+            "/a[./b",
+            "/a[./b and]",
+            "/a[b]",
+            "/a[.]",
+            "/a[./b = ]",
+            "/a[./b = 'unterminated]",
+            "/a]b",
+            "/a/b",          # multi-step main path
+            "/a[./b = 'x' or ./c]",  # 'or' unsupported -> trailing junk
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_error_mentions_query(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("/a[./b")
+        assert "/a[./b" in str(excinfo.value)
+
+    def test_conflicting_self_value_tests(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/a[. = 'x' and . = 'y']")
+
+    def test_matching_self_value_tests_allowed(self):
+        pattern = parse_xpath("/a[. = 'x' and . = 'x']")
+        assert pattern.root.value == "x"

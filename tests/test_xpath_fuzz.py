@@ -1,0 +1,73 @@
+"""Fuzz/round-trip properties for the XPath subset and pattern rendering."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.pattern import Axis, PatternNode, TreePattern
+from repro.query.xpath import parse_xpath
+from repro.relax.enumeration import canonical_form
+
+_TAGS = ("a", "bb", "item", "x1", "with-dash", "u_z", "@attr")
+_VALUES = ("v", "two words", "psmith!", "48.95", "x-y_z")
+
+
+@st.composite
+def _patterns(draw):
+    """Random tree patterns within the supported subset."""
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+
+    def build(depth: int) -> PatternNode:
+        node = PatternNode(rng.choice(_TAGS[:-1]))  # root/tag steps only
+        if rng.random() < 0.3:
+            node.value = rng.choice(_VALUES)
+            node.value_op = rng.choice(("eq", "contains"))
+        if depth > 0:
+            for _ in range(rng.randint(0, 3)):
+                child = build(depth - 1)
+                node.add_child(child, rng.choice((Axis.PC, Axis.AD)))
+        return node
+
+    root = build(3)
+    root.axis = None
+    return TreePattern(root)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(_patterns())
+    def test_to_xpath_parse_roundtrip(self, pattern):
+        """Render → parse preserves the pattern up to sibling order."""
+        text = pattern.to_xpath()
+        reparsed = parse_xpath(text)
+        assert canonical_form(reparsed) == canonical_form(pattern), text
+
+    @settings(max_examples=120, deadline=None)
+    @given(_patterns())
+    def test_rendering_is_stable(self, pattern):
+        """to_xpath of a reparsed pattern is a fixed point."""
+        once = parse_xpath(pattern.to_xpath()).to_xpath()
+        twice = parse_xpath(once).to_xpath()
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(_patterns())
+    def test_copy_preserves_canonical_form(self, pattern):
+        assert canonical_form(pattern.copy()) == canonical_form(pattern)
+
+
+class TestParserRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet="/[]().@'\"= ~andbook", max_size=40))
+    def test_parser_never_crashes_unexpectedly(self, junk):
+        """Arbitrary junk either parses or raises XPathSyntaxError —
+        nothing else (no hangs, no raw exceptions)."""
+        from repro.errors import XPathSyntaxError
+
+        try:
+            pattern = parse_xpath(junk)
+        except XPathSyntaxError:
+            return
+        # If it parsed, it must render back to something parseable.
+        reparsed = parse_xpath(pattern.to_xpath())
+        assert canonical_form(reparsed) == canonical_form(pattern)
