@@ -15,7 +15,7 @@ import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.bench.workloads import get_engine
-from repro.core.fagin import NoRandomAccess, ThresholdAlgorithm, build_predicate_lists
+from repro.core import NoRandomAccess, ThresholdAlgorithm, build_predicate_lists
 
 
 @pytest.fixture(scope="module")

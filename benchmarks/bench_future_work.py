@@ -19,8 +19,7 @@ import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.bench.workloads import get_engine
-from repro.core.router import BatchingRouter, MinAliveRouter
-from repro.core.whirlpool_s import WhirlpoolS
+from repro.core import BatchingRouter, MinAliveRouter, WhirlpoolS
 from repro.simulate.cost import CostModel
 from repro.simulate.scheduler import SimulatedWhirlpoolM
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.biblio import BiblioConfig, generate_catalogs, reference_query
-from repro.core.engine import Engine
+from repro.core import Engine
 
 MIXES = {
     "homogeneous": {"nested": 1.0},

@@ -12,7 +12,7 @@ import pytest
 from repro.bench.experiments import queue_policy_ablation, run_lockstep
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.bench.workloads import get_engine
-from repro.core.queues import QueuePolicy
+from repro.core import QueuePolicy
 
 
 @pytest.fixture(scope="module")

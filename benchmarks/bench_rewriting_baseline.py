@@ -13,7 +13,7 @@ import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.bench.workloads import get_engine
-from repro.core.rewriting import RewritingEngine
+from repro.core import RewritingEngine
 
 
 def _rewriting(engine, k, max_queries=None):

@@ -18,7 +18,7 @@ import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.biblio import BiblioConfig, generate_catalogs, reference_query
-from repro.core.engine import Engine
+from repro.core import Engine
 from repro.scoring.quality import RankingEvaluation
 
 K = 20

@@ -17,7 +17,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.params import QUERIES
 from repro.bench.reporting import emit, fmt, format_table, write_results
-from repro.core.engine import Engine
+from repro.core import Engine
 from repro.xmark.generator import generate_for_size
 
 SEEDS = (101, 202, 303)

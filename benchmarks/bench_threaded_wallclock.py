@@ -15,9 +15,7 @@ import time
 import pytest
 
 from repro.bench.reporting import emit, fmt, format_table, write_results
-from repro.core.engine import Engine
-from repro.core.whirlpool_m import WhirlpoolM
-from repro.core.whirlpool_s import WhirlpoolS
+from repro.core import Engine, WhirlpoolM, WhirlpoolS
 from repro.simulate.latency import LatencyIndex
 from repro.xmark.generator import generate_database
 from repro.xmark.schema import XMarkConfig

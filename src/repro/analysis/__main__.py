@@ -1,0 +1,118 @@
+"""``python -m repro.analysis`` — the repo's concurrency-safety gate.
+
+Runs two phases and exits non-zero if either finds anything:
+
+1. **lint** — the ``WPL`` rules over ``src/repro`` plus the repo's
+   ``benchmarks/`` directory when present (or over explicit paths);
+2. **racecheck smoke** — a real Whirlpool-M run (``threads_per_server=2``)
+   over a small generated biblio catalog under the lockset detector.
+
+Options::
+
+    python -m repro.analysis [paths...] [--json] [--skip-racecheck]
+                             [--skip-lint]
+
+With explicit ``paths`` only those files/directories are linted (used by
+the violation-fixture tests); the racecheck smoke is unaffected by paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import repro
+from repro.analysis.lint import Finding, format_human, format_json, lint_paths
+from repro.analysis.racecheck import RaceCheck, RaceFinding
+
+
+def default_lint_paths() -> List[Path]:
+    """``src/repro`` (via the installed package) + sibling ``benchmarks/``."""
+    package_root = Path(repro.__file__).resolve().parent
+    paths = [package_root]
+    repo_root = package_root.parent.parent
+    benchmarks = repo_root / "benchmarks"
+    if benchmarks.is_dir():
+        paths.append(benchmarks)
+    return paths
+
+
+def run_racecheck_smoke(threads_per_server: int = 2) -> List[RaceFinding]:
+    """One Whirlpool-M run over a generated biblio doc under the detector."""
+    from repro.biblio import BiblioConfig, generate_catalogs, reference_query
+    from repro.core.engine import Engine
+    from repro.core.whirlpool_m import WhirlpoolM
+
+    database = generate_catalogs(BiblioConfig(books_per_seller=6, seed=3))
+    engine = Engine(database, reference_query())
+    with RaceCheck() as check:
+        runner = WhirlpoolM(
+            pattern=engine.pattern,
+            index=engine.index,
+            score_model=engine.score_model,
+            k=5,
+            threads_per_server=threads_per_server,
+        )
+        runner.run()
+    return check.findings()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Whirlpool concurrency-safety analysis (lint + racecheck).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: src/repro + benchmarks/)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--skip-lint", action="store_true", help="skip the AST lint phase"
+    )
+    parser.add_argument(
+        "--skip-racecheck",
+        action="store_true",
+        help="skip the Whirlpool-M racecheck smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+
+    lint_findings: List[Finding] = []
+    if not args.skip_lint:
+        targets = [Path(p) for p in args.paths] if args.paths else default_lint_paths()
+        missing = [str(p) for p in targets if not p.exists()]
+        if missing:
+            print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+        lint_findings = lint_paths(targets)
+        if args.json:
+            print(format_json(lint_findings))
+        else:
+            print(format_human(lint_findings))
+        failed = failed or bool(lint_findings)
+
+    if not args.skip_racecheck:
+        race_findings = run_racecheck_smoke()
+        if args.json:
+            import json
+
+            print(json.dumps({"racecheck": [f.as_dict() for f in race_findings]}))
+        elif race_findings:
+            print(f"racecheck smoke: {len(race_findings)} finding(s)")
+            for finding in race_findings:
+                print(f"  [{finding.kind}] {finding.detail}")
+        else:
+            print("racecheck smoke: no findings")
+        failed = failed or bool(race_findings)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Custom AST lint: rule engine + the repo's ``WPL`` concurrency rules.
+
+Quick use::
+
+    from repro.analysis.lint import lint_paths, format_human
+
+    findings = lint_paths(["src/repro"])
+    print(format_human(findings))
+
+Rule catalog (details in ``docs/static_analysis.md``):
+
+========  ========================  =====================================
+Code      Rule                      Invariant
+========  ========================  =====================================
+WPL001    shared-state-guard        shared-class writes under ``self._lock``
+WPL002    no-bare-thread            threads are named daemons
+WPL003    engine-contract           EngineBase subclasses stay conformant
+WPL004    no-wallclock-in-core      no wall clock in ``core/`` bar stats.py
+WPL005    bench-imports-public-api  benches use ``repro.core`` exports only
+WPL900    syntax-error              file must parse (engine-emitted)
+========  ========================  =====================================
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintEngine,
+    Module,
+    Rule,
+    format_human,
+    format_json,
+)
+from repro.analysis.lint.rules import (
+    BenchImportsPublicApiRule,
+    EngineContractRule,
+    NoBareThreadRule,
+    NoWallclockInCoreRule,
+    SharedStateGuardRule,
+    default_rules,
+)
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Lint files/directories with the default rule set."""
+    return LintEngine(default_rules()).lint_paths(Path(p) for p in paths)
+
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Module",
+    "Rule",
+    "format_human",
+    "format_json",
+    "default_rules",
+    "lint_paths",
+    "SharedStateGuardRule",
+    "NoBareThreadRule",
+    "EngineContractRule",
+    "NoWallclockInCoreRule",
+    "BenchImportsPublicApiRule",
+]

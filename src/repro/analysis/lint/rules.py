@@ -1,0 +1,398 @@
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL005``).
+
+Each rule encodes one invariant Whirlpool-M's correctness (or the bench
+suite's honesty) rests on.  They are deliberately narrow: a rule that
+over-approximates gets suppressed into noise, a rule that encodes exactly
+the discipline the code review would enforce stays load-bearing.
+
+Static-analysis limits worth knowing:
+
+- *shared-state-guard* only sees **direct** ``self.attr`` writes in a
+  method's own statements.  Writes inside nested functions / lambdas are
+  skipped — whether the closure runs under a lock is a runtime property
+  (that is :mod:`repro.analysis.racecheck`'s job, and exactly how
+  ``ExecutionStats._locked`` routes its counter updates).
+- *no-bare-thread* checks construction kwargs (``name=``, ``daemon=True``);
+  it cannot prove the thread is joined — the racecheck stress test and the
+  ``_InFlight`` counter cover liveness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.lint.engine import Finding, Module, Rule
+
+#: Classes whose internals are shared across Whirlpool-M threads.
+SHARED_CLASSES: Set[str] = {
+    "TopKSet",
+    "ExecutionStats",
+    "EngineStats",
+    "ExecutionTrace",
+    "MatchQueue",
+    "_InFlight",
+}
+
+#: Mutating container methods that count as writes when called on a
+#: ``self.<attr>`` of a shared class.
+_MUTATORS: Set[str] = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "discard",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "appendleft",
+}
+
+#: ``time`` module members that read the wall clock or block on it.
+_WALLCLOCK = {
+    "time",
+    "time_ns",
+    "sleep",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+}
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+class SharedStateGuardRule(Rule):
+    """WPL001: shared-class attribute writes must sit under ``with self._lock``.
+
+    Applies to methods of :data:`SHARED_CLASSES` (``__init__`` excepted —
+    the object is not shared before construction completes).  A guard is a
+    ``with`` on a ``self`` attribute whose name contains ``lock`` or
+    ``cond`` (or is ``_not_empty``, the queue's condition).
+    """
+
+    code = "WPL001"
+    name = "shared-state-guard"
+    description = "write to shared-class state outside a `with self._lock` block"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name not in SHARED_CLASSES:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "__init__":
+                    continue
+                for finding in self._scan(module, node.name, item.body, False):
+                    yield finding
+
+    # -- statement walk, tracking the guard state --------------------------------
+
+    def _scan(
+        self,
+        module: Module,
+        class_name: str,
+        stmts: Sequence[ast.stmt],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            # Nested defs run later, possibly under a lock taken by the
+            # caller (the ExecutionStats._locked idiom) — out of scope.
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = guarded or any(
+                    self._is_guard(item.context_expr) for item in stmt.items
+                )
+                for finding in self._scan(module, class_name, stmt.body, inner):
+                    yield finding
+                continue
+            if not guarded:
+                for attr, site in self._writes(stmt):
+                    yield self.finding(
+                        module,
+                        site,
+                        f"unguarded write to shared state {class_name}.{attr} "
+                        f"(wrap in `with self._lock:`)",
+                    )
+            for block in self._sub_blocks(stmt):
+                for finding in self._scan(module, class_name, block, guarded):
+                    yield finding
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field, None)
+            if block:
+                yield block
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield handler.body
+
+    @staticmethod
+    def _is_guard(expr: ast.expr) -> bool:
+        return _is_self_attr(expr) and (
+            "lock" in expr.attr or "cond" in expr.attr or expr.attr == "_not_empty"  # type: ignore[attr-defined]
+        )
+
+    def _writes(self, stmt: ast.stmt) -> List[Tuple[str, ast.AST]]:
+        """(attribute name, anchor node) pairs for writes this statement makes."""
+        out: List[Tuple[str, ast.AST]] = []
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                out.extend(self._target_attrs(target))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if stmt.target is not None:
+                out.extend(self._target_attrs(stmt.target))
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and _is_self_attr(func.value)
+            ):
+                out.append((func.value.attr, stmt))  # type: ignore[attr-defined]
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                out.extend(self._target_attrs(target))
+        return out
+
+    def _target_attrs(self, target: ast.expr) -> List[Tuple[str, ast.AST]]:
+        if _is_self_attr(target):
+            return [(target.attr, target)]  # type: ignore[attr-defined]
+        if isinstance(target, ast.Subscript) and _is_self_attr(target.value):
+            return [(target.value.attr, target)]  # type: ignore[attr-defined]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: List[Tuple[str, ast.AST]] = []
+            for element in target.elts:
+                out.extend(self._target_attrs(element))
+            return out
+        if isinstance(target, ast.Starred):
+            return self._target_attrs(target.value)
+        return []
+
+
+class NoBareThreadRule(Rule):
+    """WPL002: every ``threading.Thread(...)`` gets ``name=`` and ``daemon=True``.
+
+    Named daemons are the repo's thread discipline: names make traces and
+    racecheck reports attributable, daemon-ness keeps a crashed engine
+    from wedging interpreter shutdown, and the engine's join/``_InFlight``
+    tracking (checked dynamically) covers termination.
+    """
+
+    code = "WPL002"
+    name = "no-bare-thread"
+    description = "thread constructed without name= and daemon=True"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        thread_names = self._thread_references(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_thread_ctor(node.func, thread_names):
+                continue
+            missing = []
+            keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            if "name" not in keywords:
+                missing.append("name=")
+            daemon = keywords.get("daemon")
+            if not (isinstance(daemon, ast.Constant) and daemon.value is True):
+                missing.append("daemon=True")
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare thread: construct via a named helper passing "
+                    + " and ".join(missing),
+                )
+
+    @staticmethod
+    def _thread_references(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+        """(module aliases of ``threading``, direct names bound to ``Thread``)."""
+        modules: Set[str] = set()
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "threading":
+                        modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "threading":
+                for alias in node.names:
+                    if alias.name == "Thread":
+                        names.add(alias.asname or alias.name)
+        return modules, names
+
+    @staticmethod
+    def _is_thread_ctor(func: ast.expr, refs: Tuple[Set[str], Set[str]]) -> bool:
+        modules, names = refs
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Thread"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in modules
+        ):
+            return True
+        return isinstance(func, ast.Name) and func.id in names
+
+
+class EngineContractRule(Rule):
+    """WPL003: direct ``EngineBase`` subclasses honour the engine contract.
+
+    They must set the ``algorithm`` class attribute (result labelling and
+    the facade's dispatch table depend on it) and must *not* reimplement
+    ``make_server_queue`` — queue-policy construction is centralized so
+    the pruning/priority behaviour stays comparable across engines.
+    """
+
+    code = "WPL003"
+    name = "engine-contract"
+    description = "EngineBase subclass missing `algorithm` or overriding make_server_queue"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(self._is_engine_base(base) for base in node.bases):
+                continue
+            if not self._sets_algorithm(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"engine {node.name} must set the `algorithm` class attribute",
+                )
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "make_server_queue"
+                ):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"engine {node.name} must not reimplement make_server_queue "
+                        f"(queue policy/pruning is owned by EngineBase)",
+                    )
+
+    @staticmethod
+    def _is_engine_base(base: ast.expr) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id == "EngineBase"
+        return isinstance(base, ast.Attribute) and base.attr == "EngineBase"
+
+    @staticmethod
+    def _sets_algorithm(node: ast.ClassDef) -> bool:
+        for item in node.body:
+            if isinstance(item, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "algorithm"
+                for target in item.targets
+            ):
+                return True
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id == "algorithm"
+                and item.value is not None
+            ):
+                return True
+        return False
+
+
+class NoWallclockInCoreRule(Rule):
+    """WPL004: no wall-clock reads or sleeps in ``core/`` outside ``stats.py``.
+
+    Engine results must be a function of (database, query, k, policy) —
+    wall-clock coupling in control flow makes runs non-reproducible and
+    benchmarks dishonest.  Timing belongs to ``core/stats.py`` (which
+    carries the sanctioned ``# wpl: noqa=WPL001`` clock writes) and to
+    :mod:`repro.simulate` for modeled latency.
+    """
+
+    code = "WPL004"
+    name = "no-wallclock-in-core"
+    description = "wall-clock use (time.time/sleep/...) in core/ outside stats.py"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.is_core() or module.path.name == "stats.py":
+            return
+        time_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                yield self.finding(
+                    module,
+                    node,
+                    "core/ must not import from `time` (keep timing in stats.py "
+                    "or repro.simulate)",
+                )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WALLCLOCK
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in time_aliases
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call time.{node.func.attr}() in core/ "
+                    f"(allowed only in stats.py)",
+                )
+
+
+class BenchImportsPublicApiRule(Rule):
+    """WPL005: benchmark drivers import ``repro.core`` only via its package API.
+
+    Benchmarks are the paper's measurements; pinning them to
+    ``repro.core.__init__`` exports keeps them honest about what the
+    public engine surface provides and lets internals be refactored
+    without silently changing what is measured.
+    """
+
+    code = "WPL005"
+    name = "bench-imports-public-api"
+    description = "benchmark imports a repro.core submodule instead of the public API"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.is_benchmark():
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module is not None and node.module.startswith("repro.core."):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import from `repro.core` (public API), not "
+                        f"`{node.module}`",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.core."):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import `repro.core` (public API), not `{alias.name}`",
+                        )
+
+
+def default_rules() -> List[Rule]:
+    """One fresh instance of every built-in rule, code order."""
+    return [
+        SharedStateGuardRule(),
+        NoBareThreadRule(),
+        EngineContractRule(),
+        NoWallclockInCoreRule(),
+        BenchImportsPublicApiRule(),
+    ]

@@ -32,6 +32,12 @@ from repro.core.router import (
     BatchingRouter,
     make_router,
 )
+from repro.core.fagin import (
+    NoRandomAccess,
+    ThresholdAlgorithm,
+    build_predicate_lists,
+)
+from repro.core.queues import MatchQueue
 from repro.core.whirlpool_s import WhirlpoolS
 from repro.core.whirlpool_m import WhirlpoolM
 from repro.core.lockstep import LockStep, LockStepNoPrun
@@ -48,6 +54,10 @@ __all__ = [
     "ExecutionStats",
     "Server",
     "QueuePolicy",
+    "MatchQueue",
+    "NoRandomAccess",
+    "ThresholdAlgorithm",
+    "build_predicate_lists",
     "RoutingStrategy",
     "StaticRouter",
     "MaxScoreRouter",

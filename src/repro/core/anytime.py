@@ -19,9 +19,10 @@ anytime wrapper detects that, too (the classic Upper-style early stop).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.base import EngineBase, TopKResult
+from repro.core.topk import TopKAnswer
 from repro.core.queues import MatchQueue, QueuePolicy
 from repro.errors import EngineError
 
@@ -37,14 +38,14 @@ class AnytimeOutcome:
         is_final: bool,
         pending_bound: float,
         operations_used: int,
-    ):
+    ) -> None:
         self.result = result
         self.is_final = is_final
         self.pending_bound = pending_bound
         self.operations_used = operations_used
 
     @property
-    def answers(self):
+    def answers(self) -> List[TopKAnswer]:
         """Best-known top-k answers (final iff :attr:`is_final`)."""
         return self.result.answers
 
@@ -70,7 +71,7 @@ class AnytimeWhirlpool(EngineBase):
 
     algorithm = "whirlpool_anytime"
 
-    def __init__(self, *args, max_operations: Optional[int] = None, **kwargs):
+    def __init__(self, *args, max_operations: Optional[int] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if max_operations is not None and max_operations < 0:
             raise EngineError(

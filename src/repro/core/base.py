@@ -24,10 +24,12 @@ from repro.core.router import MinAliveRouter, RoutingStrategy
 from repro.core.server import Server
 from repro.core.stats import ExecutionStats
 from repro.core.topk import TopKAnswer, TopKSet
+from repro.core.trace import EngineObserver
 from repro.errors import EngineError
 from repro.query.pattern import TreePattern
 from repro.relax.plan import compile_plan
 from repro.scoring.model import ScoreModel
+from repro.xmldb.dewey import Dewey
 from repro.xmldb.index import DatabaseIndex
 
 
@@ -43,7 +45,7 @@ class TopKResult:
         algorithm: str,
         k: int,
         pattern: TreePattern,
-    ):
+    ) -> None:
         self.answers = answers
         self.stats = stats
         self.algorithm = algorithm
@@ -54,7 +56,7 @@ class TopKResult:
         """Answer scores, best first."""
         return [answer.score for answer in self.answers]
 
-    def root_deweys(self) -> List:
+    def root_deweys(self) -> List[Dewey]:
         """Dewey ids of the answer roots, best first."""
         return [answer.root_node.dewey for answer in self.answers]
 
@@ -91,9 +93,9 @@ class EngineBase:
         router: Optional[RoutingStrategy] = None,
         queue_policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
         thread_safe_stats: bool = False,
-        observer=None,
+        observer: Optional[EngineObserver] = None,
         join_algorithm: str = "index",
-    ):
+    ) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
         self.pattern = pattern
@@ -127,7 +129,7 @@ class EngineBase:
         self.stats = ExecutionStats(thread_safe=thread_safe_stats)
         #: Optional :class:`~repro.core.trace.EngineObserver` receiving
         #: seed / route / extension / prune events.
-        self.observer = observer
+        self.observer: Optional[EngineObserver] = observer
 
     # -- shared steps --------------------------------------------------------------
 
@@ -171,7 +173,12 @@ class EngineBase:
         self._notify_extension(parent, extension, "alive")
         return extension
 
-    def _notify_extension(self, parent, extension, outcome: str) -> None:
+    def _notify_extension(
+        self,
+        parent: Optional[PartialMatch],
+        extension: PartialMatch,
+        outcome: str,
+    ) -> None:
         if self.observer is not None and parent is not None:
             self.observer.on_extension(
                 parent, extension, outcome, self.topk.threshold()

@@ -18,12 +18,13 @@ precisely what the benchmark harness does.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.base import EngineBase, TopKResult
 from repro.core.lockstep import LockStep, LockStepNoPrun
 from repro.core.queues import QueuePolicy
 from repro.core.router import make_router
+from repro.core.trace import EngineObserver
 from repro.core.whirlpool_m import WhirlpoolM
 from repro.core.whirlpool_s import WhirlpoolS
 from repro.errors import EngineError
@@ -34,6 +35,9 @@ from repro.scoring.tfidf import score_all_answers
 from repro.xmldb.index import DatabaseIndex
 from repro.xmldb.model import Database, XMLNode
 from repro.xmldb.stats import DatabaseStatistics
+
+if TYPE_CHECKING:
+    from repro.xmldb.summary import PathSummary
 
 ALGORITHMS: Dict[str, Type[EngineBase]] = {
     "whirlpool_s": WhirlpoolS,
@@ -55,7 +59,7 @@ class Engine:
         normalization: str = "sparse",
         seed: int = 0,
         score_model: Optional[ScoreModel] = None,
-    ):
+    ) -> None:
         self.database = database
         self.pattern = parse_xpath(query) if isinstance(query, str) else query
         self.relaxed = relaxed
@@ -71,13 +75,14 @@ class Engine:
                 normalization=normalization,
                 seed=seed,
             )
+        self._path_summary: Optional["PathSummary"] = None
 
     # -- running -------------------------------------------------------------------
 
-    def path_summary(self):
+    def path_summary(self) -> "PathSummary":
         """The database's :class:`~repro.xmldb.summary.PathSummary`
         (built lazily; backs the ``min_alive_estimated`` router)."""
-        summary = getattr(self, "_path_summary", None)
+        summary = self._path_summary
         if summary is None:
             from repro.xmldb.summary import PathSummary
 
@@ -92,7 +97,7 @@ class Engine:
         static_order: Optional[Sequence[int]] = None,
         queue_policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
         routing_batch: Optional[int] = None,
-        observer=None,
+        observer: Optional[EngineObserver] = None,
         join_algorithm: str = "index",
     ) -> TopKResult:
         """Evaluate the top-k query with one algorithm/policy combination.
@@ -135,7 +140,7 @@ class Engine:
                 f"{', '.join(sorted(ALGORITHMS))}"
             )
 
-        kwargs = dict(
+        kwargs: Dict[str, Any] = dict(
             pattern=self.pattern,
             index=self.index,
             score_model=self.score_model,
@@ -176,7 +181,7 @@ def topk(
     query: Union[str, TreePattern],
     k: int,
     algorithm: str = "whirlpool_s",
-    **kwargs,
+    **kwargs: Any,
 ) -> TopKResult:
     """One-shot convenience: build an :class:`Engine` and run it once.
 

@@ -47,7 +47,7 @@ class PredicateList:
 
     __slots__ = ("name", "entries", "scores_by_root")
 
-    def __init__(self, name: str, entries: List[Tuple[float, Dewey, XMLNode]]):
+    def __init__(self, name: str, entries: List[Tuple[float, Dewey, XMLNode]]) -> None:
         self.name = name
         #: (score, dewey, node), best score first; zero-score roots omitted.
         self.entries = sorted(entries, key=lambda item: (-item[0], item[1]))
@@ -106,7 +106,7 @@ class FaginResult:
         sorted_accesses: int,
         random_accesses: int,
         rounds: int,
-    ):
+    ) -> None:
         self.answers = answers
         self.sorted_accesses = sorted_accesses
         self.random_accesses = random_accesses
@@ -126,7 +126,7 @@ class FaginResult:
 class ThresholdAlgorithm:
     """TA: sorted access round-robin + random access completion."""
 
-    def __init__(self, lists: Sequence[PredicateList], k: int):
+    def __init__(self, lists: Sequence[PredicateList], k: int) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
         if not lists:
@@ -187,7 +187,7 @@ class ThresholdAlgorithm:
 class NoRandomAccess:
     """NRA: sorted access only, lower/upper bound bookkeeping."""
 
-    def __init__(self, lists: Sequence[PredicateList], k: int):
+    def __init__(self, lists: Sequence[PredicateList], k: int) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
         if not lists:
@@ -258,7 +258,9 @@ class NoRandomAccess:
                 )
                 return FaginResult(answers, sorted_accesses, 0, position)
 
-    def _finalize(self, deweys, nodes):
+    def _finalize(
+        self, deweys: List[Dewey], nodes: Dict[Dewey, XMLNode]
+    ) -> List[Tuple[XMLNode, float]]:
         """Exact scores for the winning set (reporting only — classic NRA
         returns the set; completing scores from the materialized lists does
         not change the access count it is measured by)."""

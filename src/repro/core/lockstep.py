@@ -29,7 +29,7 @@ class LockStep(EngineBase):
     algorithm = "lockstep"
     prune = True
 
-    def __init__(self, *args, order: Optional[Sequence[int]] = None, **kwargs):
+    def __init__(self, *args, order: Optional[Sequence[int]] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if order is None:
             order = list(self.server_ids)

@@ -51,7 +51,7 @@ class PartialMatch:
         qualities: Dict[int, MatchQuality],
         visited: FrozenSet[int],
         score: float,
-    ):
+    ) -> None:
         self.match_id = next(_match_counter)
         self.root_node = root_node
         self.instantiations = instantiations

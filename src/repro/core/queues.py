@@ -51,7 +51,7 @@ class MatchQueue:
         policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
         server_id: Optional[int] = None,
         max_contributions: Optional[Dict[int, float]] = None,
-    ):
+    ) -> None:
         if policy is QueuePolicy.MAX_NEXT_SCORE:
             if server_id is None or max_contributions is None:
                 raise ValueError(

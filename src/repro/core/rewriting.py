@@ -54,7 +54,7 @@ class RewritingEngine:
         score_model: ScoreModel,
         k: int,
         max_queries: Optional[int] = None,
-    ):
+    ) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
         self.pattern = pattern

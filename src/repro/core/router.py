@@ -23,10 +23,14 @@ is exactly what makes the strategy adaptive.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.match import PartialMatch
 from repro.errors import EngineError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
+    from repro.core.base import EngineBase
+    from repro.xmldb.summary import PathSummary
 
 
 class RoutingStrategy:
@@ -34,7 +38,7 @@ class RoutingStrategy:
 
     name = "abstract"
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         """Return the node id of the next server for ``match``.
 
         ``engine`` exposes ``servers`` (node id → Server),
@@ -43,7 +47,7 @@ class RoutingStrategy:
         """
         raise NotImplementedError
 
-    def _unvisited(self, match: PartialMatch, engine) -> List[int]:
+    def _unvisited(self, match: PartialMatch, engine: "EngineBase") -> List[int]:
         unvisited = match.unvisited(sorted(engine.servers))
         if not unvisited:
             raise EngineError(
@@ -60,10 +64,10 @@ class StaticRouter(RoutingStrategy):
 
     name = "static"
 
-    def __init__(self, order: Sequence[int]):
+    def __init__(self, order: Sequence[int]) -> None:
         self.order = list(order)
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         for node_id in self.order:
             if node_id in engine.servers and node_id not in match.visited:
                 return node_id
@@ -79,7 +83,7 @@ class MaxScoreRouter(RoutingStrategy):
 
     name = "max_score"
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         unvisited = self._unvisited(match, engine)
         return max(
             unvisited,
@@ -92,7 +96,7 @@ class MinScoreRouter(RoutingStrategy):
 
     name = "min_score"
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         unvisited = self._unvisited(match, engine)
         return min(
             unvisited,
@@ -120,7 +124,7 @@ class MinAliveRouter(RoutingStrategy):
 
     name = "min_alive_partial_matches"
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         unvisited = self._unvisited(match, engine)
         threshold = engine.topk.threshold()
         rest_total = sum(
@@ -144,7 +148,7 @@ class MinAliveRouter(RoutingStrategy):
     def _estimated_alive(
         self,
         match: PartialMatch,
-        engine,
+        engine: "EngineBase",
         node_id: int,
         rest_total: float,
         threshold: float,
@@ -190,14 +194,14 @@ class EstimatedMinAliveRouter(MinAliveRouter):
 
     name = "min_alive_estimated"
 
-    def __init__(self, summary):
+    def __init__(self, summary: "PathSummary") -> None:
         self.summary = summary
-        self._cache = {}
+        self._cache: Dict[int, Tuple[float, float, float]] = {}
 
     def _estimated_alive(
         self,
         match: PartialMatch,
-        engine,
+        engine: "EngineBase",
         node_id: int,
         rest_total: float,
         threshold: float,
@@ -255,23 +259,23 @@ class BatchingRouter(RoutingStrategy):
 
     name = "batching"
 
-    def __init__(self, inner: RoutingStrategy, score_buckets: int = 10):
+    def __init__(self, inner: RoutingStrategy, score_buckets: int = 10) -> None:
         if score_buckets < 1:
             raise ValueError(f"score_buckets must be >= 1, got {score_buckets}")
         self.inner = inner
         self.score_buckets = score_buckets
-        self._cache = {}
+        self._cache: Dict[Tuple[FrozenSet[int], int, int], int] = {}
         #: Decisions answered from cache (the overhead actually saved).
         self.cache_hits = 0
         #: Decisions delegated to the inner router.
         self.cache_misses = 0
 
-    def _bucket(self, match: PartialMatch, engine) -> int:
+    def _bucket(self, match: PartialMatch, engine: "EngineBase") -> int:
         ceiling = max(engine.score_model.max_total(), 1e-9)
         fraction = min(max(match.score / ceiling, 0.0), 1.0)
         return int(fraction * (self.score_buckets - 1))
 
-    def choose(self, match: PartialMatch, engine) -> int:
+    def choose(self, match: PartialMatch, engine: "EngineBase") -> int:
         threshold_bucket = int(
             engine.topk.threshold() / max(engine.score_model.max_total(), 1e-9)
             * self.score_buckets

@@ -29,13 +29,15 @@ filters.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.match import PartialMatch
 from repro.core.stats import ExecutionStats
 from repro.relax.plan import ServerPredicates
 from repro.scoring.model import MatchQuality, ScoreModel
+from repro.xmldb.dewey import Dewey
 from repro.xmldb.index import DatabaseIndex
+from repro.xmldb.model import XMLNode
 
 
 class CandidateCounts:
@@ -43,7 +45,7 @@ class CandidateCounts:
 
     __slots__ = ("total", "exact")
 
-    def __init__(self, total: int, exact: int):
+    def __init__(self, total: int, exact: int) -> None:
         self.total = total
         self.exact = exact
 
@@ -56,7 +58,7 @@ class RoutingEstimates:
 
     __slots__ = ("fanout_total", "fanout_exact", "p_empty")
 
-    def __init__(self, fanout_total: float, fanout_exact: float, p_empty: float):
+    def __init__(self, fanout_total: float, fanout_exact: float, p_empty: float) -> None:
         self.fanout_total = fanout_total
         self.fanout_exact = fanout_exact
         self.p_empty = p_empty
@@ -94,7 +96,7 @@ class Server:
         score_model: ScoreModel,
         relaxed: bool = True,
         join_algorithm: str = "index",
-    ):
+    ) -> None:
         if join_algorithm not in self.JOIN_ALGORITHMS:
             raise ValueError(
                 f"unknown join_algorithm {join_algorithm!r}; "
@@ -105,8 +107,11 @@ class Server:
         self.score_model = score_model
         self.relaxed = relaxed
         self.join_algorithm = join_algorithm
+        self._root_tag: Optional[str] = None
+        self._estimates_cache: Optional[RoutingEstimates] = None
+        self._count_cache: Dict[Dewey, CandidateCounts] = {}
 
-    def _probe(self, root_dewey):
+    def _probe(self, root_dewey: Dewey) -> Tuple[List[XMLNode], int]:
         """Locate candidates; returns (candidates, comparisons_paid)."""
         if self.join_algorithm == "index":
             candidates = self.index.related(
@@ -204,7 +209,7 @@ class Server:
     def set_root_tag(self, root_tag: str) -> None:
         """Tell the server its query root tag (needed for fan-out estimates)."""
         self._root_tag = root_tag
-        self._estimates_cache: Optional[RoutingEstimates] = None
+        self._estimates_cache = None
 
     def routing_estimates(self) -> "RoutingEstimates":
         """Fan-out statistics driving the size-based router.
@@ -216,10 +221,10 @@ class Server:
         "estimates... obtained by using work on selectivity estimation for
         XML".
         """
-        cached = getattr(self, "_estimates_cache", None)
+        cached = self._estimates_cache
         if cached is not None:
             return cached
-        root_tag = getattr(self, "_root_tag", None)
+        root_tag = self._root_tag
         if root_tag is None:
             raise RuntimeError("set_root_tag() must be called before routing_estimates()")
 
@@ -258,7 +263,7 @@ class Server:
         """Mean candidate count per root image (shortcut for tests)."""
         return self.routing_estimates().fanout_total
 
-    def candidate_counts(self, root_dewey) -> "CandidateCounts":
+    def candidate_counts(self, root_dewey: Dewey) -> "CandidateCounts":
         """(total, exact-quality) candidate counts for one root image.
 
         This is the size-based router's per-match signal: how many
@@ -267,9 +272,7 @@ class Server:
         index work the eventual server operation does, which is precisely
         the "cost of adaptivity" the paper's Figure 8 charges.
         """
-        cache = getattr(self, "_count_cache", None)
-        if cache is None:
-            cache = self._count_cache = {}
+        cache = self._count_cache
         counts = cache.get(root_dewey)
         if counts is not None:
             return counts

@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 
 class ExecutionStats:
     """Mutable counter bundle; one instance per engine run."""
 
-    def __init__(self, thread_safe: bool = False):
+    def __init__(self, thread_safe: bool = False) -> None:
         self.server_operations = 0
         self.join_comparisons = 0
         self.partial_matches_created = 0
@@ -42,16 +42,16 @@ class ExecutionStats:
     # -- timing -----------------------------------------------------------------
 
     def start_clock(self) -> None:
-        """Mark the start of the run."""
-        self._start = time.perf_counter()
+        """Mark the start of the run (single-threaded setup phase)."""
+        self._start = time.perf_counter()  # wpl: noqa=WPL001
 
     def stop_clock(self) -> None:
-        """Record wall time since :meth:`start_clock`."""
-        self.wall_time_seconds = time.perf_counter() - self._start
+        """Record wall time since :meth:`start_clock` (after workers join)."""
+        self.wall_time_seconds = time.perf_counter() - self._start  # wpl: noqa=WPL001
 
     # -- counters ----------------------------------------------------------------
 
-    def _locked(self, fn) -> None:
+    def _locked(self, fn: Callable[[], None]) -> None:
         if self._lock is None:
             fn()
         else:

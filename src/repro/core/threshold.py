@@ -36,7 +36,7 @@ class FixedThresholdSet:
     best complete tuple reaches it is an answer (no k cut-off).
     """
 
-    def __init__(self, min_score: float):
+    def __init__(self, min_score: float) -> None:
         self.min_score = min_score
         self._best = {}
 
@@ -73,7 +73,7 @@ class ThresholdWhirlpool(EngineBase):
 
     algorithm = "threshold_whirlpool"
 
-    def __init__(self, *args, min_score: float = 0.0, **kwargs):
+    def __init__(self, *args, min_score: float = 0.0, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if min_score < 0:
             raise EngineError(f"min_score must be >= 0, got {min_score}")

@@ -24,9 +24,12 @@ Whirlpool-M's server threads can share one instance.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.match import PartialMatch
+
+if TYPE_CHECKING:
+    from repro.query.pattern import TreePattern
 from repro.xmldb.dewey import Dewey
 from repro.xmldb.model import XMLNode
 
@@ -36,12 +39,12 @@ class TopKAnswer:
 
     __slots__ = ("root_node", "score", "match")
 
-    def __init__(self, root_node: XMLNode, score: float, match: PartialMatch):
+    def __init__(self, root_node: XMLNode, score: float, match: PartialMatch) -> None:
         self.root_node = root_node
         self.score = score
         self.match = match
 
-    def explain(self, pattern) -> str:
+    def explain(self, pattern: "TreePattern") -> str:
         """Relaxation provenance of this answer's representative match."""
         return self.match.explain(pattern)
 
@@ -52,7 +55,7 @@ class TopKAnswer:
 class _Entry:
     __slots__ = ("root_node", "score", "match", "complete_score", "complete_match")
 
-    def __init__(self, root_node: XMLNode):
+    def __init__(self, root_node: XMLNode) -> None:
         self.root_node = root_node
         self.score = float("-inf")
         self.match: Optional[PartialMatch] = None
@@ -63,7 +66,7 @@ class _Entry:
 class TopKSet:
     """Candidate top-k answers plus the pruning threshold they induce."""
 
-    def __init__(self, k: int, threshold_source: str = "all"):
+    def __init__(self, k: int, threshold_source: str = "all") -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         if threshold_source not in ("all", "complete"):

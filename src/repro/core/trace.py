@@ -44,7 +44,7 @@ class TraceEvent:
         bound: float,
         threshold: float,
         detail: str = "",
-    ):
+    ) -> None:
         self.seq = seq
         self.kind = kind
         self.match_id = match_id
@@ -87,7 +87,7 @@ class EngineObserver:
 class ExecutionTrace(EngineObserver):
     """Observer that records everything (thread-safe)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         self._parents: Dict[int, int] = {}
         self._seq = itertools.count()
@@ -95,7 +95,14 @@ class ExecutionTrace(EngineObserver):
 
     # -- hook implementations ------------------------------------------------
 
-    def _record(self, kind, match, server_id, threshold, detail="") -> None:
+    def _record(
+        self,
+        kind: str,
+        match: PartialMatch,
+        server_id: Optional[int],
+        threshold: float,
+        detail: str = "",
+    ) -> None:
         event = TraceEvent(
             next(self._seq),
             kind,
@@ -109,18 +116,24 @@ class ExecutionTrace(EngineObserver):
         with self._lock:
             self.events.append(event)
 
-    def on_seed(self, match, threshold):
+    def on_seed(self, match: PartialMatch, threshold: float) -> None:
         self._record("seed", match, None, threshold)
 
-    def on_route(self, match, server_id, threshold):
+    def on_route(self, match: PartialMatch, server_id: int, threshold: float) -> None:
         self._record("route", match, server_id, threshold)
 
-    def on_extension(self, parent, extension, outcome, threshold):
+    def on_extension(
+        self,
+        parent: PartialMatch,
+        extension: PartialMatch,
+        outcome: str,
+        threshold: float,
+    ) -> None:
         with self._lock:
             self._parents[extension.match_id] = parent.match_id
         self._record("extension", extension, None, threshold, detail=outcome)
 
-    def on_prune(self, match, threshold):
+    def on_prune(self, match: PartialMatch, threshold: float) -> None:
         self._record("prune", match, None, threshold)
 
     # -- analysis ----------------------------------------------------------------
@@ -152,11 +165,13 @@ class ExecutionTrace(EngineObserver):
         """server id → number of matches routed there."""
         distribution: Dict[int, int] = {}
         for event in self.events:
-            if event.kind == "route":
+            if event.kind == "route" and event.server_id is not None:
                 distribution[event.server_id] = distribution.get(event.server_id, 0) + 1
         return distribution
 
-    def routes_by_threshold_band(self, bands: int = 4, ceiling: Optional[float] = None):
+    def routes_by_threshold_band(
+        self, bands: int = 4, ceiling: Optional[float] = None
+    ) -> Dict[int, Dict[int, int]]:
         """Routing distribution per threshold band — adaptivity made visible.
 
         Returns {band index: {server id: count}}; band 0 covers the lowest
@@ -170,6 +185,8 @@ class ExecutionTrace(EngineObserver):
         top = max(top, 1e-12)
         out: Dict[int, Dict[int, int]] = {}
         for event in routes:
+            if event.server_id is None:
+                continue
             band = min(int(event.threshold / top * bands), bands - 1)
             out.setdefault(band, {})
             out[band][event.server_id] = out[band].get(event.server_id, 0) + 1

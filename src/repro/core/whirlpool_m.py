@@ -17,18 +17,24 @@ the paper's parallelism experiments lives in :mod:`repro.simulate`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.core.base import EngineBase, TopKResult
 from repro.core.queues import MatchQueue, QueuePolicy
 
 _POLL_SECONDS = 0.02
 
+#: Deadlock backstop for :meth:`_InFlight.wait_zero`.  Termination is
+#: notification-driven (``dec()`` notifies on the zero crossing), so this
+#: timeout is never what wakes a healthy run — it only bounds the damage
+#: of a lost-wakeup bug, letting the loop re-inspect the counter.
+_WAIT_BACKSTOP_SECONDS = 60.0
+
 
 class _InFlight:
     """Counter of matches alive anywhere in the system."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._count = 0
         self._cond = threading.Condition()
 
@@ -42,10 +48,15 @@ class _InFlight:
             if self._count <= 0:
                 self._cond.notify_all()
 
-    def wait_zero(self) -> None:
+    def wait_zero(self, backstop_seconds: float = _WAIT_BACKSTOP_SECONDS) -> None:
+        """Block until the counter reaches zero.
+
+        Every ``dec()`` to zero notifies, so this normally sleeps exactly
+        once and wakes on the notification — not on a poll interval.
+        """
         with self._cond:
             while self._count > 0:
-                self._cond.wait(_POLL_SECONDS)
+                self._cond.wait(backstop_seconds)
 
 
 class WhirlpoolM(EngineBase):
@@ -61,7 +72,7 @@ class WhirlpoolM(EngineBase):
 
     algorithm = "whirlpool_m"
 
-    def __init__(self, *args, threads_per_server: int = 1, **kwargs):
+    def __init__(self, *args: Any, threads_per_server: int = 1, **kwargs: Any) -> None:
         kwargs.setdefault("thread_safe_stats", True)
         super().__init__(*args, **kwargs)
         if threads_per_server < 1:

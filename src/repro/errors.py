@@ -25,7 +25,7 @@ class XMLParseError(ReproError):
         1-based line number of the problem, when known.
     """
 
-    def __init__(self, message: str, position: int = -1, line: int = -1):
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
         self.message = message
         self.position = position
         self.line = line
@@ -40,7 +40,7 @@ class XMLParseError(ReproError):
 class XPathSyntaxError(ReproError):
     """Raised when the XPath-subset parser rejects a query string."""
 
-    def __init__(self, message: str, query: str = "", position: int = -1):
+    def __init__(self, message: str, query: str = "", position: int = -1) -> None:
         self.message = message
         self.query = query
         self.position = position

@@ -72,7 +72,7 @@ class PatternNode:
         "tag", "value", "value_op", "axis", "optional", "parent", "children", "node_id"
     )
 
-    def __init__(self, tag: str, value: Optional[str] = None, value_op: str = "eq"):
+    def __init__(self, tag: str, value: Optional[str] = None, value_op: str = "eq") -> None:
         if not tag:
             raise PatternError("pattern node tag must be non-empty")
         if value_op not in VALUE_OPS:
@@ -141,7 +141,7 @@ class PatternNode:
 class TreePattern:
     """A rooted tree pattern; the root is the returned node."""
 
-    def __init__(self, root: PatternNode):
+    def __init__(self, root: PatternNode) -> None:
         if root.parent is not None:
             raise PatternError("pattern root must not have a parent")
         self.root = root

@@ -42,7 +42,7 @@ class ComponentPredicate:
 
     __slots__ = ("anchor_tag", "target", "axis", "relaxed_axis", "value", "value_op")
 
-    def __init__(self, anchor_tag: str, target: PatternNode, axis: DepthRange):
+    def __init__(self, anchor_tag: str, target: PatternNode, axis: DepthRange) -> None:
         self.anchor_tag = anchor_tag
         self.target = target
         self.axis = axis

@@ -37,7 +37,7 @@ from repro.query.pattern import Axis, PatternNode, TreePattern
 class _Cursor:
     """Character cursor with skip/expect helpers and error context."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
 

@@ -49,7 +49,7 @@ class ConditionalPredicate:
         other_tag: str,
         direction: str,
         exact: DepthRange,
-    ):
+    ) -> None:
         if direction not in ("down", "up"):
             raise ValueError(f"direction must be 'down' or 'up', got {direction!r}")
         self.other_id = other_id
@@ -110,7 +110,7 @@ class ServerPredicates:
         probe_axis: DepthRange,
         conditionals: List[ConditionalPredicate],
         value_op: str = "eq",
-    ):
+    ) -> None:
         self.node_id = node_id
         self.tag = tag
         self.value = value
@@ -137,7 +137,7 @@ class ServerPredicates:
 class RelaxedPlan:
     """Compiled plan: one :class:`ServerPredicates` per non-root query node."""
 
-    def __init__(self, pattern: TreePattern, relaxed: bool):
+    def __init__(self, pattern: TreePattern, relaxed: bool) -> None:
         self.pattern = pattern
         self.relaxed = relaxed
         self.root_tag = pattern.root.tag

@@ -37,7 +37,7 @@ class RelaxationStep:
 
     __slots__ = ("kind", "node_id")
 
-    def __init__(self, kind: RelaxationKind, node_id: int):
+    def __init__(self, kind: RelaxationKind, node_id: int) -> None:
         self.kind = kind
         self.node_id = node_id
 

@@ -48,7 +48,7 @@ class ScoreModel:
     or override :meth:`contribution` for per-candidate scores.
     """
 
-    def __init__(self, exact: Dict[int, float], relaxed: Dict[int, float]):
+    def __init__(self, exact: Dict[int, float], relaxed: Dict[int, float]) -> None:
         for node_id, value in relaxed.items():
             if value < 0 or exact.get(node_id, 0.0) < 0:
                 raise ScoringError("score contributions must be non-negative")
@@ -146,7 +146,7 @@ class TfIdfScoreModel(ScoreModel):
         pattern: TreePattern,
         stats: DatabaseStatistics,
         normalization: str = "sparse",
-    ):
+    ) -> None:
         exact: Dict[int, float] = {}
         relaxed: Dict[int, float] = {}
         for predicate in component_predicates(pattern):
@@ -183,7 +183,7 @@ class RandomScoreModel(ScoreModel):
         seed: int,
         normalization: str = "sparse",
         skew: float = 2.0,
-    ):
+    ) -> None:
         """``skew`` > 1 spreads raw magnitudes across predicates (some
         predicates matter much more), which the dense normalization then
         preserves."""
@@ -213,7 +213,7 @@ class TableScoreModel(ScoreModel):
         exact: Dict[int, float],
         relaxed: Optional[Dict[int, float]] = None,
         candidate_scores: Optional[Dict[Tuple[int, Tuple[int, ...]], float]] = None,
-    ):
+    ) -> None:
         super().__init__(exact, relaxed if relaxed is not None else dict(exact))
         self._candidate_scores = dict(candidate_scores or {})
         self._per_node_max: Dict[int, float] = {}

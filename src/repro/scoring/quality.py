@@ -79,7 +79,7 @@ class RankingEvaluation:
 
     __slots__ = ("k", "precision", "recall", "map", "mrr", "ndcg")
 
-    def __init__(self, ranked: Sequence[Hashable], relevant: Set[Hashable], k: int):
+    def __init__(self, ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> None:
         self.k = k
         self.precision = precision_at_k(ranked, relevant, k)
         self.recall = recall_at_k(ranked, relevant, k)

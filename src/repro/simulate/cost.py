@@ -21,7 +21,7 @@ class CostModel:
         self,
         operation_cost: float = DEFAULT_OPERATION_COST,
         routing_cost: float = 0.0,
-    ):
+    ) -> None:
         if operation_cost < 0 or routing_cost < 0:
             raise ValueError("costs must be non-negative")
         self.operation_cost = operation_cost

@@ -33,7 +33,7 @@ class LatencyIndex:
     were actually paid.
     """
 
-    def __init__(self, inner: DatabaseIndex, probe_latency: float = 0.001):
+    def __init__(self, inner: DatabaseIndex, probe_latency: float = 0.001) -> None:
         if probe_latency < 0:
             raise ValueError(f"probe_latency must be >= 0, got {probe_latency}")
         self.inner = inner

@@ -48,7 +48,7 @@ class SimulationResult:
         makespan: float,
         busy_time: float,
         n_processors: Optional[int],
-    ):
+    ) -> None:
         self.result = result
         self.makespan = makespan
         self.busy_time = busy_time
@@ -80,7 +80,7 @@ class SimulatedWhirlpoolM(EngineBase):
         cost_model: Optional[CostModel] = None,
         threads_per_server: int = 1,
         **kwargs,
-    ):
+    ) -> None:
         super().__init__(*args, **kwargs)
         if n_processors is not None and n_processors < 1:
             raise EngineError(f"n_processors must be >= 1 or None, got {n_processors}")

@@ -132,7 +132,7 @@ class DepthRange:
 
     __slots__ = ("lo", "hi")
 
-    def __init__(self, lo: int, hi: Optional[int]):
+    def __init__(self, lo: int, hi: Optional[int]) -> None:
         if lo < 0:
             raise ValueError(f"DepthRange lower bound must be >= 0, got {lo}")
         if hi is not None and hi < lo:

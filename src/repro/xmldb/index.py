@@ -26,7 +26,7 @@ class TagIndex:
 
     __slots__ = ("tag", "nodes", "_deweys")
 
-    def __init__(self, tag: str, nodes: Iterable[XMLNode] = ()):
+    def __init__(self, tag: str, nodes: Iterable[XMLNode] = ()) -> None:
         self.tag = tag
         self.nodes: List[XMLNode] = sorted(nodes, key=lambda node: node.dewey)
         self._deweys: List[Dewey] = [node.dewey for node in self.nodes]
@@ -92,7 +92,7 @@ class TagIndex:
 class DatabaseIndex:
     """Tag → :class:`TagIndex` map over a whole database forest."""
 
-    def __init__(self, database: Database, tags: Optional[Iterable[str]] = None):
+    def __init__(self, database: Database, tags: Optional[Iterable[str]] = None) -> None:
         """Index ``database``; restrict to ``tags`` when given.
 
         The paper indexes only "nodes involved in the query"; passing the

@@ -33,7 +33,7 @@ class XMLNode:
 
     __slots__ = ("tag", "value", "children", "dewey", "parent")
 
-    def __init__(self, tag: str, value: Optional[str] = None):
+    def __init__(self, tag: str, value: Optional[str] = None) -> None:
         if not tag:
             raise ValueError("XMLNode tag must be a non-empty string")
         self.tag = tag
@@ -117,7 +117,7 @@ class XMLDocument:
 
     __slots__ = ("root", "ordinal")
 
-    def __init__(self, root: XMLNode, ordinal: int = 0):
+    def __init__(self, root: XMLNode, ordinal: int = 0) -> None:
         self.root = root
         self.ordinal = ordinal
         root._assign_deweys((ordinal,))
@@ -153,7 +153,7 @@ class Database:
     order extends across documents.
     """
 
-    def __init__(self, documents: Optional[Sequence[XMLDocument]] = None):
+    def __init__(self, documents: Optional[Sequence[XMLDocument]] = None) -> None:
         self.documents: List[XMLDocument] = []
         if documents:
             for document in documents:

@@ -31,7 +31,7 @@ _PREDEFINED_ENTITIES = {
 class _Tokenizer:
     """Character-level cursor over the XML text with error reporting."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
         self.length = len(text)

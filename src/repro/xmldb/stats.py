@@ -52,7 +52,7 @@ class PredicateStatistics:
         target_tag: str,
         axis: DepthRange,
         fanouts: List[int],
-    ):
+    ) -> None:
         self.anchor_tag = anchor_tag
         self.target_tag = target_tag
         self.axis = axis
@@ -114,7 +114,7 @@ class PredicateStatistics:
 class DatabaseStatistics:
     """Cached per-predicate statistics over one indexed database."""
 
-    def __init__(self, index: DatabaseIndex):
+    def __init__(self, index: DatabaseIndex) -> None:
         self.index = index
         self._cache: Dict[Tuple[str, str, DepthRange], PredicateStatistics] = {}
 

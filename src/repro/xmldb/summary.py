@@ -31,7 +31,7 @@ TagPath = Tuple[str, ...]
 class PathSummary:
     """Distinct tag paths of a database forest, with node counts."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database) -> None:
         self.counts: Dict[TagPath, int] = {}
         self._by_tag: Dict[str, List[TagPath]] = {}
         for document in database.documents:

@@ -1,0 +1,21 @@
+"""Fixture: threads created without a name or without daemon=True.
+
+Deliberately violates WPL002 (no-bare-thread).
+"""
+
+import threading
+from threading import Thread
+
+
+def work():
+    pass
+
+
+def spawn_bad():
+    bare = threading.Thread(target=work)  # line 15: WPL002 (no name, no daemon)
+    named_only = Thread(target=work, name="worker")  # line 16: WPL002 (no daemon)
+    return bare, named_only
+
+
+def spawn_good():
+    return threading.Thread(target=work, name="worker-0", daemon=True)

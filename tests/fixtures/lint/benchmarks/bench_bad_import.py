@@ -1,0 +1,13 @@
+"""Fixture: a benchmark reaching into ``repro.core`` submodules.
+
+Deliberately violates WPL005 (bench-imports-public-api).  The file lives
+under a ``benchmarks/`` directory so the rule's path-role check fires.
+"""
+
+from repro.core.topk import TopKSet  # line 8: WPL005
+import repro.core.whirlpool_m  # line 9: WPL005
+from repro.core import Engine  # public API: no finding
+
+
+def run():
+    return TopKSet, repro.core.whirlpool_m, Engine

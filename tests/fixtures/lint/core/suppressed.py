@@ -1,0 +1,18 @@
+"""Fixture: wall-clock call suppressed with the repo's noqa syntax.
+
+Proves ``# wpl: noqa=CODE`` silences exactly the named code on its line.
+"""
+
+import time
+
+
+def timed_setup():
+    return time.perf_counter()  # wpl: noqa=WPL004
+
+
+def still_flagged():
+    return time.time()  # line 14: WPL004 (no suppression)
+
+
+def wrong_code_suppressed():
+    return time.monotonic()  # wpl: noqa=WPL001

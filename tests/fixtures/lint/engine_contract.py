@@ -1,0 +1,31 @@
+"""Fixture: engine subclasses breaking the EngineBase contract.
+
+Deliberately violates WPL003 (engine-contract): a direct subclass must set
+``algorithm`` and must not override ``make_server_queue``.
+"""
+
+
+class EngineBase:
+    algorithm = "abstract"
+
+    def make_server_queue(self, node_id):
+        return None
+
+
+class MissingAlgorithmEngine(EngineBase):  # line 15: WPL003 (no algorithm)
+    def run(self):
+        return None
+
+
+class QueueOverridingEngine(EngineBase):  # line 20: WPL003 (overrides queue)
+    algorithm = "bad"
+
+    def make_server_queue(self, node_id):
+        return []
+
+
+class GoodEngine(EngineBase):
+    algorithm = "good"
+
+    def run(self):
+        return None

@@ -1,0 +1,162 @@
+"""Lint-engine tests: every rule fires on its fixture, the repo is clean.
+
+``tests/fixtures/lint/`` holds deliberately-violating snippets (never
+imported, only parsed); each test asserts the expected rule code fires at
+the expected line — and nowhere else.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LintEngine,
+    default_rules,
+    format_human,
+    format_json,
+    lint_paths,
+)
+from repro.analysis.lint.engine import Finding, Rule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def codes_and_lines(findings):
+    return sorted((f.code, f.line) for f in findings)
+
+
+class TestRuleFixtures:
+    def test_shared_state_guard_fires(self):
+        findings = lint_paths([FIXTURES / "unguarded_topk.py"])
+        assert codes_and_lines(findings) == [
+            ("WPL001", 19),
+            ("WPL001", 20),
+            ("WPL001", 28),
+        ]
+        messages = {f.line: f.message for f in findings}
+        assert "_entries" in messages[19]
+        assert "threshold_value" in messages[20]
+
+    def test_shared_state_guard_spares_init_and_guarded(self):
+        findings = lint_paths([FIXTURES / "unguarded_topk.py"])
+        lines = {f.line for f in findings}
+        # __init__ writes (lines 14-16) and the `with self._lock:` block
+        # (lines 24-26) must not be reported.
+        assert not lines & set(range(13, 17))
+        assert not lines & set(range(23, 27))
+
+    def test_no_bare_thread_fires(self):
+        findings = lint_paths([FIXTURES / "bare_thread.py"])
+        assert codes_and_lines(findings) == [("WPL002", 15), ("WPL002", 16)]
+
+    def test_engine_contract_fires(self):
+        findings = lint_paths([FIXTURES / "engine_contract.py"])
+        assert codes_and_lines(findings) == [("WPL003", 15), ("WPL003", 23)]
+        by_line = {f.line: f.message for f in findings}
+        assert "algorithm" in by_line[15]
+        assert "make_server_queue" in by_line[23]
+
+    def test_no_wallclock_in_core_fires(self):
+        findings = lint_paths([FIXTURES / "core" / "wallclock.py"])
+        assert codes_and_lines(findings) == [
+            ("WPL004", 8),
+            ("WPL004", 12),
+            ("WPL004", 13),
+        ]
+
+    def test_wallclock_rule_is_path_scoped(self, tmp_path):
+        # The same source outside a core/ directory is clean.
+        copy = tmp_path / "wallclock.py"
+        copy.write_text((FIXTURES / "core" / "wallclock.py").read_text())
+        assert lint_paths([copy]) == []
+
+    def test_bench_imports_public_api_fires(self):
+        findings = lint_paths([FIXTURES / "benchmarks" / "bench_bad_import.py"])
+        assert codes_and_lines(findings) == [("WPL005", 7), ("WPL005", 8)]
+        # `from repro.core import Engine` (the public API) is fine.
+        assert all("Engine" not in f.message for f in findings)
+
+
+class TestSuppressions:
+    def test_noqa_silences_named_code(self):
+        findings = lint_paths([FIXTURES / "core" / "suppressed.py"])
+        lines = {f.line for f in findings}
+        assert 10 not in lines  # wpl: noqa=WPL004 on the offending line
+        assert 14 in lines  # unsuppressed call still fires
+
+    def test_noqa_with_wrong_code_does_not_suppress(self):
+        findings = lint_paths([FIXTURES / "core" / "suppressed.py"])
+        assert ("WPL004", 18) in codes_and_lines(findings)
+
+
+class TestEngineMechanics:
+    def test_duplicate_code_rejected(self):
+        class Dup(Rule):
+            code = "WPL001"
+            name = "dup"
+            description = "duplicate"
+
+            def check(self, module):
+                return []
+
+        engine = LintEngine(default_rules())
+        with pytest.raises(ValueError):
+            engine.register(Dup())
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        findings = lint_paths([bad])
+        assert [f.code for f in findings] == ["WPL900"]
+
+    def test_directory_recursion_matches_explicit_files(self):
+        from_dir = lint_paths([FIXTURES])
+        explicit = lint_paths(sorted(FIXTURES.rglob("*.py")))
+        assert codes_and_lines(from_dir) == codes_and_lines(explicit)
+
+    def test_findings_sorted(self):
+        findings = lint_paths([FIXTURES])
+        keys = [(f.path, f.line, f.col, f.code) for f in findings]
+        assert keys == sorted(keys)
+
+
+class TestOutputFormats:
+    def test_json_round_trips(self):
+        findings = lint_paths([FIXTURES / "bare_thread.py"])
+        payload = json.loads(format_json(findings))
+        assert payload["count"] == 2
+        entries = payload["findings"]
+        assert entries[0]["code"] == "WPL002"
+        assert set(entries[0]) == {"code", "rule", "path", "line", "col", "message"}
+
+    def test_human_format(self):
+        findings = [
+            Finding(
+                code="WPL001",
+                rule="shared-state-guard",
+                path="x.py",
+                line=3,
+                col=4,
+                message="msg",
+            )
+        ]
+        text = format_human(findings)
+        assert "x.py:3:4" in text
+        assert "WPL001" in text
+        assert "1 finding" in text
+
+    def test_human_format_empty(self):
+        assert "0 findings" in format_human([])
+
+
+class TestCleanRepo:
+    def test_repo_source_is_lint_clean(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], format_human(findings)
+
+    def test_repo_benchmarks_are_lint_clean(self):
+        bench = REPO_SRC.parent.parent / "benchmarks"
+        findings = lint_paths([bench])
+        assert findings == [], format_human(findings)

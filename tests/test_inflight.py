@@ -1,0 +1,113 @@
+"""Regression tests for the in-flight counter's notification-driven wait.
+
+``wait_zero`` used to poll on a 20 ms interval; now every ``dec()`` that
+reaches zero notifies the condition, so the waiter sleeps through the
+whole wait and wakes at most a handful of times regardless of how long
+the workers take.  These tests instrument ``Condition.wait`` to prove it.
+"""
+
+import threading
+import time
+
+from repro.core.whirlpool_m import _WAIT_BACKSTOP_SECONDS, _InFlight
+
+
+class CountingCondition(threading.Condition):
+    """Condition that records every wait call and its timeout."""
+
+    def __init__(self):
+        super().__init__()
+        self.wait_calls = []
+
+    def wait(self, timeout=None):
+        self.wait_calls.append(timeout)
+        return super().wait(timeout)
+
+
+def make_counted():
+    counter = _InFlight()
+    condition = CountingCondition()
+    counter._cond = condition
+    return counter, condition
+
+
+class TestWaitZero:
+    def test_returns_immediately_at_zero(self):
+        counter, condition = make_counted()
+        counter.wait_zero()
+        assert condition.wait_calls == []
+
+    def test_wakes_on_notification_not_poll(self):
+        # A 20 ms poll would call wait() ~25 times while the worker runs
+        # for half a second; the notification-driven version sleeps once.
+        counter, condition = make_counted()
+        counter.inc()
+
+        def worker():
+            time.sleep(0.5)
+            counter.dec()
+
+        thread = threading.Thread(target=worker, name="inflight-test", daemon=True)
+        started = time.perf_counter()
+        thread.start()
+        counter.wait_zero()
+        elapsed = time.perf_counter() - started
+        thread.join()
+
+        assert elapsed >= 0.4
+        assert len(condition.wait_calls) <= 3, condition.wait_calls
+
+    def test_wait_uses_backstop_timeout(self):
+        # The single sleep carries the deadlock backstop, not a poll tick.
+        counter, condition = make_counted()
+        counter.inc()
+
+        thread = threading.Thread(
+            target=lambda: (time.sleep(0.05), counter.dec()),
+            name="inflight-test",
+            daemon=True,
+        )
+        thread.start()
+        counter.wait_zero()
+        thread.join()
+
+        assert condition.wait_calls
+        assert all(timeout == _WAIT_BACKSTOP_SECONDS for timeout in condition.wait_calls)
+
+    def test_explicit_backstop_bounds_wait_without_notification(self):
+        # If workers die without decrementing, the backstop still frees the
+        # waiter instead of deadlocking forever.
+        counter, condition = make_counted()
+        counter.inc()
+        waiter = threading.Thread(
+            target=lambda: counter.wait_zero(backstop_seconds=0.05),
+            name="inflight-test",
+            daemon=True,
+        )
+        waiter.start()
+        waiter.join(timeout=0.3)
+        # Still waiting (count never reached zero) but cycling on the
+        # backstop, not stuck in an untimed wait.
+        assert waiter.is_alive()
+        assert condition.wait_calls
+        assert all(timeout == 0.05 for timeout in condition.wait_calls)
+        counter.dec()  # release the waiter
+        waiter.join(timeout=5)
+        assert not waiter.is_alive()
+
+    def test_multiple_increments_single_wait(self):
+        counter, condition = make_counted()
+        counter.inc(3)
+
+        def worker():
+            for _ in range(3):
+                time.sleep(0.02)
+                counter.dec()
+
+        thread = threading.Thread(target=worker, name="inflight-test", daemon=True)
+        thread.start()
+        counter.wait_zero()
+        thread.join()
+        # Intermediate decrements (3→2→1) never notify, so the waiter is
+        # not woken early: one sleep covers the whole drain.
+        assert len(condition.wait_calls) <= 2, condition.wait_calls
