@@ -1,0 +1,169 @@
+"""Fault-injection hook overhead — the "zero cost when disabled" claim.
+
+The robustness layer (docs/robustness.md) threads injection hooks through
+every server operation, queue put/get, and routing decision.  Each hook
+site runs the same two-instruction guard when no plan is active::
+
+    injector = self._injector
+    if injector is not None: ...
+
+This bench quantifies that guard two ways:
+
+- **bound**: micro-time the disabled guard itself, multiply by a
+  (deliberately over-counted) number of hook-site executions in a
+  representative run, and divide by the run's wall time.  This is a
+  deterministic *upper bound* on the disabled-hook overhead and the
+  number the <2% assertion pins.
+- **context**: end-to-end wall time with hooks disabled (``faults=None``)
+  vs an armed-but-inert plan (a rule that can never fire) vs a chaos
+  plan, so the cost of actually arming the injector is visible too.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import emit, fmt, format_table, write_results
+from repro.core import Engine
+from repro.faults import FaultAction, FaultPlan, FaultRule, FaultSite
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+K = 10
+ROUNDS = 5
+GUARD_SAMPLES = 200_000
+
+#: Armed injector whose single rule watches a server id that does not
+#: exist: every hook site consults the injector, no fault ever fires.
+INERT_PLAN = FaultPlan(
+    [FaultRule(FaultSite.SERVER_OP, FaultAction.ERROR, target=999_999, nth=1)]
+)
+
+
+class _HookSite:
+    """The exact attribute-load + None-test shape of a disabled hook."""
+
+    __slots__ = ("_injector",)
+
+    def __init__(self):
+        self._injector = None
+
+
+def _time_disabled_guard() -> float:
+    """Median per-call cost (seconds) of the disabled-hook guard."""
+    site = _HookSite()
+    sink = 0
+    samples = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(GUARD_SAMPLES):
+            injector = site._injector
+            if injector is not None:
+                sink += 1
+        samples.append((time.perf_counter() - start) / GUARD_SAMPLES)
+    assert sink == 0
+    samples.sort()
+    return samples[1]
+
+
+def _run(engine, faults=None):
+    start = time.perf_counter()
+    result = engine.run(K, algorithm="whirlpool_s", faults=faults)
+    return result, time.perf_counter() - start
+
+
+def _median_wall(engine, faults=None):
+    walls = []
+    result = None
+    for _ in range(ROUNDS):
+        result, wall = _run(engine, faults)
+        walls.append(wall)
+    walls.sort()
+    return result, walls[len(walls) // 2]
+
+
+def _hook_site_count(stats) -> int:
+    """Over-count of hook-site executions in one run.
+
+    One ``on_server_op`` per server operation, one ``on_route`` per
+    routing decision, and a put+get pair for every match that could have
+    crossed a queue (every routed match and every generated extension —
+    an overestimate, since pruned extensions never reach a queue).
+    """
+    crossings = stats.routing_decisions + stats.extensions_generated
+    return stats.server_operations + stats.routing_decisions + 2 * crossings
+
+
+@pytest.fixture(scope="module")
+def engine():
+    database = generate_database(XMarkConfig(items=60, seed=5))
+    return Engine(database, QUERY)
+
+
+@pytest.fixture(scope="module")
+def payload(engine):
+    disabled_result, disabled_wall = _median_wall(engine)
+    _, inert_wall = _median_wall(engine, faults=INERT_PLAN)
+    _, chaos_wall = _median_wall(engine, faults=FaultPlan.chaos(3))
+
+    guard_cost = _time_disabled_guard()
+    hook_sites = _hook_site_count(disabled_result.stats)
+    bound = (hook_sites * guard_cost) / disabled_wall
+    return {
+        "query": QUERY,
+        "k": K,
+        "rounds": ROUNDS,
+        "walls": {
+            "disabled": disabled_wall,
+            "inert_plan": inert_wall,
+            "chaos_plan": chaos_wall,
+        },
+        "guard_cost_ns": guard_cost * 1e9,
+        "hook_sites": hook_sites,
+        "overhead_bound": bound,
+    }
+
+
+def test_fault_overhead_table(payload):
+    walls = payload["walls"]
+    rows = [
+        ["hooks disabled (faults=None)", fmt(walls["disabled"], 4), "-"],
+        [
+            "armed, inert plan",
+            fmt(walls["inert_plan"], 4),
+            fmt(walls["inert_plan"] / walls["disabled"], 2),
+        ],
+        [
+            "armed, chaos plan (seed 3)",
+            fmt(walls["chaos_plan"], 4),
+            fmt(walls["chaos_plan"] / walls["disabled"], 2),
+        ],
+    ]
+    emit(
+        format_table(
+            f"Fault-hook overhead ({payload['query']}, k={payload['k']}, "
+            f"median of {payload['rounds']})",
+            ["configuration", "wall s", "x disabled"],
+            rows,
+        )
+    )
+    emit(
+        f"disabled guard: {payload['guard_cost_ns']:.1f} ns/site x "
+        f"{payload['hook_sites']} sites -> overhead bound "
+        f"{payload['overhead_bound'] * 100:.3f}% of run"
+    )
+    write_results("fault_overhead", payload)
+
+    # The headline claim: with no plan active, the hook guards account
+    # for under 2% of the run even when every site is over-counted.
+    assert payload["overhead_bound"] < 0.02
+
+
+def test_fault_overhead_benchmark(benchmark, engine):
+    def run():
+        result, _wall = _run(engine)
+        return result
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert not result.degraded

@@ -1,4 +1,4 @@
-"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL005``).
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL006``).
 
 Each rule encodes one invariant Whirlpool-M's correctness (or the bench
 suite's honesty) rests on.  They are deliberately narrow: a rule that
@@ -32,6 +32,8 @@ SHARED_CLASSES: Set[str] = {
     "ExecutionTrace",
     "MatchQueue",
     "_InFlight",
+    "FaultInjector",
+    "Supervisor",
 }
 
 #: Mutating container methods that count as writes when called on a
@@ -387,6 +389,95 @@ class BenchImportsPublicApiRule(Rule):
                         )
 
 
+class InFlightPairingRule(Rule):
+    """WPL006: worker-loop in-flight accounting must be crash-proof.
+
+    Whirlpool-M terminates when the in-flight counter drains; a worker
+    body that decrements it *inline* leaks the count (and stalls
+    termination until the deadlock backstop) the moment anything between
+    the dequeue and the ``dec()`` raises.  Two checks, scoped to
+    ``core/`` modules:
+
+    - a statement-level ``<obj>.dec()`` call inside a loop body must sit
+      in the ``finally`` block of a ``try`` — the only placement that
+      survives a crashing body;
+    - no bare ``except:`` handlers at all — swallowing ``SystemExit`` /
+      ``KeyboardInterrupt`` in engine code hides crashed workers instead
+      of containing them.
+    """
+
+    code = "WPL006"
+    name = "inflight-pairing"
+    description = "loop-body in_flight.dec() outside try/finally, or bare except, in core/"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.is_core():
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` swallows worker crashes (catch a concrete "
+                    "exception type and record the failure)",
+                )
+        for finding in self._scan(module, module.tree.body, False, False):
+            yield finding
+
+    def _scan(
+        self,
+        module: Module,
+        stmts: Sequence[ast.stmt],
+        in_loop: bool,
+        in_finally: bool,
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                # A nested def is its own accounting scope.
+                for finding in self._scan(module, stmt.body, False, False):
+                    yield finding
+                continue
+            if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                for finding in self._scan(module, stmt.body, True, in_finally):
+                    yield finding
+                for finding in self._scan(module, stmt.orelse, True, in_finally):
+                    yield finding
+                continue
+            if isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse):
+                    for finding in self._scan(module, block, in_loop, in_finally):
+                        yield finding
+                for handler in stmt.handlers:
+                    for finding in self._scan(
+                        module, handler.body, in_loop, in_finally
+                    ):
+                        yield finding
+                for finding in self._scan(module, stmt.finalbody, in_loop, True):
+                    yield finding
+                continue
+            if in_loop and not in_finally and self._is_dec_call(stmt):
+                yield self.finding(
+                    module,
+                    stmt,
+                    "in-flight dec() inline in a loop body leaks the count "
+                    "when the body raises (move it into `finally:`)",
+                )
+            for field in ("body", "orelse"):
+                block = getattr(stmt, field, None)
+                if block:
+                    for finding in self._scan(module, block, in_loop, in_finally):
+                        yield finding
+
+    @staticmethod
+    def _is_dec_call(stmt: ast.stmt) -> bool:
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "dec"
+        )
+
+
 def default_rules() -> List[Rule]:
     """One fresh instance of every built-in rule, code order."""
     return [
@@ -395,4 +486,5 @@ def default_rules() -> List[Rule]:
         EngineContractRule(),
         NoWallclockInCoreRule(),
         BenchImportsPublicApiRule(),
+        InFlightPairingRule(),
     ]

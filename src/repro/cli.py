@@ -65,6 +65,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="return ALL answers scoring at least this value instead of top-k",
     )
     query.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry return the best-known top-k "
+        "marked degraded with its pending-score certificate",
+    )
+    query.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server-operation budget (same degradation contract as "
+        "--deadline)",
+    )
+    query.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a deterministic random fault plan (testing harness; "
+        "see docs/robustness.md)",
+    )
+    query.add_argument(
         "--stats", action="store_true", help="print execution statistics"
     )
     query.add_argument(
@@ -130,7 +154,19 @@ def _cmd_query(args) -> int:
     if args.threshold is not None:
         result = threshold_query(engine, min_score=args.threshold)
     else:
-        result = engine.run(args.k, algorithm=args.algorithm, routing=args.routing)
+        faults = None
+        if args.chaos_seed is not None:
+            from repro.faults import FaultPlan
+
+            faults = FaultPlan.chaos(args.chaos_seed)
+        result = engine.run(
+            args.k,
+            algorithm=args.algorithm,
+            routing=args.routing,
+            deadline_seconds=args.deadline,
+            max_operations=args.max_ops,
+            faults=faults,
+        )
 
     if args.json:
         payload = {
@@ -144,11 +180,22 @@ def _cmd_query(args) -> int:
                 for answer in result.answers
             ],
             "stats": result.stats.as_dict(),
+            "degraded": result.degraded,
+            "pending_bound": result.pending_bound,
+            "failure": result.failure.as_dict() if result.failure else None,
         }
         print(json.dumps(payload, indent=2))
         return 0
 
     print(result.table())
+    if result.degraded:
+        print(
+            f"\nwarning: degraded result — unreported answers score "
+            f"<= {result.pending_bound:.4f}",
+            file=sys.stderr,
+        )
+    if result.failure is not None:
+        print(f"failures: {result.failure.summary()}", file=sys.stderr)
     if args.explain:
         print()
         for answer in result.answers:

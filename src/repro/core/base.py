@@ -16,7 +16,7 @@ implements the two steps every engine performs identically:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.match import PartialMatch
 from repro.core.queues import MatchQueue, QueuePolicy
@@ -25,7 +25,11 @@ from repro.core.server import Server
 from repro.core.stats import ExecutionStats
 from repro.core.topk import TopKAnswer, TopKSet
 from repro.core.trace import EngineObserver
-from repro.errors import EngineError
+from repro.errors import EngineError, InjectedFaultError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FailureReport
+from repro.faults.supervisor import FailureAction, RetryPolicy, Supervisor
 from repro.query.pattern import TreePattern
 from repro.relax.plan import compile_plan
 from repro.scoring.model import ScoreModel
@@ -34,9 +38,26 @@ from repro.xmldb.index import DatabaseIndex
 
 
 class TopKResult:
-    """Outcome of one engine run: the answers plus the execution metrics."""
+    """Outcome of one engine run: the answers plus the execution metrics.
 
-    __slots__ = ("answers", "stats", "algorithm", "k", "pattern")
+    ``degraded`` flags runs that finished without full processing — a
+    deadline or operation budget expired, matches were abandoned after
+    exhausted recovery, or injected faults dropped work.  Degraded
+    results still carry the anytime certificate: no unreported answer
+    can score above ``pending_bound``, and ``failure`` explains what was
+    lost.
+    """
+
+    __slots__ = (
+        "answers",
+        "stats",
+        "algorithm",
+        "k",
+        "pattern",
+        "degraded",
+        "pending_bound",
+        "failure",
+    )
 
     def __init__(
         self,
@@ -45,12 +66,18 @@ class TopKResult:
         algorithm: str,
         k: int,
         pattern: TreePattern,
+        degraded: bool = False,
+        pending_bound: float = 0.0,
+        failure: Optional[FailureReport] = None,
     ) -> None:
         self.answers = answers
         self.stats = stats
         self.algorithm = algorithm
         self.k = k
         self.pattern = pattern
+        self.degraded = degraded
+        self.pending_bound = pending_bound
+        self.failure = failure
 
     def scores(self) -> List[float]:
         """Answer scores, best first."""
@@ -69,12 +96,18 @@ class TopKResult:
             )
         if not self.answers:
             lines.append("  (no answers)")
+        if self.degraded:
+            lines.append(
+                f"  [degraded: unreported answers score <= {self.pending_bound:.4f}]"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
+        degraded = ", degraded" if self.degraded else ""
         return (
             f"TopKResult({self.algorithm}, k={self.k}, "
-            f"answers={len(self.answers)}, ops={self.stats.server_operations})"
+            f"answers={len(self.answers)}, ops={self.stats.server_operations}"
+            f"{degraded})"
         )
 
 
@@ -95,15 +128,36 @@ class EngineBase:
         thread_safe_stats: bool = False,
         observer: Optional[EngineObserver] = None,
         join_algorithm: str = "index",
+        faults: Optional[FaultPlan] = None,
+        deadline_seconds: Optional[float] = None,
+        max_operations: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise EngineError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if max_operations is not None and max_operations < 0:
+            raise EngineError(
+                f"max_operations must be >= 0, got {max_operations}"
+            )
         self.pattern = pattern
         self.index = index
         self.score_model = score_model
         self.k = k
         self.relaxed = relaxed
         self.queue_policy = queue_policy
+        self.deadline_seconds = deadline_seconds
+        self.max_operations = max_operations
+        #: Active fault injector (``None`` when no plan — the common case,
+        #: costing a single attribute test at each hook site).
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None else None
+        )
+        #: Failure book-keeping shared by all workers of this run.
+        self.supervisor = Supervisor(retry_policy)
 
         self.plan = compile_plan(pattern, relaxed)
         self.servers: Dict[int, Server] = {}
@@ -114,6 +168,7 @@ class EngineBase:
                 score_model,
                 relaxed,
                 join_algorithm=join_algorithm,
+                injector=self.fault_injector,
             )
             server.set_root_tag(pattern.root.tag)
             self.servers[node_id] = server
@@ -194,23 +249,182 @@ class EngineBase:
         if self.observer is not None:
             self.observer.on_prune(match, self.topk.threshold())
 
-    def make_result(self) -> TopKResult:
-        """Package the top-k set into a :class:`TopKResult`."""
+    def make_result(
+        self,
+        degraded: bool = False,
+        pending_bound: float = 0.0,
+        queue_snapshots: Optional[Dict[str, int]] = None,
+    ) -> TopKResult:
+        """Package the top-k set into a :class:`TopKResult`.
+
+        Engines pass ``degraded=True`` with the largest upper bound among
+        *their* unprocessed matches (deadline leftovers); abandoned and
+        injector-dropped matches are folded in here so the certificate is
+        complete regardless of which engine ran.  A
+        :class:`~repro.faults.report.FailureReport` is attached whenever
+        anything went wrong — errors, degradation, or fired faults.
+        """
+        supervisor = self.supervisor
+        injector = self.fault_injector
+        abandoned = supervisor.abandoned()
+        if abandoned:
+            degraded = True
+            pending_bound = max(pending_bound, supervisor.max_abandoned_bound())
+        if injector is not None and injector.dropped_count() > 0:
+            degraded = True
+            pending_bound = max(pending_bound, injector.max_dropped_bound())
+        error_counts, retries, requeues = supervisor.counters()
+        fired = injector.fired_count() if injector is not None else 0
+        failure: Optional[FailureReport] = None
+        if degraded or error_counts or fired:
+            failure = FailureReport(
+                failed_matches=abandoned,
+                error_counts=error_counts,
+                retries=retries,
+                requeues=requeues,
+                dropped=[
+                    drop.as_dict()
+                    for drop in (injector.dropped() if injector is not None else [])
+                ],
+                queue_snapshots=queue_snapshots,
+                trace_tail=self._trace_tail(),
+                injection=injector.summary() if injector is not None else None,
+            )
         return TopKResult(
             answers=self.topk.answers(),
             stats=self.stats,
             algorithm=self.algorithm,
             k=self.k,
             pattern=self.pattern,
+            degraded=degraded,
+            pending_bound=pending_bound,
+            failure=failure,
         )
 
-    def make_server_queue(self, node_id: int) -> MatchQueue:
+    def _trace_tail(self, limit: int = 10) -> List[str]:
+        """Last few trace events when an ExecutionTrace observer is attached."""
+        events = getattr(self.observer, "events", None)
+        if not events:
+            return []
+        return [repr(event) for event in list(events)[-limit:]]
+
+    def make_server_queue(
+        self,
+        node_id: int,
+        on_drop: Optional[Callable[[PartialMatch], None]] = None,
+    ) -> MatchQueue:
         """A server queue under this engine's queue policy."""
         return MatchQueue(
             policy=self.queue_policy,
             server_id=node_id,
             max_contributions=self.max_contributions,
+            injector=self.fault_injector,
+            site=f"server:{node_id}",
+            on_drop=on_drop,
         )
+
+    def make_router_queue(
+        self, on_drop: Optional[Callable[[PartialMatch], None]] = None
+    ) -> MatchQueue:
+        """The router's inbox queue (always prioritized by upper bound)."""
+        return MatchQueue(
+            QueuePolicy.MAX_FINAL_SCORE,
+            injector=self.fault_injector,
+            site="router",
+            on_drop=on_drop,
+        )
+
+    # -- supervised building blocks ------------------------------------------------
+
+    def choose_server(self, match: PartialMatch) -> Optional[int]:
+        """One supervised routing decision.
+
+        Wraps the router with the fault hook and the supervisor's
+        per-match server exclusions.  Returns ``None`` when an injected
+        fault dropped the match in routing (its bound is already
+        recorded); on an injected router *error* the decision falls back
+        to the first allowed unvisited server — deterministic, and never
+        loses the match.  Consolidates the stats/observer notifications
+        every engine previously did inline.
+        """
+        injector = self.fault_injector
+        fallback = False
+        if injector is not None:
+            try:
+                if not injector.on_route(match):
+                    return None
+            except InjectedFaultError as exc:
+                self.supervisor.record_component_error("router", exc)
+                fallback = True
+        unvisited = match.unvisited(self.server_ids)
+        if not unvisited:
+            raise EngineError(
+                f"match {match.match_id} is complete; it should not be routed"
+            )
+        excluded = self.supervisor.excluded_for(match.match_id)
+        allowed = [nid for nid in unvisited if nid not in excluded] or unvisited
+        if fallback:
+            choice = allowed[0]
+        else:
+            choice = self.router.choose(match, self)
+            if choice not in allowed:
+                choice = allowed[0]
+        self.stats.record_routing_decision()
+        self.notify_route(match, choice)
+        return choice
+
+    def process_with_recovery(
+        self,
+        server_id: int,
+        match: PartialMatch,
+        can_requeue: bool = True,
+    ) -> Tuple[Optional[List[PartialMatch]], str]:
+        """One server operation under the supervisor's escalation ladder.
+
+        Returns ``(extensions, "ok")`` on success; ``(None, "requeue")``
+        when the match should go back through the router with this server
+        excluded; ``(None, "abandoned")`` when recovery is exhausted (the
+        supervisor recorded the loss, feeding the result certificate).
+        """
+        server = self.servers[server_id]
+        supervisor = self.supervisor
+        while True:
+            try:
+                return server.process(match, self.stats), "ok"
+            except Exception as exc:  # noqa: B902 — supervision boundary
+                alternatives = (
+                    can_requeue and len(match.unvisited(self.server_ids)) > 1
+                )
+                action = supervisor.on_error(match, server_id, exc, alternatives)
+                if action is FailureAction.RETRY:
+                    supervisor.backoff(match.match_id, server_id)
+                    continue
+                if action is FailureAction.REQUEUE:
+                    return None, "requeue"
+                return None, "abandoned"
+
+    def put_or_abandon(self, queue: MatchQueue, label: str, match: PartialMatch) -> bool:
+        """Enqueue; on an (injected) put error, record the loss and move on."""
+        try:
+            queue.put(match)
+            return True
+        except Exception as exc:
+            self.supervisor.record_abandoned(match, label, exc)
+            return False
+
+    def budget_exhausted(self) -> bool:
+        """True once the operation budget or the deadline has expired."""
+        if (
+            self.max_operations is not None
+            and self.stats.server_operations >= self.max_operations
+        ):
+            return True
+        if (
+            self.deadline_seconds is not None
+            and self.stats.elapsed_seconds() >= self.deadline_seconds
+        ):
+            return True
+        return False
 
     # -- interface --------------------------------------------------------------------
 

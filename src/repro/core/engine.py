@@ -37,6 +37,8 @@ from repro.xmldb.model import Database, XMLNode
 from repro.xmldb.stats import DatabaseStatistics
 
 if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.supervisor import RetryPolicy
     from repro.xmldb.summary import PathSummary
 
 ALGORITHMS: Dict[str, Type[EngineBase]] = {
@@ -99,6 +101,10 @@ class Engine:
         routing_batch: Optional[int] = None,
         observer: Optional[EngineObserver] = None,
         join_algorithm: str = "index",
+        deadline_seconds: Optional[float] = None,
+        max_operations: Optional[int] = None,
+        faults: Optional["FaultPlan"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ) -> TopKResult:
         """Evaluate the top-k query with one algorithm/policy combination.
 
@@ -132,6 +138,18 @@ class Engine:
             ``"index"`` (Dewey-interval binary search, default) or
             ``"scan"`` (the paper's nested-loop baseline) — identical
             answers, different comparison counts.
+        deadline_seconds / max_operations:
+            Optional wall-clock / server-operation budgets.  When a budget
+            expires the run returns its best-known top-k with
+            ``degraded=True`` and the ``pending_bound`` certificate
+            instead of running to completion.
+        faults:
+            Optional :class:`~repro.faults.plan.FaultPlan` — a seeded,
+            deterministic fault schedule injected into servers, queues
+            and the router (testing / chaos harness).
+        retry_policy:
+            Optional :class:`~repro.faults.supervisor.RetryPolicy`
+            overriding the default retry / requeue / abandon bounds.
         """
         engine_cls = ALGORITHMS.get(algorithm)
         if engine_cls is None:
@@ -149,6 +167,10 @@ class Engine:
             queue_policy=queue_policy,
             observer=observer,
             join_algorithm=join_algorithm,
+            deadline_seconds=deadline_seconds,
+            max_operations=max_operations,
+            faults=faults,
+            retry_policy=retry_policy,
         )
         if engine_cls in (LockStep, LockStepNoPrun):
             return engine_cls(order=static_order, **kwargs).run()

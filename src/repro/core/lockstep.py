@@ -16,11 +16,11 @@ the other engines are tested against.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import EngineBase, TopKResult
 from repro.core.match import PartialMatch
-from repro.errors import EngineError
+from repro.errors import EngineError, InjectedFaultError
 
 
 class LockStep(EngineBase):
@@ -48,16 +48,34 @@ class LockStep(EngineBase):
                 self.stats.record_completed()
             matches = []
 
+        degraded = False
+        pending_bound = 0.0
+        snapshots: Dict[str, int] = {}
         for server_id in self.order:
-            server = self.servers[server_id]
+            label = f"queue:server:{server_id}"
             # Within the server, matches are consumed in priority-queue
             # order (Section 6.1.3; max-final-score by default).
             queue = self.make_server_queue(server_id)
             for match in matches:
-                queue.put(match)
+                self.put_or_abandon(queue, label, match)
             survivors: List[PartialMatch] = []
+            out_of_budget = False
             while True:
-                match = queue.get_nowait()
+                if self.budget_exhausted():
+                    # Budget hit mid-server: everything still queued (plus
+                    # the survivors already spawned) is unreported work.
+                    snapshots[f"server:{server_id}"] = len(queue)
+                    leftovers = queue.drain() + survivors
+                    if leftovers:
+                        degraded = True
+                        pending_bound = max(m.upper_bound for m in leftovers)
+                    out_of_budget = True
+                    break
+                try:
+                    match = queue.get_nowait()
+                except InjectedFaultError as exc:
+                    self.supervisor.record_component_error(label, exc)
+                    continue
                 if match is None:
                     break
                 if self.prune and self.topk.is_pruned(match):
@@ -65,7 +83,15 @@ class LockStep(EngineBase):
                     self.notify_prune(match)
                     continue
                 self.notify_route(match, server_id)
-                for extension in server.process(match, self.stats):
+                # Lock-step visits servers in a fixed order, so there is
+                # no router to requeue through — recovery is retry-or-
+                # abandon.
+                extensions, _ = self.process_with_recovery(
+                    server_id, match, can_requeue=False
+                )
+                if extensions is None:  # abandoned; supervisor holds the bound
+                    continue
+                for extension in extensions:
                     if self.prune:
                         survivor = self.absorb_extension(extension, parent=match)
                         if survivor is not None:
@@ -78,10 +104,16 @@ class LockStep(EngineBase):
                             self.stats.record_completed()
                         else:
                             survivors.append(extension)
+            if out_of_budget:
+                break
             matches = survivors
 
         self.stats.stop_clock()
-        return self.make_result()
+        return self.make_result(
+            degraded=degraded,
+            pending_bound=pending_bound,
+            queue_snapshots=snapshots or None,
+        )
 
 
 class LockStepNoPrun(LockStep):

@@ -18,9 +18,13 @@ from __future__ import annotations
 import enum
 import heapq
 import threading
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.match import PartialMatch
+from repro.errors import InjectedFaultError
+
+if TYPE_CHECKING:
+    from repro.faults.inject import FaultInjector
 
 
 class QueuePolicy(enum.Enum):
@@ -44,6 +48,16 @@ class MatchQueue:
         contribution is added to the current score.
     max_contributions:
         Per-server maximum contributions (needed by ``MAX_NEXT_SCORE``).
+    injector:
+        Optional :class:`~repro.faults.inject.FaultInjector`; when set,
+        every put/get runs through its queue hooks (error / delay / drop
+        actions).  ``None`` costs one attribute check per operation.
+    site:
+        Label identifying this queue to the injector and in reports
+        (``"router"``, ``"server:<id>"``).
+    on_drop:
+        Callback invoked with a match the injector drops in transit —
+        Whirlpool-M uses it to keep its in-flight counter exact.
     """
 
     def __init__(
@@ -51,6 +65,10 @@ class MatchQueue:
         policy: QueuePolicy = QueuePolicy.MAX_FINAL_SCORE,
         server_id: Optional[int] = None,
         max_contributions: Optional[Dict[int, float]] = None,
+        *,
+        injector: Optional["FaultInjector"] = None,
+        site: str = "",
+        on_drop: Optional[Callable[[PartialMatch], None]] = None,
     ) -> None:
         if policy is QueuePolicy.MAX_NEXT_SCORE:
             if server_id is None or max_contributions is None:
@@ -64,6 +82,9 @@ class MatchQueue:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        self._injector = injector
+        self._site = site
+        self._on_drop = on_drop
 
     # -- ordering -------------------------------------------------------------
 
@@ -79,27 +100,68 @@ class MatchQueue:
     # -- queue API -------------------------------------------------------------
 
     def put(self, match: PartialMatch) -> None:
-        """Enqueue one match (key computed at insertion time)."""
+        """Enqueue one match (key computed at insertion time).
+
+        With an injector attached the put first passes through its hook:
+        an ERROR rule raises before the match enters the heap, a DROP
+        rule discards it (reporting through ``on_drop``), a DELAY rule
+        stalls the producer.
+        """
+        injector = self._injector
+        if injector is not None and not injector.on_put(self._site, match):
+            if self._on_drop is not None:
+                self._on_drop(match)
+            return
         with self._lock:
             heapq.heappush(self._heap, (self._key(match), match.arrival, match))
             self._not_empty.notify()
 
+    def _filter_get(self, match: PartialMatch) -> Optional[PartialMatch]:
+        """Run one popped match through the injector's get hook.
+
+        Returns the match to hand out, or ``None`` when the injector
+        dropped it.  An injected ERROR counts the popped match as dropped
+        (it already left the heap) and propagates.
+        """
+        injector = self._injector
+        if injector is None:
+            return match
+        try:
+            keep = injector.on_get(self._site, match)
+        except InjectedFaultError:
+            if self._on_drop is not None:
+                self._on_drop(match)
+            raise
+        if keep:
+            return match
+        if self._on_drop is not None:
+            self._on_drop(match)
+        return None
+
     def get(self, timeout: Optional[float] = None) -> Optional[PartialMatch]:
         """Dequeue the head match; ``None`` on timeout or after close."""
-        with self._not_empty:
-            while not self._heap:
-                if self._closed:
-                    return None
-                if not self._not_empty.wait(timeout):
-                    return None
-            return heapq.heappop(self._heap)[2]
+        while True:
+            with self._not_empty:
+                while not self._heap:
+                    if self._closed:
+                        return None
+                    if not self._not_empty.wait(timeout):
+                        return None
+                match = heapq.heappop(self._heap)[2]
+            delivered = self._filter_get(match)
+            if delivered is not None:
+                return delivered
 
     def get_nowait(self) -> Optional[PartialMatch]:
         """Dequeue without blocking; ``None`` when empty."""
-        with self._lock:
-            if not self._heap:
-                return None
-            return heapq.heappop(self._heap)[2]
+        while True:
+            with self._lock:
+                if not self._heap:
+                    return None
+                match = heapq.heappop(self._heap)[2]
+            delivered = self._filter_get(match)
+            if delivered is not None:
+                return delivered
 
     def close(self) -> None:
         """Wake all blocked getters; subsequent gets on empty return None."""

@@ -29,7 +29,7 @@ filters.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.match import PartialMatch
 from repro.core.stats import ExecutionStats
@@ -38,6 +38,9 @@ from repro.scoring.model import MatchQuality, ScoreModel
 from repro.xmldb.dewey import Dewey
 from repro.xmldb.index import DatabaseIndex
 from repro.xmldb.model import XMLNode
+
+if TYPE_CHECKING:
+    from repro.faults.inject import FaultInjector
 
 
 class CandidateCounts:
@@ -96,6 +99,8 @@ class Server:
         score_model: ScoreModel,
         relaxed: bool = True,
         join_algorithm: str = "index",
+        *,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if join_algorithm not in self.JOIN_ALGORITHMS:
             raise ValueError(
@@ -107,6 +112,7 @@ class Server:
         self.score_model = score_model
         self.relaxed = relaxed
         self.join_algorithm = join_algorithm
+        self._injector = injector
         self._root_tag: Optional[str] = None
         self._estimates_cache: Optional[RoutingEstimates] = None
         self._count_cache: Dict[Dewey, CandidateCounts] = {}
@@ -150,6 +156,15 @@ class Server:
         list in relaxed mode (the deleted extension survives); may in exact
         mode, which kills the match.
         """
+        injector = self._injector
+        if injector is not None and not injector.on_server_op(self.spec.node_id, match):
+            # Injected DROP: the operation silently loses the match.  The
+            # injector recorded its upper bound, so the result certificate
+            # still covers whatever this match could have become.  An
+            # injected ERROR raises before any index work, keeping retries
+            # idempotent.
+            return []
+
         spec = self.spec
         root_dewey = match.root_node.dewey
         candidates, comparisons = self._probe(root_dewey)

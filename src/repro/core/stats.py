@@ -21,6 +21,17 @@ import time
 from typing import Callable, Dict, Optional
 
 
+def monotonic_seconds() -> float:
+    """Sanctioned monotonic clock read for deadline enforcement.
+
+    Lives here because ``stats.py`` is the one ``core/`` module allowed
+    to touch the wall clock (lint rule WPL004): engines that enforce a
+    deadline import this instead of ``time``, keeping the exception
+    auditable in a single file.
+    """
+    return time.monotonic()
+
+
 class ExecutionStats:
     """Mutable counter bundle; one instance per engine run."""
 
@@ -48,6 +59,14 @@ class ExecutionStats:
     def stop_clock(self) -> None:
         """Record wall time since :meth:`start_clock` (after workers join)."""
         self.wall_time_seconds = time.perf_counter() - self._start  # wpl: noqa=WPL001
+
+    def elapsed_seconds(self) -> float:
+        """Wall time since :meth:`start_clock`, read mid-run.
+
+        The engines' deadline checks go through this method so the clock
+        read stays inside ``stats.py`` (see WPL004).
+        """
+        return time.perf_counter() - self._start
 
     # -- counters ----------------------------------------------------------------
 

@@ -7,6 +7,15 @@ thread-safe; termination is detected by an in-flight counter that tracks
 every partial match living in any queue or being processed — when it drops
 to zero, no component can ever produce new work.
 
+Worker bodies are *supervised*: every dequeued match is processed under
+``try/finally`` so the in-flight count is decremented no matter what the
+body raises (a crashed worker iteration can therefore never stall
+termination), server errors go through the engine's retry / requeue /
+abandon ladder, and unexpected crashes abandon the match in hand with its
+bound recorded — the run degrades instead of hanging.  A stuck counter
+with no transitions for a full backstop window raises
+:class:`~repro.errors.EngineDeadlockError` instead of cycling forever.
+
 CPython's GIL means this implementation demonstrates the *concurrent
 architecture* (and its different, parallelism-driven pruning behaviour —
 the top-k threshold grows in a different order than under Whirlpool-S)
@@ -17,46 +26,100 @@ the paper's parallelism experiments lives in :mod:`repro.simulate`.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.base import EngineBase, TopKResult
-from repro.core.queues import MatchQueue, QueuePolicy
+from repro.core.match import PartialMatch
+from repro.core.queues import MatchQueue
+from repro.core.stats import monotonic_seconds
+from repro.errors import EngineDeadlockError, InjectedFaultError
 
 _POLL_SECONDS = 0.02
 
 #: Deadlock backstop for :meth:`_InFlight.wait_zero`.  Termination is
 #: notification-driven (``dec()`` notifies on the zero crossing), so this
-#: timeout is never what wakes a healthy run — it only bounds the damage
-#: of a lost-wakeup bug, letting the loop re-inspect the counter.
+#: timeout is never what wakes a healthy run — if a full window passes
+#: with the counter stuck and *no* transitions at all, the system cannot
+#: make progress and :class:`~repro.errors.EngineDeadlockError` is raised.
 _WAIT_BACKSTOP_SECONDS = 60.0
+
+_ThreadNames = Union[Callable[[], List[str]], Sequence[str], None]
 
 
 class _InFlight:
-    """Counter of matches alive anywhere in the system."""
+    """Counter of matches alive anywhere in the system.
+
+    Tracks a monotone transition count alongside the live count so
+    :meth:`wait_zero` can distinguish *slow progress* (transitions keep
+    happening) from a genuine deadlock (a full backstop window passes
+    with the count stuck and untouched).
+    """
 
     def __init__(self) -> None:
         self._count = 0
+        self._transitions = 0
         self._cond = threading.Condition()
 
     def inc(self, amount: int = 1) -> None:
         with self._cond:
             self._count += amount
+            self._transitions += 1
 
     def dec(self) -> None:
         with self._cond:
             self._count -= 1
+            self._transitions += 1
             if self._count <= 0:
                 self._cond.notify_all()
 
-    def wait_zero(self, backstop_seconds: float = _WAIT_BACKSTOP_SECONDS) -> None:
+    def count(self) -> int:
+        with self._cond:
+            return self._count
+
+    def wait_zero(
+        self,
+        backstop_seconds: float = _WAIT_BACKSTOP_SECONDS,
+        timeout: Optional[float] = None,
+        thread_names: _ThreadNames = None,
+    ) -> bool:
         """Block until the counter reaches zero.
 
-        Every ``dec()`` to zero notifies, so this normally sleeps exactly
-        once and wakes on the notification — not on a poll interval.
+        Returns ``True`` when the counter drained, ``False`` when
+        ``timeout`` expired first (the deadline-enforcement path).
+        Raises :class:`~repro.errors.EngineDeadlockError` when a full
+        ``backstop_seconds`` window passes with a positive count and no
+        transitions — the signature of a lost match, never of slow
+        progress.  ``thread_names`` (a sequence, or a callable evaluated
+        at raise time) is attached to the error for diagnosis.
         """
+        start = monotonic_seconds()
         with self._cond:
             while self._count > 0:
-                self._cond.wait(backstop_seconds)
+                window = backstop_seconds
+                if timeout is not None:
+                    remaining = timeout - (monotonic_seconds() - start)
+                    if remaining <= 0:
+                        return False
+                    window = min(window, remaining)
+                transitions_before = self._transitions
+                window_start = monotonic_seconds()
+                self._cond.wait(window)
+                if self._count <= 0:
+                    break
+                waited = monotonic_seconds() - window_start
+                if (
+                    self._transitions == transitions_before
+                    and waited >= backstop_seconds
+                ):
+                    names: List[str]
+                    if callable(thread_names):
+                        names = list(thread_names())
+                    else:
+                        names = list(thread_names or ())
+                    raise EngineDeadlockError(
+                        self._count, names, backstop_seconds
+                    )
+        return True
 
 
 class WhirlpoolM(EngineBase):
@@ -85,48 +148,96 @@ class WhirlpoolM(EngineBase):
 
     def run(self) -> TopKResult:
         self.stats.start_clock()
-        router_queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
-        server_queues: Dict[int, MatchQueue] = {
-            node_id: self.make_server_queue(node_id) for node_id in self.server_ids
-        }
         in_flight = _InFlight()
         stop = threading.Event()
 
-        def router_loop() -> None:
-            while not stop.is_set():
-                match = router_queue.get(timeout=_POLL_SECONDS)
-                if match is None:
-                    continue
-                if self.topk.is_pruned(match):
-                    self.stats.record_pruned()
-                    self.notify_prune(match)
-                    in_flight.dec()
-                    continue
-                self.stats.record_routing_decision()
-                server_id = self.router.choose(match, self)
-                self.notify_route(match, server_id)
-                in_flight.inc()
-                server_queues[server_id].put(match)
+        def dec_on_drop(match: PartialMatch) -> None:
+            # A match the injector discarded in transit still held an
+            # in-flight count from its producer; release it here so the
+            # drop cannot stall termination.
+            in_flight.dec()
+
+        router_queue = self.make_router_queue(on_drop=dec_on_drop)
+        server_queues: Dict[int, MatchQueue] = {
+            node_id: self.make_server_queue(node_id, on_drop=dec_on_drop)
+            for node_id in self.server_ids
+        }
+
+        def safe_put(queue: MatchQueue, label: str, match: PartialMatch) -> None:
+            # inc() BEFORE the put: the consumer may dec() the instant the
+            # match lands.  A failed put abandons the match (bound
+            # recorded) and releases the count; a drop releases it via
+            # ``dec_on_drop``.
+            in_flight.inc()
+            try:
+                queue.put(match)
+            except Exception as exc:
+                self.supervisor.record_abandoned(match, label, exc)
                 in_flight.dec()
 
-        def server_loop(node_id: int) -> None:
-            server = self.servers[node_id]
-            queue = server_queues[node_id]
+        def route_one(match: PartialMatch) -> None:
+            if self.topk.is_pruned(match):
+                self.stats.record_pruned()
+                self.notify_prune(match)
+                return
+            server_id = self.choose_server(match)
+            if server_id is None:  # dropped in routing; bound recorded
+                return
+            safe_put(server_queues[server_id], f"queue:server:{server_id}", match)
+
+        def process_one(node_id: int, match: PartialMatch) -> None:
+            if self.topk.is_pruned(match):
+                self.stats.record_pruned()
+                self.notify_prune(match)
+                return
+            extensions, outcome = self.process_with_recovery(node_id, match)
+            if outcome == "requeue":
+                safe_put(router_queue, "queue:router", match)
+                return
+            if extensions is None:  # abandoned; supervisor holds the bound
+                return
+            for extension in extensions:
+                survivor = self.absorb_extension(extension, parent=match)
+                if survivor is not None:
+                    safe_put(router_queue, "queue:router", survivor)
+
+        def router_loop() -> None:
             while not stop.is_set():
-                match = queue.get(timeout=_POLL_SECONDS)
+                try:
+                    match = router_queue.get(timeout=_POLL_SECONDS)
+                except InjectedFaultError as exc:
+                    # The popped match was recorded as dropped (and its
+                    # count released) by the queue hook.
+                    self.supervisor.record_component_error("queue:router", exc)
+                    continue
                 if match is None:
                     continue
-                if self.topk.is_pruned(match):
-                    self.stats.record_pruned()
-                    self.notify_prune(match)
+                try:
+                    route_one(match)
+                except Exception as exc:
+                    # Crash containment: an unexpected router failure
+                    # abandons only the match in hand.
+                    self.supervisor.record_abandoned(match, "router", exc)
+                finally:
                     in_flight.dec()
+
+        def server_loop(node_id: int) -> None:
+            queue = server_queues[node_id]
+            label = f"server:{node_id}"
+            while not stop.is_set():
+                try:
+                    match = queue.get(timeout=_POLL_SECONDS)
+                except InjectedFaultError as exc:
+                    self.supervisor.record_component_error(f"queue:{label}", exc)
                     continue
-                for extension in server.process(match, self.stats):
-                    survivor = self.absorb_extension(extension, parent=match)
-                    if survivor is not None:
-                        in_flight.inc()
-                        router_queue.put(survivor)
-                in_flight.dec()
+                if match is None:
+                    continue
+                try:
+                    process_one(node_id, match)
+                except Exception as exc:
+                    self.supervisor.record_abandoned(match, label, exc)
+                finally:
+                    in_flight.dec()
 
         threads: List[threading.Thread] = [
             threading.Thread(target=router_loop, name="whirlpool-router", daemon=True)
@@ -146,20 +257,63 @@ class WhirlpoolM(EngineBase):
 
         seeds = self.seed_matches()
         if self.server_ids:
-            in_flight.inc(len(seeds))
             for seed in seeds:
-                router_queue.put(seed)
+                safe_put(router_queue, "queue:router", seed)
         else:
             for _ in seeds:
                 self.stats.record_completed()
 
-        in_flight.wait_zero()
-        stop.set()
-        router_queue.close()
+        def alive_names() -> List[str]:
+            return [thread.name for thread in threads if thread.is_alive()]
+
+        out_of_budget = False
+        try:
+            if self.deadline_seconds is None and self.max_operations is None:
+                in_flight.wait_zero(thread_names=alive_names)
+            else:
+                # Budget enforcement: wait in slices so the operation
+                # counter is re-checked; under a pure deadline each slice
+                # is simply the remaining time.
+                while True:
+                    if self.budget_exhausted():
+                        out_of_budget = True
+                        break
+                    if self.max_operations is not None:
+                        window = 0.05
+                    else:
+                        assert self.deadline_seconds is not None
+                        window = max(
+                            self.deadline_seconds - self.stats.elapsed_seconds(),
+                            0.001,
+                        )
+                    if in_flight.wait_zero(timeout=window, thread_names=alive_names):
+                        break
+        finally:
+            stop.set()
+            router_queue.close()
+            for queue in server_queues.values():
+                queue.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+        # Anything still queued at shutdown is unreported work; its best
+        # upper bound is the degradation certificate.
+        snapshots: Dict[str, int] = {"router": len(router_queue)}
+        for node_id, queue in server_queues.items():
+            snapshots[f"server:{node_id}"] = len(queue)
+        leftovers = router_queue.drain()
         for queue in server_queues.values():
-            queue.close()
-        for thread in threads:
-            thread.join(timeout=5.0)
+            leftovers.extend(queue.drain())
+
+        degraded = out_of_budget and (bool(leftovers) or in_flight.count() > 0)
+        pending_bound = 0.0
+        if leftovers:
+            degraded = True
+            pending_bound = max(match.upper_bound for match in leftovers)
 
         self.stats.stop_clock()
-        return self.make_result()
+        return self.make_result(
+            degraded=degraded,
+            pending_bound=pending_bound,
+            queue_snapshots=snapshots,
+        )

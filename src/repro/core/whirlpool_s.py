@@ -19,7 +19,7 @@ extensions at once).
 from __future__ import annotations
 
 from repro.core.base import EngineBase, TopKResult
-from repro.core.queues import MatchQueue, QueuePolicy
+from repro.errors import InjectedFaultError
 
 
 class WhirlpoolS(EngineBase):
@@ -29,15 +29,34 @@ class WhirlpoolS(EngineBase):
 
     def run(self) -> TopKResult:
         self.stats.start_clock()
-        router_queue = MatchQueue(QueuePolicy.MAX_FINAL_SCORE)
+        router_queue = self.make_router_queue()
         for seed in self.seed_matches():
             if self.server_ids:
-                router_queue.put(seed)
+                self.put_or_abandon(router_queue, "queue:router", seed)
             else:
                 self.stats.record_completed()
 
+        degraded = False
+        pending_bound = 0.0
+        snapshots = {"router": 0}
         while True:
-            match = router_queue.get_nowait()
+            if self.budget_exhausted():
+                # Deadline / operation budget hit: whatever is still queued
+                # becomes the anytime certificate — no unreported answer
+                # can beat the best queued upper bound.
+                snapshots["router"] = len(router_queue)
+                leftovers = router_queue.drain()
+                if leftovers:
+                    degraded = True
+                    pending_bound = max(m.upper_bound for m in leftovers)
+                break
+            try:
+                match = router_queue.get_nowait()
+            except InjectedFaultError as exc:
+                # The popped match is recorded as dropped by the queue
+                # hook; account the error and keep consuming.
+                self.supervisor.record_component_error("queue:router", exc)
+                continue
             if match is None:
                 break
             if self.topk.is_pruned(match):
@@ -45,14 +64,21 @@ class WhirlpoolS(EngineBase):
                 self.notify_prune(match)
                 continue
 
-            self.stats.record_routing_decision()
-            server_id = self.router.choose(match, self)
-            self.notify_route(match, server_id)
-            extensions = self.servers[server_id].process(match, self.stats)
+            server_id = self.choose_server(match)
+            if server_id is None:  # dropped in routing; bound recorded
+                continue
+            extensions, outcome = self.process_with_recovery(server_id, match)
+            if outcome == "requeue":
+                self.put_or_abandon(router_queue, "queue:router", match)
+                continue
+            if extensions is None:  # abandoned; supervisor holds the bound
+                continue
             for extension in extensions:
                 survivor = self.absorb_extension(extension, parent=match)
                 if survivor is not None:
-                    router_queue.put(survivor)
+                    self.put_or_abandon(router_queue, "queue:router", survivor)
 
         self.stats.stop_clock()
-        return self.make_result()
+        return self.make_result(
+            degraded=degraded, pending_bound=pending_bound, queue_snapshots=snapshots
+        )

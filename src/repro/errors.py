@@ -7,6 +7,8 @@ position information to point at the offending character.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -66,6 +68,61 @@ class ScoringError(ReproError):
 
 class EngineError(ReproError):
     """Raised for invalid engine configurations or execution failures."""
+
+
+class EngineDeadlockError(EngineError):
+    """Raised when the in-flight counter stops moving for a full backstop window.
+
+    Whirlpool-M's termination is notification-driven; this error firing
+    means a worker lost a decrement (a bug), and it carries the evidence:
+    the stuck in-flight count and the worker threads still alive.
+
+    Attributes
+    ----------
+    in_flight:
+        The counter value at the moment the backstop expired.
+    thread_names:
+        Names of the engine threads still alive at that moment.
+    backstop_seconds:
+        How long the counter sat unchanged before the raise.
+    """
+
+    def __init__(
+        self,
+        in_flight: int,
+        thread_names: Sequence[str] = (),
+        backstop_seconds: float = 0.0,
+    ) -> None:
+        self.in_flight = in_flight
+        self.thread_names = list(thread_names)
+        self.backstop_seconds = backstop_seconds
+        alive = ", ".join(self.thread_names) if self.thread_names else "none alive"
+        super().__init__(
+            f"engine deadlock: in-flight count stuck at {in_flight} for "
+            f"{backstop_seconds:g}s (threads: {alive})"
+        )
+
+
+class InjectedFaultError(EngineError):
+    """Raised by a :class:`repro.faults.FaultInjector` ERROR action.
+
+    Deliberately a normal engine failure — the whole point of fault
+    injection is that supervision must treat injected errors exactly like
+    real ones.
+
+    Attributes
+    ----------
+    site:
+        The injection site kind (``server_op``, ``queue_put``, ...).
+    target:
+        The specific site instance (server id / queue label), when known.
+    """
+
+    def __init__(self, site: str, target: str = "", message: str = "") -> None:
+        self.site = site
+        self.target = target
+        where = f"{site}:{target}" if target else site
+        super().__init__(message or f"injected fault at {where}")
 
 
 class GeneratorError(ReproError):

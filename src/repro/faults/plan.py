@@ -1,0 +1,210 @@
+"""Deterministic fault schedules — failure as a first-class, seeded input.
+
+A :class:`FaultPlan` describes *what goes wrong and when* during an engine
+run: a list of :class:`FaultRule` entries, each binding an injection
+**site** (server operations, queue puts/gets, routing decisions), an
+**action** (raise, sleep, silently lose the match) and a **trigger**
+("the 7th operation at server 3", "every 5th put", "2% of gets under
+seed 11").  Plans are pure data — the runtime counters live in
+:class:`repro.faults.inject.FaultInjector` — so the same plan can be
+replayed across engines and seeds, which is what the chaos matrix in
+``tests/test_faults.py`` does.
+
+Everything is seeded and deterministic for a single-threaded engine;
+under Whirlpool-M the *schedule* is deterministic per (site, target)
+operation index even though thread interleaving decides which match hits
+which index.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List, Optional, Sequence, Union
+
+
+class FaultAction(enum.Enum):
+    """What an armed fault does to the operation it intercepts."""
+
+    #: Raise :class:`repro.errors.InjectedFaultError` before the operation.
+    ERROR = "error"
+    #: Sleep :attr:`FaultRule.delay_seconds` before the operation proceeds.
+    DELAY = "delay"
+    #: Silently lose the partial match in transit (recorded for the
+    #: result's ``pending_bound`` certificate).
+    DROP = "drop"
+
+
+class FaultSite(enum.Enum):
+    """Where a fault can be injected."""
+
+    #: A :meth:`repro.core.server.Server.process` call; target = server node id.
+    SERVER_OP = "server_op"
+    #: A :meth:`repro.core.queues.MatchQueue.put`; target = queue label.
+    QUEUE_PUT = "queue_put"
+    #: A :meth:`repro.core.queues.MatchQueue.get`; target = queue label.
+    QUEUE_GET = "queue_get"
+    #: A routing decision; target is unused (there is one router).
+    ROUTER = "router"
+
+
+class FaultRule:
+    """One fault: site + target + action + trigger predicate.
+
+    Parameters
+    ----------
+    site:
+        Which :class:`FaultSite` this rule arms.
+    action:
+        Which :class:`FaultAction` fires.
+    target:
+        Narrow the site to one instance: a server node id for
+        ``SERVER_OP``, a queue label (``"router"`` / ``"server:<id>"``)
+        for the queue sites.  ``None`` matches every instance.
+    nth:
+        Fire on exactly the Nth matching operation (1-based).
+    every:
+        Fire on every ``every``-th matching operation.
+    probability:
+        Fire with this probability per matching operation, drawn from the
+        plan's seeded RNG (deterministic given the operation sequence).
+    times:
+        Cap on total fires for this rule (``None`` = unlimited).
+    delay_seconds:
+        Sleep length for ``DELAY`` actions.
+    message:
+        Optional message carried by the injected error.
+    """
+
+    __slots__ = (
+        "site",
+        "action",
+        "target",
+        "nth",
+        "every",
+        "probability",
+        "times",
+        "delay_seconds",
+        "message",
+    )
+
+    def __init__(
+        self,
+        site: FaultSite,
+        action: FaultAction,
+        target: Optional[Union[int, str]] = None,
+        nth: Optional[int] = None,
+        every: Optional[int] = None,
+        probability: Optional[float] = None,
+        times: Optional[int] = None,
+        delay_seconds: float = 0.001,
+        message: str = "",
+    ) -> None:
+        if nth is None and every is None and probability is None:
+            raise ValueError("a FaultRule needs a trigger: nth, every or probability")
+        if nth is not None and nth < 1:
+            raise ValueError(f"nth is 1-based, got {nth}")
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {delay_seconds}")
+        self.site = site
+        self.action = action
+        self.target = str(target) if target is not None else None
+        self.nth = nth
+        self.every = every
+        self.probability = probability
+        self.times = times
+        self.delay_seconds = delay_seconds
+        self.message = message
+
+    def matches(self, site: FaultSite, target: str) -> bool:
+        """Does this rule watch (``site``, ``target``)?"""
+        return site is self.site and (self.target is None or self.target == target)
+
+    def triggers(self, count: int, rng: random.Random) -> bool:
+        """Does the rule fire on the ``count``-th matching operation?"""
+        if self.nth is not None and count == self.nth:
+            return True
+        if self.every is not None and count % self.every == 0:
+            return True
+        if self.probability is not None and rng.random() < self.probability:
+            return True
+        return False
+
+    def describe(self) -> str:
+        """One-line human description (used by FailureReport)."""
+        where = self.site.value if self.target is None else f"{self.site.value}:{self.target}"
+        if self.nth is not None:
+            when = f"nth={self.nth}"
+        elif self.every is not None:
+            when = f"every={self.every}"
+        else:
+            when = f"p={self.probability}"
+        cap = "" if self.times is None else f" times={self.times}"
+        return f"{self.action.value}@{where} [{when}{cap}]"
+
+    def __repr__(self) -> str:
+        return f"FaultRule({self.describe()})"
+
+
+class FaultPlan:
+    """A seeded, ordered collection of fault rules.
+
+    The seed drives both probabilistic triggers and :meth:`chaos`
+    schedule generation, so a plan is fully reproducible from
+    ``(seed, rules)``.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def describe(self) -> List[str]:
+        """One line per rule."""
+        return [rule.describe() for rule in self.rules]
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        max_rules: int = 3,
+        max_fires_per_rule: int = 5,
+        max_delay_seconds: float = 0.003,
+    ) -> "FaultPlan":
+        """A small random fault schedule, fully determined by ``seed``.
+
+        Designed for the chaos matrix: every rule's fire count is capped
+        so a run always terminates quickly, and delays are kept tiny.
+        Sweeping seeds covers all (site × action) combinations over time.
+        """
+        rng = random.Random(seed)
+        rules: List[FaultRule] = []
+        for _ in range(rng.randint(1, max_rules)):
+            site = rng.choice(list(FaultSite))
+            action = rng.choice(list(FaultAction))
+            if rng.random() < 0.5:
+                trigger = {"nth": rng.randint(1, 40)}
+            else:
+                trigger = {"every": rng.randint(2, 15)}
+            rules.append(
+                FaultRule(
+                    site=site,
+                    action=action,
+                    times=rng.randint(1, max_fires_per_rule),
+                    delay_seconds=rng.uniform(0.0002, max_delay_seconds),
+                    message=f"chaos seed={seed}",
+                    **trigger,
+                )
+            )
+        return cls(rules, seed=seed)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.rules)} rules, seed={self.seed})"

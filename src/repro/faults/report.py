@@ -1,0 +1,137 @@
+"""Structured failure reporting — what went wrong, with evidence.
+
+When supervision survives worker crashes or a run degrades, the outcome
+must still be *explainable*: which matches were lost, where errors
+clustered, what the queues looked like at shutdown, and the tail of the
+execution trace when one was attached.  :class:`FailureReport` packages
+all of that onto :attr:`repro.core.base.TopKResult.failure`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class FailedMatch:
+    """Snapshot of one partial match abandoned after exhausted recovery."""
+
+    __slots__ = ("match_id", "root", "score", "upper_bound", "where", "attempts", "error")
+
+    def __init__(
+        self,
+        match_id: int,
+        root: str,
+        score: float,
+        upper_bound: float,
+        where: str,
+        attempts: int,
+        error: str,
+    ) -> None:
+        self.match_id = match_id
+        self.root = root
+        self.score = score
+        self.upper_bound = upper_bound
+        self.where = where
+        self.attempts = attempts
+        self.error = error
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "match_id": self.match_id,
+            "root": self.root,
+            "score": self.score,
+            "upper_bound": self.upper_bound,
+            "where": self.where,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FailedMatch(#{self.match_id} root={self.root} "
+            f"bound={self.upper_bound:.4f} at {self.where}: {self.error})"
+        )
+
+
+class FailureReport:
+    """Everything the engine knows about the failures it absorbed.
+
+    Attributes
+    ----------
+    failed_matches:
+        Matches abandoned after retry/requeue recovery was exhausted.
+    error_counts:
+        Component label (``server:<id>``, ``queue:router``, ``router``)
+        → number of errors observed there (including recovered ones).
+    retries / requeues:
+        How many recovery actions supervision took.
+    dropped:
+        Injected-fault loss records (``DroppedMatch.as_dict()`` payloads).
+    queue_snapshots:
+        Queue label → queued-match count at result time.
+    trace_tail:
+        Last few :class:`~repro.core.trace.TraceEvent` reprs when an
+        :class:`~repro.core.trace.ExecutionTrace` observer was attached.
+    injection:
+        The fault injector's aggregate summary, when a plan was active.
+    """
+
+    __slots__ = (
+        "failed_matches",
+        "error_counts",
+        "retries",
+        "requeues",
+        "dropped",
+        "queue_snapshots",
+        "trace_tail",
+        "injection",
+    )
+
+    def __init__(
+        self,
+        failed_matches: Sequence[FailedMatch] = (),
+        error_counts: Optional[Dict[str, int]] = None,
+        retries: int = 0,
+        requeues: int = 0,
+        dropped: Sequence[Dict[str, object]] = (),
+        queue_snapshots: Optional[Dict[str, int]] = None,
+        trace_tail: Sequence[str] = (),
+        injection: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.failed_matches: List[FailedMatch] = list(failed_matches)
+        self.error_counts: Dict[str, int] = dict(error_counts or {})
+        self.retries = retries
+        self.requeues = requeues
+        self.dropped: List[Dict[str, object]] = list(dropped)
+        self.queue_snapshots: Dict[str, int] = dict(queue_snapshots or {})
+        self.trace_tail: List[str] = list(trace_tail)
+        self.injection = injection
+
+    def total_errors(self) -> int:
+        """Errors observed across all components, recovered or not."""
+        return sum(self.error_counts.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (stable key order)."""
+        return {
+            "failed_matches": [failed.as_dict() for failed in self.failed_matches],
+            "error_counts": dict(sorted(self.error_counts.items())),
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "dropped": list(self.dropped),
+            "queue_snapshots": dict(sorted(self.queue_snapshots.items())),
+            "trace_tail": list(self.trace_tail),
+            "injection": self.injection,
+        }
+
+    def summary(self) -> str:
+        """One-line digest for logs and the CLI."""
+        return (
+            f"{self.total_errors()} errors ({self.retries} retries, "
+            f"{self.requeues} requeues), {len(self.failed_matches)} matches "
+            f"abandoned, {len(self.dropped)} dropped"
+        )
+
+    def __repr__(self) -> str:
+        return f"FailureReport({self.summary()})"

@@ -1,0 +1,40 @@
+"""Fixture: a worker loop that leaks the in-flight count.
+
+Deliberately violates WPL006 (inflight-pairing): the decrement is inline
+in the loop body — any crash between the dequeue and the ``dec()``
+strands the counter and stalls termination — and a bare ``except:``
+swallows the crash evidence.  The file lives under a ``core/`` directory
+so the rule's path-role check fires.
+"""
+
+
+def leaky_loop(queue, in_flight):
+    while True:
+        match = queue.get()
+        if match is None:
+            continue
+        try:
+            match.process()
+        except:  # line 18: WPL006 (bare except)
+            pass
+        in_flight.dec()  # line 20: WPL006 (dec outside finally)
+
+
+def supervised_loop(queue, in_flight):
+    # The required shape: dec() under try/finally — never reported.
+    while True:
+        match = queue.get()
+        if match is None:
+            continue
+        try:
+            match.process()
+        except ValueError:
+            pass
+        finally:
+            in_flight.dec()
+
+
+def helper_dec(in_flight):
+    # dec() outside any loop is release-on-failure cleanup, not a worker
+    # body — out of scope for the rule.
+    in_flight.dec()

@@ -78,6 +78,25 @@ class TestRuleFixtures:
         # `from repro.core import Engine` (the public API) is fine.
         assert all("Engine" not in f.message for f in findings)
 
+    def test_inflight_pairing_fires(self):
+        findings = lint_paths([FIXTURES / "core" / "inflight_leak.py"])
+        assert codes_and_lines(findings) == [("WPL006", 18), ("WPL006", 20)]
+        by_line = {f.line: f.message for f in findings}
+        assert "except" in by_line[18]
+        assert "finally" in by_line[20]
+
+    def test_inflight_pairing_spares_supervised_shape(self):
+        # The try/finally loop and the out-of-loop helper in the same
+        # fixture must not be reported.
+        findings = lint_paths([FIXTURES / "core" / "inflight_leak.py"])
+        assert {f.line for f in findings} == {18, 20}
+
+    def test_inflight_pairing_is_path_scoped(self, tmp_path):
+        # The same source outside a core/ directory is clean.
+        copy = tmp_path / "inflight_leak.py"
+        copy.write_text((FIXTURES / "core" / "inflight_leak.py").read_text())
+        assert lint_paths([copy]) == []
+
 
 class TestSuppressions:
     def test_noqa_silences_named_code(self):

@@ -4,12 +4,20 @@
 reaches zero notifies the condition, so the waiter sleeps through the
 whole wait and wakes at most a handful of times regardless of how long
 the workers take.  These tests instrument ``Condition.wait`` to prove it.
+
+A stuck counter is no longer survivable by cycling forever: when a full
+backstop window passes with a positive count and *no* transitions,
+``wait_zero`` raises :class:`~repro.errors.EngineDeadlockError` naming
+the count and the still-alive threads.
 """
 
 import threading
 import time
 
+import pytest
+
 from repro.core.whirlpool_m import _WAIT_BACKSTOP_SECONDS, _InFlight
+from repro.errors import EngineDeadlockError, EngineError
 
 
 class CountingCondition(threading.Condition):
@@ -74,26 +82,49 @@ class TestWaitZero:
         assert condition.wait_calls
         assert all(timeout == _WAIT_BACKSTOP_SECONDS for timeout in condition.wait_calls)
 
-    def test_explicit_backstop_bounds_wait_without_notification(self):
-        # If workers die without decrementing, the backstop still frees the
-        # waiter instead of deadlocking forever.
-        counter, condition = make_counted()
+    def test_backstop_expiry_raises_deadlock_error(self):
+        # If workers die without decrementing, a full quiet backstop
+        # window is a deadlock — diagnosed loudly, not cycled forever.
+        counter, _ = make_counted()
+        counter.inc(2)
+        with pytest.raises(EngineDeadlockError) as excinfo:
+            counter.wait_zero(
+                backstop_seconds=0.05,
+                thread_names=["whirlpool-server-2-0", "whirlpool-router"],
+            )
+        error = excinfo.value
+        assert error.in_flight == 2
+        assert error.backstop_seconds == 0.05
+        assert "whirlpool-router" in error.thread_names
+        assert "whirlpool-router" in str(error)
+        assert isinstance(error, EngineError)
+
+    def test_backstop_tolerates_slow_progress(self):
+        # Transitions during the window mean the system is slow, not
+        # deadlocked: no exception, and the waiter drains normally.
+        counter, _ = make_counted()
         counter.inc()
-        waiter = threading.Thread(
-            target=lambda: counter.wait_zero(backstop_seconds=0.05),
-            name="inflight-test",
-            daemon=True,
-        )
-        waiter.start()
-        waiter.join(timeout=0.3)
-        # Still waiting (count never reached zero) but cycling on the
-        # backstop, not stuck in an untimed wait.
-        assert waiter.is_alive()
-        assert condition.wait_calls
-        assert all(timeout == 0.05 for timeout in condition.wait_calls)
-        counter.dec()  # release the waiter
-        waiter.join(timeout=5)
-        assert not waiter.is_alive()
+
+        def worker():
+            for _ in range(4):
+                time.sleep(0.03)
+                counter.inc()
+                counter.dec()
+            counter.dec()
+
+        thread = threading.Thread(target=worker, name="inflight-test", daemon=True)
+        thread.start()
+        assert counter.wait_zero(backstop_seconds=0.08) is True
+        thread.join()
+
+    def test_timeout_returns_false_without_deadlock_error(self):
+        # The deadline-enforcement path: a short timeout expires before
+        # the backstop window completes, reporting "not drained".
+        counter, _ = make_counted()
+        counter.inc()
+        assert counter.wait_zero(backstop_seconds=5.0, timeout=0.05) is False
+        counter.dec()
+        assert counter.wait_zero(backstop_seconds=5.0, timeout=0.05) is True
 
     def test_multiple_increments_single_wait(self):
         counter, condition = make_counted()
