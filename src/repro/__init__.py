@@ -18,8 +18,10 @@ Quickstart::
 Package map: :mod:`repro.xmldb` (XML substrate), :mod:`repro.xmark`
 (document generator), :mod:`repro.query` (tree patterns),
 :mod:`repro.relax` (relaxations + plans), :mod:`repro.scoring` (tf*idf),
-:mod:`repro.core` (engines), :mod:`repro.simulate` (parallelism model),
-:mod:`repro.bench` (experiment harness).
+:mod:`repro.core` (engines), :mod:`repro.service` (embedded query
+service: admission control, circuit breakers, graceful drain),
+:mod:`repro.simulate` (parallelism model), :mod:`repro.bench`
+(experiment harness).
 """
 
 from repro.core.engine import Engine, topk
@@ -46,9 +48,11 @@ from repro.errors import (
     RelaxationError,
     ReproError,
     ScoringError,
+    ServiceError,
     XMLParseError,
     XPathSyntaxError,
 )
+from repro.service import Outcome, QueryRequest, QueryResponse, WhirlpoolService
 
 __version__ = "1.0.0"
 
@@ -82,6 +86,11 @@ __all__ = [
     "RelaxationError",
     "ScoringError",
     "EngineError",
+    "ServiceError",
     "GeneratorError",
+    "Outcome",
+    "QueryRequest",
+    "QueryResponse",
+    "WhirlpoolService",
     "__version__",
 ]

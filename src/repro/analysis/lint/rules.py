@@ -1,4 +1,4 @@
-"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL006``).
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL007``).
 
 Each rule encodes one invariant Whirlpool-M's correctness (or the bench
 suite's honesty) rests on.  They are deliberately narrow: a rule that
@@ -20,11 +20,12 @@ Static-analysis limits worth knowing:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.lint.engine import Finding, Module, Rule
 
-#: Classes whose internals are shared across Whirlpool-M threads.
+#: Classes whose internals are shared across Whirlpool-M threads, or
+#: across the query service's worker pool and its submitting clients.
 SHARED_CLASSES: Set[str] = {
     "TopKSet",
     "ExecutionStats",
@@ -34,6 +35,11 @@ SHARED_CLASSES: Set[str] = {
     "_InFlight",
     "FaultInjector",
     "Supervisor",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "ServiceCounters",
+    "Ticket",
+    "WhirlpoolService",
 }
 
 #: Mutating container methods that count as writes when called on a
@@ -478,6 +484,110 @@ class InFlightPairingRule(Rule):
         )
 
 
+class UnboundedServiceQueueRule(Rule):
+    """WPL007: no unbounded stdlib queues in the service layer.
+
+    The query service's entire backpressure story rests on its admission
+    queue being *bounded*; an unbounded ``queue.Queue()`` (no ``maxsize``,
+    or ``maxsize<=0``) or a ``SimpleQueue`` anywhere under
+    ``src/repro/service/`` silently reopens the overload hole the
+    admission policies exist to close.  A ``maxsize`` that is a positive
+    constant, or any non-constant expression (assumed to be a validated
+    capacity), is accepted.  Scoped to files inside a ``service``
+    package directory.
+    """
+
+    code = "WPL007"
+    name = "no-unbounded-service-queue"
+    description = "unbounded queue.Queue/SimpleQueue constructed in service/ code"
+
+    #: Bounded-capable constructors (first positional arg / kwarg is maxsize).
+    _SIZED = {"Queue", "LifoQueue", "PriorityQueue"}
+    #: Constructors with no capacity bound at all.
+    _UNBOUNDED = {"SimpleQueue"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package("service"):
+            return
+        modules, names = self._queue_references(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = self._ctor_name(node.func, modules, names)
+            if ctor is None:
+                continue
+            if ctor in self._UNBOUNDED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{ctor} has no capacity bound; use the bounded "
+                    f"AdmissionQueue (or a Queue with maxsize)",
+                )
+                continue
+            maxsize = self._maxsize_argument(node)
+            if maxsize is None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"unbounded {ctor}() in service code: pass a positive "
+                    f"maxsize (backpressure requires a bound)",
+                )
+            elif isinstance(maxsize, ast.Constant) and (
+                maxsize.value is None
+                or (isinstance(maxsize.value, (int, float)) and maxsize.value <= 0)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{ctor}(maxsize={maxsize.value!r}) is unbounded: "
+                    f"maxsize must be a positive capacity",
+                )
+
+    @staticmethod
+    def _queue_references(tree: ast.Module) -> Tuple[Set[str], Dict[str, str]]:
+        """(aliases of the ``queue`` module, local name → ctor name)."""
+        modules: Set[str] = set()
+        names: Dict[str, str] = {}
+        interesting = (
+            UnboundedServiceQueueRule._SIZED | UnboundedServiceQueueRule._UNBOUNDED
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "queue":
+                        modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "queue":
+                for alias in node.names:
+                    if alias.name in interesting:
+                        names[alias.asname or alias.name] = alias.name
+        return modules, names
+
+    @classmethod
+    def _ctor_name(
+        cls, func: ast.expr, modules: Set[str], names: Dict[str, str]
+    ) -> Optional[str]:
+        watched = cls._SIZED | cls._UNBOUNDED
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in watched
+            and isinstance(func.value, ast.Name)
+            and func.value.id in modules
+        ):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return names.get(func.id)
+        return None
+
+    @staticmethod
+    def _maxsize_argument(node: ast.Call) -> Optional[ast.expr]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "maxsize":
+                return keyword.value
+        return None
+
+
 def default_rules() -> List[Rule]:
     """One fresh instance of every built-in rule, code order."""
     return [
@@ -487,4 +597,5 @@ def default_rules() -> List[Rule]:
         NoWallclockInCoreRule(),
         BenchImportsPublicApiRule(),
         InFlightPairingRule(),
+        UnboundedServiceQueueRule(),
     ]

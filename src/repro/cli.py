@@ -123,6 +123,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None, help="output file (default: stdout)"
     )
 
+    serve = commands.add_parser(
+        "serve-demo",
+        help="run a seeded burst workload through the embedded query service",
+    )
+    serve.add_argument(
+        "--items", type=int, default=60, help="XMark items in the demo document"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=11, help="document + workload seed"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=40, help="burst size to replay"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="service worker-pool size"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, help="admission-queue capacity"
+    )
+    serve.add_argument(
+        "--overload-policy",
+        choices=("reject", "shed-oldest", "shed-lowest-priority", "degrade"),
+        default="reject",
+        help="what admission does when the queue is full",
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a deterministic fault plan into every engine run",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="graceful-drain budget after the burst",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     bench = commands.add_parser("bench", help="run one experiment driver")
     bench.add_argument(
         "experiment",
@@ -267,6 +309,103 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+#: Query pool the demo workload draws from (all answerable on XMark docs).
+_DEMO_QUERIES = (
+    "//item[./description/parlist]",
+    "//item[./mailbox/mail/text]",
+    "//item[./description/parlist and ./mailbox/mail/text]",
+    "//item[./name and ./payment]",
+)
+
+
+def _cmd_serve_demo(args) -> int:
+    import random
+
+    from repro.faults import FaultPlan
+    from repro.service import OverloadPolicy, QueryRequest, WhirlpoolService
+    from repro.xmark.generator import generate_database
+    from repro.xmark.schema import XMarkConfig
+
+    database = generate_database(XMarkConfig(items=args.items, seed=args.seed))
+    service = WhirlpoolService(
+        {"auction": database},
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        overload_policy=OverloadPolicy.parse(args.overload_policy),
+        seed=args.seed,
+    )
+
+    rng = random.Random(args.seed)
+    tickets = []
+    for _ in range(args.requests):
+        faults = None
+        if args.chaos_seed is not None:
+            faults = FaultPlan.chaos(args.chaos_seed + rng.randint(0, 1000))
+        request = QueryRequest(
+            document="auction",
+            xpath=rng.choice(_DEMO_QUERIES),
+            k=rng.randint(1, 10),
+            priority=rng.randint(0, 2),
+            deadline_seconds=rng.choice([None, 0.05, 0.25, 1.0]),
+            algorithm=rng.choice(["whirlpool_s", "whirlpool_m", "lockstep"]),
+            faults=faults,
+        )
+        tickets.append(service.submit(request))
+
+    drained = service.drain(args.drain_seconds)
+    health = service.health()
+
+    outcomes: dict = {}
+    unresolved = 0
+    for ticket in tickets:
+        response = ticket.peek()
+        if response is None:
+            unresolved += 1
+            continue
+        outcomes[response.outcome.value] = outcomes.get(response.outcome.value, 0) + 1
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "requests": args.requests,
+                    "outcomes": dict(sorted(outcomes.items())),
+                    "unresolved": unresolved,
+                    "drained_within_budget": drained,
+                    "health": health.as_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"replayed {args.requests} requests (seed {args.seed}):")
+        for name, count in sorted(outcomes.items()):
+            print(f"  {name:10s} {count}")
+        if unresolved:
+            print(f"  UNRESOLVED {unresolved}")
+        print(f"drain within {args.drain_seconds:g}s budget: {drained}")
+        print("\nhealth snapshot:")
+        for key, value in health.as_dict().items():
+            if key == "breakers":
+                assert isinstance(value, dict)
+                for name, snap in value.items():
+                    assert isinstance(snap, dict)
+                    print(
+                        f"  breaker {name}: {snap['state']} "
+                        f"(trips={snap['trips']}, probes={snap['probes']})"
+                    )
+            elif key in ("counters", "engine_stats"):
+                assert isinstance(value, dict)
+                print(f"  {key}:")
+                for inner, inner_value in value.items():
+                    print(f"    {inner}: {inner_value}")
+            else:
+                print(f"  {key}: {value}")
+    # Every submitted request must carry a terminal outcome; anything
+    # unresolved is a service bug, not a workload property.
+    return 0 if unresolved == 0 else 2
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import experiments
 
@@ -297,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "explain": _cmd_explain,
         "generate": _cmd_generate,
+        "serve-demo": _cmd_serve_demo,
         "bench": _cmd_bench,
     }
     try:

@@ -397,7 +397,11 @@ class EngineBase:
                 )
                 action = supervisor.on_error(match, server_id, exc, alternatives)
                 if action is FailureAction.RETRY:
-                    supervisor.backoff(match.match_id, server_id)
+                    supervisor.backoff(
+                        match.match_id,
+                        server_id,
+                        max_seconds=self.remaining_deadline(),
+                    )
                     continue
                 if action is FailureAction.REQUEUE:
                     return None, "requeue"
@@ -411,6 +415,16 @@ class EngineBase:
         except Exception as exc:
             self.supervisor.record_abandoned(match, label, exc)
             return False
+
+    def remaining_deadline(self) -> Optional[float]:
+        """Seconds left on this run's wall-clock budget (``None`` = unbounded).
+
+        Caps the supervisor's retry backoff so a recovery sleep can never
+        outlive the deadline the caller propagated into the run.
+        """
+        if self.deadline_seconds is None:
+            return None
+        return max(self.deadline_seconds - self.stats.elapsed_seconds(), 0.0)
 
     def budget_exhausted(self) -> bool:
         """True once the operation budget or the deadline has expired."""

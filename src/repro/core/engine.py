@@ -48,6 +48,33 @@ ALGORITHMS: Dict[str, Type[EngineBase]] = {
     "lockstep_noprun": LockStepNoPrun,
 }
 
+#: Failure-isolation fallback order, most capable first: when an
+#: algorithm's circuit breaker is open the query service walks this chain
+#: and serves the request with the first healthy alternative.  Every chain
+#: ends in plain LockStep — static routing, no per-server queues — the
+#: fewest moving parts of the four engines.
+FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "whirlpool_m": ("whirlpool_s", "lockstep"),
+    "whirlpool_s": ("lockstep",),
+    "lockstep": (),
+    "lockstep_noprun": ("lockstep",),
+}
+
+
+def fallback_chain(algorithm: str) -> Tuple[str, ...]:
+    """Ordered fallback algorithms for ``algorithm`` (possibly empty).
+
+    Raises :class:`~repro.errors.EngineError` for unknown algorithm names
+    so misconfigured services fail at wiring time, not at first fallback.
+    """
+    try:
+        return FALLBACK_CHAIN[algorithm]
+    except KeyError:
+        raise EngineError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        ) from None
+
 
 class Engine:
     """Bound (database, query) pair ready to answer top-k requests."""

@@ -122,6 +122,33 @@ class ExecutionStats:
             lambda: setattr(self, "routing_decisions", self.routing_decisions + 1)
         )
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold a finished run's counters into this aggregate.
+
+        The query service keeps one thread-safe aggregate per service and
+        merges every completed engine run into it, so ``health()`` can
+        report fleet-wide totals in the same units as a single run.
+        ``other`` must no longer be mutating (its run has returned).
+        """
+
+        def update() -> None:
+            self.server_operations += other.server_operations
+            self.join_comparisons += other.join_comparisons
+            self.partial_matches_created += other.partial_matches_created
+            self.partial_matches_pruned += other.partial_matches_pruned
+            self.extensions_generated += other.extensions_generated
+            self.deleted_extensions += other.deleted_extensions
+            self.completed_matches += other.completed_matches
+            self.routing_decisions += other.routing_decisions
+            self.wall_time_seconds += other.wall_time_seconds
+            self.simulated_time += other.simulated_time
+            for server_id, count in other.per_server_operations.items():
+                self.per_server_operations[server_id] = (
+                    self.per_server_operations.get(server_id, 0) + count
+                )
+
+        self._locked(update)
+
     # -- reporting ---------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, float]:

@@ -125,5 +125,38 @@ class InjectedFaultError(EngineError):
         super().__init__(message or f"injected fault at {where}")
 
 
+class ServiceError(ReproError):
+    """Raised for invalid query-service configurations or misuse.
+
+    Overload, shedding and drain outcomes are *not* exceptions — the
+    service resolves every submitted request with a structured
+    :class:`~repro.service.request.QueryResponse` — so this class covers
+    only caller errors: bad construction parameters, malformed requests,
+    or waiting on a ticket past an explicit timeout.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when a caller opts into raise-on-overload submission.
+
+    Carries the admission decision so callers can tell a full queue from
+    a draining service.
+
+    Attributes
+    ----------
+    reason:
+        ``queue_full`` or ``draining``.
+    queue_depth:
+        Admission-queue depth at rejection time.
+    """
+
+    def __init__(self, reason: str, queue_depth: int = 0) -> None:
+        self.reason = reason
+        self.queue_depth = queue_depth
+        super().__init__(
+            f"request rejected ({reason}; queue depth {queue_depth})"
+        )
+
+
 class GeneratorError(ReproError):
     """Raised for invalid XMark generator parameters."""

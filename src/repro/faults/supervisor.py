@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import enum
 import threading
-import time
 from random import Random
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
@@ -101,6 +100,7 @@ class Supervisor:
     def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
         self.policy = policy if policy is not None else RetryPolicy()
         self._lock = threading.Lock()
+        self._wakeup = threading.Event()
         self._rng = Random(self.policy.seed)
         self._attempts: Dict[Tuple[int, int], int] = {}
         self._requeues: Dict[int, int] = {}
@@ -146,13 +146,33 @@ class Supervisor:
             )
             return FailureAction.ABANDON
 
-    def backoff(self, match_id: int, server_id: int) -> None:
-        """Sleep the policy's backoff before retrying (jitter is seeded)."""
+    def backoff(
+        self, match_id: int, server_id: int, max_seconds: Optional[float] = None
+    ) -> None:
+        """Wait the policy's backoff before retrying (jitter is seeded).
+
+        The wait is interruptible — :meth:`interrupt` wakes it immediately
+        (the shutdown/drain path) — and is capped at ``max_seconds`` when
+        given, so retry backoff can never overshoot the remaining engine
+        deadline: engines pass their remaining ``deadline_seconds`` budget
+        here.
+        """
         with self._lock:
             attempt = self._attempts.get((match_id, server_id), 1)
             delay = self.policy.backoff_delay(attempt, self._rng)
+        if max_seconds is not None:
+            delay = min(delay, max(max_seconds, 0.0))
         if delay > 0:
-            time.sleep(delay)
+            self._wakeup.wait(delay)
+
+    def interrupt(self) -> None:
+        """Cancel the current and all future backoff waits.
+
+        One-way: after an interrupt every :meth:`backoff` returns
+        immediately, which is exactly the drain/shutdown semantics — a
+        stopping engine must not sit in retry sleeps.
+        """
+        self._wakeup.set()
 
     def excluded_for(self, match_id: int) -> Set[int]:
         """Servers this match should avoid while alternatives exist."""

@@ -1,0 +1,44 @@
+"""The embedded Whirlpool query service — serving, not just running.
+
+A :class:`WhirlpoolService` executes :class:`QueryRequest`\\ s on a fixed
+worker pool over the existing engines, adding the cross-request
+robustness a single engine run cannot provide:
+
+- :mod:`repro.service.queue` — bounded admission with backpressure and
+  pluggable overload policies (reject / shed-oldest /
+  shed-lowest-priority / degrade);
+- :mod:`repro.service.breaker` — per-engine circuit breakers with
+  seeded probe scheduling and transparent fallback along
+  :data:`repro.core.engine.FALLBACK_CHAIN`;
+- :mod:`repro.service.request` — the request / ticket / response
+  envelope enforcing **exactly one terminal outcome per request**;
+- :mod:`repro.service.health` — outcome counters and the ``health()``
+  snapshot;
+- :mod:`repro.service.service` — deadline propagation (queue wait is
+  charged against the request budget) and graceful drain shutdown.
+
+See ``docs/serving.md`` for the architecture and the drain semantics.
+"""
+
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.health import HealthSnapshot, ServiceCounters
+from repro.service.policies import DegradeSettings, OverloadPolicy
+from repro.service.queue import AdmissionQueue, AdmittedRequest
+from repro.service.request import Outcome, QueryRequest, QueryResponse, Ticket
+from repro.service.service import WhirlpoolService
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmittedRequest",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradeSettings",
+    "HealthSnapshot",
+    "Outcome",
+    "OverloadPolicy",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceCounters",
+    "Ticket",
+    "WhirlpoolService",
+]

@@ -1,0 +1,189 @@
+"""Per-engine circuit breakers: failure isolation across requests.
+
+One breaker guards each engine algorithm the service can run.  The state
+machine is the classic three states:
+
+- **CLOSED** — requests flow; outcomes feed a sliding window.  When the
+  window holds at least ``min_calls`` outcomes and the failure rate
+  reaches ``failure_threshold``, the breaker trips.
+- **OPEN** — requests are refused (the service walks the fallback chain
+  instead).  The open interval is *seeded probe scheduling*: base
+  duration, doubled per consecutive trip (capped), plus seeded jitter so
+  a fleet of services never probes a struggling engine in lockstep.
+- **HALF_OPEN** — after the open interval one probe request is let
+  through; success closes the breaker (window reset), failure re-opens
+  it with the next, longer interval.
+
+What counts as *failure* is the caller's judgement — the service counts
+an engine raise, and a result whose supervision abandoned matches, as
+failures; a merely budget-degraded result is the anytime contract
+working, not an unhealthy engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from random import Random
+from typing import Callable, Deque, Dict, Optional
+
+from repro.core.stats import monotonic_seconds
+from repro.errors import ServiceError
+
+
+class BreakerState(enum.Enum):
+    """Where the breaker's state machine currently sits."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with seeded probe scheduling."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: float = 0.5,
+        window: int = 8,
+        min_calls: int = 4,
+        open_seconds: float = 0.25,
+        max_backoff_doublings: int = 5,
+        probe_jitter: float = 0.5,
+        seed: int = 0,
+        clock: Callable[[], float] = monotonic_seconds,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ServiceError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if window < 1 or min_calls < 1:
+            raise ServiceError("window and min_calls must be >= 1")
+        if min_calls > window:
+            raise ServiceError(
+                f"min_calls ({min_calls}) cannot exceed window ({window})"
+            )
+        if open_seconds <= 0:
+            raise ServiceError(f"open_seconds must be positive, got {open_seconds}")
+        if not 0.0 <= probe_jitter <= 1.0:
+            raise ServiceError(f"probe_jitter must be in [0, 1], got {probe_jitter}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.open_seconds = open_seconds
+        self.max_backoff_doublings = max_backoff_doublings
+        self.probe_jitter = probe_jitter
+        self._clock = clock
+        # Reentrant: _trip() re-acquires under the recording methods.
+        self._lock = threading.RLock()
+        self._rng = Random(seed)
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._open_for = 0.0
+        self._consecutive_trips = 0
+        self._trips = 0
+        self._probes = 0
+        self._probe_in_flight = False
+
+    # -- the gate ----------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request use this engine right now?
+
+        ``OPEN`` transitions to ``HALF_OPEN`` once the seeded open
+        interval has elapsed, releasing exactly one probe; the probe's
+        :meth:`record_success` / :meth:`record_failure` decides what
+        happens next.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if now - self._opened_at < self._open_for:
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probe_in_flight = True
+                self._probes += 1
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            self._probes += 1
+            return True
+
+    # -- outcome feedback --------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A run on this engine completed healthily."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._probe_in_flight = False
+                self._consecutive_trips = 0
+                self._outcomes.clear()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """A run on this engine raised or abandoned work."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+                self._trip()
+                return
+            if self._state is BreakerState.OPEN:
+                return
+            self._outcomes.append(False)
+            total = len(self._outcomes)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if total >= self.min_calls and failures / total >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        # Seeded probe scheduling: exponential per consecutive trip,
+        # jittered so independent breakers (and service replicas seeded
+        # differently) decorrelate their probes.
+        with self._lock:
+            self._state = BreakerState.OPEN
+            self._consecutive_trips += 1
+            self._trips += 1
+            doublings = min(self._consecutive_trips - 1, self.max_backoff_doublings)
+            base = self.open_seconds * (2.0**doublings)
+            self._open_for = base * (1.0 + self.probe_jitter * self._rng.random())
+            self._opened_at = self._clock()
+            self._outcomes.clear()
+
+    # -- introspection -----------------------------------------------------------
+
+    def state(self) -> BreakerState:
+        """Current state (``OPEN`` even if the probe interval has elapsed —
+        the transition happens on the next :meth:`allow`)."""
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent view for health reporting."""
+        now = self._clock()
+        with self._lock:
+            total = len(self._outcomes)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            remaining: Optional[float] = None
+            if self._state is BreakerState.OPEN:
+                remaining = max(self._open_for - (now - self._opened_at), 0.0)
+            return {
+                "state": self._state.value,
+                "window": total,
+                "failures": failures,
+                "failure_rate": (failures / total) if total else 0.0,
+                "trips": self._trips,
+                "probes": self._probes,
+                "open_remaining_seconds": remaining,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name}, {self.state().value})"

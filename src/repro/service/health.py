@@ -1,0 +1,164 @@
+"""Service observability: outcome counters and the health snapshot.
+
+:class:`ServiceCounters` follows ``core/stats.py`` conventions —
+counters increment through methods so the lock can wrap them, and
+``as_dict()`` is the flat reporting surface.  Unlike
+:class:`~repro.core.stats.ExecutionStats` (one instance per engine run)
+one instance lives for the whole service, so it is always thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.service.request import Outcome
+
+
+class ServiceCounters:
+    """Monotone request-disposition counters for one service lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._outcomes: Dict[str, int] = {outcome.value: 0 for outcome in Outcome}
+        self._fallbacks = 0
+        self._queue_wait_total = 0.0
+
+    def record_submitted(self) -> None:
+        """One request entered :meth:`~repro.service.service.WhirlpoolService.submit`."""
+        with self._lock:
+            self._submitted += 1
+
+    def record_outcome(
+        self, outcome: Outcome, fallback: bool = False, queue_wait: float = 0.0
+    ) -> None:
+        """One request reached its (single) terminal outcome."""
+        with self._lock:
+            self._outcomes[outcome.value] += 1
+            if fallback:
+                self._fallbacks += 1
+            self._queue_wait_total += queue_wait
+
+    # -- reporting ---------------------------------------------------------------
+
+    def submitted(self) -> int:
+        """Requests accepted by ``submit`` so far."""
+        with self._lock:
+            return self._submitted
+
+    def resolved(self) -> int:
+        """Requests with a terminal outcome so far."""
+        with self._lock:
+            return sum(self._outcomes.values())
+
+    def outstanding(self) -> int:
+        """Requests submitted but not yet resolved."""
+        with self._lock:
+            return self._submitted - sum(self._outcomes.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reporting / JSON dumps (one snapshot)."""
+        with self._lock:
+            out: Dict[str, float] = {"submitted": self._submitted}
+            out.update(sorted(self._outcomes.items()))
+            out["fallbacks"] = self._fallbacks
+            out["queue_wait_total_seconds"] = self._queue_wait_total
+            return out
+
+    def __repr__(self) -> str:
+        snapshot = self.as_dict()
+        parts = ", ".join(f"{key}={value}" for key, value in snapshot.items())
+        return f"ServiceCounters({parts})"
+
+
+class HealthSnapshot:
+    """One consistent view of service health (``service.health()``).
+
+    Attributes
+    ----------
+    queue_depth / queue_capacity:
+        Admission-queue fill level.
+    overload_policy:
+        The configured policy's CLI spelling.
+    draining / stopped:
+        Lifecycle flags — a draining service rejects new work.
+    workers_alive / workers_total:
+        Worker-pool liveness.
+    breakers:
+        Algorithm name → :meth:`~repro.service.breaker.CircuitBreaker.snapshot`.
+    counters:
+        :meth:`ServiceCounters.as_dict` at snapshot time.
+    engine_stats:
+        Aggregate :meth:`~repro.core.stats.ExecutionStats.as_dict` merged
+        over every completed engine run.
+    """
+
+    __slots__ = (
+        "queue_depth",
+        "queue_capacity",
+        "overload_policy",
+        "draining",
+        "stopped",
+        "workers_alive",
+        "workers_total",
+        "breakers",
+        "counters",
+        "engine_stats",
+    )
+
+    def __init__(
+        self,
+        queue_depth: int,
+        queue_capacity: int,
+        overload_policy: str,
+        draining: bool,
+        stopped: bool,
+        workers_alive: int,
+        workers_total: int,
+        breakers: Dict[str, Dict[str, object]],
+        counters: Dict[str, float],
+        engine_stats: Dict[str, float],
+    ) -> None:
+        self.queue_depth = queue_depth
+        self.queue_capacity = queue_capacity
+        self.overload_policy = overload_policy
+        self.draining = draining
+        self.stopped = stopped
+        self.workers_alive = workers_alive
+        self.workers_total = workers_total
+        self.breakers = breakers
+        self.counters = counters
+        self.engine_stats = engine_stats
+
+    def ok(self) -> bool:
+        """Liveness verdict: accepting work and the pool is intact."""
+        return (
+            not self.draining
+            and not self.stopped
+            and self.workers_alive == self.workers_total
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (stable key order)."""
+        return {
+            "ok": self.ok(),
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "overload_policy": self.overload_policy,
+            "draining": self.draining,
+            "stopped": self.stopped,
+            "workers_alive": self.workers_alive,
+            "workers_total": self.workers_total,
+            "breakers": {name: dict(snap) for name, snap in sorted(self.breakers.items())},
+            "counters": dict(self.counters),
+            "engine_stats": dict(self.engine_stats),
+        }
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.ok() else "degraded"
+        return (
+            f"HealthSnapshot({verdict}, queue={self.queue_depth}/"
+            f"{self.queue_capacity}, workers={self.workers_alive}/"
+            f"{self.workers_total})"
+        )

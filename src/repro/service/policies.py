@@ -1,0 +1,127 @@
+"""Overload policies: what admission does when the bounded queue is full.
+
+The service's backpressure story (docs/serving.md §2):
+
+- ``reject`` — fast-fail the incoming request with a structured
+  ``REJECTED`` outcome; callers see overload immediately.
+- ``shed-oldest`` — evict the longest-queued request (it has burned the
+  most of its deadline and is the likeliest to miss it anyway) and admit
+  the newcomer.
+- ``shed-lowest-priority`` — evict the lowest-priority queued request
+  (oldest among ties).  When the newcomer itself is the lowest priority
+  it is the one shed: a higher-priority request is **never** shed before
+  a lower-priority one.
+- ``degrade`` — absorb pressure with Whirlpool's anytime machinery
+  instead of dropping work: past a queue-depth watermark, admitted
+  requests get a tightened deadline and a shrunk ``k`` so each one holds
+  a worker for less time; a full queue still rejects (bounded means
+  bounded).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+class OverloadPolicy(enum.Enum):
+    """Admission behaviour when the queue is at capacity."""
+
+    REJECT = "reject"
+    SHED_OLDEST = "shed-oldest"
+    SHED_LOWEST_PRIORITY = "shed-lowest-priority"
+    DEGRADE = "degrade"
+
+    @classmethod
+    def parse(cls, value: str) -> "OverloadPolicy":
+        """Policy from its CLI spelling (``reject`` / ``shed-oldest`` / ...)."""
+        for policy in cls:
+            if policy.value == value:
+                return policy
+        raise ServiceError(
+            f"unknown overload policy {value!r}; expected one of "
+            f"{', '.join(p.value for p in cls)}"
+        )
+
+
+class DegradeSettings:
+    """Knobs for the ``degrade`` policy's pressure-absorption transform.
+
+    Parameters
+    ----------
+    watermark_fraction:
+        Queue-depth fraction of capacity at which admitted requests start
+        being degraded (depth is measured before insertion).
+    deadline_factor:
+        Multiplier applied to the request's remaining deadline.
+    fallback_deadline:
+        Deadline imposed on requests that arrived without one — an
+        unbounded request cannot absorb pressure.
+    min_deadline:
+        Floor under the tightened deadline so a degraded run can still
+        produce a usable anytime result.
+    k_factor / min_k:
+        ``k`` shrink multiplier and its floor.
+    """
+
+    __slots__ = (
+        "watermark_fraction",
+        "deadline_factor",
+        "fallback_deadline",
+        "min_deadline",
+        "k_factor",
+        "min_k",
+    )
+
+    def __init__(
+        self,
+        watermark_fraction: float = 0.5,
+        deadline_factor: float = 0.5,
+        fallback_deadline: float = 0.25,
+        min_deadline: float = 0.01,
+        k_factor: float = 0.5,
+        min_k: int = 1,
+    ) -> None:
+        if not 0.0 <= watermark_fraction <= 1.0:
+            raise ServiceError(
+                f"watermark_fraction must be in [0, 1], got {watermark_fraction}"
+            )
+        if not 0.0 < deadline_factor <= 1.0:
+            raise ServiceError(
+                f"deadline_factor must be in (0, 1], got {deadline_factor}"
+            )
+        if fallback_deadline <= 0 or min_deadline <= 0:
+            raise ServiceError("degrade deadlines must be positive")
+        if not 0.0 < k_factor <= 1.0:
+            raise ServiceError(f"k_factor must be in (0, 1], got {k_factor}")
+        if min_k < 1:
+            raise ServiceError(f"min_k must be >= 1, got {min_k}")
+        self.watermark_fraction = watermark_fraction
+        self.deadline_factor = deadline_factor
+        self.fallback_deadline = fallback_deadline
+        self.min_deadline = min_deadline
+        self.k_factor = k_factor
+        self.min_k = min_k
+
+    def watermark(self, capacity: int) -> int:
+        """Queue depth (pre-insert) at which degradation kicks in."""
+        return int(capacity * self.watermark_fraction)
+
+    def apply(
+        self, deadline_seconds: Optional[float], k: int
+    ) -> Tuple[float, int]:
+        """(tightened deadline, shrunk k) for one degraded request."""
+        if deadline_seconds is None:
+            deadline = self.fallback_deadline
+        else:
+            deadline = max(deadline_seconds * self.deadline_factor, self.min_deadline)
+        shrunk_k = max(int(k * self.k_factor), self.min_k)
+        return deadline, shrunk_k
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradeSettings(watermark={self.watermark_fraction:g}, "
+            f"deadline×{self.deadline_factor:g}, k×{self.k_factor:g})"
+        )

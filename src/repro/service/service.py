@@ -1,0 +1,466 @@
+"""The embedded query service: a worker pool over the Whirlpool engines.
+
+``WhirlpoolService`` turns the one-shot :class:`~repro.core.engine.Engine`
+facade into a request-serving stack:
+
+- **admission** — a bounded :class:`~repro.service.queue.AdmissionQueue`
+  with a pluggable :class:`~repro.service.policies.OverloadPolicy`;
+- **deadline propagation** — a request's ``deadline_seconds`` is measured
+  from admission, so queue wait is charged against it and only the
+  remainder reaches the engine's anytime budget;
+- **failure isolation** — one :class:`~repro.service.breaker.CircuitBreaker`
+  per engine algorithm; a tripped breaker reroutes requests along
+  :data:`repro.core.engine.FALLBACK_CHAIN` (recorded on the response);
+- **graceful drain** — :meth:`WhirlpoolService.drain` stops admission,
+  lets queued work finish (capped at the drain budget so late work
+  degrades instead of overrunning), sheds what the budget cannot cover,
+  and never loses a request without a recorded outcome.
+
+The exactly-one-outcome invariant is structural:
+:meth:`~repro.service.request.Ticket.resolve` is first-wins, counters
+increment only on the winning resolution, and every code path that takes
+ownership of a ticket ends in :meth:`WhirlpoolService._finish`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.engine import ALGORITHMS, Engine, fallback_chain
+from repro.core.stats import ExecutionStats, monotonic_seconds
+from repro.errors import ReproError, ServiceError
+from repro.service.breaker import CircuitBreaker
+from repro.service.health import HealthSnapshot, ServiceCounters
+from repro.service.policies import DegradeSettings, OverloadPolicy
+from repro.service.queue import REJECTED, SHED, AdmissionQueue, AdmittedRequest
+from repro.service.request import Outcome, QueryRequest, QueryResponse, Ticket
+from repro.xmldb.model import Database
+
+_POLL_SECONDS = 0.02
+#: Floor under any engine deadline the service computes — EngineBase
+#: requires a positive budget, and a zero-width slice cannot even seed.
+_MIN_DEADLINE_SECONDS = 0.001
+#: Post-budget wait for in-flight runs during drain.  Work *started*
+#: during drain is capped at the drain deadline, so this only covers
+#: runs admitted before drain began.
+_DRAIN_GRACE_SECONDS = 2.0
+_JOIN_TIMEOUT_SECONDS = 2.0
+
+
+class WhirlpoolService:
+    """Thread-based top-k query service over registered XML documents.
+
+    Parameters
+    ----------
+    documents:
+        Initial handle → :class:`~repro.xmldb.model.Database` registry
+        (extend later with :meth:`register_document`).
+    workers:
+        Worker-pool size; each worker runs one engine at a time.
+    queue_depth:
+        Admission-queue capacity (the backpressure bound).
+    overload_policy:
+        What admission does at capacity — see
+        :class:`~repro.service.policies.OverloadPolicy`.
+    degrade:
+        Transform knobs for the ``degrade`` policy.
+    breaker_* / seed:
+        Circuit-breaker tuning; each algorithm's breaker gets a seed
+        derived from ``seed`` so probe schedules decorrelate.
+    auto_start:
+        Start the worker pool in the constructor (tests pass ``False``
+        to stage deterministic burst admissions before serving begins).
+    """
+
+    def __init__(
+        self,
+        documents: Optional[Mapping[str, Database]] = None,
+        workers: int = 2,
+        queue_depth: int = 16,
+        overload_policy: OverloadPolicy = OverloadPolicy.REJECT,
+        degrade: Optional[DegradeSettings] = None,
+        breaker_failure_threshold: float = 0.5,
+        breaker_window: int = 8,
+        breaker_min_calls: int = 4,
+        breaker_open_seconds: float = 0.25,
+        seed: int = 0,
+        auto_start: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self._documents: Dict[str, Database] = dict(documents or {})
+        self._queue = AdmissionQueue(queue_depth, policy=overload_policy, degrade=degrade)
+        self._degrade = self._queue.degrade_settings
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=breaker_failure_threshold,
+                window=breaker_window,
+                min_calls=breaker_min_calls,
+                open_seconds=breaker_open_seconds,
+                seed=seed + offset,
+            )
+            for offset, name in enumerate(sorted(ALGORITHMS))
+        }
+        self._counters = ServiceCounters()
+        self._engine_stats = ExecutionStats(thread_safe=True)
+        self._engine_lock = threading.Lock()
+        self._engines: Dict[Tuple[str, str, bool], Engine] = {}
+        self._ids = itertools.count(1)
+        self._started = False
+        self._stop = threading.Event()
+        self._stopped = threading.Event()
+        self._draining = threading.Event()
+        self._idle_cond = threading.Condition()
+        self._drain_deadline: Optional[float] = None
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"whirlpool-svc-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._engine_lock:
+            if self._started:
+                return
+            self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def drain(self, budget_seconds: float = 5.0) -> bool:
+        """Graceful shutdown: stop admitting, finish or shed, then stop.
+
+        Within ``budget_seconds`` the pool keeps serving queued work —
+        engine deadlines of work started during drain are capped at the
+        remaining drain budget, so late requests degrade (anytime
+        results) instead of overrunning.  Whatever is still queued when
+        the budget lapses is resolved ``SHED`` (reason ``drain``).
+        Returns ``True`` when every submitted request had its terminal
+        outcome by the time drain finished; a ``False`` return means a
+        pre-drain unbounded run is still in flight — its worker will
+        still resolve it.
+        """
+        deadline = monotonic_seconds() + max(budget_seconds, 0.0)
+        self._draining.set()
+        with self._idle_cond:
+            self._drain_deadline = deadline
+        self._wait_idle(deadline)
+        self._shed_queued()
+        self._stop.set()
+        self._queue.close()
+        # Catch entries that raced past the draining check into the queue
+        # between the first sweep and the close.
+        self._shed_queued()
+        self._wait_idle(monotonic_seconds() + _DRAIN_GRACE_SECONDS)
+        for thread in self._threads:
+            if thread.ident is not None:  # never-started pools have nothing to join
+                thread.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        self._stopped.set()
+        return self._counters.outstanding() == 0
+
+    def __enter__(self) -> "WhirlpoolService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.drain()
+
+    # -- admission ---------------------------------------------------------------
+
+    def register_document(self, name: str, database: Database) -> None:
+        """Add (or replace) a document handle requests can address."""
+        with self._engine_lock:
+            self._documents[name] = database
+
+    def submit(self, request: QueryRequest) -> Ticket:
+        """Admit one request; always returns a ticket that will resolve.
+
+        Overload and drain are **outcomes, not exceptions**: a refused
+        request comes back as an already-resolved ticket (``REJECTED``
+        reason ``queue_full`` / ``draining``, or ``SHED`` reason
+        ``policy`` when the request itself was the shed victim).
+        """
+        request_id = next(self._ids)
+        ticket = Ticket(request, request_id)
+        self._counters.record_submitted()
+        if self._stop.is_set() or self._draining.is_set():
+            self._finish(
+                ticket, QueryResponse(Outcome.REJECTED, request_id, reason="draining")
+            )
+            return ticket
+        verdict, evicted = self._queue.offer(ticket, request.priority, request_id)
+        if evicted is not None:
+            self._finish(
+                evicted.ticket,
+                QueryResponse(
+                    Outcome.SHED,
+                    evicted.ticket.request_id,
+                    reason="policy",
+                    queue_wait_seconds=max(
+                        monotonic_seconds() - evicted.admitted_at, 0.0
+                    ),
+                ),
+            )
+        if verdict == REJECTED:
+            reason = "draining" if self._draining.is_set() else "queue_full"
+            self._finish(ticket, QueryResponse(Outcome.REJECTED, request_id, reason=reason))
+        elif verdict == SHED:
+            self._finish(ticket, QueryResponse(Outcome.SHED, request_id, reason="policy"))
+        return ticket
+
+    # -- observability -----------------------------------------------------------
+
+    def health(self) -> HealthSnapshot:
+        """One consistent snapshot of queue, breakers, workers, counters."""
+        return HealthSnapshot(
+            queue_depth=self._queue.depth(),
+            queue_capacity=self._queue.capacity,
+            overload_policy=self._queue.policy.value,
+            draining=self._draining.is_set(),
+            stopped=self._stopped.is_set(),
+            workers_alive=sum(1 for thread in self._threads if thread.is_alive()),
+            workers_total=len(self._threads),
+            breakers={
+                name: breaker.snapshot() for name, breaker in self._breakers.items()
+            },
+            counters=self._counters.as_dict(),
+            engine_stats=self._engine_stats.as_dict(),
+        )
+
+    def breaker(self, algorithm: str) -> CircuitBreaker:
+        """The breaker guarding ``algorithm`` (tests and diagnostics)."""
+        try:
+            return self._breakers[algorithm]
+        except KeyError:
+            raise ServiceError(f"no breaker for algorithm {algorithm!r}") from None
+
+    # -- the worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            entry = self._queue.take(timeout=_POLL_SECONDS)
+            if entry is None:
+                continue
+            try:
+                self._execute(entry)
+            except Exception as exc:  # crash containment: resolve, keep serving
+                self._finish(
+                    entry.ticket,
+                    QueryResponse(
+                        Outcome.FAILED,
+                        entry.ticket.request_id,
+                        reason="worker_crash",
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+
+    def _execute(self, entry: AdmittedRequest) -> None:
+        ticket = entry.ticket
+        request = ticket.request
+        wait = max(monotonic_seconds() - entry.admitted_at, 0.0)
+
+        # Deadline propagation: queue wait already spent the budget.
+        remaining: Optional[float] = None
+        if request.deadline_seconds is not None:
+            remaining = request.deadline_seconds - wait
+            if remaining <= 0:
+                self._finish(
+                    ticket,
+                    QueryResponse(
+                        Outcome.SHED,
+                        ticket.request_id,
+                        reason="deadline",
+                        queue_wait_seconds=wait,
+                    ),
+                )
+                return
+
+        k = request.k
+        degraded_by_service = False
+        if entry.degrade:
+            remaining, k = self._degrade.apply(remaining, k)
+            degraded_by_service = True
+
+        drain_deadline = self._drain_deadline_snapshot()
+        if drain_deadline is not None:
+            drain_remaining = drain_deadline - monotonic_seconds()
+            remaining = (
+                drain_remaining
+                if remaining is None
+                else min(remaining, drain_remaining)
+            )
+        if remaining is not None:
+            remaining = max(remaining, _MIN_DEADLINE_SECONDS)
+
+        try:
+            engine = self._engine_for(request)
+        except ServiceError as exc:
+            self._finish(
+                ticket,
+                QueryResponse(
+                    Outcome.FAILED,
+                    ticket.request_id,
+                    reason="unknown_document",
+                    error=str(exc),
+                    queue_wait_seconds=wait,
+                ),
+            )
+            return
+        except ReproError as exc:
+            self._finish(
+                ticket,
+                QueryResponse(
+                    Outcome.FAILED,
+                    ticket.request_id,
+                    reason="bad_request",
+                    error=f"{type(exc).__name__}: {exc}",
+                    queue_wait_seconds=wait,
+                ),
+            )
+            return
+
+        chosen: Optional[str] = None
+        for candidate in (request.algorithm,) + fallback_chain(request.algorithm):
+            if self._breakers[candidate].allow():
+                chosen = candidate
+                break
+        if chosen is None:
+            self._finish(
+                ticket,
+                QueryResponse(
+                    Outcome.FAILED,
+                    ticket.request_id,
+                    reason="circuit_open",
+                    error=(
+                        f"all breakers open for {request.algorithm} "
+                        f"and its fallback chain"
+                    ),
+                    queue_wait_seconds=wait,
+                ),
+            )
+            return
+        fallback_from = request.algorithm if chosen != request.algorithm else None
+
+        try:
+            result = engine.run(
+                k,
+                algorithm=chosen,
+                deadline_seconds=remaining,
+                faults=request.faults,
+                retry_policy=request.retry_policy,
+            )
+        except Exception as exc:
+            self._breakers[chosen].record_failure()
+            self._finish(
+                ticket,
+                QueryResponse(
+                    Outcome.FAILED,
+                    ticket.request_id,
+                    reason="engine_error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    algorithm_used=chosen,
+                    fallback_from=fallback_from,
+                    queue_wait_seconds=wait,
+                ),
+            )
+            return
+
+        # Breaker health: a raise or abandoned work is a failure; a
+        # budget-degraded anytime result is the contract working.
+        abandoned = result.failure is not None and bool(result.failure.failed_matches)
+        if abandoned:
+            self._breakers[chosen].record_failure()
+        else:
+            self._breakers[chosen].record_success()
+        self._engine_stats.merge(result.stats)
+
+        outcome = (
+            Outcome.DEGRADED
+            if (result.degraded or degraded_by_service)
+            else Outcome.SERVED
+        )
+        self._finish(
+            ticket,
+            QueryResponse(
+                outcome,
+                ticket.request_id,
+                result=result,
+                algorithm_used=chosen,
+                fallback_from=fallback_from,
+                queue_wait_seconds=wait,
+                degraded_by_service=degraded_by_service,
+            ),
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _engine_for(self, request: QueryRequest) -> Engine:
+        key = (request.document, request.xpath, request.relaxed)
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            database = self._documents.get(request.document)
+        if database is None:
+            raise ServiceError(f"unknown document {request.document!r}")
+        built = Engine(database, request.xpath, relaxed=request.relaxed)
+        with self._engine_lock:
+            # Two workers may have built concurrently; first one wins so
+            # cached runs share one index / score model.
+            cached = self._engines.setdefault(key, built)
+            return cached
+
+    def _finish(self, ticket: Ticket, response: QueryResponse) -> bool:
+        if not ticket.resolve(response):
+            return False
+        self._counters.record_outcome(
+            response.outcome,
+            fallback=response.fallback_from is not None,
+            queue_wait=response.queue_wait_seconds,
+        )
+        with self._idle_cond:
+            self._idle_cond.notify_all()
+        return True
+
+    def _shed_queued(self) -> None:
+        now = monotonic_seconds()
+        for entry in self._queue.drain():
+            self._finish(
+                entry.ticket,
+                QueryResponse(
+                    Outcome.SHED,
+                    entry.ticket.request_id,
+                    reason="drain",
+                    queue_wait_seconds=max(now - entry.admitted_at, 0.0),
+                ),
+            )
+
+    def _drain_deadline_snapshot(self) -> Optional[float]:
+        with self._idle_cond:
+            return self._drain_deadline
+
+    def _wait_idle(self, deadline: float) -> bool:
+        with self._idle_cond:
+            while self._counters.outstanding() > 0:
+                remaining = deadline - monotonic_seconds()
+                if remaining <= 0:
+                    return False
+                self._idle_cond.wait(remaining)
+            return True
+
+    def __repr__(self) -> str:
+        return (
+            f"WhirlpoolService(workers={len(self._threads)}, "
+            f"queue={self._queue.depth()}/{self._queue.capacity}, "
+            f"policy={self._queue.policy.value})"
+        )

@@ -1,0 +1,18 @@
+"""WPL007 fixture: unbounded stdlib queues inside a service/ package.
+
+Never imported — only parsed by the lint tests.  The path (a ``service``
+directory component) is what puts it in the rule's scope.
+"""
+
+import queue
+from queue import Queue, SimpleQueue
+
+
+def build_queues(capacity):
+    bad_default = queue.Queue()  # WPL007: no maxsize at all
+    bad_zero = Queue(maxsize=0)  # WPL007: maxsize=0 means unbounded
+    bad_simple = SimpleQueue()  # WPL007: never bounded
+    ok_bounded = queue.Queue(maxsize=64)
+    ok_positional = Queue(16)
+    ok_variable = queue.Queue(maxsize=capacity)
+    return bad_default, bad_zero, bad_simple, ok_bounded, ok_positional, ok_variable

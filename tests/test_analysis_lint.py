@@ -97,6 +97,29 @@ class TestRuleFixtures:
         copy.write_text((FIXTURES / "core" / "inflight_leak.py").read_text())
         assert lint_paths([copy]) == []
 
+    def test_unbounded_service_queue_fires(self):
+        findings = lint_paths([FIXTURES / "service" / "unbounded_queue.py"])
+        assert [(f.code, f.line) for f in findings] == [
+            ("WPL007", 12),
+            ("WPL007", 13),
+            ("WPL007", 14),
+        ]
+        by_line = {f.line: f.message for f in findings}
+        assert "maxsize" in by_line[12]
+        assert "maxsize" in by_line[13]
+        assert "SimpleQueue" in by_line[14]
+
+    def test_unbounded_service_queue_spares_bounded(self):
+        # The bounded constructions later in the fixture must not fire.
+        findings = lint_paths([FIXTURES / "service" / "unbounded_queue.py"])
+        assert max(f.line for f in findings) == 14
+
+    def test_unbounded_service_queue_is_path_scoped(self, tmp_path):
+        # The same source outside a service/ directory is clean.
+        copy = tmp_path / "unbounded_queue.py"
+        copy.write_text((FIXTURES / "service" / "unbounded_queue.py").read_text())
+        assert lint_paths([copy]) == []
+
 
 class TestSuppressions:
     def test_noqa_silences_named_code(self):

@@ -308,6 +308,54 @@ class TestPlanAndSupervisorUnits:
         action = supervisor.on_error(match, 2, RuntimeError("x"), alternatives=False)
         assert action is FailureAction.ABANDON
 
+    def test_backoff_is_capped_by_max_seconds(self):
+        import time
+
+        supervisor = Supervisor(
+            RetryPolicy(base_delay=5.0, max_delay=5.0, jitter=0.0)
+        )
+        started = time.perf_counter()
+        supervisor.backoff(1, 2, max_seconds=0.05)
+        assert time.perf_counter() - started < 1.0
+
+    def test_interrupt_cancels_backoff_waits(self):
+        import time
+
+        supervisor = Supervisor(
+            RetryPolicy(base_delay=5.0, max_delay=5.0, jitter=0.0)
+        )
+        supervisor.interrupt()
+        started = time.perf_counter()
+        supervisor.backoff(1, 2)  # uncapped, but the event is already set
+        assert time.perf_counter() - started < 1.0
+
+    def test_backoff_respects_engine_deadline(self, engine):
+        """Regression: retry backoff used to sleep past the engine deadline.
+
+        Every operation fails and the policy asks for 5-second sleeps; the
+        0.2-second deadline must cap each backoff at the remaining budget,
+        so the run returns promptly instead of serving the full sleeps.
+        """
+        import time
+
+        slow_retry = RetryPolicy(
+            max_attempts=3, requeue_limit=1, base_delay=5.0, max_delay=5.0, jitter=0.0
+        )
+        plan = FaultPlan(
+            [FaultRule(site=FaultSite.SERVER_OP, action=FaultAction.ERROR, every=1)]
+        )
+        started = time.perf_counter()
+        result = run_one(
+            engine,
+            "whirlpool_s",
+            faults=plan,
+            retry_policy=slow_retry,
+            deadline_seconds=0.2,
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 3.0  # one uncapped backoff alone would take 5s
+        assert result.degraded
+
     def test_degraded_result_renders(self, engine):
         result = run_one(engine, "whirlpool_s", max_operations=2)
         assert result.degraded
