@@ -1,4 +1,4 @@
-"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL007``).
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL008``).
 
 Each rule encodes one invariant Whirlpool-M's correctness (or the bench
 suite's honesty) rests on.  They are deliberately narrow: a rule that
@@ -40,6 +40,15 @@ SHARED_CLASSES: Set[str] = {
     "ServiceCounters",
     "Ticket",
     "WhirlpoolService",
+    # Observability layer: instruments are bumped by every worker thread,
+    # spans cross the submit-thread → worker handoff, the slow-query log
+    # and registry are read by health() while workers write.
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SlowQueryLog",
 }
 
 #: Mutating container methods that count as writes when called on a
@@ -588,6 +597,68 @@ class UnboundedServiceQueueRule(Rule):
         return None
 
 
+class NoWallclockDurationRule(Rule):
+    """WPL008: no ``time.time()`` / ``time.time_ns()`` anywhere in ``repro``.
+
+    Wall-clock timestamps step (NTP slews, suspend/resume), so durations
+    derived from them lie — and every duration this repo records feeds a
+    latency histogram, a span, or a deadline.  The sanctioned clock is
+    :func:`repro.core.stats.monotonic_seconds`; ``stats.py`` gets no
+    exemption here because even it has no business calling ``time.time``
+    (its own exception, WPL004, covers the *monotonic* family only).
+    """
+
+    code = "WPL008"
+    name = "no-wallclock-duration"
+    description = "time.time()/time.time_ns() in repro code (use monotonic_seconds)"
+
+    _FORBIDDEN = {"time", "time_ns"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        time_aliases: Set[str] = set()
+        direct_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._FORBIDDEN:
+                        direct_names.add(alias.asname or alias.name)
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing time.{alias.name} invites wall-clock "
+                            f"durations (use repro.core.stats.monotonic_seconds)",
+                        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._FORBIDDEN
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"time.{func.attr}() measures the wall clock; durations "
+                    f"must use repro.core.stats.monotonic_seconds",
+                )
+            elif isinstance(func, ast.Name) and func.id in direct_names:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{func.id}() is time.time — durations must use "
+                    f"repro.core.stats.monotonic_seconds",
+                )
+
+
 def default_rules() -> List[Rule]:
     """One fresh instance of every built-in rule, code order."""
     return [
@@ -598,4 +669,5 @@ def default_rules() -> List[Rule]:
         BenchImportsPublicApiRule(),
         InFlightPairingRule(),
         UnboundedServiceQueueRule(),
+        NoWallclockDurationRule(),
     ]

@@ -189,6 +189,15 @@ class _Registry:
     def begin_construct(self, obj_id: int) -> None:
         with self._state_lock:
             self._constructing.add(obj_id)
+            # A watched ``__init__`` on this id means a NEW object: any
+            # recorded field states belong to a freed object whose
+            # address was recycled.  Dropping them prevents cross-object
+            # false positives (two sequential runs' entries landing at
+            # the same address look like one object written by two
+            # threads).
+            stale = [key for key in self.fields if key[0] == obj_id]
+            for key in stale:
+                del self.fields[key]
 
     def end_construct(self, obj_id: int) -> None:
         with self._state_lock:
@@ -215,14 +224,29 @@ class _Registry:
 
 
 def default_watched_classes() -> List[type]:
-    """The Whirlpool-M shared-state classes (imported lazily)."""
+    """The Whirlpool-M and observability shared-state classes (lazy imports)."""
     from repro.core.queues import MatchQueue
     from repro.core.stats import ExecutionStats
     from repro.core.topk import TopKSet, _Entry
     from repro.core.trace import ExecutionTrace
     from repro.core.whirlpool_m import _InFlight
+    from repro.obs.metrics import Counter, Gauge, Histogram
+    from repro.obs.slowlog import SlowQueryLog
+    from repro.obs.spans import Span
 
-    return [TopKSet, _Entry, ExecutionStats, ExecutionTrace, MatchQueue, _InFlight]
+    return [
+        TopKSet,
+        _Entry,
+        ExecutionStats,
+        ExecutionTrace,
+        MatchQueue,
+        _InFlight,
+        Counter,
+        Gauge,
+        Histogram,
+        Span,
+        SlowQueryLog,
+    ]
 
 
 class RaceCheck:

@@ -6,6 +6,7 @@ Installed as ``python -m repro``::
     python -m repro query auction.xml "//item[./name]" --exact --stats
     python -m repro explain "//item[./description/parlist]"
     python -m repro generate --size 1000000 --seed 7 -o auction.xml
+    python -m repro metrics --requests 40 --format prom
     python -m repro bench fig5
 
 Every subcommand is a thin shell over the library API; anything the CLI
@@ -163,6 +164,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="replay a seeded workload with observability on and dump metrics",
+    )
+    metrics.add_argument(
+        "--items", type=int, default=60, help="XMark items in the demo document"
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=11, help="document + workload seed"
+    )
+    metrics.add_argument(
+        "--requests", type=int, default=40, help="burst size to replay"
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=2, help="service worker-pool size"
+    )
+    metrics.add_argument(
+        "--slow-query-seconds",
+        type=float,
+        default=0.25,
+        help="latency budget; slower requests land in the slow-query log",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition or the JSON registry dump",
+    )
+    metrics.add_argument(
+        "--slow-log",
+        action="store_true",
+        help="also print the captured slow-query entries",
     )
 
     bench = commands.add_parser("bench", help="run one experiment driver")
@@ -406,6 +441,55 @@ def _cmd_serve_demo(args) -> int:
     return 0 if unresolved == 0 else 2
 
 
+def _cmd_metrics(args) -> int:
+    import random
+
+    from repro.obs import Observability
+    from repro.service import QueryRequest, WhirlpoolService
+    from repro.xmark.generator import generate_database
+    from repro.xmark.schema import XMarkConfig
+
+    database = generate_database(XMarkConfig(items=args.items, seed=args.seed))
+    obs = Observability(slow_query_seconds=args.slow_query_seconds)
+    service = WhirlpoolService(
+        {"auction": database},
+        workers=args.workers,
+        seed=args.seed,
+        observability=obs,
+    )
+
+    rng = random.Random(args.seed)
+    for _ in range(args.requests):
+        service.submit(
+            QueryRequest(
+                document="auction",
+                xpath=rng.choice(_DEMO_QUERIES),
+                k=rng.randint(1, 10),
+                algorithm=rng.choice(["whirlpool_s", "whirlpool_m", "lockstep"]),
+            )
+        )
+    service.drain(30.0)
+
+    if args.format == "json":
+        payload = {"metrics": obs.registry.as_dict()}
+        if args.slow_log and obs.slow_log is not None:
+            payload["slow_queries"] = obs.slow_log.as_dicts()
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(service.metrics_text(), end="")
+    if args.slow_log and obs.slow_log is not None:
+        entries = obs.slow_log.entries()
+        print(
+            f"\n# slow-query log: {len(entries)} entries "
+            f"(budget {args.slow_query_seconds:g}s)",
+            file=sys.stderr,
+        )
+        for entry in entries:
+            print(entry.describe(), file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import experiments
 
@@ -437,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "generate": _cmd_generate,
         "serve-demo": _cmd_serve_demo,
+        "metrics": _cmd_metrics,
         "bench": _cmd_bench,
     }
     try:

@@ -44,7 +44,7 @@ from repro.core.lockstep import LockStep, LockStepNoPrun
 from repro.core.rewriting import RewritingEngine
 from repro.core.threshold import FixedThresholdSet, ThresholdWhirlpool, threshold_query
 from repro.core.anytime import AnytimeOutcome, AnytimeWhirlpool, anytime_topk
-from repro.core.trace import EngineObserver, ExecutionTrace
+from repro.core.trace import EngineObserver, ExecutionTrace, FanoutObserver
 from repro.core.engine import Engine, TopKResult
 
 __all__ = [
@@ -79,6 +79,7 @@ __all__ = [
     "anytime_topk",
     "EngineObserver",
     "ExecutionTrace",
+    "FanoutObserver",
     "Engine",
     "TopKResult",
 ]

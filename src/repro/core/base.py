@@ -321,6 +321,7 @@ class EngineBase:
             injector=self.fault_injector,
             site=f"server:{node_id}",
             on_drop=on_drop,
+            observer=self.observer,
         )
 
     def make_router_queue(
@@ -332,6 +333,7 @@ class EngineBase:
             injector=self.fault_injector,
             site="router",
             on_drop=on_drop,
+            observer=self.observer,
         )
 
     # -- supervised building blocks ------------------------------------------------

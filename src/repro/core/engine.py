@@ -18,6 +18,7 @@ precisely what the benchmark harness does.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.base import EngineBase, TopKResult
@@ -105,17 +106,29 @@ class Engine:
                 seed=seed,
             )
         self._path_summary: Optional["PathSummary"] = None
+        # Engines are shared across service worker threads; the lazy
+        # path-summary build must publish exactly one instance.
+        self._summary_lock = threading.Lock()
 
     # -- running -------------------------------------------------------------------
 
     def path_summary(self) -> "PathSummary":
         """The database's :class:`~repro.xmldb.summary.PathSummary`
-        (built lazily; backs the ``min_alive_estimated`` router)."""
+        (built lazily; backs the ``min_alive_estimated`` router).
+
+        Double-checked under ``_summary_lock``: concurrent service
+        workers racing the first call would otherwise build duplicate
+        summaries and publish through a plain check-then-set.
+        """
         summary = self._path_summary
         if summary is None:
-            from repro.xmldb.summary import PathSummary
+            with self._summary_lock:
+                summary = self._path_summary
+                if summary is None:
+                    from repro.xmldb.summary import PathSummary
 
-            summary = self._path_summary = PathSummary(self.database)
+                    summary = PathSummary(self.database)
+                    self._path_summary = summary
         return summary
 
     def run(

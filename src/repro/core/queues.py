@@ -24,6 +24,7 @@ from repro.core.match import PartialMatch
 from repro.errors import InjectedFaultError
 
 if TYPE_CHECKING:
+    from repro.core.trace import EngineObserver
     from repro.faults.inject import FaultInjector
 
 
@@ -58,6 +59,11 @@ class MatchQueue:
     on_drop:
         Callback invoked with a match the injector drops in transit —
         Whirlpool-M uses it to keep its in-flight counter exact.
+    observer:
+        Optional :class:`~repro.core.trace.EngineObserver` whose
+        ``on_queue_depth`` hook receives the post-put depth — the
+        metrics layer's server-queue-depth histograms.  Like
+        ``injector``, ``None`` costs one attribute check per put.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class MatchQueue:
         injector: Optional["FaultInjector"] = None,
         site: str = "",
         on_drop: Optional[Callable[[PartialMatch], None]] = None,
+        observer: Optional["EngineObserver"] = None,
     ) -> None:
         if policy is QueuePolicy.MAX_NEXT_SCORE:
             if server_id is None or max_contributions is None:
@@ -85,6 +92,7 @@ class MatchQueue:
         self._injector = injector
         self._site = site
         self._on_drop = on_drop
+        self._observer = observer
 
     # -- ordering -------------------------------------------------------------
 
@@ -114,7 +122,11 @@ class MatchQueue:
             return
         with self._lock:
             heapq.heappush(self._heap, (self._key(match), match.arrival, match))
+            depth = len(self._heap)
             self._not_empty.notify()
+        observer = self._observer
+        if observer is not None:
+            observer.on_queue_depth(self._site, depth)
 
     def _filter_get(self, match: PartialMatch) -> Optional[PartialMatch]:
         """Run one popped match through the injector's get hook.

@@ -152,19 +152,32 @@ class ExecutionStats:
     # -- reporting ---------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary for reporting / JSON dumps."""
-        return {
-            "server_operations": self.server_operations,
-            "join_comparisons": self.join_comparisons,
-            "partial_matches_created": self.partial_matches_created,
-            "partial_matches_pruned": self.partial_matches_pruned,
-            "extensions_generated": self.extensions_generated,
-            "deleted_extensions": self.deleted_extensions,
-            "completed_matches": self.completed_matches,
-            "routing_decisions": self.routing_decisions,
-            "wall_time_seconds": self.wall_time_seconds,
-            "simulated_time": self.simulated_time,
-        }
+        """Flat dictionary for reporting / JSON dumps — one atomic snapshot.
+
+        On a thread-safe instance the read holds the same lock the
+        ``record_*``/:meth:`merge` writers hold, so a snapshot taken
+        mid-merge (the ``health()`` path) can never observe a torn
+        half-merged counter set.
+        """
+
+        def build() -> Dict[str, float]:
+            return {
+                "server_operations": self.server_operations,
+                "join_comparisons": self.join_comparisons,
+                "partial_matches_created": self.partial_matches_created,
+                "partial_matches_pruned": self.partial_matches_pruned,
+                "extensions_generated": self.extensions_generated,
+                "deleted_extensions": self.deleted_extensions,
+                "completed_matches": self.completed_matches,
+                "routing_decisions": self.routing_decisions,
+                "wall_time_seconds": self.wall_time_seconds,
+                "simulated_time": self.simulated_time,
+            }
+
+        if self._lock is None:
+            return build()
+        with self._lock:
+            return build()
 
     def modeled_time(self, operation_cost: float, routing_cost: float = 0.0) -> float:
         """Execution-time model used by the Figure 8 cost sweep.

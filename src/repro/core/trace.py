@@ -83,6 +83,49 @@ class EngineObserver:
     def on_prune(self, match: PartialMatch, threshold: float) -> None:
         """``match`` was discarded against the top-k threshold."""
 
+    def on_queue_depth(self, site: str, depth: int) -> None:
+        """A queue at ``site`` reached ``depth`` entries after a put."""
+
+
+class FanoutObserver(EngineObserver):
+    """Forward every hook to several observers, in order.
+
+    The query service attaches one :class:`ExecutionTrace` (for the
+    slow-query log's routing history) *and* one metrics observer per
+    request; engines still see a single ``observer`` argument.  A hook
+    that raises aborts the fan-out — observers are trusted in-process
+    code, same as single observers.
+    """
+
+    def __init__(self, *observers: EngineObserver) -> None:
+        self.observers = tuple(observers)
+
+    def on_seed(self, match: PartialMatch, threshold: float) -> None:
+        for observer in self.observers:
+            observer.on_seed(match, threshold)
+
+    def on_route(self, match: PartialMatch, server_id: int, threshold: float) -> None:
+        for observer in self.observers:
+            observer.on_route(match, server_id, threshold)
+
+    def on_extension(
+        self,
+        parent: PartialMatch,
+        extension: PartialMatch,
+        outcome: str,
+        threshold: float,
+    ) -> None:
+        for observer in self.observers:
+            observer.on_extension(parent, extension, outcome, threshold)
+
+    def on_prune(self, match: PartialMatch, threshold: float) -> None:
+        for observer in self.observers:
+            observer.on_prune(match, threshold)
+
+    def on_queue_depth(self, site: str, depth: int) -> None:
+        for observer in self.observers:
+            observer.on_queue_depth(site, depth)
+
 
 class ExecutionTrace(EngineObserver):
     """Observer that records everything (thread-safe)."""

@@ -125,6 +125,29 @@ class FailureReport:
             "injection": self.injection,
         }
 
+    def metric_counts(self) -> Dict[str, int]:
+        """Flat counter deltas for the metrics bridge.
+
+        The observability layer folds each finished run's failure report
+        into its ``whirlpool_engine_failures_total{kind=...}`` counter;
+        this keeps the kind vocabulary (errors / retries / requeues /
+        abandoned / dropped / faults_fired) in one place next to the
+        fields it is derived from.
+        """
+        fired = 0
+        if self.injection is not None:
+            raw = self.injection.get("fires", 0)
+            if isinstance(raw, int):
+                fired = raw
+        return {
+            "errors": self.total_errors(),
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "abandoned": len(self.failed_matches),
+            "dropped": len(self.dropped),
+            "faults_fired": fired,
+        }
+
     def summary(self) -> str:
         """One-line digest for logs and the CLI."""
         return (

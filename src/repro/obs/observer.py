@@ -1,0 +1,164 @@
+"""Bridging engine events into the metrics registry.
+
+:class:`MetricsEngineObserver` is an :class:`~repro.core.trace.EngineObserver`
+that turns the hot-path hooks (seed / route / extension / prune, plus the
+queue-depth hook from :class:`~repro.core.queues.MatchQueue`) into counter
+bumps and histogram samples.  All label children are resolved **once**, at
+construction, so each hook call is a dict-free increment under a stripe
+lock — the fixed per-event cost the overhead benchmark bounds.
+
+:func:`record_run` is the cold-path complement: after an engine run
+returns, it folds the run's :class:`~repro.core.stats.ExecutionStats`
+counters and any :class:`~repro.faults.report.FailureReport` into per-run
+aggregate metrics.  It runs once per request, so it resolves labels on the
+fly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.core.match import PartialMatch
+from repro.core.trace import EngineObserver
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.core.base import TopKResult
+
+#: Top-k threshold histogram buckets — tf*idf scores normalise into low
+#: single digits; the growth curve (Section 6.1.2's adaptivity driver) is
+#: what the distribution makes visible.
+THRESHOLD_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0, 1.5, 2.0, 4.0,
+)
+
+#: Queue-depth histogram buckets (entries, not seconds).
+DEPTH_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 1000)
+
+
+class MetricsEngineObserver(EngineObserver):
+    """Per-run observer recording engine events against one registry.
+
+    One instance is created per request (cheap: seven child lookups) with
+    the request's ``algorithm`` / ``routing`` labels baked in, then
+    attached to the engine — usually alongside an
+    :class:`~repro.core.trace.ExecutionTrace` via
+    :class:`~repro.core.trace.FanoutObserver`.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, algorithm: str, routing: str
+    ) -> None:
+        self.registry = registry
+        events = registry.counter(
+            "whirlpool_engine_events_total",
+            "Engine observer events by kind.",
+            labels=("event", "algorithm", "routing"),
+        )
+        self._seed = events.labels("seed", algorithm, routing)
+        self._route = events.labels("route", algorithm, routing)
+        self._prune = events.labels("prune", algorithm, routing)
+        self._extension_alive = events.labels("extension_alive", algorithm, routing)
+        self._extension_completed = events.labels(
+            "extension_completed", algorithm, routing
+        )
+        self._extension_pruned = events.labels("extension_pruned", algorithm, routing)
+        self._threshold = registry.histogram(
+            "whirlpool_topk_threshold",
+            "Top-k threshold observed at each routing decision.",
+            labels=("algorithm", "routing"),
+            buckets=THRESHOLD_BUCKETS,
+        ).labels(algorithm, routing)
+        self._depth_family = registry.histogram(
+            "whirlpool_queue_depth",
+            "Router/server queue depth sampled after each put.",
+            labels=("site",),
+            buckets=DEPTH_BUCKETS,
+        )
+
+    # -- hot-path hooks ----------------------------------------------------------
+
+    def on_seed(self, match: PartialMatch, threshold: float) -> None:
+        self._seed.inc()
+
+    def on_route(self, match: PartialMatch, server_id: int, threshold: float) -> None:
+        self._route.inc()
+        self._threshold.observe(threshold)
+
+    def on_extension(
+        self,
+        parent: PartialMatch,
+        extension: PartialMatch,
+        outcome: str,
+        threshold: float,
+    ) -> None:
+        if outcome == "completed":
+            self._extension_completed.inc()
+        elif outcome == "pruned":
+            self._extension_pruned.inc()
+        else:
+            self._extension_alive.inc()
+
+    def on_prune(self, match: PartialMatch, threshold: float) -> None:
+        self._prune.inc()
+
+    def on_queue_depth(self, site: str, depth: int) -> None:
+        self._depth_family.labels(site).observe(depth)
+
+
+#: ExecutionStats attributes bridged into the per-run counter family.
+_STAT_KINDS: Tuple[str, ...] = (
+    "server_operations",
+    "join_comparisons",
+    "partial_matches_created",
+    "partial_matches_pruned",
+    "completed_matches",
+    "routing_decisions",
+)
+
+
+def record_run(
+    registry: MetricsRegistry,
+    algorithm: str,
+    routing: str,
+    outcome: str,
+    result: Optional["TopKResult"],
+) -> None:
+    """Fold one finished engine run into the registry (cold path).
+
+    ``result`` may be ``None`` (rejected / evicted requests never ran an
+    engine) — only the run counter is recorded then, by the caller's
+    request-level metrics, so this becomes a no-op.
+    """
+    if not registry.enabled or result is None:
+        return
+    operations = registry.counter(
+        "whirlpool_engine_operations_total",
+        "ExecutionStats counters accumulated across runs.",
+        labels=("kind", "algorithm", "routing"),
+    )
+    stats = result.stats.as_dict()
+    for kind in _STAT_KINDS:
+        value = stats.get(kind, 0)
+        if value:
+            operations.labels(kind, algorithm, routing).inc(value)
+    registry.histogram(
+        "whirlpool_engine_wall_seconds",
+        "Engine wall-clock time per run.",
+        labels=("algorithm", "routing", "outcome"),
+    ).labels(algorithm, routing, outcome).observe(stats.get("wall_time_seconds", 0.0))
+    if result.degraded:
+        registry.counter(
+            "whirlpool_degraded_runs_total",
+            "Runs that returned best-known answers under a budget or faults.",
+            labels=("algorithm",),
+        ).labels(algorithm).inc()
+    if result.failure is not None:
+        failures = registry.counter(
+            "whirlpool_engine_failures_total",
+            "Failure-report counters accumulated across runs.",
+            labels=("kind", "algorithm"),
+        )
+        for kind, count in result.failure.metric_counts().items():
+            if count:
+                failures.labels(kind, algorithm).inc(count)

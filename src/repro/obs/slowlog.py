@@ -1,0 +1,173 @@
+"""The slow-query log: full routing history for over-budget requests.
+
+Aggregate histograms say *that* tail latency exists; the slow-query log
+says *why*, per offending request.  When a request's end-to-end latency
+(admission → terminal outcome) exceeds the configured budget, the
+service captures a :class:`SlowQueryEntry` holding the request identity,
+the span tree, and — because the paper's whole argument is that routing
+*is* the behaviour — the complete routing history of the run: every
+route decision the engine's observer saw, in order, with the top-k
+threshold at decision time.
+
+The log is a bounded ring (oldest entries evicted) so a misbehaving
+workload cannot turn diagnostics into a memory leak, mirroring the
+bounded-admission discipline of the service itself (WPL007).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.core.trace import ExecutionTrace
+from repro.errors import ReproError
+from repro.obs.spans import Span
+
+
+class SlowQueryEntry:
+    """One over-budget request with its routing history."""
+
+    __slots__ = (
+        "request_id",
+        "document",
+        "xpath",
+        "algorithm",
+        "routing",
+        "outcome",
+        "latency_seconds",
+        "queue_wait_seconds",
+        "routing_history",
+        "span",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        document: str,
+        xpath: str,
+        algorithm: str,
+        routing: str,
+        outcome: str,
+        latency_seconds: float,
+        queue_wait_seconds: float,
+        routing_history: List[Dict[str, Any]],
+        span: Optional[Span] = None,
+    ) -> None:
+        self.request_id = request_id
+        self.document = document
+        self.xpath = xpath
+        self.algorithm = algorithm
+        self.routing = routing
+        self.outcome = outcome
+        self.latency_seconds = latency_seconds
+        self.queue_wait_seconds = queue_wait_seconds
+        self.routing_history = routing_history
+        self.span = span
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (span tree included)."""
+        return {
+            "request_id": self.request_id,
+            "document": self.document,
+            "xpath": self.xpath,
+            "algorithm": self.algorithm,
+            "routing": self.routing,
+            "outcome": self.outcome,
+            "latency_seconds": self.latency_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "routing_history": list(self.routing_history),
+            "span": self.span.as_dict() if self.span is not None else None,
+        }
+
+    def describe(self) -> str:
+        """Readable multi-line rendering (CLI / debugging)."""
+        lines = [
+            f"request #{self.request_id} {self.document}:{self.xpath!r} "
+            f"[{self.algorithm}/{self.routing}] {self.outcome} "
+            f"in {self.latency_seconds:.4f}s "
+            f"(queued {self.queue_wait_seconds:.4f}s)",
+        ]
+        for step in self.routing_history:
+            lines.append(
+                f"  #{step['seq']:<5} match {step['match_id']} -> "
+                f"server {step['server_id']} "
+                f"(bound={step['bound']:.3f}, threshold={step['threshold']:.3f})"
+            )
+        if not self.routing_history:
+            lines.append("  (no routing decisions recorded)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryEntry(#{self.request_id}, {self.latency_seconds:.4f}s, "
+            f"{len(self.routing_history)} routes)"
+        )
+
+
+def routing_history(trace: ExecutionTrace) -> List[Dict[str, Any]]:
+    """Extract the ordered route decisions from an execution trace."""
+    history: List[Dict[str, Any]] = []
+    for event in list(trace.events):
+        if event.kind != "route":
+            continue
+        history.append(
+            {
+                "seq": event.seq,
+                "match_id": event.match_id,
+                "server_id": event.server_id,
+                "score": event.score,
+                "bound": event.bound,
+                "threshold": event.threshold,
+            }
+        )
+    return history
+
+
+class SlowQueryLog:
+    """Bounded ring of :class:`SlowQueryEntry` records."""
+
+    def __init__(self, budget_seconds: float = 0.25, capacity: int = 32) -> None:
+        if budget_seconds < 0:
+            raise ReproError(f"budget_seconds must be >= 0, got {budget_seconds}")
+        if capacity < 1:
+            raise ReproError(f"capacity must be >= 1, got {capacity}")
+        self.budget_seconds = budget_seconds
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def over_budget(self, latency_seconds: float) -> bool:
+        """Does a latency qualify for the log?"""
+        return latency_seconds >= self.budget_seconds
+
+    def record(self, entry: SlowQueryEntry) -> None:
+        """Append one entry (evicting the oldest at capacity)."""
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Current ring contents, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def recorded_total(self) -> int:
+        """Entries ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._recorded
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-friendly list of the current entries."""
+        return [entry.as_dict() for entry in self.entries()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(budget={self.budget_seconds:g}s, "
+            f"{len(self)}/{self.capacity} entries)"
+        )

@@ -17,14 +17,26 @@ robustness a single engine run cannot provide:
 - :mod:`repro.service.service` — deadline propagation (queue wait is
   charged against the request budget) and graceful drain shutdown.
 
+Passing an enabled :class:`~repro.obs.Observability` bundle adds the
+end-to-end observability layer: per-request spans, engine/service
+metrics exported as Prometheus text or JSON, and the slow-query log
+(``docs/observability.md``).
+
 See ``docs/serving.md`` for the architecture and the drain semantics.
 """
 
+from repro.obs import Observability
 from repro.service.breaker import BreakerState, CircuitBreaker
 from repro.service.health import HealthSnapshot, ServiceCounters
 from repro.service.policies import DegradeSettings, OverloadPolicy
 from repro.service.queue import AdmissionQueue, AdmittedRequest
-from repro.service.request import Outcome, QueryRequest, QueryResponse, Ticket
+from repro.service.request import (
+    ROUTING_STRATEGIES,
+    Outcome,
+    QueryRequest,
+    QueryResponse,
+    Ticket,
+)
 from repro.service.service import WhirlpoolService
 
 __all__ = [
@@ -34,10 +46,12 @@ __all__ = [
     "CircuitBreaker",
     "DegradeSettings",
     "HealthSnapshot",
+    "Observability",
     "Outcome",
     "OverloadPolicy",
     "QueryRequest",
     "QueryResponse",
+    "ROUTING_STRATEGIES",
     "ServiceCounters",
     "Ticket",
     "WhirlpoolService",

@@ -54,6 +54,7 @@ class CircuitBreaker:
         probe_jitter: float = 0.5,
         seed: int = 0,
         clock: Callable[[], float] = monotonic_seconds,
+        listener: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ServiceError(
@@ -76,6 +77,12 @@ class CircuitBreaker:
         self.max_backoff_doublings = max_backoff_doublings
         self.probe_jitter = probe_jitter
         self._clock = clock
+        #: Optional ``(name, old_state, new_state)`` callback fired on every
+        #: state transition, **while holding the breaker lock** — listeners
+        #: must be cheap and must never call back into the breaker.  The
+        #: observability layer's listener only touches metric stripe locks,
+        #: so the only cross-lock order is breaker → stripe (acyclic).
+        self._listener = listener
         # Reentrant: _trip() re-acquires under the recording methods.
         self._lock = threading.RLock()
         self._rng = Random(seed)
@@ -87,6 +94,14 @@ class CircuitBreaker:
         self._trips = 0
         self._probes = 0
         self._probe_in_flight = False
+
+    def _transition(self, new_state: BreakerState) -> None:
+        """Move the state machine, notifying the listener (``_lock`` is reentrant)."""
+        with self._lock:
+            old_state = self._state
+            self._state = new_state
+            if self._listener is not None and old_state is not new_state:
+                self._listener(self.name, old_state.value, new_state.value)
 
     # -- the gate ----------------------------------------------------------------
 
@@ -105,7 +120,7 @@ class CircuitBreaker:
             if self._state is BreakerState.OPEN:
                 if now - self._opened_at < self._open_for:
                     return False
-                self._state = BreakerState.HALF_OPEN
+                self._transition(BreakerState.HALF_OPEN)
                 self._probe_in_flight = True
                 self._probes += 1
                 return True
@@ -122,7 +137,7 @@ class CircuitBreaker:
         """A run on this engine completed healthily."""
         with self._lock:
             if self._state is BreakerState.HALF_OPEN:
-                self._state = BreakerState.CLOSED
+                self._transition(BreakerState.CLOSED)
                 self._probe_in_flight = False
                 self._consecutive_trips = 0
                 self._outcomes.clear()
@@ -149,7 +164,7 @@ class CircuitBreaker:
         # jittered so independent breakers (and service replicas seeded
         # differently) decorrelate their probes.
         with self._lock:
-            self._state = BreakerState.OPEN
+            self._transition(BreakerState.OPEN)
             self._consecutive_trips += 1
             self._trips += 1
             doublings = min(self._consecutive_trips - 1, self.max_backoff_doublings)

@@ -10,7 +10,7 @@ one instance lives for the whole service, so it is always thread-safe.
 from __future__ import annotations
 
 import threading
-from typing import Dict
+from typing import Any, Dict, List, Optional
 
 from repro.service.request import Outcome
 
@@ -92,6 +92,12 @@ class HealthSnapshot:
     engine_stats:
         Aggregate :meth:`~repro.core.stats.ExecutionStats.as_dict` merged
         over every completed engine run.
+    metrics:
+        :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` when the
+        service runs with observability enabled, else ``None``.
+    slow_queries:
+        :meth:`~repro.obs.slowlog.SlowQueryLog.as_dicts` when enabled,
+        else ``None``.
     """
 
     __slots__ = (
@@ -105,6 +111,8 @@ class HealthSnapshot:
         "breakers",
         "counters",
         "engine_stats",
+        "metrics",
+        "slow_queries",
     )
 
     def __init__(
@@ -119,6 +127,8 @@ class HealthSnapshot:
         breakers: Dict[str, Dict[str, object]],
         counters: Dict[str, float],
         engine_stats: Dict[str, float],
+        metrics: Optional[Dict[str, Dict[str, object]]] = None,
+        slow_queries: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         self.queue_depth = queue_depth
         self.queue_capacity = queue_capacity
@@ -130,6 +140,8 @@ class HealthSnapshot:
         self.breakers = breakers
         self.counters = counters
         self.engine_stats = engine_stats
+        self.metrics = metrics
+        self.slow_queries = slow_queries
 
     def ok(self) -> bool:
         """Liveness verdict: accepting work and the pool is intact."""
@@ -153,6 +165,8 @@ class HealthSnapshot:
             "breakers": {name: dict(snap) for name, snap in sorted(self.breakers.items())},
             "counters": dict(self.counters),
             "engine_stats": dict(self.engine_stats),
+            "metrics": self.metrics,
+            "slow_queries": self.slow_queries,
         }
 
     def __repr__(self) -> str:

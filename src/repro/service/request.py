@@ -30,8 +30,17 @@ from repro.errors import ServiceError
 
 if TYPE_CHECKING:
     from repro.core.base import TopKResult
+    from repro.core.trace import ExecutionTrace
     from repro.faults.plan import FaultPlan
     from repro.faults.supervisor import RetryPolicy
+    from repro.obs.spans import Span
+
+#: Routing strategies a request may ask for.  ``static`` is excluded: it
+#: needs a ``static_order`` permutation the request envelope does not
+#: carry, and the lock-step engines are static by construction anyway.
+ROUTING_STRATEGIES = frozenset(
+    {"min_alive", "max_score", "min_score", "min_alive_estimated"}
+)
 
 
 class Outcome(enum.Enum):
@@ -67,6 +76,9 @@ class QueryRequest:
         Requested engine; the breaker may transparently fall back along
         :data:`repro.core.engine.FALLBACK_CHAIN` (recorded on the
         response).
+    routing:
+        Adaptive routing strategy for the run — one of
+        :data:`ROUTING_STRATEGIES`.  Ignored by the lock-step engines.
     relaxed:
         Whether relaxed (approximate) matches are allowed.
     faults:
@@ -84,6 +96,7 @@ class QueryRequest:
         "priority",
         "deadline_seconds",
         "algorithm",
+        "routing",
         "relaxed",
         "faults",
         "retry_policy",
@@ -97,6 +110,7 @@ class QueryRequest:
         priority: int = 0,
         deadline_seconds: Optional[float] = None,
         algorithm: str = "whirlpool_s",
+        routing: str = "min_alive",
         relaxed: bool = True,
         faults: Optional["FaultPlan"] = None,
         retry_policy: Optional["RetryPolicy"] = None,
@@ -112,12 +126,18 @@ class QueryRequest:
                 f"unknown algorithm {algorithm!r}; expected one of "
                 f"{', '.join(sorted(ALGORITHMS))}"
             )
+        if routing not in ROUTING_STRATEGIES:
+            raise ServiceError(
+                f"unknown routing {routing!r}; expected one of "
+                f"{', '.join(sorted(ROUTING_STRATEGIES))}"
+            )
         self.document = document
         self.xpath = xpath
         self.k = k
         self.priority = priority
         self.deadline_seconds = deadline_seconds
         self.algorithm = algorithm
+        self.routing = routing
         self.relaxed = relaxed
         self.faults = faults
         self.retry_policy = retry_policy
@@ -162,6 +182,10 @@ class QueryResponse:
     degraded_by_service:
         True when the overload policy tightened the deadline / shrank
         ``k`` before the run.
+    span:
+        The request's finished :class:`~repro.obs.spans.Span` tree when
+        the service ran with observability enabled, else ``None``
+        (attached by the service at resolution time).
     """
 
     __slots__ = (
@@ -174,6 +198,7 @@ class QueryResponse:
         "fallback_from",
         "queue_wait_seconds",
         "degraded_by_service",
+        "span",
     )
 
     def __init__(
@@ -197,6 +222,7 @@ class QueryResponse:
         self.fallback_from = fallback_from
         self.queue_wait_seconds = queue_wait_seconds
         self.degraded_by_service = degraded_by_service
+        self.span: Optional["Span"] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-friendly representation (answers elided; stats included)."""
@@ -233,6 +259,11 @@ class Ticket:
     def __init__(self, request: QueryRequest, request_id: int) -> None:
         self.request = request
         self.request_id = request_id
+        # Observability carriers: the submit thread attaches the span, the
+        # single executing worker attaches the trace; both are read only
+        # after resolve() (first-wins) publishes the terminal outcome.
+        self.span: Optional["Span"] = None
+        self.trace: Optional["ExecutionTrace"] = None
         self._lock = threading.Lock()
         self._event = threading.Event()
         self._response: Optional[QueryResponse] = None

@@ -30,7 +30,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import ALGORITHMS, Engine, fallback_chain
 from repro.core.stats import ExecutionStats, monotonic_seconds
+from repro.core.trace import EngineObserver, ExecutionTrace, FanoutObserver
 from repro.errors import ReproError, ServiceError
+from repro.obs import Observability, SlowQueryEntry, record_run, routing_history
+from repro.obs.spans import Span
 from repro.service.breaker import CircuitBreaker
 from repro.service.health import HealthSnapshot, ServiceCounters
 from repro.service.policies import DegradeSettings, OverloadPolicy
@@ -47,6 +50,8 @@ _MIN_DEADLINE_SECONDS = 0.001
 #: runs admitted before drain began.
 _DRAIN_GRACE_SECONDS = 2.0
 _JOIN_TIMEOUT_SECONDS = 2.0
+#: Gauge encoding of breaker states for ``whirlpool_breaker_state``.
+_BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 class WhirlpoolService:
@@ -69,6 +74,13 @@ class WhirlpoolService:
     breaker_* / seed:
         Circuit-breaker tuning; each algorithm's breaker gets a seed
         derived from ``seed`` so probe schedules decorrelate.
+    observability:
+        Optional :class:`~repro.obs.Observability` bundle.  When enabled
+        the service opens one span per request, attaches a per-run
+        metrics observer + execution trace to every engine run, records
+        request latency / queue-wait / breaker-transition metrics, and
+        captures over-budget requests in the slow-query log.  Omitted
+        (the default) every hook degrades to an ``is None`` test.
     auto_start:
         Start the worker pool in the constructor (tests pass ``False``
         to stage deterministic burst admissions before serving begins).
@@ -86,6 +98,7 @@ class WhirlpoolService:
         breaker_min_calls: int = 4,
         breaker_open_seconds: float = 0.25,
         seed: int = 0,
+        observability: Optional[Observability] = None,
         auto_start: bool = True,
     ) -> None:
         if workers < 1:
@@ -93,6 +106,49 @@ class WhirlpoolService:
         self._documents: Dict[str, Database] = dict(documents or {})
         self._queue = AdmissionQueue(queue_depth, policy=overload_policy, degrade=degrade)
         self._degrade = self._queue.degrade_settings
+        self.obs = observability if observability is not None else Observability.disabled()
+        # Request-level metric families, registered up front (a disabled
+        # registry hands back no-op instruments, keeping one code path).
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "whirlpool_requests_total",
+            "Requests by algorithm, routing and terminal outcome.",
+            labels=("algorithm", "routing", "outcome"),
+        )
+        self._m_latency = registry.histogram(
+            "whirlpool_request_latency_seconds",
+            "End-to-end request latency (submit to terminal outcome).",
+            labels=("algorithm", "routing", "outcome"),
+        )
+        self._m_queue_wait = registry.histogram(
+            "whirlpool_queue_wait_seconds",
+            "Admission-to-resolution queue wait per request.",
+        )
+        self._m_admission_depth = registry.gauge(
+            "whirlpool_admission_queue_depth",
+            "Admission-queue depth sampled at each request resolution.",
+        )
+        self._m_breaker_transitions = registry.counter(
+            "whirlpool_breaker_transitions_total",
+            "Circuit-breaker state transitions.",
+            labels=("algorithm", "from_state", "to_state"),
+        )
+        self._m_breaker_state = registry.gauge(
+            "whirlpool_breaker_state",
+            "Breaker state code (0=closed, 1=half_open, 2=open).",
+            labels=("algorithm",),
+        )
+        self._m_slow = registry.counter(
+            "whirlpool_slow_queries_total",
+            "Requests whose latency met the slow-query budget.",
+        )
+        # Unlabeled families resolve their single child once, up front —
+        # the hot path records against the child directly, and exports
+        # show an explicit 0 before the first event.
+        self._m_queue_wait_child = self._m_queue_wait.labels()
+        self._m_admission_depth_child = self._m_admission_depth.labels()
+        self._m_slow_child = self._m_slow.labels()
+        breaker_listener = self._on_breaker_transition if self.obs.enabled else None
         self._breakers: Dict[str, CircuitBreaker] = {
             name: CircuitBreaker(
                 name,
@@ -101,6 +157,7 @@ class WhirlpoolService:
                 min_calls=breaker_min_calls,
                 open_seconds=breaker_open_seconds,
                 seed=seed + offset,
+                listener=breaker_listener,
             )
             for offset, name in enumerate(sorted(ALGORITHMS))
         }
@@ -192,6 +249,19 @@ class WhirlpoolService:
         """
         request_id = next(self._ids)
         ticket = Ticket(request, request_id)
+        if self.obs.enabled:
+            ticket.span = Span(
+                "request",
+                {
+                    "request_id": request_id,
+                    "document": request.document,
+                    "xpath": request.xpath,
+                    "algorithm": request.algorithm,
+                    "routing": request.routing,
+                    "k": request.k,
+                    "priority": request.priority,
+                },
+            )
         self._counters.record_submitted()
         if self._stop.is_set() or self._draining.is_set():
             self._finish(
@@ -235,7 +305,22 @@ class WhirlpoolService:
             },
             counters=self._counters.as_dict(),
             engine_stats=self._engine_stats.as_dict(),
+            metrics=self.obs.registry.as_dict() if self.obs.enabled else None,
+            slow_queries=(
+                self.obs.slow_log.as_dicts() if self.obs.slow_log is not None else None
+            ),
         )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (empty when observability is off)."""
+        if not self.obs.enabled:
+            return ""
+        return self.obs.registry.prometheus_text()
+
+    def slow_queries(self) -> List[SlowQueryEntry]:
+        """Current slow-query-log entries (empty when observability is off)."""
+        slow_log = self.obs.slow_log
+        return slow_log.entries() if slow_log is not None else []
 
     def breaker(self, algorithm: str) -> CircuitBreaker:
         """The breaker guarding ``algorithm`` (tests and diagnostics)."""
@@ -268,6 +353,9 @@ class WhirlpoolService:
         ticket = entry.ticket
         request = ticket.request
         wait = max(monotonic_seconds() - entry.admitted_at, 0.0)
+        span = ticket.span
+        if span is not None:
+            span.event("dequeued", queue_wait_seconds=wait)
 
         # Deadline propagation: queue wait already spent the budget.
         remaining: Optional[float] = None
@@ -290,6 +378,8 @@ class WhirlpoolService:
         if entry.degrade:
             remaining, k = self._degrade.apply(remaining, k)
             degraded_by_service = True
+            if span is not None:
+                span.event("service_degrade", k=k, remaining_seconds=remaining)
 
         drain_deadline = self._drain_deadline_snapshot()
         if drain_deadline is not None:
@@ -350,16 +440,43 @@ class WhirlpoolService:
             )
             return
         fallback_from = request.algorithm if chosen != request.algorithm else None
+        if fallback_from is not None and span is not None:
+            span.event("breaker_fallback", requested=fallback_from, chosen=chosen)
+
+        # One trace + metrics observer per run, fanned out behind the
+        # engine's single observer hook; the trace feeds the slow-query
+        # log's routing history.
+        observer: Optional[EngineObserver] = None
+        engine_span: Optional[Span] = None
+        if self.obs.enabled:
+            trace = ExecutionTrace()
+            ticket.trace = trace
+            metrics_observer = self.obs.engine_observer(chosen, request.routing)
+            observer = (
+                FanoutObserver(trace, metrics_observer)
+                if metrics_observer is not None
+                else trace
+            )
+            if span is not None:
+                engine_span = span.child(
+                    "engine",
+                    {"algorithm": chosen, "routing": request.routing, "k": k},
+                )
 
         try:
             result = engine.run(
                 k,
                 algorithm=chosen,
+                routing=request.routing,
                 deadline_seconds=remaining,
                 faults=request.faults,
                 retry_policy=request.retry_policy,
+                observer=observer,
             )
         except Exception as exc:
+            if engine_span is not None:
+                engine_span.annotate("error", f"{type(exc).__name__}: {exc}")
+                engine_span.finish()
             self._breakers[chosen].record_failure()
             self._finish(
                 ticket,
@@ -374,6 +491,11 @@ class WhirlpoolService:
                 ),
             )
             return
+        if engine_span is not None:
+            engine_span.annotate("server_operations", result.stats.server_operations)
+            engine_span.annotate("routing_decisions", result.stats.routing_decisions)
+            engine_span.annotate("degraded", result.degraded)
+            engine_span.finish()
 
         # Breaker health: a raise or abandoned work is a failure; a
         # budget-degraded anytime result is the contract working.
@@ -389,6 +511,10 @@ class WhirlpoolService:
             if (result.degraded or degraded_by_service)
             else Outcome.SERVED
         )
+        if self.obs.enabled:
+            record_run(
+                self.obs.registry, chosen, request.routing, outcome.value, result
+            )
         self._finish(
             ticket,
             QueryResponse(
@@ -428,9 +554,60 @@ class WhirlpoolService:
             fallback=response.fallback_from is not None,
             queue_wait=response.queue_wait_seconds,
         )
+        span = ticket.span
+        if span is not None:
+            # resolve() was first-wins, so exactly one caller runs this
+            # block — request metrics record once per request.
+            response.span = span
+            span.annotate("outcome", response.outcome.value)
+            if response.reason:
+                span.annotate("reason", response.reason)
+            span.finish()
+            self._record_request(ticket, response, span)
         with self._idle_cond:
             self._idle_cond.notify_all()
         return True
+
+    def _record_request(
+        self, ticket: Ticket, response: QueryResponse, span: Span
+    ) -> None:
+        """Request-level metrics + slow-query capture (after resolution)."""
+        request = ticket.request
+        algorithm = response.algorithm_used or request.algorithm
+        routing = request.routing
+        outcome = response.outcome.value
+        latency = span.duration_seconds()
+        self._m_requests.labels(algorithm, routing, outcome).inc()
+        self._m_latency.labels(algorithm, routing, outcome).observe(latency)
+        self._m_queue_wait_child.observe(response.queue_wait_seconds)
+        self._m_admission_depth_child.set(self._queue.depth())
+        slow_log = self.obs.slow_log
+        if slow_log is not None and slow_log.over_budget(latency):
+            self._m_slow_child.inc()
+            trace = ticket.trace
+            slow_log.record(
+                SlowQueryEntry(
+                    request_id=ticket.request_id,
+                    document=request.document,
+                    xpath=request.xpath,
+                    algorithm=algorithm,
+                    routing=routing,
+                    outcome=outcome,
+                    latency_seconds=latency,
+                    queue_wait_seconds=response.queue_wait_seconds,
+                    routing_history=(
+                        routing_history(trace) if trace is not None else []
+                    ),
+                    span=span,
+                )
+            )
+
+    def _on_breaker_transition(self, name: str, old_state: str, new_state: str) -> None:
+        """Breaker listener (called under the breaker's lock — metrics only)."""
+        self._m_breaker_transitions.labels(name, old_state, new_state).inc()
+        self._m_breaker_state.labels(name).set(
+            _BREAKER_STATE_CODES.get(new_state, -1.0)
+        )
 
     def _shed_queued(self) -> None:
         now = monotonic_seconds()

@@ -89,6 +89,30 @@ class TagIndex:
         return count
 
 
+class _EmptyTagIndex(TagIndex):
+    """Shared immutable placeholder returned for lookups of absent tags.
+
+    One instance serves every missing tag of every database: the read
+    path of :meth:`DatabaseIndex.__getitem__` must never mutate shared
+    state (the service layer shares one index across worker threads), so
+    a miss cannot allocate-and-cache per tag.  ``insert`` is refused —
+    anything that wants a mutable per-tag index must go through
+    ``DatabaseIndex.indexes`` explicitly.
+    """
+
+    __slots__ = ()
+
+    def insert(self, node: XMLNode) -> None:
+        raise TypeError(
+            "the shared empty TagIndex is immutable; register the tag on "
+            "the DatabaseIndex before inserting nodes"
+        )
+
+
+#: The one shared miss result (empty node list, placeholder tag).
+_EMPTY_TAG_INDEX = _EmptyTagIndex("")
+
+
 class DatabaseIndex:
     """Tag → :class:`TagIndex` map over a whole database forest."""
 
@@ -114,9 +138,18 @@ class DatabaseIndex:
                 self.indexes.setdefault(tag, TagIndex(tag))
 
     def __getitem__(self, tag: str) -> TagIndex:
-        if tag not in self.indexes:
-            self.indexes[tag] = TagIndex(tag)
-        return self.indexes[tag]
+        """The tag's index, or the shared empty index when absent.
+
+        Deliberately non-mutating: worker threads of the query service
+        share one index per cached engine, so a missing-tag *read* must
+        not write ``self.indexes`` (a plain dict, check-then-insert on it
+        is a data race).  Absent tags resolve to one immutable shared
+        empty :class:`TagIndex`.
+        """
+        index = self.indexes.get(tag)
+        if index is None:
+            return _EMPTY_TAG_INDEX
+        return index
 
     def __contains__(self, tag: str) -> bool:
         return tag in self.indexes

@@ -1,0 +1,22 @@
+"""WPL008 fixture: wall-clock duration measurement in repro code."""
+
+import time
+from time import time as now
+
+from repro.core.stats import monotonic_seconds
+
+
+def measure_badly() -> float:
+    start = time.time()
+    _ = time.time_ns()
+    end = now()
+    return end - start
+
+
+def measure_well() -> float:
+    start = monotonic_seconds()
+    return monotonic_seconds() - start
+
+
+def suppressed() -> float:
+    return time.time()  # wpl: noqa=WPL008

@@ -120,6 +120,29 @@ class TestRuleFixtures:
         copy.write_text((FIXTURES / "service" / "unbounded_queue.py").read_text())
         assert lint_paths([copy]) == []
 
+    def test_no_wallclock_duration_fires(self):
+        findings = lint_paths([FIXTURES / "repro" / "duration_time.py"])
+        assert codes_and_lines(findings) == [
+            ("WPL008", 4),
+            ("WPL008", 10),
+            ("WPL008", 11),
+            ("WPL008", 12),
+        ]
+        by_line = {f.line: f.message for f in findings}
+        assert "monotonic_seconds" in by_line[10]
+
+    def test_no_wallclock_duration_spares_monotonic_and_noqa(self):
+        findings = lint_paths([FIXTURES / "repro" / "duration_time.py"])
+        lines = {f.line for f in findings}
+        # monotonic_seconds use (lines 17-19) and the noqa'd call (line 22).
+        assert not lines & set(range(16, 23))
+
+    def test_no_wallclock_duration_is_path_scoped(self, tmp_path):
+        # The same source outside a repro package directory is clean.
+        copy = tmp_path / "duration_time.py"
+        copy.write_text((FIXTURES / "repro" / "duration_time.py").read_text())
+        assert lint_paths([copy]) == []
+
 
 class TestSuppressions:
     def test_noqa_silences_named_code(self):

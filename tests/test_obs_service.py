@@ -1,0 +1,246 @@
+"""End-to-end observability through the query service.
+
+An enabled :class:`~repro.obs.Observability` bundle must surface real
+request traffic as Prometheus text, JSON health payloads, finished span
+trees and slow-query entries whose routing history matches the engine's
+own operation counts — and concurrent same-key traffic must share one
+engine-cache entry with zero race-detector findings.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.analysis.racecheck import RaceCheck
+from repro.obs import Observability
+from repro.service import Outcome, QueryRequest, WhirlpoolService
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+
+#: One Prometheus exposition line: name{labels} value  (comments aside).
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"(\\.|[^\"\\])*\""
+    r"(,[a-zA-Z0-9_]+=\"(\\.|[^\"\\])*\")*\})? (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+def serve_one(service, **overrides):
+    request = QueryRequest("auction", QUERY, k=5, **overrides)
+    response = service.submit(request).result(timeout=30.0)
+    assert response.outcome is Outcome.SERVED, response
+    return response
+
+
+class TestMetricsExport:
+    def test_health_includes_metrics_and_slow_queries(self, xmark_db):
+        obs = Observability(slow_query_seconds=0.0)
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=2, observability=obs
+        ) as service:
+            serve_one(service)
+            health = service.health()
+        assert health.metrics is not None
+        assert "whirlpool_requests_total" in health.metrics
+        assert health.slow_queries is not None and health.slow_queries
+        # The whole snapshot must survive JSON round-tripping (the point
+        # of the one-export model).
+        payload = json.loads(json.dumps(health.as_dict()))
+        assert payload["metrics"]["whirlpool_requests_total"]["kind"] == "counter"
+
+    def test_disabled_observability_is_invisible(self, xmark_db):
+        with WhirlpoolService({"auction": xmark_db}, workers=1) as service:
+            response = serve_one(service)
+            health = service.health()
+        assert health.metrics is None
+        assert health.slow_queries is None
+        assert response.span is None
+        assert service.metrics_text() == ""
+        assert service.slow_queries() == []
+
+    def test_prometheus_text_is_parseable(self, xmark_db):
+        obs = Observability()
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=2, observability=obs
+        ) as service:
+            serve_one(service)
+            serve_one(service, algorithm="lockstep", routing="min_score")
+            text = service.metrics_text()
+        assert text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            assert _PROM_LINE.match(line), f"unparseable line: {line!r}"
+        assert 'algorithm="whirlpool_s"' in text
+        assert 'routing="min_score"' in text
+        assert 'outcome="served"' in text
+        assert "whirlpool_request_latency_seconds_bucket" in text
+        assert "whirlpool_engine_events_total" in text
+        assert "whirlpool_queue_depth_bucket" in text
+
+    def test_request_and_engine_metrics_recorded(self, xmark_db):
+        obs = Observability()
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=1, observability=obs
+        ) as service:
+            for _ in range(3):
+                result = serve_one(service).result
+        requests = obs.registry.counter(
+            "whirlpool_requests_total",
+            labels=("algorithm", "routing", "outcome"),
+        )
+        assert requests.labels("whirlpool_s", "min_alive", "served").value() == 3
+        operations = obs.registry.counter(
+            "whirlpool_engine_operations_total",
+            labels=("kind", "algorithm", "routing"),
+        )
+        # Three identical deterministic runs: the counter folds each
+        # run's ExecutionStats.
+        assert (
+            operations.labels("server_operations", "whirlpool_s", "min_alive").value()
+            == 3 * result.stats.server_operations
+        )
+
+
+class TestRequestSpans:
+    def test_span_tree_covers_queue_and_engine(self, xmark_db):
+        obs = Observability()
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=1, observability=obs
+        ) as service:
+            response = serve_one(service)
+        span = response.span
+        assert span is not None and span.name == "request"
+        assert span.finished()
+        attributes = span.attributes()
+        assert attributes["outcome"] == "served"
+        assert attributes["algorithm"] == "whirlpool_s"
+        assert [event.name for event in span.events()][0] == "dequeued"
+        engine_span = span.find("engine")
+        assert engine_span is not None and engine_span.finished()
+        engine_attrs = engine_span.attributes()
+        assert engine_attrs["algorithm"] == "whirlpool_s"
+        assert engine_attrs["server_operations"] > 0
+        assert engine_span.duration_seconds() <= span.duration_seconds()
+        # The tree is JSON-exportable (slow-log / health payloads).
+        json.dumps(span.as_dict())
+
+
+class TestSlowQueryLog:
+    def test_slow_entry_reproduces_routing_history(self, xmark_db):
+        # A zero budget makes every request "slow", deterministically.
+        obs = Observability(slow_query_seconds=0.0)
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=1, observability=obs
+        ) as service:
+            response = serve_one(service)
+        entries = service.slow_queries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.request_id == response.request_id
+        assert entry.algorithm == "whirlpool_s"
+        assert entry.outcome == "served"
+        # The captured history is the engine's complete routing record:
+        # one step per routing decision the run actually made.
+        assert response.result is not None
+        assert len(entry.routing_history) == response.result.stats.routing_decisions
+        assert entry.routing_history, "expected at least one routing decision"
+        first = entry.routing_history[0]
+        assert set(first) == {
+            "seq", "match_id", "server_id", "score", "bound", "threshold",
+        }
+        sequence = [step["seq"] for step in entry.routing_history]
+        assert sequence == sorted(sequence)
+        assert "-> server" in entry.describe()
+        assert entry.span is not None and entry.span.finished()
+
+    def test_fast_requests_stay_out_of_the_log(self, xmark_db):
+        obs = Observability(slow_query_seconds=60.0)
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=1, observability=obs
+        ) as service:
+            serve_one(service)
+        assert service.slow_queries() == []
+        assert "whirlpool_slow_queries_total 0" in service.metrics_text()
+
+
+class TestBreakerMetrics:
+    def test_transitions_feed_counter_and_state_gauge(self, xmark_db):
+        obs = Observability()
+        with WhirlpoolService(
+            {"auction": xmark_db}, workers=1, observability=obs
+        ) as service:
+            breaker = service.breaker("whirlpool_s")
+            for _ in range(breaker.min_calls):
+                breaker.record_failure()
+        transitions = obs.registry.counter(
+            "whirlpool_breaker_transitions_total",
+            labels=("algorithm", "from_state", "to_state"),
+        )
+        assert transitions.labels("whirlpool_s", "closed", "open").value() == 1
+        state = obs.registry.gauge("whirlpool_breaker_state", labels=("algorithm",))
+        assert state.labels("whirlpool_s").value() == 2.0  # open
+
+
+class TestConcurrentSameKey:
+    def test_shared_engine_cache_is_race_free(self, xmark_db):
+        """Many concurrent identical requests: one cache entry, identical
+        answers, zero detector findings (the PR's headline bugfix)."""
+        with RaceCheck() as check:
+            obs = Observability(slow_query_seconds=0.0)
+            with WhirlpoolService(
+                {"auction": xmark_db}, workers=4, queue_depth=16, observability=obs
+            ) as service:
+                tickets = []
+                submitted = threading.Barrier(4, timeout=10)
+
+                def submit_two():
+                    submitted.wait()
+                    for _ in range(2):
+                        tickets.append(
+                            service.submit(QueryRequest("auction", QUERY, k=5))
+                        )
+
+                threads = [
+                    threading.Thread(target=submit_two, name=f"submitter-{i}")
+                    for i in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                responses = [ticket.result(timeout=30.0) for ticket in tickets]
+            # All eight requests share ONE engine-cache entry.
+            assert len(service._engines) == 1
+        assert check.findings() == [], check.report()
+
+        answers = []
+        for response in responses:
+            assert response.outcome is Outcome.SERVED, response
+            assert response.result is not None
+            answers.append(
+                [
+                    (answer.root_node.dewey, answer.score)
+                    for answer in response.result.answers
+                ]
+            )
+        # Identical requests against one shared engine: identical answers.
+        assert all(answer == answers[0] for answer in answers[1:])
+        # Every request's metrics were recorded exactly once.
+        requests = obs.registry.counter(
+            "whirlpool_requests_total",
+            labels=("algorithm", "routing", "outcome"),
+        )
+        assert requests.labels("whirlpool_s", "min_alive", "served").value() == 8
+        assert obs.slow_log is not None
+        assert obs.slow_log.recorded_total() == 8
+
+
+class TestRoutingValidation:
+    def test_unknown_routing_rejected_at_submit(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            QueryRequest("auction", QUERY, routing="static")
