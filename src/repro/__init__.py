@@ -18,8 +18,9 @@ Quickstart::
 Package map: :mod:`repro.xmldb` (XML substrate), :mod:`repro.xmark`
 (document generator), :mod:`repro.query` (tree patterns),
 :mod:`repro.relax` (relaxations + plans), :mod:`repro.scoring` (tf*idf),
-:mod:`repro.core` (engines), :mod:`repro.service` (embedded query
-service: admission control, circuit breakers, graceful drain),
+:mod:`repro.core` (engines), :mod:`repro.recovery` (checkpoint /
+restore snapshots), :mod:`repro.service` (embedded query service:
+admission control, circuit breakers, graceful drain, crash recovery),
 :mod:`repro.simulate` (parallelism model), :mod:`repro.bench`
 (experiment harness).
 """
@@ -45,12 +46,19 @@ from repro.errors import (
     EngineError,
     GeneratorError,
     PatternError,
+    RecoveryError,
     RelaxationError,
     ReproError,
     ScoringError,
     ServiceError,
     XMLParseError,
     XPathSyntaxError,
+)
+from repro.recovery import (
+    CheckpointPolicy,
+    JsonFileRecoveryStore,
+    MemoryRecoveryStore,
+    RecoveryStore,
 )
 from repro.service import Outcome, QueryRequest, QueryResponse, WhirlpoolService
 
@@ -87,7 +95,12 @@ __all__ = [
     "ScoringError",
     "EngineError",
     "ServiceError",
+    "RecoveryError",
     "GeneratorError",
+    "CheckpointPolicy",
+    "RecoveryStore",
+    "MemoryRecoveryStore",
+    "JsonFileRecoveryStore",
     "Outcome",
     "QueryRequest",
     "QueryResponse",

@@ -1,4 +1,4 @@
-"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL008``).
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL009``).
 
 Each rule encodes one invariant Whirlpool-M's correctness (or the bench
 suite's honesty) rests on.  They are deliberately narrow: a rule that
@@ -49,6 +49,10 @@ SHARED_CLASSES: Set[str] = {
     "Histogram",
     "Span",
     "SlowQueryLog",
+    # Recovery stores: checkpoint sinks write from worker threads while
+    # drain / recover() / health() read concurrently.
+    "MemoryRecoveryStore",
+    "JsonFileRecoveryStore",
 }
 
 #: Mutating container methods that count as writes when called on a
@@ -659,6 +663,52 @@ class NoWallclockDurationRule(Rule):
                 )
 
 
+class NoPickleSnapshotRule(Rule):
+    """WPL009: no ``pickle``-family serialization anywhere in ``repro``.
+
+    Recovery snapshots are the one thing this repo persists and reloads
+    across process lifetimes, so they must stay versioned, inspectable
+    and forward-portable JSON (:mod:`repro.recovery.codec`).  Pickle (and
+    its relatives) would silently couple the on-disk format to class
+    layout and import paths — a snapshot that stops loading after a
+    refactor is worse than no snapshot — and unpickling untrusted files
+    executes arbitrary code.  Import detection suffices: there is no
+    sanctioned use anywhere in the package.
+    """
+
+    code = "WPL009"
+    name = "no-pickle-snapshot"
+    description = "pickle/marshal import in repro code (snapshots are versioned JSON)"
+
+    _FORBIDDEN = {"pickle", "cPickle", "marshal", "shelve", "dill"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._FORBIDDEN:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import {alias.name}: snapshots must use the "
+                            f"versioned JSON codec (repro.recovery.codec), "
+                            f"not {root}",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                root = node.module.split(".")[0]
+                if root in self._FORBIDDEN:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"from {node.module} import ...: snapshots must use "
+                        f"the versioned JSON codec (repro.recovery.codec), "
+                        f"not {root}",
+                    )
+
+
 def default_rules() -> List[Rule]:
     """One fresh instance of every built-in rule, code order."""
     return [
@@ -670,4 +720,5 @@ def default_rules() -> List[Rule]:
         InFlightPairingRule(),
         UnboundedServiceQueueRule(),
         NoWallclockDurationRule(),
+        NoPickleSnapshotRule(),
     ]

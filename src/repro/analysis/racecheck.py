@@ -233,6 +233,7 @@ def default_watched_classes() -> List[type]:
     from repro.obs.metrics import Counter, Gauge, Histogram
     from repro.obs.slowlog import SlowQueryLog
     from repro.obs.spans import Span
+    from repro.recovery.store import JsonFileRecoveryStore, MemoryRecoveryStore
 
     return [
         TopKSet,
@@ -246,6 +247,8 @@ def default_watched_classes() -> List[type]:
         Histogram,
         Span,
         SlowQueryLog,
+        MemoryRecoveryStore,
+        JsonFileRecoveryStore,
     ]
 
 

@@ -7,6 +7,7 @@ Installed as ``python -m repro``::
     python -m repro explain "//item[./description/parlist]"
     python -m repro generate --size 1000000 --seed 7 -o auction.xml
     python -m repro metrics --requests 40 --format prom
+    python -m repro recover --store ./recovery --populate 8
     python -m repro bench fig5
 
 Every subcommand is a thin shell over the library API; anything the CLI
@@ -198,6 +199,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--slow-log",
         action="store_true",
         help="also print the captured slow-query entries",
+    )
+
+    recover = commands.add_parser(
+        "recover",
+        help="re-admit persisted request snapshots from a recovery store",
+    )
+    recover.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="JSON-file recovery-store directory (see docs/robustness.md)",
+    )
+    recover.add_argument(
+        "--populate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="demo mode: first burst N requests into a zero-budget drain "
+        "so their snapshots land in the store, then recover them",
+    )
+    recover.add_argument(
+        "--items", type=int, default=60, help="XMark items in the demo document"
+    )
+    recover.add_argument(
+        "--seed", type=int, default=11, help="document + workload seed"
+    )
+    recover.add_argument(
+        "--workers", type=int, default=2, help="service worker-pool size"
+    )
+    recover.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="graceful-drain budget after recovery",
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     bench = commands.add_parser("bench", help="run one experiment driver")
@@ -490,6 +528,93 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    import random
+
+    from repro.recovery import JsonFileRecoveryStore
+    from repro.service import QueryRequest, WhirlpoolService
+    from repro.xmark.generator import generate_database
+    from repro.xmark.schema import XMarkConfig
+
+    database = generate_database(XMarkConfig(items=args.items, seed=args.seed))
+    store = JsonFileRecoveryStore(args.store)
+
+    populated = 0
+    if args.populate > 0:
+        # Demo "crash": admit a burst, then drain with a zero budget so
+        # the queued work is shed — with the store attached each shed
+        # request persists its envelope instead of vanishing.
+        victim = WhirlpoolService(
+            {"auction": database},
+            workers=args.workers,
+            queue_depth=max(args.populate, 1),
+            seed=args.seed,
+            recovery_store=store,
+            auto_start=False,
+        )
+        rng = random.Random(args.seed)
+        for _ in range(args.populate):
+            victim.submit(
+                QueryRequest(
+                    document="auction",
+                    xpath=rng.choice(_DEMO_QUERIES),
+                    k=rng.randint(1, 10),
+                    algorithm=rng.choice(["whirlpool_s", "whirlpool_m", "lockstep"]),
+                )
+            )
+        victim.drain(budget_seconds=0.0)
+        populated = store.count()
+
+    found_before = store.count()
+    service = WhirlpoolService(
+        {"auction": database},
+        workers=args.workers,
+        seed=args.seed,
+        recovery_store=store,
+    )
+    summary = service.recover()
+    outcomes: dict = {}
+    unresolved = 0
+    for ticket in summary["tickets"]:
+        try:
+            response = ticket.result(timeout=args.drain_seconds)
+        except ReproError:
+            unresolved += 1
+            continue
+        outcomes[response.outcome.value] = outcomes.get(response.outcome.value, 0) + 1
+    service.drain(args.drain_seconds)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": args.store,
+                    "populated": populated,
+                    "snapshots_found": found_before,
+                    "recovered": summary["recovered"],
+                    "invalid": summary["invalid"],
+                    "outcomes": dict(sorted(outcomes.items())),
+                    "unresolved": unresolved,
+                    "pending_after": store.count(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        if populated:
+            print(f"populated {populated} snapshots via zero-budget drain")
+        print(
+            f"recovery store {args.store}: {found_before} snapshots, "
+            f"{summary['recovered']} recovered, {summary['invalid']} invalid"
+        )
+        for name, count in sorted(outcomes.items()):
+            print(f"  {name:10s} {count}")
+        if unresolved:
+            print(f"  UNRESOLVED {unresolved}")
+        print(f"snapshots left in store: {store.count()}")
+    return 0 if unresolved == 0 else 2
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import experiments
 
@@ -522,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "serve-demo": _cmd_serve_demo,
         "metrics": _cmd_metrics,
+        "recover": _cmd_recover,
         "bench": _cmd_bench,
     }
     try:

@@ -16,7 +16,7 @@ implements the two steps every engine performs identically:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.match import PartialMatch
 from repro.core.queues import MatchQueue, QueuePolicy
@@ -25,12 +25,19 @@ from repro.core.server import Server
 from repro.core.stats import ExecutionStats
 from repro.core.topk import TopKAnswer, TopKSet
 from repro.core.trace import EngineObserver
-from repro.errors import EngineError, InjectedFaultError
+from repro.errors import (
+    EngineCrashError,
+    EngineError,
+    InjectedFaultError,
+    RecoveryError,
+)
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.report import FailureReport
 from repro.faults.supervisor import FailureAction, RetryPolicy, Supervisor
 from repro.query.pattern import TreePattern
+from repro.recovery.codec import encode_engine_state, restore_engine_state
+from repro.recovery.policy import CheckpointPolicy
 from repro.relax.plan import compile_plan
 from repro.scoring.model import ScoreModel
 from repro.xmldb.dewey import Dewey
@@ -132,6 +139,8 @@ class EngineBase:
         deadline_seconds: Optional[float] = None,
         max_operations: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if k <= 0:
             raise EngineError(f"k must be positive, got {k}")
@@ -185,6 +194,111 @@ class EngineBase:
         #: Optional :class:`~repro.core.trace.EngineObserver` receiving
         #: seed / route / extension / prune events.
         self.observer: Optional[EngineObserver] = observer
+        #: When set, engines serialize recovery snapshots at their
+        #: quiesce points whenever the policy says one is due.  ``None``
+        #: (the default) costs a single attribute test per loop pass.
+        self.checkpoint_policy: Optional[CheckpointPolicy] = checkpoint_policy
+        #: Optional callback receiving every snapshot taken — the query
+        #: service points this at a :class:`~repro.recovery.store.RecoveryStore`.
+        #: A failing sink is recorded as a component error, never fatal.
+        self.checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = (
+            checkpoint_sink
+        )
+        #: Most recent snapshot taken during this run (also attached to
+        #: the :class:`~repro.faults.report.FailureReport` so callers can
+        #: tell a resumable failure from a total loss).
+        self.last_checkpoint: Optional[Dict[str, Any]] = None
+        self._restored: Optional[List[PartialMatch]] = None
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def checkpoint(
+        self,
+        queues: Dict[str, MatchQueue],
+        loose: Sequence[PartialMatch] = (),
+    ) -> Dict[str, Any]:
+        """Serialize this run's live state into a versioned snapshot.
+
+        ``queues`` maps labels to the engine's live queues (read
+        non-destructively); ``loose`` covers matches held outside any
+        queue (LockStep's survivors).  The snapshot is remembered on
+        :attr:`last_checkpoint`, counted in the stats, shown to the
+        supervisor (for the failure report), and pushed to the
+        :attr:`checkpoint_sink` when one is attached.  Engines call this
+        only from a quiesced vantage point: single-threaded loop tops, or
+        inside Whirlpool-M's pause barrier.
+        """
+        snapshot = encode_engine_state(self, queues, loose)
+        self.stats.record_checkpoint()
+        self.last_checkpoint = snapshot
+        self.supervisor.note_checkpoint(snapshot)
+        policy = self.checkpoint_policy
+        if policy is not None:
+            policy.mark(
+                self.stats,
+                self.deadline_seconds,
+                self._fault_events() if policy.on_fault else 0,
+            )
+        sink = self.checkpoint_sink
+        if sink is not None:
+            try:
+                sink(snapshot)
+            except Exception as exc:
+                # Persistence trouble must not kill a healthy run; the
+                # report will show the sink failed.
+                self.supervisor.record_component_error("checkpoint_sink", exc)
+        return snapshot
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Adopt a snapshot's progress; must be called before :meth:`run`.
+
+        Replays the snapshot's top-k entries (so the pruning threshold is
+        live immediately), folds its operation counters into this run's
+        stats, and stages its queued matches — the engine's :meth:`run`
+        starts from those instead of re-seeding from the root server.
+        Raises :class:`~repro.errors.RecoveryError` for snapshots taken
+        under a different version, ``k``, or pattern.
+        """
+        if self._restored is not None or self.stats.server_operations > 0:
+            raise RecoveryError("restore() must be called once, before run()")
+        self._restored = restore_engine_state(snapshot, self)
+
+    def take_restored(self) -> Optional[List[PartialMatch]]:
+        """The staged restore matches (once), or ``None`` for a fresh run."""
+        restored = self._restored
+        self._restored = None
+        return restored
+
+    def checkpoint_due(self) -> bool:
+        """True when the policy wants a snapshot at this progress point."""
+        policy = self.checkpoint_policy
+        if policy is None:
+            return False
+        return policy.due(
+            self.stats,
+            self.deadline_seconds,
+            self._fault_events() if policy.on_fault else 0,
+        )
+
+    def maybe_checkpoint(
+        self,
+        queues: Dict[str, MatchQueue],
+        loose: Sequence[PartialMatch] = (),
+    ) -> bool:
+        """Checkpoint iff one is due.  The single-threaded engines call
+        this every loop pass; with no policy it costs one attribute test."""
+        if self.checkpoint_policy is None:
+            return False
+        if not self.checkpoint_due():
+            return False
+        self.checkpoint(queues, loose)
+        return True
+
+    def _fault_events(self) -> int:
+        """Fault activity counter feeding the on-fault checkpoint trigger."""
+        injector = self.fault_injector
+        fired = injector.fired_count() if injector is not None else 0
+        return fired + self.supervisor.error_count()
 
     # -- shared steps --------------------------------------------------------------
 
@@ -289,6 +403,7 @@ class EngineBase:
                 queue_snapshots=queue_snapshots,
                 trace_tail=self._trace_tail(),
                 injection=injector.summary() if injector is not None else None,
+                checkpoint=supervisor.last_checkpoint(),
             )
         return TopKResult(
             answers=self.topk.answers(),
@@ -393,6 +508,10 @@ class EngineBase:
         while True:
             try:
                 return server.process(match, self.stats), "ok"
+            except EngineCrashError:
+                # A crash is not a supervisable failure: the run is dead
+                # and only a checkpoint restore brings the work back.
+                raise
             except Exception as exc:  # noqa: B902 — supervision boundary
                 alternatives = (
                     can_requeue and len(match.unvisited(self.server_ids)) > 1
@@ -414,6 +533,8 @@ class EngineBase:
         try:
             queue.put(match)
             return True
+        except EngineCrashError:
+            raise
         except Exception as exc:
             self.supervisor.record_abandoned(match, label, exc)
             return False

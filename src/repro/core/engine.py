@@ -40,6 +40,7 @@ from repro.xmldb.stats import DatabaseStatistics
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
     from repro.faults.supervisor import RetryPolicy
+    from repro.recovery.policy import CheckpointPolicy
     from repro.xmldb.summary import PathSummary
 
 ALGORITHMS: Dict[str, Type[EngineBase]] = {
@@ -145,6 +146,9 @@ class Engine:
         max_operations: Optional[int] = None,
         faults: Optional["FaultPlan"] = None,
         retry_policy: Optional["RetryPolicy"] = None,
+        checkpoint_policy: Optional["CheckpointPolicy"] = None,
+        checkpoint_sink: Optional[Any] = None,
+        restore_from: Optional[Dict[str, Any]] = None,
     ) -> TopKResult:
         """Evaluate the top-k query with one algorithm/policy combination.
 
@@ -190,6 +194,18 @@ class Engine:
         retry_policy:
             Optional :class:`~repro.faults.supervisor.RetryPolicy`
             overriding the default retry / requeue / abandon bounds.
+        checkpoint_policy:
+            Optional :class:`~repro.recovery.CheckpointPolicy` — when set,
+            the engine snapshots its resumable state (queues, top-k set,
+            counters) whenever the policy says a checkpoint is due.
+        checkpoint_sink:
+            Optional callable receiving each snapshot dict as it is taken
+            (e.g. ``store.save``); sink errors are recorded, not raised.
+        restore_from:
+            Optional snapshot (from :attr:`EngineBase.last_checkpoint` or
+            a :class:`~repro.recovery.RecoveryStore`) to resume instead of
+            seeding from scratch.  The snapshot's (pattern, k, relaxed)
+            must match this run's; the algorithm may differ.
         """
         engine_cls = ALGORITHMS.get(algorithm)
         if engine_cls is None:
@@ -211,21 +227,27 @@ class Engine:
             max_operations=max_operations,
             faults=faults,
             retry_policy=retry_policy,
+            checkpoint_policy=checkpoint_policy,
+            checkpoint_sink=checkpoint_sink,
         )
         if engine_cls in (LockStep, LockStepNoPrun):
-            return engine_cls(order=static_order, **kwargs).run()
-        if routing == "min_alive_estimated":
-            from repro.core.router import EstimatedMinAliveRouter
-
-            router = EstimatedMinAliveRouter(self.path_summary())
+            instance: EngineBase = engine_cls(order=static_order, **kwargs)
         else:
-            router = make_router(routing, order=static_order)
-        if routing_batch is not None:
-            from repro.core.router import BatchingRouter
+            if routing == "min_alive_estimated":
+                from repro.core.router import EstimatedMinAliveRouter
 
-            router = BatchingRouter(router, score_buckets=routing_batch)
-        kwargs["router"] = router
-        return engine_cls(**kwargs).run()
+                router = EstimatedMinAliveRouter(self.path_summary())
+            else:
+                router = make_router(routing, order=static_order)
+            if routing_batch is not None:
+                from repro.core.router import BatchingRouter
+
+                router = BatchingRouter(router, score_buckets=routing_batch)
+            kwargs["router"] = router
+            instance = engine_cls(**kwargs)
+        if restore_from is not None:
+            instance.restore(restore_from)
+        return instance.run()
 
     # -- oracles ----------------------------------------------------------------------
 

@@ -42,7 +42,15 @@ class LockStep(EngineBase):
 
     def run(self) -> TopKResult:
         self.stats.start_clock()
-        matches: List[PartialMatch] = list(self.seed_matches())
+        restored = self.take_restored()
+        if restored is not None:
+            # Resuming a snapshot (possibly taken under another engine):
+            # top-k set and counters were replayed by restore(); the
+            # queued matches rejoin the lock-step sweep below, skipping
+            # servers they already visited.
+            matches: List[PartialMatch] = list(restored)
+        else:
+            matches = list(self.seed_matches())
         if not self.server_ids:
             for _ in matches:
                 self.stats.record_completed()
@@ -56,11 +64,19 @@ class LockStep(EngineBase):
             # Within the server, matches are consumed in priority-queue
             # order (Section 6.1.3; max-final-score by default).
             queue = self.make_server_queue(server_id)
-            for match in matches:
-                self.put_or_abandon(queue, label, match)
             survivors: List[PartialMatch] = []
+            for match in matches:
+                if server_id in match.visited:
+                    # Restored matches may have been through this server
+                    # already in their original run; carry them forward.
+                    survivors.append(match)
+                else:
+                    self.put_or_abandon(queue, label, match)
             out_of_budget = False
             while True:
+                self.maybe_checkpoint(
+                    {f"server:{server_id}": queue}, loose=survivors
+                )
                 if self.budget_exhausted():
                     # Budget hit mid-server: everything still queued (plus
                     # the survivors already spawned) is unreported work.

@@ -189,6 +189,16 @@ class MatchQueue:
         """True iff no match is queued."""
         return len(self) == 0
 
+    def snapshot(self) -> List[PartialMatch]:
+        """All queued matches in priority order, without removing them.
+
+        The checkpoint codec's view of the queue: non-destructive, so an
+        engine can snapshot mid-run and keep going.
+        """
+        with self._lock:
+            entries = sorted(self._heap)
+        return [entry[2] for entry in entries]
+
     def drain(self) -> List[PartialMatch]:
         """Remove and return all queued matches in priority order."""
         with self._lock:

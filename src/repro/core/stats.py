@@ -44,6 +44,7 @@ class ExecutionStats:
         self.deleted_extensions = 0
         self.completed_matches = 0
         self.routing_decisions = 0
+        self.checkpoints_taken = 0
         self.per_server_operations: Dict[int, int] = {}
         self.wall_time_seconds = 0.0
         self.simulated_time = 0.0
@@ -122,6 +123,12 @@ class ExecutionStats:
             lambda: setattr(self, "routing_decisions", self.routing_decisions + 1)
         )
 
+    def record_checkpoint(self) -> None:
+        """The engine serialized a recovery snapshot of its live state."""
+        self._locked(
+            lambda: setattr(self, "checkpoints_taken", self.checkpoints_taken + 1)
+        )
+
     def merge(self, other: "ExecutionStats") -> None:
         """Fold a finished run's counters into this aggregate.
 
@@ -140,6 +147,7 @@ class ExecutionStats:
             self.deleted_extensions += other.deleted_extensions
             self.completed_matches += other.completed_matches
             self.routing_decisions += other.routing_decisions
+            self.checkpoints_taken += other.checkpoints_taken
             self.wall_time_seconds += other.wall_time_seconds
             self.simulated_time += other.simulated_time
             for server_id, count in other.per_server_operations.items():
@@ -170,6 +178,7 @@ class ExecutionStats:
                 "deleted_extensions": self.deleted_extensions,
                 "completed_matches": self.completed_matches,
                 "routing_decisions": self.routing_decisions,
+                "checkpoints_taken": self.checkpoints_taken,
                 "wall_time_seconds": self.wall_time_seconds,
                 "simulated_time": self.simulated_time,
             }

@@ -169,6 +169,22 @@ class TopKSet:
         with self._lock:
             return len(self._entries)
 
+    def export_state(
+        self,
+    ) -> List[Tuple[PartialMatch, Optional[PartialMatch]]]:
+        """(match, complete_match) per entry — the checkpoint codec's view.
+
+        Restoring replays :meth:`observe` on decoded copies of these
+        matches, which reconstructs every entry score (and the threshold)
+        exactly: an entry's score *is* its representative match's score.
+        """
+        with self._lock:
+            return [
+                (entry.match, entry.complete_match)
+                for entry in self._entries.values()
+                if entry.match is not None
+            ]
+
     def snapshot(self) -> List[Tuple[Dewey, float]]:
         """(root dewey, score) pairs, best first — for tests/diagnostics."""
         with self._lock:

@@ -32,9 +32,20 @@ from repro.core.base import EngineBase, TopKResult
 from repro.core.match import PartialMatch
 from repro.core.queues import MatchQueue
 from repro.core.stats import monotonic_seconds
-from repro.errors import EngineDeadlockError, InjectedFaultError
+from repro.errors import EngineCrashError, EngineDeadlockError, InjectedFaultError
 
 _POLL_SECONDS = 0.02
+
+#: How long the quiesced-checkpoint barrier waits for every worker to
+#: park before giving up on that snapshot (workers finish their match in
+#: hand first, so this only expires when a worker is wedged — in which
+#: case skipping the checkpoint is the safe choice).
+_BARRIER_TIMEOUT_SECONDS = 2.0
+
+#: Main-thread wait slice while a checkpoint policy is active — small so
+#: due checkpoints are taken close to the operation count that made them
+#: due.
+_CHECKPOINT_POLL_SECONDS = 0.005
 
 #: Deadlock backstop for :meth:`_InFlight.wait_zero`.  Termination is
 #: notification-driven (``dec()`` notifies on the zero crossing), so this
@@ -151,6 +162,33 @@ class WhirlpoolM(EngineBase):
         in_flight = _InFlight()
         stop = threading.Event()
 
+        # Quiesced-barrier state: when ``pause`` is set, workers park
+        # between iterations (never holding a match), so a checkpoint
+        # taken with every worker parked sees all live matches in queues.
+        # ``crashed`` holds the first injected CRASH; it aborts the run.
+        pause = threading.Event()
+        barrier = threading.Condition()
+        parked = [0]
+        exited = [0]
+        crashed: List[BaseException] = []
+
+        def note_crash(exc: BaseException) -> None:
+            with barrier:
+                if not crashed:
+                    crashed.append(exc)
+            stop.set()
+
+        def park_if_paused() -> None:
+            if not pause.is_set():
+                return
+            with barrier:
+                parked[0] += 1
+                barrier.notify_all()
+                while pause.is_set() and not stop.is_set():
+                    barrier.wait(_POLL_SECONDS)
+                parked[0] -= 1
+                barrier.notify_all()
+
         def dec_on_drop(match: PartialMatch) -> None:
             # A match the injector discarded in transit still held an
             # in-flight count from its producer; release it here so the
@@ -171,6 +209,9 @@ class WhirlpoolM(EngineBase):
             in_flight.inc()
             try:
                 queue.put(match)
+            except EngineCrashError:
+                in_flight.dec()
+                raise
             except Exception as exc:
                 self.supervisor.record_abandoned(match, label, exc)
                 in_flight.dec()
@@ -203,6 +244,7 @@ class WhirlpoolM(EngineBase):
 
         def router_loop() -> None:
             while not stop.is_set():
+                park_if_paused()
                 try:
                     match = router_queue.get(timeout=_POLL_SECONDS)
                 except InjectedFaultError as exc:
@@ -210,10 +252,17 @@ class WhirlpoolM(EngineBase):
                     # count released) by the queue hook.
                     self.supervisor.record_component_error("queue:router", exc)
                     continue
+                except EngineCrashError as exc:
+                    note_crash(exc)
+                    return
                 if match is None:
                     continue
                 try:
                     route_one(match)
+                except EngineCrashError as exc:
+                    # The run is dead; the match in hand is lost with it.
+                    # Recovery is a checkpoint restore, not supervision.
+                    note_crash(exc)
                 except Exception as exc:
                     # Crash containment: an unexpected router failure
                     # abandons only the match in hand.
@@ -225,61 +274,142 @@ class WhirlpoolM(EngineBase):
             queue = server_queues[node_id]
             label = f"server:{node_id}"
             while not stop.is_set():
+                park_if_paused()
                 try:
                     match = queue.get(timeout=_POLL_SECONDS)
                 except InjectedFaultError as exc:
                     self.supervisor.record_component_error(f"queue:{label}", exc)
                     continue
+                except EngineCrashError as exc:
+                    note_crash(exc)
+                    return
                 if match is None:
                     continue
                 try:
                     process_one(node_id, match)
+                except EngineCrashError as exc:
+                    note_crash(exc)
                 except Exception as exc:
                     self.supervisor.record_abandoned(match, label, exc)
                 finally:
                     in_flight.dec()
 
+        def run_worker(body: Callable[[], None]) -> None:
+            # The barrier must know how many workers can still park, so
+            # every exit path (stop, crash, unexpected error) counts.
+            try:
+                body()
+            finally:
+                with barrier:
+                    exited[0] += 1
+                    barrier.notify_all()
+
         threads: List[threading.Thread] = [
-            threading.Thread(target=router_loop, name="whirlpool-router", daemon=True)
+            threading.Thread(
+                target=run_worker,
+                args=(router_loop,),
+                name="whirlpool-router",
+                daemon=True,
+            )
         ]
         threads.extend(
             threading.Thread(
-                target=server_loop,
-                args=(node_id,),
+                target=run_worker,
+                args=(lambda node_id=node_id: server_loop(node_id),),
                 name=f"whirlpool-server-{node_id}-{worker}",
                 daemon=True,
             )
             for node_id in self.server_ids
             for worker in range(self.threads_per_server)
         )
-        for thread in threads:
-            thread.start()
-
-        seeds = self.seed_matches()
-        if self.server_ids:
-            for seed in seeds:
-                safe_put(router_queue, "queue:router", seed)
-        else:
-            for _ in seeds:
-                self.stats.record_completed()
 
         def alive_names() -> List[str]:
             return [thread.name for thread in threads if thread.is_alive()]
 
+        def quiesce_and_checkpoint() -> None:
+            # The quiesced barrier: park every worker between iterations
+            # (each finishes the match in hand first), snapshot with all
+            # live matches sitting in queues, then release.  Called from
+            # the main thread only.
+            pause.set()
+            try:
+                give_up_at = monotonic_seconds() + _BARRIER_TIMEOUT_SECONDS
+                with barrier:
+                    while parked[0] < len(threads) - exited[0]:
+                        if (
+                            stop.is_set()
+                            or crashed
+                            or monotonic_seconds() >= give_up_at
+                        ):
+                            return
+                        barrier.wait(_POLL_SECONDS)
+                    labelled: Dict[str, MatchQueue] = {"router": router_queue}
+                    for node_id, queue in server_queues.items():
+                        labelled[f"server:{node_id}"] = queue
+                    self.checkpoint(labelled)
+            finally:
+                pause.clear()
+                with barrier:
+                    barrier.notify_all()
+
+        for thread in threads:
+            thread.start()
+
+        injector = self.fault_injector
+        crash_possible = injector is not None and injector.crash_possible()
+        policy_active = self.checkpoint_policy is not None
         out_of_budget = False
         try:
-            if self.deadline_seconds is None and self.max_operations is None:
+            restored = self.take_restored()
+            if restored is not None:
+                for match in restored:
+                    safe_put(router_queue, "queue:router", match)
+            else:
+                seeds = self.seed_matches()
+                if self.server_ids:
+                    for seed in seeds:
+                        safe_put(router_queue, "queue:router", seed)
+                else:
+                    for _ in seeds:
+                        self.stats.record_completed()
+
+            if (
+                self.deadline_seconds is None
+                and self.max_operations is None
+                and not crash_possible
+                and not policy_active
+            ):
                 in_flight.wait_zero(thread_names=alive_names)
             else:
-                # Budget enforcement: wait in slices so the operation
-                # counter is re-checked; under a pure deadline each slice
-                # is simply the remaining time.
+                # Budget / crash / checkpoint enforcement: wait in slices
+                # so the operation counter, the crash flag and the
+                # checkpoint policy are re-checked; under a pure deadline
+                # each slice is simply the remaining time.
                 while True:
+                    if crashed:
+                        break
                     if self.budget_exhausted():
                         out_of_budget = True
                         break
-                    if self.max_operations is not None:
-                        window = 0.05
+                    if policy_active and self.checkpoint_due():
+                        quiesce_and_checkpoint()
+                    if (
+                        self.max_operations is not None
+                        or policy_active
+                        or crash_possible
+                    ):
+                        window = (
+                            _CHECKPOINT_POLL_SECONDS if policy_active else 0.05
+                        )
+                        if self.deadline_seconds is not None:
+                            window = min(
+                                window,
+                                max(
+                                    self.deadline_seconds
+                                    - self.stats.elapsed_seconds(),
+                                    0.001,
+                                ),
+                            )
                     else:
                         assert self.deadline_seconds is not None
                         window = max(
@@ -295,6 +425,14 @@ class WhirlpoolM(EngineBase):
                 queue.close()
             for thread in threads:
                 thread.join(timeout=5.0)
+
+        if crashed:
+            # The injected CRASH killed this run; matches still queued are
+            # lost with it.  Callers resume from last_checkpoint (also on
+            # the supervisor for FailureReport attachment) — see
+            # repro.recovery.
+            self.stats.stop_clock()
+            raise crashed[0]
 
         # Anything still queued at shutdown is unreported work; its best
         # upper bound is the degradation certificate.

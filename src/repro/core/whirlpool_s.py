@@ -30,16 +30,25 @@ class WhirlpoolS(EngineBase):
     def run(self) -> TopKResult:
         self.stats.start_clock()
         router_queue = self.make_router_queue()
-        for seed in self.seed_matches():
-            if self.server_ids:
-                self.put_or_abandon(router_queue, "queue:router", seed)
-            else:
-                self.stats.record_completed()
+        restored = self.take_restored()
+        if restored is not None:
+            # Resuming a snapshot: the top-k set and counters were already
+            # replayed by restore(); whatever was queued anywhere in the
+            # crashed run re-enters through the router.
+            for match in restored:
+                self.put_or_abandon(router_queue, "queue:router", match)
+        else:
+            for seed in self.seed_matches():
+                if self.server_ids:
+                    self.put_or_abandon(router_queue, "queue:router", seed)
+                else:
+                    self.stats.record_completed()
 
         degraded = False
         pending_bound = 0.0
         snapshots = {"router": 0}
         while True:
+            self.maybe_checkpoint({"router": router_queue})
             if self.budget_exhausted():
                 # Deadline / operation budget hit: whatever is still queued
                 # becomes the anytime certificate — no unreported answer

@@ -125,6 +125,36 @@ class InjectedFaultError(EngineError):
         super().__init__(message or f"injected fault at {where}")
 
 
+class EngineCrashError(EngineError):
+    """Raised by a :class:`repro.faults.FaultInjector` CRASH action.
+
+    Unlike :class:`InjectedFaultError`, a crash is deliberately *not* a
+    supervisable failure: it models the process dying mid-flight.  The
+    supervisor re-raises it, engines abort promptly, and the only road
+    back is restoring the engine's last checkpoint into a fresh run
+    (see :mod:`repro.recovery`).
+
+    Attributes
+    ----------
+    site:
+        The injection site kind (``server_op``, ``queue_put``, ...).
+    target:
+        The specific site instance (server id / queue label), when known.
+    """
+
+    def __init__(self, site: str, target: str = "", message: str = "") -> None:
+        self.site = site
+        self.target = target
+        where = f"{site}:{target}" if target else site
+        super().__init__(message or f"injected crash at {where}")
+
+
+class RecoveryError(ReproError):
+    """Raised for unusable snapshots: version/shape mismatches, dangling
+    node references, or restoring into an incompatible engine (different
+    ``k`` or pattern)."""
+
+
 class ServiceError(ReproError):
     """Raised for invalid query-service configurations or misuse.
 

@@ -20,7 +20,7 @@ import time
 from random import Random
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import InjectedFaultError
+from repro.errors import EngineCrashError, InjectedFaultError
 from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
 
 if TYPE_CHECKING:
@@ -73,6 +73,7 @@ class FaultInjector:
         self._dropped: List[DroppedMatch] = []
         self._errors_injected = 0
         self._delays_injected = 0
+        self._crashes_injected = 0
 
     # -- trigger machinery -------------------------------------------------------
 
@@ -118,6 +119,12 @@ class FaultInjector:
         if rule.action is FaultAction.DROP:
             self._record_drop(match, site, target)
             return False
+        if rule.action is FaultAction.CRASH:
+            # No drop accounting: a crash does not degrade the run, it
+            # kills it — the loss certificate is the last checkpoint.
+            with self._lock:
+                self._crashes_injected += 1
+            raise EngineCrashError(site.value, target, rule.message)
         # ERROR: when the caller cannot return the match to the system
         # (a get already popped it), the match counts as lost too.
         if record_on_error:
@@ -181,9 +188,14 @@ class FaultInjector:
             return max(record.upper_bound for record in self._dropped)
 
     def fired_count(self) -> int:
-        """Total rule firings (errors + delays + drops)."""
+        """Total rule firings (errors + delays + drops + crashes)."""
         with self._lock:
             return sum(self._fires.values())
+
+    def crash_possible(self) -> bool:
+        """True when the plan carries any CRASH rule (plans are immutable,
+        so engines can decide their wait strategy up front)."""
+        return self.plan.has_action(FaultAction.CRASH)
 
     def summary(self) -> Dict[str, object]:
         """Aggregate injection statistics for reports."""
@@ -193,6 +205,7 @@ class FaultInjector:
                 "fires": sum(self._fires.values()),
                 "errors_injected": self._errors_injected,
                 "delays_injected": self._delays_injected,
+                "crashes_injected": self._crashes_injected,
                 "matches_dropped": len(self._dropped),
             }
 

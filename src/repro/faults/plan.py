@@ -33,6 +33,11 @@ class FaultAction(enum.Enum):
     #: Silently lose the partial match in transit (recorded for the
     #: result's ``pending_bound`` certificate).
     DROP = "drop"
+    #: Kill the engine mid-flight: raise
+    #: :class:`repro.errors.EngineCrashError`, which supervision refuses
+    #: to absorb — the run aborts and only a checkpoint restore
+    #: (:mod:`repro.recovery`) brings the work back.
+    CRASH = "crash"
 
 
 class FaultSite(enum.Enum):
@@ -171,6 +176,18 @@ class FaultPlan:
         """One line per rule."""
         return [rule.describe() for rule in self.rules]
 
+    def has_action(self, action: FaultAction) -> bool:
+        """Does any rule carry this action?  Engines check for CRASH so
+        the crash-watch wait loop only runs when a crash can happen."""
+        return any(rule.action is action for rule in self.rules)
+
+    #: The actions :meth:`chaos` draws from by default.  Deliberately
+    #: *not* ``list(FaultAction)``: CRASH kills the run instead of
+    #: degrading it, so it is opt-in via ``actions=`` — and keeping this
+    #: tuple fixed preserves the exact per-seed schedules the existing
+    #: chaos matrix was validated against.
+    CHAOS_ACTIONS = (FaultAction.ERROR, FaultAction.DELAY, FaultAction.DROP)
+
     @classmethod
     def chaos(
         cls,
@@ -178,18 +195,23 @@ class FaultPlan:
         max_rules: int = 3,
         max_fires_per_rule: int = 5,
         max_delay_seconds: float = 0.003,
+        actions: Optional[Sequence[FaultAction]] = None,
     ) -> "FaultPlan":
         """A small random fault schedule, fully determined by ``seed``.
 
         Designed for the chaos matrix: every rule's fire count is capped
         so a run always terminates quickly, and delays are kept tiny.
         Sweeping seeds covers all (site × action) combinations over time.
+        ``actions`` widens (or narrows) the drawn action set — the
+        crash-recovery matrix passes one that includes
+        :attr:`FaultAction.CRASH`.
         """
+        pool = tuple(actions) if actions is not None else cls.CHAOS_ACTIONS
         rng = random.Random(seed)
         rules: List[FaultRule] = []
         for _ in range(rng.randint(1, max_rules)):
             site = rng.choice(list(FaultSite))
-            action = rng.choice(list(FaultAction))
+            action = rng.choice(pool)
             if rng.random() < 0.5:
                 trigger = {"nth": rng.randint(1, 40)}
             else:

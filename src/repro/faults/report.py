@@ -75,6 +75,11 @@ class FailureReport:
         :class:`~repro.core.trace.ExecutionTrace` observer was attached.
     injection:
         The fault injector's aggregate summary, when a plan was active.
+    checkpoint:
+        The run's last recovery snapshot (see :mod:`repro.recovery`),
+        when checkpointing was active and at least one was taken — the
+        difference between "those matches are lost" and "restore this
+        and resume".
     """
 
     __slots__ = (
@@ -86,6 +91,7 @@ class FailureReport:
         "queue_snapshots",
         "trace_tail",
         "injection",
+        "checkpoint",
     )
 
     def __init__(
@@ -98,6 +104,7 @@ class FailureReport:
         queue_snapshots: Optional[Dict[str, int]] = None,
         trace_tail: Sequence[str] = (),
         injection: Optional[Dict[str, object]] = None,
+        checkpoint: Optional[Dict[str, object]] = None,
     ) -> None:
         self.failed_matches: List[FailedMatch] = list(failed_matches)
         self.error_counts: Dict[str, int] = dict(error_counts or {})
@@ -107,6 +114,12 @@ class FailureReport:
         self.queue_snapshots: Dict[str, int] = dict(queue_snapshots or {})
         self.trace_tail: List[str] = list(trace_tail)
         self.injection = injection
+        self.checkpoint = checkpoint
+
+    def resumable(self) -> bool:
+        """True when a recovery snapshot is attached: the abandoned work
+        can be restored into a fresh engine instead of being re-run."""
+        return self.checkpoint is not None
 
     def total_errors(self) -> int:
         """Errors observed across all components, recovered or not."""
@@ -123,6 +136,9 @@ class FailureReport:
             "queue_snapshots": dict(sorted(self.queue_snapshots.items())),
             "trace_tail": list(self.trace_tail),
             "injection": self.injection,
+            # The snapshot itself can be large; reports carry a flag and
+            # leave the payload on the attribute.
+            "resumable": self.resumable(),
         }
 
     def metric_counts(self) -> Dict[str, int]:

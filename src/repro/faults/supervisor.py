@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import threading
 from random import Random
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.faults.report import FailedMatch
 
@@ -109,6 +109,7 @@ class Supervisor:
         self._retries = 0
         self._requeue_count = 0
         self._abandoned: List[FailedMatch] = []
+        self._last_checkpoint: Optional[Dict[str, Any]] = None
 
     # -- the escalation ladder ---------------------------------------------------
 
@@ -193,6 +194,24 @@ class Supervisor:
         """An error that cost no match (router fallback, queue-get error)."""
         with self._lock:
             self._error_counts[where] = self._error_counts.get(where, 0) + 1
+
+    # -- checkpoint awareness ----------------------------------------------------
+
+    def note_checkpoint(self, snapshot: Dict[str, Any]) -> None:
+        """Remember the engine's latest recovery snapshot.
+
+        The abandon path attaches it to the
+        :class:`~repro.faults.report.FailureReport`, so callers can tell
+        a *resumable* failure (work is recoverable from the snapshot)
+        from a total loss.
+        """
+        with self._lock:
+            self._last_checkpoint = snapshot
+
+    def last_checkpoint(self) -> Optional[Dict[str, Any]]:
+        """The latest snapshot seen, or ``None`` when never checkpointed."""
+        with self._lock:
+            return self._last_checkpoint
 
     # -- reporting ---------------------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""Versioned, pickle-free snapshot codec for engine state.
+
+Whirlpool's anytime semantics mean a run's complete progress is captured
+by three things: the partial matches still queued, the current top-k set,
+and the counters behind the ``pending_bound`` certificate.  This module
+serializes exactly that — and nothing executable — into plain
+JSON-compatible dictionaries:
+
+- a :class:`~repro.core.match.PartialMatch` becomes its root's Dewey id,
+  a node-id → Dewey-id (or ``null`` for leaf-deletion) instantiation map,
+  the per-node :class:`~repro.scoring.model.MatchQuality` values, the
+  visited set, and the score.  The upper bound is *not* stored: it is
+  recomputed from the restoring engine's score model, so a snapshot can
+  never smuggle in a stale or forged bound;
+- the top-k set becomes its per-entry representative matches; restore
+  replays :meth:`~repro.core.topk.TopKSet.observe` on the decoded copies,
+  which reconstructs every entry score and the pruning threshold exactly;
+- queue contents are captured per label (``"router"``, ``"server:<id>"``,
+  ``"loose"``) but restore deliberately does not require the same engine
+  shape: any queued match can be re-routed, so a Whirlpool-M snapshot can
+  resume under Whirlpool-S or LockStep.
+
+Why not ``pickle``?  Snapshots outlive the process that wrote them (the
+JSON-file :class:`~repro.recovery.store.RecoveryStore` backend exists for
+exactly that), and unpickling persisted bytes executes arbitrary
+constructors.  Lint rule WPL009 enforces this choice repo-wide.
+
+Every snapshot carries ``version``; :func:`restore_engine_state` rejects
+anything it does not understand instead of guessing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.match import PartialMatch
+from repro.errors import RecoveryError
+from repro.scoring.model import MatchQuality
+from repro.xmldb.dewey import Dewey, dewey_str, parse_dewey
+from repro.xmldb.model import XMLNode
+
+if TYPE_CHECKING:
+    from repro.core.base import EngineBase
+    from repro.core.queues import MatchQueue
+
+SNAPSHOT_VERSION = 1
+"""Bump on any incompatible change to the snapshot shape."""
+
+Resolver = Callable[[Dewey], Optional[XMLNode]]
+
+
+def encode_match(match: PartialMatch) -> Dict[str, Any]:
+    """One partial match as a JSON-compatible dictionary."""
+    return {
+        "root": dewey_str(match.root_node.dewey),
+        "instantiations": {
+            str(node_id): None if node is None else dewey_str(node.dewey)
+            for node_id, node in match.instantiations.items()
+        },
+        "qualities": {
+            str(node_id): quality.value
+            for node_id, quality in match.qualities.items()
+        },
+        "visited": sorted(match.visited),
+        "score": match.score,
+    }
+
+
+def decode_match(
+    payload: Dict[str, Any],
+    resolve: Resolver,
+    max_contributions: Dict[int, float],
+) -> PartialMatch:
+    """Rebuild a partial match, reattaching nodes through ``resolve``.
+
+    The decoded match gets a fresh ``match_id``/``arrival`` (those are
+    process-local queue tiebreakers, not semantics) and a freshly
+    recomputed upper bound.
+    """
+    root_dewey = parse_dewey(payload["root"])
+    root = resolve(root_dewey)
+    if root is None:
+        raise RecoveryError(
+            f"snapshot references unknown root node {payload['root']!r}"
+        )
+    instantiations: Dict[int, Optional[XMLNode]] = {}
+    for key, value in payload["instantiations"].items():
+        if value is None:
+            instantiations[int(key)] = None
+            continue
+        node = resolve(parse_dewey(value))
+        if node is None:
+            raise RecoveryError(f"snapshot references unknown node {value!r}")
+        instantiations[int(key)] = node
+    qualities = {
+        int(key): MatchQuality(value)
+        for key, value in payload["qualities"].items()
+    }
+    match = PartialMatch(
+        root_node=root,
+        instantiations=instantiations,
+        qualities=qualities,
+        visited=frozenset(int(node_id) for node_id in payload["visited"]),
+        score=float(payload["score"]),
+    )
+    match.refresh_bound(max_contributions)
+    return match
+
+
+_STATS_FIELDS = (
+    "server_operations",
+    "join_comparisons",
+    "partial_matches_created",
+    "partial_matches_pruned",
+    "extensions_generated",
+    "deleted_extensions",
+    "completed_matches",
+    "routing_decisions",
+    "checkpoints_taken",
+)
+
+
+def encode_engine_state(
+    engine: "EngineBase",
+    queues: Dict[str, "MatchQueue"],
+    loose: Sequence[PartialMatch] = (),
+) -> Dict[str, Any]:
+    """Snapshot a (quiesced) engine: queues, top-k set, counters, bound.
+
+    ``queues`` maps labels to live queues (read non-destructively via
+    :meth:`~repro.core.queues.MatchQueue.snapshot`); ``loose`` covers
+    matches an engine holds outside any queue (LockStep's survivor list).
+    ``pending_bound`` is the largest upper bound among the captured
+    matches — the certificate the snapshot itself honours: no answer the
+    crashed run had not yet reported can score above it.
+    """
+    queued: Dict[str, List[Dict[str, Any]]] = {}
+    pending_bound = 0.0
+    for label, queue in queues.items():
+        matches = queue.snapshot()
+        queued[label] = [encode_match(match) for match in matches]
+        for match in matches:
+            pending_bound = max(pending_bound, match.upper_bound)
+    if loose:
+        queued["loose"] = [encode_match(match) for match in loose]
+        for match in loose:
+            pending_bound = max(pending_bound, match.upper_bound)
+    topk_entries = []
+    for match, complete_match in engine.topk.export_state():
+        topk_entries.append(
+            {
+                "match": encode_match(match),
+                "complete": None
+                if complete_match is None
+                else encode_match(complete_match),
+            }
+        )
+    stats = engine.stats.as_dict()
+    return {
+        "version": SNAPSHOT_VERSION,
+        "algorithm": engine.algorithm,
+        "k": engine.k,
+        "relaxed": engine.relaxed,
+        "pattern": engine.pattern.to_xpath(),
+        "operations": int(stats["server_operations"]),
+        "pending_bound": pending_bound,
+        "queues": queued,
+        "topk": topk_entries,
+        "router": {"strategy": type(engine.router).__name__},
+        "stats": {field: int(stats[field]) for field in _STATS_FIELDS},
+    }
+
+
+def validate_snapshot(snapshot: Dict[str, Any], engine: "EngineBase") -> None:
+    """Reject snapshots this engine cannot faithfully resume."""
+    if not isinstance(snapshot, dict):
+        raise RecoveryError(f"snapshot must be a dict, got {type(snapshot).__name__}")
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise RecoveryError(
+            f"unsupported snapshot version {version!r} "
+            f"(this codec reads version {SNAPSHOT_VERSION})"
+        )
+    if snapshot.get("k") != engine.k:
+        raise RecoveryError(
+            f"snapshot was taken with k={snapshot.get('k')!r}, "
+            f"engine runs k={engine.k}"
+        )
+    if snapshot.get("pattern") != engine.pattern.to_xpath():
+        raise RecoveryError(
+            f"snapshot pattern {snapshot.get('pattern')!r} does not match "
+            f"engine pattern {engine.pattern.to_xpath()!r}"
+        )
+    if bool(snapshot.get("relaxed")) != engine.relaxed:
+        raise RecoveryError(
+            f"snapshot relaxed={snapshot.get('relaxed')!r} does not match "
+            f"engine relaxed={engine.relaxed}"
+        )
+
+
+def restore_engine_state(
+    snapshot: Dict[str, Any], engine: "EngineBase"
+) -> List[PartialMatch]:
+    """Replay a snapshot into a fresh engine; return the queued matches.
+
+    Validates, replays the top-k entries through ``observe`` (so the
+    threshold is live before the first restored match is processed),
+    folds the crashed run's operation counters into the fresh stats
+    bundle, and returns the decoded queue contents (all labels folded —
+    the resuming engine re-routes them however it likes).
+    """
+    validate_snapshot(snapshot, engine)
+    database = engine.index.database
+    resolve: Resolver = database.node_by_dewey
+    max_contributions = engine.max_contributions
+    for entry in snapshot.get("topk", []):
+        match = decode_match(entry["match"], resolve, max_contributions)
+        engine.topk.observe(match, complete=match.is_complete(engine.server_ids))
+        complete_payload = entry.get("complete")
+        if complete_payload is not None:
+            complete_match = decode_match(
+                complete_payload, resolve, max_contributions
+            )
+            engine.topk.observe(complete_match, complete=True)
+    matches: List[PartialMatch] = []
+    for payloads in snapshot.get("queues", {}).values():
+        for payload in payloads:
+            matches.append(decode_match(payload, resolve, max_contributions))
+    counters = snapshot.get("stats", {})
+    if counters:
+        carried = type(engine.stats)()
+        for field in _STATS_FIELDS:
+            setattr(carried, field, int(counters.get(field, 0)))
+        engine.stats.merge(carried)
+    return matches

@@ -1,0 +1,147 @@
+"""Snapshot persistence — in-memory and JSON-file backends.
+
+A :class:`RecoveryStore` maps request ids to the latest snapshot payload
+for that request.  The service layer writes through it from worker
+threads and reads it back during :meth:`~repro.service.WhirlpoolService.recover`,
+so both backends are thread-safe (and on the race detector's watch list).
+
+:class:`MemoryRecoveryStore` covers in-process restarts and tests;
+:class:`JsonFileRecoveryStore` covers the real story — a killed process
+leaves ``<key>.json`` files behind, and the next process recovers them.
+File writes go through a temp-file + :func:`os.replace` so a crash
+mid-write can never leave a torn snapshot (a reader sees the old file or
+the new one, nothing in between).  Payloads are plain JSON produced by
+the :mod:`repro.recovery.codec`; nothing here ever evaluates stored
+bytes (WPL009: no pickle).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import RecoveryError
+
+_KEY_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+
+
+def _check_key(key: str) -> str:
+    if not key or not set(key) <= _KEY_SAFE or key.startswith("."):
+        raise RecoveryError(
+            f"invalid recovery key {key!r}: use letters, digits, '-', '_', '.'"
+        )
+    return key
+
+
+class RecoveryStore:
+    """Abstract keyed snapshot store (request id → snapshot dict)."""
+
+    def save(self, key: str, snapshot: Dict[str, Any]) -> None:
+        """Persist (or overwrite) the snapshot for ``key``."""
+        raise NotImplementedError
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored snapshot, or ``None`` when absent."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Forget ``key``; no-op when absent."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+        raise NotImplementedError
+
+    def count(self) -> int:
+        """Number of stored snapshots."""
+        return len(self.keys())
+
+
+class MemoryRecoveryStore(RecoveryStore):
+    """Dict-backed store for tests and single-process restarts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: Dict[str, Dict[str, Any]] = {}
+
+    def save(self, key: str, snapshot: Dict[str, Any]) -> None:
+        _check_key(key)
+        # Round-trip through JSON so the memory backend rejects exactly
+        # what the file backend would reject (no accidental live objects).
+        payload = json.loads(json.dumps(snapshot))
+        with self._lock:
+            self._snapshots[key] = payload
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            snapshot = self._snapshots.get(key)
+        return None if snapshot is None else json.loads(json.dumps(snapshot))
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._snapshots.pop(key, None)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._snapshots)
+
+
+class JsonFileRecoveryStore(RecoveryStore):
+    """Directory-of-JSON-files store that survives process death."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._lock = threading.Lock()
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{_check_key(key)}.json")
+
+    def save(self, key: str, snapshot: Dict[str, Any]) -> None:
+        path = self._path(key)
+        text = json.dumps(snapshot, sort_keys=True)
+        with self._lock:
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        with self._lock:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except FileNotFoundError:
+                return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RecoveryError(f"corrupt snapshot file {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RecoveryError(f"snapshot file {path} does not hold an object")
+        return payload
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        with self._lock:
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            try:
+                names = os.listdir(self.directory)
+            except FileNotFoundError:
+                return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json") and not name.endswith(".tmp")
+        )

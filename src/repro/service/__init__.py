@@ -15,7 +15,9 @@ robustness a single engine run cannot provide:
 - :mod:`repro.service.health` — outcome counters and the ``health()``
   snapshot;
 - :mod:`repro.service.service` — deadline propagation (queue wait is
-  charged against the request budget) and graceful drain shutdown.
+  charged against the request budget), graceful drain shutdown, and
+  (with a :class:`~repro.recovery.RecoveryStore` attached)
+  checkpoint-backed crash recovery via ``recover()``.
 
 Passing an enabled :class:`~repro.obs.Observability` bundle adds the
 end-to-end observability layer: per-request spans, engine/service

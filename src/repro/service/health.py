@@ -24,6 +24,8 @@ class ServiceCounters:
         self._outcomes: Dict[str, int] = {outcome.value: 0 for outcome in Outcome}
         self._fallbacks = 0
         self._queue_wait_total = 0.0
+        self._snapshots_saved = 0
+        self._recovered = 0
 
     def record_submitted(self) -> None:
         """One request entered :meth:`~repro.service.service.WhirlpoolService.submit`."""
@@ -39,6 +41,16 @@ class ServiceCounters:
             if fallback:
                 self._fallbacks += 1
             self._queue_wait_total += queue_wait
+
+    def record_snapshot_saved(self) -> None:
+        """One recovery snapshot was persisted for an in-flight request."""
+        with self._lock:
+            self._snapshots_saved += 1
+
+    def record_recovered(self) -> None:
+        """One persisted request was re-admitted by ``recover()``."""
+        with self._lock:
+            self._recovered += 1
 
     # -- reporting ---------------------------------------------------------------
 
@@ -64,6 +76,8 @@ class ServiceCounters:
             out.update(sorted(self._outcomes.items()))
             out["fallbacks"] = self._fallbacks
             out["queue_wait_total_seconds"] = self._queue_wait_total
+            out["snapshots_saved"] = self._snapshots_saved
+            out["recovered"] = self._recovered
             return out
 
     def __repr__(self) -> str:
@@ -98,6 +112,10 @@ class HealthSnapshot:
     slow_queries:
         :meth:`~repro.obs.slowlog.SlowQueryLog.as_dicts` when enabled,
         else ``None``.
+    recovery:
+        ``{"pending_snapshots": <count>}`` when the service runs with a
+        :class:`~repro.recovery.RecoveryStore`, else ``None`` — non-zero
+        pending snapshots after a restart means ``recover()`` has work.
     """
 
     __slots__ = (
@@ -113,6 +131,7 @@ class HealthSnapshot:
         "engine_stats",
         "metrics",
         "slow_queries",
+        "recovery",
     )
 
     def __init__(
@@ -129,6 +148,7 @@ class HealthSnapshot:
         engine_stats: Dict[str, float],
         metrics: Optional[Dict[str, Dict[str, object]]] = None,
         slow_queries: Optional[List[Dict[str, Any]]] = None,
+        recovery: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.queue_depth = queue_depth
         self.queue_capacity = queue_capacity
@@ -142,6 +162,7 @@ class HealthSnapshot:
         self.engine_stats = engine_stats
         self.metrics = metrics
         self.slow_queries = slow_queries
+        self.recovery = recovery
 
     def ok(self) -> bool:
         """Liveness verdict: accepting work and the pool is intact."""
@@ -167,6 +188,7 @@ class HealthSnapshot:
             "engine_stats": dict(self.engine_stats),
             "metrics": self.metrics,
             "slow_queries": self.slow_queries,
+            "recovery": self.recovery,
         }
 
     def __repr__(self) -> str:

@@ -264,6 +264,10 @@ class Ticket:
         # after resolve() (first-wins) publishes the terminal outcome.
         self.span: Optional["Span"] = None
         self.trace: Optional["ExecutionTrace"] = None
+        # Recovery carrier: set (before the queue offer) when the request
+        # resumes a persisted engine snapshot; the worker hands it to the
+        # engine as ``restore_from``.
+        self.restore_from: Optional[Dict[str, Any]] = None
         self._lock = threading.Lock()
         self._event = threading.Event()
         self._response: Optional[QueryResponse] = None

@@ -14,7 +14,12 @@ facade into a request-serving stack:
 - **graceful drain** — :meth:`WhirlpoolService.drain` stops admission,
   lets queued work finish (capped at the drain budget so late work
   degrades instead of overrunning), sheds what the budget cannot cover,
-  and never loses a request without a recorded outcome.
+  and never loses a request without a recorded outcome;
+- **crash recovery** — with a :class:`~repro.recovery.RecoveryStore`
+  attached, drain-shed / circuit-refused / crashed requests persist a
+  resumable snapshot, and :meth:`WhirlpoolService.recover` re-admits
+  them on the next service lifetime with their remaining deadline
+  budget (see :mod:`repro.recovery`).
 
 The exactly-one-outcome invariant is structural:
 :meth:`~repro.service.request.Ticket.resolve` is first-wins, counters
@@ -26,20 +31,26 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import ALGORITHMS, Engine, fallback_chain
 from repro.core.stats import ExecutionStats, monotonic_seconds
 from repro.core.trace import EngineObserver, ExecutionTrace, FanoutObserver
-from repro.errors import ReproError, ServiceError
+from repro.errors import RecoveryError, ReproError, ServiceError
 from repro.obs import Observability, SlowQueryEntry, record_run, routing_history
 from repro.obs.spans import Span
+from repro.recovery.policy import CheckpointPolicy
+from repro.recovery.store import RecoveryStore
 from repro.service.breaker import CircuitBreaker
 from repro.service.health import HealthSnapshot, ServiceCounters
 from repro.service.policies import DegradeSettings, OverloadPolicy
 from repro.service.queue import REJECTED, SHED, AdmissionQueue, AdmittedRequest
 from repro.service.request import Outcome, QueryRequest, QueryResponse, Ticket
 from repro.xmldb.model import Database
+
+#: Version tag for the service's request-envelope snapshots (the engine
+#: snapshot nested inside carries its own ``repro.recovery`` version).
+_ENVELOPE_VERSION = 1
 
 _POLL_SECONDS = 0.02
 #: Floor under any engine deadline the service computes — EngineBase
@@ -84,6 +95,20 @@ class WhirlpoolService:
     auto_start:
         Start the worker pool in the constructor (tests pass ``False``
         to stage deterministic burst admissions before serving begins).
+    recovery_store:
+        Optional :class:`~repro.recovery.RecoveryStore`.  When set, the
+        service persists request envelopes (and, with a
+        ``checkpoint_policy``, mid-run engine snapshots) for work it
+        cannot finish — drain-shed requests, circuit-open refusals and
+        engine crashes — keyed by request id.  A later service over the
+        same store calls :meth:`recover` to re-admit them.  Fault plans
+        and retry policies are not serialized: recovered runs re-execute
+        fault-free.
+    checkpoint_policy:
+        Optional :class:`~repro.recovery.CheckpointPolicy` template; each
+        run gets a :meth:`~repro.recovery.CheckpointPolicy.fresh` copy so
+        per-run trigger state never leaks between requests.  Only
+        meaningful together with ``recovery_store``.
     """
 
     def __init__(
@@ -100,10 +125,14 @@ class WhirlpoolService:
         seed: int = 0,
         observability: Optional[Observability] = None,
         auto_start: bool = True,
+        recovery_store: Optional[RecoveryStore] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         self._documents: Dict[str, Database] = dict(documents or {})
+        self._recovery_store = recovery_store
+        self._checkpoint_policy = checkpoint_policy
         self._queue = AdmissionQueue(queue_depth, policy=overload_policy, degrade=degrade)
         self._degrade = self._queue.degrade_settings
         self.obs = observability if observability is not None else Observability.disabled()
@@ -142,12 +171,22 @@ class WhirlpoolService:
             "whirlpool_slow_queries_total",
             "Requests whose latency met the slow-query budget.",
         )
+        self._m_recovery_snapshots = registry.counter(
+            "whirlpool_recovery_snapshots_total",
+            "Recovery snapshots persisted, by origin.",
+            labels=("origin",),
+        )
+        self._m_recovered = registry.counter(
+            "whirlpool_recovered_requests_total",
+            "Requests re-admitted from persisted recovery snapshots.",
+        )
         # Unlabeled families resolve their single child once, up front —
         # the hot path records against the child directly, and exports
         # show an explicit 0 before the first event.
         self._m_queue_wait_child = self._m_queue_wait.labels()
         self._m_admission_depth_child = self._m_admission_depth.labels()
         self._m_slow_child = self._m_slow.labels()
+        self._m_recovered_child = self._m_recovered.labels()
         breaker_listener = self._on_breaker_transition if self.obs.enabled else None
         self._breakers: Dict[str, CircuitBreaker] = {
             name: CircuitBreaker(
@@ -239,16 +278,25 @@ class WhirlpoolService:
         with self._engine_lock:
             self._documents[name] = database
 
-    def submit(self, request: QueryRequest) -> Ticket:
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        restore_from: Optional[Dict[str, Any]] = None,
+    ) -> Ticket:
         """Admit one request; always returns a ticket that will resolve.
 
         Overload and drain are **outcomes, not exceptions**: a refused
         request comes back as an already-resolved ticket (``REJECTED``
         reason ``queue_full`` / ``draining``, or ``SHED`` reason
         ``policy`` when the request itself was the shed victim).
+
+        ``restore_from`` (used by :meth:`recover`) attaches a persisted
+        engine snapshot: the run resumes from it instead of seeding.
         """
         request_id = next(self._ids)
         ticket = Ticket(request, request_id)
+        ticket.restore_from = restore_from
         if self.obs.enabled:
             ticket.span = Span(
                 "request",
@@ -308,6 +356,11 @@ class WhirlpoolService:
             metrics=self.obs.registry.as_dict() if self.obs.enabled else None,
             slow_queries=(
                 self.obs.slow_log.as_dicts() if self.obs.slow_log is not None else None
+            ),
+            recovery=(
+                {"pending_snapshots": self._recovery_store.count()}
+                if self._recovery_store is not None
+                else None
             ),
         )
 
@@ -425,6 +478,9 @@ class WhirlpoolService:
                 chosen = candidate
                 break
         if chosen is None:
+            # Breakers refused everywhere: persist the envelope so the
+            # request survives the outage instead of being abandoned.
+            self._save_snapshot(ticket, "circuit_open")
             self._finish(
                 ticket,
                 QueryResponse(
@@ -463,6 +519,26 @@ class WhirlpoolService:
                     {"algorithm": chosen, "routing": request.routing, "k": k},
                 )
 
+        # Recovery wiring: each run gets a fresh checkpoint-policy copy
+        # and a sink that persists every engine snapshot under this
+        # request's key, stamped with the deadline left at save time.
+        deadline_at = (
+            monotonic_seconds() + remaining if remaining is not None else None
+        )
+        run_policy: Optional[CheckpointPolicy] = None
+        checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None
+        engine_snapshot_saved = [False]
+        if self._recovery_store is not None and self._checkpoint_policy is not None:
+            run_policy = self._checkpoint_policy.fresh()
+
+            def _sink(snapshot: Dict[str, Any]) -> None:
+                engine_snapshot_saved[0] = True
+                self._save_snapshot(
+                    ticket, "checkpoint", engine_snapshot=snapshot, deadline_at=deadline_at
+                )
+
+            checkpoint_sink = _sink
+
         try:
             result = engine.run(
                 k,
@@ -472,12 +548,20 @@ class WhirlpoolService:
                 faults=request.faults,
                 retry_policy=request.retry_policy,
                 observer=observer,
+                checkpoint_policy=run_policy,
+                checkpoint_sink=checkpoint_sink,
+                restore_from=ticket.restore_from,
             )
         except Exception as exc:
             if engine_span is not None:
                 engine_span.annotate("error", f"{type(exc).__name__}: {exc}")
                 engine_span.finish()
             self._breakers[chosen].record_failure()
+            # A mid-run checkpoint (if any) is already persisted and
+            # holds real engine state; otherwise fall back to an
+            # envelope-only snapshot so the request is still resumable.
+            if not engine_snapshot_saved[0]:
+                self._save_snapshot(ticket, "engine_error", deadline_at=deadline_at)
             self._finish(
                 ticket,
                 QueryResponse(
@@ -491,6 +575,7 @@ class WhirlpoolService:
                 ),
             )
             return
+        self._discard_snapshot(ticket.request_id)
         if engine_span is not None:
             engine_span.annotate("server_operations", result.stats.server_operations)
             engine_span.annotate("routing_decisions", result.stats.routing_decisions)
@@ -612,6 +697,16 @@ class WhirlpoolService:
     def _shed_queued(self) -> None:
         now = monotonic_seconds()
         for entry in self._queue.drain():
+            # Drain sheds the request from *this* service lifetime, but
+            # with a store configured the envelope survives for
+            # recover() — shed-with-snapshot, not silent loss.
+            request = entry.ticket.request
+            deadline_at = (
+                entry.admitted_at + request.deadline_seconds
+                if request.deadline_seconds is not None
+                else None
+            )
+            self._save_snapshot(entry.ticket, "drain", deadline_at=deadline_at)
             self._finish(
                 entry.ticket,
                 QueryResponse(
@@ -621,6 +716,133 @@ class WhirlpoolService:
                     queue_wait_seconds=max(now - entry.admitted_at, 0.0),
                 ),
             )
+
+    # -- recovery ----------------------------------------------------------------
+
+    @staticmethod
+    def _snapshot_key(request_id: int) -> str:
+        return f"req-{request_id}"
+
+    def _save_snapshot(
+        self,
+        ticket: Ticket,
+        origin: str,
+        engine_snapshot: Optional[Dict[str, Any]] = None,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        """Persist (or refresh) the request's recovery envelope.
+
+        ``deadline_at`` is the request's absolute monotonic deadline;
+        the envelope stores the budget *left* at save time so a restart
+        resumes with the remaining allowance, not a fresh one.  No-op
+        without a store; persistence failures are swallowed — saving a
+        snapshot must never take down the request path it protects.
+        """
+        store = self._recovery_store
+        if store is None:
+            return
+        request = ticket.request
+        remaining: Optional[float] = request.deadline_seconds
+        if deadline_at is not None:
+            remaining = max(
+                deadline_at - monotonic_seconds(), _MIN_DEADLINE_SECONDS
+            )
+        payload: Dict[str, Any] = {
+            "version": _ENVELOPE_VERSION,
+            "origin": origin,
+            "request_id": ticket.request_id,
+            "request": {
+                "document": request.document,
+                "xpath": request.xpath,
+                "k": request.k,
+                "priority": request.priority,
+                "deadline_seconds": remaining,
+                "algorithm": request.algorithm,
+                "routing": request.routing,
+                "relaxed": request.relaxed,
+            },
+            "engine": engine_snapshot,
+        }
+        try:
+            store.save(self._snapshot_key(ticket.request_id), payload)
+        except Exception:
+            return
+        self._counters.record_snapshot_saved()
+        self._m_recovery_snapshots.labels(origin).inc()
+
+    def _discard_snapshot(self, request_id: int) -> None:
+        """Drop the request's snapshot after a successful resolution."""
+        store = self._recovery_store
+        if store is None:
+            return
+        try:
+            store.delete(self._snapshot_key(request_id))
+        except Exception:
+            pass
+
+    def recover(self) -> Dict[str, Any]:
+        """Re-admit every persisted request from the recovery store.
+
+        Call this on a *freshly started* service sharing the crashed
+        service's store.  Each snapshot is consumed (deleted) exactly
+        once; its request is resubmitted with the deadline budget that
+        was left when the snapshot was taken, and — when the snapshot
+        carries engine state — the run resumes from that checkpoint
+        instead of re-seeding.  Unreadable or malformed snapshots are
+        dropped and counted, never retried forever.
+
+        Returns ``{"found", "recovered", "invalid", "tickets"}``.
+        """
+        store = self._recovery_store
+        if store is None:
+            raise ServiceError("recover() requires a recovery_store")
+        keys = sorted(store.keys())
+        tickets: List[Ticket] = []
+        invalid = 0
+        for key in keys:
+            try:
+                payload = store.load(key)
+            except RecoveryError:
+                invalid += 1
+                store.delete(key)
+                continue
+            store.delete(key)
+            if payload is None:  # key vanished between keys() and load()
+                continue
+            envelope = payload.get("request")
+            engine_snapshot = payload.get("engine")
+            try:
+                if not isinstance(envelope, dict):
+                    raise ServiceError(f"snapshot {key} has no request envelope")
+                request = QueryRequest(
+                    document=str(envelope["document"]),
+                    xpath=str(envelope["xpath"]),
+                    k=int(envelope.get("k", 10)),
+                    priority=int(envelope.get("priority", 0)),
+                    deadline_seconds=envelope.get("deadline_seconds"),
+                    algorithm=str(envelope.get("algorithm", "whirlpool_s")),
+                    routing=str(envelope.get("routing", "min_alive")),
+                    relaxed=bool(envelope.get("relaxed", True)),
+                )
+            except (KeyError, TypeError, ValueError, ServiceError):
+                invalid += 1
+                continue
+            self._counters.record_recovered()
+            self._m_recovered_child.inc()
+            tickets.append(
+                self.submit(
+                    request,
+                    restore_from=(
+                        engine_snapshot if isinstance(engine_snapshot, dict) else None
+                    ),
+                )
+            )
+        return {
+            "found": len(keys),
+            "recovered": len(tickets),
+            "invalid": invalid,
+            "tickets": tickets,
+        }
 
     def _drain_deadline_snapshot(self) -> Optional[float]:
         with self._idle_cond:

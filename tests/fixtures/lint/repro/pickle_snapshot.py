@@ -1,0 +1,24 @@
+"""WPL009 fixture: pickle-family serialization in repro code."""
+
+import marshal
+import pickle
+from shelve import open as shelf_open
+
+import json
+
+
+def snapshot_badly(state: dict) -> bytes:
+    blob = pickle.dumps(state)
+    _ = marshal.dumps(state)
+    _ = shelf_open
+    return blob
+
+
+def snapshot_well(state: dict) -> str:
+    return json.dumps(state, sort_keys=True)
+
+
+def suppressed() -> object:
+    import pickle as p  # wpl: noqa=WPL009
+
+    return p

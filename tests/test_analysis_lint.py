@@ -143,6 +143,28 @@ class TestRuleFixtures:
         copy.write_text((FIXTURES / "repro" / "duration_time.py").read_text())
         assert lint_paths([copy]) == []
 
+    def test_no_pickle_snapshot_fires(self):
+        findings = lint_paths([FIXTURES / "repro" / "pickle_snapshot.py"])
+        assert codes_and_lines(findings) == [
+            ("WPL009", 3),
+            ("WPL009", 4),
+            ("WPL009", 5),
+        ]
+        by_line = {f.line: f.message for f in findings}
+        assert "repro.recovery.codec" in by_line[4]
+
+    def test_no_pickle_snapshot_spares_json_and_noqa(self):
+        findings = lint_paths([FIXTURES / "repro" / "pickle_snapshot.py"])
+        lines = {f.line for f in findings}
+        # The json import (line 7) and the noqa'd pickle import (line 22).
+        assert not lines & {7, 22}
+
+    def test_no_pickle_snapshot_is_path_scoped(self, tmp_path):
+        # The same source outside a repro package directory is clean.
+        copy = tmp_path / "pickle_snapshot.py"
+        copy.write_text((FIXTURES / "repro" / "pickle_snapshot.py").read_text())
+        assert lint_paths([copy]) == []
+
 
 class TestSuppressions:
     def test_noqa_silences_named_code(self):
