@@ -8,103 +8,24 @@ two-instruction guard when no observer is attached::
     observer = self.observer
     if observer is not None: ...
 
-This bench quantifies that guard two ways, mirroring
-``bench_fault_overhead``:
-
-- **bound**: micro-time the disabled guard itself, multiply by a
-  (deliberately over-counted) number of observer-hook executions in a
-  representative Figure 5 run, and divide by the run's wall time.  This
-  is a deterministic *upper bound* on the no-observer overhead and the
-  number the <2% assertion pins.
-- **context**: end-to-end wall time with no observer vs a live
-  :class:`~repro.obs.MetricsEngineObserver` vs the full fan-out
-  (execution trace + metrics), so the cost of actually enabling
-  observability is visible too.
+The measurement itself lives in :mod:`repro.bench.obs_overhead` (shared
+with the perf-trajectory driver, so ``BENCH_PR*.json`` reports the same
+numbers): micro-time the disabled guard, multiply by an over-counted
+hook-execution count from a representative Figure 5 run, and divide by
+the run's wall time — a deterministic upper bound that the <2%
+assertion pins.  End-to-end walls with a live metrics observer and the
+full fan-out give the enabled-cost context.
 """
-
-import time
 
 import pytest
 
+from repro.bench.obs_overhead import obs_overhead_payload, run_once
 from repro.bench.reporting import emit, fmt, format_table, write_results
 from repro.bench.workloads import get_engine
-from repro.core import ExecutionTrace, FanoutObserver
-from repro.obs import MetricsEngineObserver, MetricsRegistry
 
 QUERY_LABEL = "Q2"
 K = 15
 ROUNDS = 5
-GUARD_SAMPLES = 200_000
-
-
-class _HookSite:
-    """The exact attribute-load + None-test shape of a disabled hook."""
-
-    __slots__ = ("observer",)
-
-    def __init__(self):
-        self.observer = None
-
-
-def _time_disabled_guard() -> float:
-    """Median per-call cost (seconds) of the no-observer guard."""
-    site = _HookSite()
-    sink = 0
-    samples = []
-    for _ in range(3):
-        start = time.perf_counter()
-        for _ in range(GUARD_SAMPLES):
-            observer = site.observer
-            if observer is not None:
-                sink += 1
-        samples.append((time.perf_counter() - start) / GUARD_SAMPLES)
-    assert sink == 0
-    samples.sort()
-    return samples[1]
-
-
-def _run(engine, observer=None):
-    start = time.perf_counter()
-    result = engine.run(K, algorithm="whirlpool_s", observer=observer)
-    return result, time.perf_counter() - start
-
-
-def _median_wall(engine, observer_factory=None):
-    walls = []
-    result = None
-    for _ in range(ROUNDS):
-        observer = observer_factory() if observer_factory is not None else None
-        result, wall = _run(engine, observer)
-        walls.append(wall)
-    walls.sort()
-    return result, walls[len(walls) // 2]
-
-
-def _hook_site_count(stats) -> int:
-    """Over-count of observer-hook guard executions in one run.
-
-    One ``on_seed``/``on_extension`` per partial match created, one
-    ``on_route`` plus one potential ``on_prune`` per routing decision,
-    and an ``on_queue_depth`` guard for every match that could have
-    crossed a queue (every routed match and every generated extension —
-    an overestimate, since pruned extensions never reach a queue).
-    """
-    crossings = stats.routing_decisions + stats.extensions_generated
-    return (
-        stats.partial_matches_created
-        + 2 * stats.routing_decisions
-        + stats.partial_matches_pruned
-        + crossings
-    )
-
-
-def _metrics_observer():
-    registry = MetricsRegistry()
-    return MetricsEngineObserver(registry, "whirlpool_s", "min_alive")
-
-
-def _fanout_observer():
-    return FanoutObserver(ExecutionTrace(), _metrics_observer())
 
 
 @pytest.fixture(scope="module")
@@ -114,26 +35,7 @@ def engine():
 
 @pytest.fixture(scope="module")
 def payload(engine):
-    baseline_result, baseline_wall = _median_wall(engine)
-    _, metrics_wall = _median_wall(engine, _metrics_observer)
-    _, fanout_wall = _median_wall(engine, _fanout_observer)
-
-    guard_cost = _time_disabled_guard()
-    hook_sites = _hook_site_count(baseline_result.stats)
-    bound = (hook_sites * guard_cost) / baseline_wall
-    return {
-        "query": QUERY_LABEL,
-        "k": K,
-        "rounds": ROUNDS,
-        "walls": {
-            "no_observer": baseline_wall,
-            "metrics_observer": metrics_wall,
-            "trace_and_metrics": fanout_wall,
-        },
-        "guard_cost_ns": guard_cost * 1e9,
-        "hook_sites": hook_sites,
-        "overhead_bound": bound,
-    }
+    return obs_overhead_payload(QUERY_LABEL, k=K, rounds=ROUNDS, engine=engine)
 
 
 def test_obs_overhead_table(payload):
@@ -174,7 +76,7 @@ def test_obs_overhead_table(payload):
 
 def test_obs_overhead_benchmark(benchmark, engine):
     def run():
-        result, _wall = _run(engine)
+        result, _wall = run_once(engine, K)
         return result
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)

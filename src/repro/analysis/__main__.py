@@ -1,30 +1,45 @@
 """``python -m repro.analysis`` — the repo's concurrency-safety gate.
 
-Runs two phases and exits non-zero if either finds anything:
+Runs three phases and exits non-zero if any finds anything:
 
 1. **lint** — the ``WPL`` rules over ``src/repro`` plus the repo's
    ``benchmarks/`` directory when present (or over explicit paths);
-2. **racecheck smoke** — a real Whirlpool-M run (``threads_per_server=2``)
+2. **graph** — the whole-program analyzer (lock-order cycles, blocking
+   calls under locks, layering contract) over the installed package,
+   checked against the shipped baseline;
+3. **racecheck smoke** — a real Whirlpool-M run (``threads_per_server=2``)
    over a small generated biblio catalog under the lockset detector.
 
 Options::
 
     python -m repro.analysis [paths...] [--json] [--skip-racecheck]
-                             [--skip-lint]
+                             [--skip-lint] [--skip-graph]
 
 With explicit ``paths`` only those files/directories are linted (used by
-the violation-fixture tests); the racecheck smoke is unaffected by paths.
+the violation-fixture tests); the graph and racecheck phases always run
+on the installed package and are unaffected by paths.
+
+The graph analyzer is also a standalone subcommand::
+
+    python -m repro.analysis graph [root] [--json] [--sarif PATH]
+                                   [--baseline PATH | --no-baseline]
+                                   [--write-baseline] [--stats]
+
+``graph`` exits 0 when every finding is baselined or suppressed, 1 on
+new findings, 2 on usage errors.  ``--write-baseline`` regenerates the
+baseline file (preserving existing justifications) and exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 import repro
-from repro.analysis.lint import Finding, format_human, format_json, lint_paths
+from repro.analysis.lint import Finding, format_human, lint_paths
 from repro.analysis.racecheck import RaceCheck, RaceFinding
 
 
@@ -37,6 +52,14 @@ def default_lint_paths() -> List[Path]:
     if benchmarks.is_dir():
         paths.append(benchmarks)
     return paths
+
+
+def default_graph_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "graph" / "baseline.json"
 
 
 def run_racecheck_smoke(threads_per_server: int = 2) -> List[RaceFinding]:
@@ -59,10 +82,113 @@ def run_racecheck_smoke(threads_per_server: int = 2) -> List[RaceFinding]:
     return check.findings()
 
 
+def graph_main(argv: List[str]) -> int:
+    """The ``graph`` subcommand."""
+    from repro.analysis.graph import Baseline, GraphAnalyzer, to_sarif
+    from repro.analysis.graph.report import format_human as graph_human
+    from repro.analysis.graph.report import format_stats
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis graph",
+        description="Whole-program lock-order / blocking / layering analysis.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="package directory to analyze (default: the installed repro package)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--sarif", type=Path, default=None, help="write a SARIF 2.1.0 report here"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: the shipped baseline when analyzing "
+        "the installed package, none otherwise)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline — report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from this run (keeps justifications)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print graph sizes after the run"
+    )
+    args = parser.parse_args(argv)
+
+    default_root = args.root is None
+    root = default_graph_root() if default_root else args.root
+    if not root.is_dir():
+        print(f"error: no such path: {root}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and default_root:
+        baseline_path = default_baseline_path()
+    baseline = Baseline({})
+    if baseline_path is not None and not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    result = GraphAnalyzer(root, baseline=baseline).run()
+
+    for path, message in sorted(result.project.parse_errors.items()):
+        print(f"error: {path}: {message}", file=sys.stderr)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "error: --write-baseline needs --baseline with an explicit root",
+                file=sys.stderr,
+            )
+            return 2
+        previous = Baseline.load(baseline_path)
+        baseline_path.write_text(
+            Baseline.serialize(result.all_findings, previous), encoding="utf-8"
+        )
+        print(f"baseline written: {baseline_path} ({len(result.all_findings)} findings)")
+        return 0
+
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(
+            _json.dumps(to_sarif(result.new, result.baselined), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    if args.json:
+        payload = {
+            "count": len(result.new),
+            "findings": [finding.to_dict() for finding in result.new],
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stats": result.stats,
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(graph_human(result.new, result.baselined, len(result.suppressed)))
+        if args.stats:
+            print(format_stats(result.stats))
+
+    return 1 if result.new else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "graph":
+        return graph_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Whirlpool concurrency-safety analysis (lint + racecheck).",
+        description="Whirlpool concurrency-safety analysis (lint + graph + racecheck).",
     )
     parser.add_argument(
         "paths",
@@ -75,6 +201,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--skip-lint", action="store_true", help="skip the AST lint phase"
     )
     parser.add_argument(
+        "--skip-graph",
+        action="store_true",
+        help="skip the whole-program graph analysis phase",
+    )
+    parser.add_argument(
         "--skip-racecheck",
         action="store_true",
         help="skip the Whirlpool-M racecheck smoke run",
@@ -84,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = False
 
     lint_findings: List[Finding] = []
+    graph_new = []
+    graph_summary = ""
     if not args.skip_lint:
         targets = [Path(p) for p in args.paths] if args.paths else default_lint_paths()
         missing = [str(p) for p in targets if not p.exists()]
@@ -91,18 +224,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
             return 2
         lint_findings = lint_paths(targets)
-        if args.json:
-            print(format_json(lint_findings))
-        else:
-            print(format_human(lint_findings))
         failed = failed or bool(lint_findings)
+
+    if not args.skip_graph:
+        from repro.analysis.graph import Baseline, GraphAnalyzer
+        from repro.analysis.graph.report import format_human as graph_human
+
+        baseline = Baseline.load(default_baseline_path())
+        result = GraphAnalyzer(default_graph_root(), baseline=baseline).run()
+        graph_new = result.new
+        graph_summary = graph_human(
+            result.new, result.baselined, len(result.suppressed)
+        )
+        failed = failed or bool(graph_new)
+
+    if args.json:
+        findings = [finding.as_dict() for finding in lint_findings]
+        findings += [finding.to_dict() for finding in graph_new]
+        print(_json.dumps({"count": len(findings), "findings": findings}))
+    else:
+        if not args.skip_lint:
+            print(format_human(lint_findings))
+        if graph_summary:
+            print(graph_summary)
 
     if not args.skip_racecheck:
         race_findings = run_racecheck_smoke()
         if args.json:
-            import json
-
-            print(json.dumps({"racecheck": [f.as_dict() for f in race_findings]}))
+            print(_json.dumps({"racecheck": [f.as_dict() for f in race_findings]}))
         elif race_findings:
             print(f"racecheck smoke: {len(race_findings)} finding(s)")
             for finding in race_findings:

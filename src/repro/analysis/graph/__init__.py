@@ -1,0 +1,22 @@
+"""Whole-program concurrency and layering analysis (``WPLG`` codes).
+
+Run via ``python -m repro.analysis graph``; see
+``docs/static_analysis.md`` for the propagation rules, known
+false-positive shapes, and the baseline workflow.
+"""
+
+from repro.analysis.graph.analyzer import GraphAnalyzer, GraphResult
+from repro.analysis.graph.config import DEFAULT_CONFIG, GraphConfig
+from repro.analysis.graph.project import Project
+from repro.analysis.graph.report import Baseline, GraphFinding, to_sarif
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "GraphAnalyzer",
+    "GraphConfig",
+    "GraphFinding",
+    "GraphResult",
+    "Project",
+    "to_sarif",
+]

@@ -1,0 +1,234 @@
+"""Orchestrates the whole-program analysis: load → symbols → lock
+analysis + layer check → findings, with suppression and baseline
+filtering applied.
+
+The result splits findings three ways:
+
+- ``new`` — gate-failing findings (not suppressed, not baselined);
+- ``baselined`` — matched the checked-in baseline (accepted debt);
+- ``suppressed`` — silenced by an inline ``# wpl: noqa=WPLG0x``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.graph.callgraph import Resolver, Symbols
+from repro.analysis.graph.config import DEFAULT_CONFIG, GraphConfig
+from repro.analysis.graph.layers import check_layers
+from repro.analysis.graph.locks import LockAnalysis, LockReport
+from repro.analysis.graph.project import Project
+from repro.analysis.graph.report import Baseline, GraphFinding
+
+
+class GraphResult:
+    def __init__(
+        self,
+        project: Project,
+        lock_report: LockReport,
+        new: List[GraphFinding],
+        baselined: List[GraphFinding],
+        suppressed: List[GraphFinding],
+        stats: Dict[str, int],
+    ) -> None:
+        self.project = project
+        self.lock_report = lock_report
+        self.new = new
+        self.baselined = baselined
+        self.suppressed = suppressed
+        self.stats = stats
+
+    @property
+    def all_findings(self) -> List[GraphFinding]:
+        """Everything except suppressed — the baseline universe."""
+        merged = list(self.new) + list(self.baselined)
+        merged.sort(key=lambda finding: finding.sort_key())
+        return merged
+
+
+class GraphAnalyzer:
+    def __init__(
+        self,
+        root: Path,
+        config: Optional[GraphConfig] = None,
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.config = config or DEFAULT_CONFIG
+        self.baseline = baseline or Baseline({})
+
+    def run(self) -> GraphResult:
+        project = Project.load(self.root)
+        symbols = Symbols(project)
+        resolver = Resolver(symbols, self.config)
+        lock_report = LockAnalysis(symbols, resolver, self.config).run()
+        findings = self._collect(project, symbols, lock_report)
+        findings.sort(key=lambda finding: finding.sort_key())
+        new: List[GraphFinding] = []
+        baselined: List[GraphFinding] = []
+        suppressed: List[GraphFinding] = []
+        for finding in findings:
+            if self._suppressed(project, finding):
+                suppressed.append(finding)
+            elif self.baseline.matches(finding):
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stats = self._stats(project, symbols, lock_report, findings)
+        return GraphResult(project, lock_report, new, baselined, suppressed, stats)
+
+    # -- finding construction ------------------------------------------------
+
+    def _collect(self, project, symbols, lock_report: LockReport) -> List[GraphFinding]:
+        findings: List[GraphFinding] = []
+        findings.extend(self._cycle_findings(project, symbols, lock_report))
+        findings.extend(self._hazard_findings(project, symbols, lock_report))
+        findings.extend(self._layer_findings(project))
+        findings.extend(self._contract_findings(project, symbols, lock_report))
+        return findings
+
+    def _function_location(self, symbols, qname: str) -> Tuple[str, Path, int]:
+        info = symbols.functions.get(qname)
+        if info is None:
+            return ("", Path("."), 0)
+        return (
+            symbols.project.relpath(info.module.path),
+            info.module.path,
+            getattr(info.node, "lineno", 0),
+        )
+
+    def _render_chain(self, chain) -> str:
+        return " -> ".join(f"{func}:{line}" for func, line in chain)
+
+    def _cycle_findings(self, project, symbols, lock_report: LockReport):
+        for cycle in lock_report.cycles:
+            subject = " -> ".join(cycle.locks + [cycle.locks[0]])
+            anchor_func, anchor_line = cycle.edges[0].chain[-1]
+            relpath, _path, _defline = self._function_location(symbols, anchor_func)
+            detail = []
+            for edge in cycle.edges:
+                detail.append(
+                    f"{edge.src.name} -> {edge.dst.name}"
+                    f" via {self._render_chain(edge.chain)}"
+                )
+            yield GraphFinding(
+                "WPLG01",
+                relpath,
+                anchor_line,
+                anchor_func,
+                subject,
+                f"potential deadlock: lock-order cycle {subject}",
+                detail,
+            )
+
+    def _hazard_findings(self, project, symbols, lock_report: LockReport):
+        for hazard in lock_report.hazards:
+            relpath, _path, _defline = self._function_location(symbols, hazard.func)
+            locks = ", ".join(lock.name for lock in hazard.locks)
+            detail = [f"lock-holding path: {self._render_chain(hazard.chain)}"]
+            yield GraphFinding(
+                "WPLG02",
+                relpath,
+                hazard.line,
+                hazard.func,
+                hazard.description,
+                f"{hazard.description} while holding {locks}",
+                detail,
+            )
+
+    def _layer_findings(self, project):
+        for violation in check_layers(project, self.config):
+            edge = violation.edge
+            module = project.modules.get(edge.src)
+            relpath = project.relpath(module.path) if module else edge.src
+            deferred = " (deferred import)" if edge.deferred else ""
+            yield GraphFinding(
+                "WPLG03",
+                relpath,
+                edge.line,
+                edge.src,
+                edge.dst,
+                f"layering violation: {edge.src} [{violation.src_layer}] "
+                f"imports {edge.dst} [{violation.dst_layer}]{deferred}",
+            )
+
+    def _contract_findings(self, project, symbols, lock_report: LockReport):
+        """Machine-check the configured required lock orders (WPLG04).
+
+        A contract only applies when the module defining each lock exists
+        in the analyzed tree — analyzing a fixture or subtree must not
+        trip contracts about code that is not there.  Deleting the lock
+        *class* while keeping the module still reports "contract stale".
+        """
+        for order in self.config.required_lock_orders:
+            before, after = order["before"], order["after"]
+            reason = order.get("reason", "")
+            modules = (before.rsplit(".", 2)[0], after.rsplit(".", 2)[0])
+            if any(dotted not in project.modules for dotted in modules):
+                continue
+            if lock_report.has_path(after, before):
+                detail = []
+                for (src, dst), edge in sorted(lock_report.edges.items()):
+                    if src == after or dst == before:
+                        detail.append(
+                            f"{src} -> {dst} via {self._render_chain(edge.chain)}"
+                        )
+                yield GraphFinding(
+                    "WPLG04",
+                    "<lock-order-contract>",
+                    0,
+                    "contract",
+                    f"{after} !-> {before}",
+                    f"contract violated: required order {before} -> {after} "
+                    f"({reason}) but a reverse path {after} -> {before} exists",
+                    detail,
+                )
+            elif not lock_report.has_edge(before, after):
+                yield GraphFinding(
+                    "WPLG04",
+                    "<lock-order-contract>",
+                    0,
+                    "contract",
+                    f"{before} -> {after} missing",
+                    f"contract stale: required order {before} -> {after} "
+                    f"({reason}) no longer appears in the lock-order graph",
+                )
+
+    # -- filtering -----------------------------------------------------------
+
+    def _suppressed(self, project, finding: GraphFinding) -> bool:
+        module = None
+        scope = finding.scope
+        # The scope is a function/module qname; find its module.
+        candidate = scope
+        while candidate and module is None:
+            module = project.modules.get(candidate)
+            candidate = candidate.rpartition(".")[0]
+        if module is None:
+            return False
+        return module.suppressed(finding.line, finding.code)
+
+    # -- stats ---------------------------------------------------------------
+
+    def _stats(self, project, symbols, lock_report: LockReport, findings) -> Dict[str, int]:
+        import_edges = list(project.import_edges())
+        locks = set(lock_report.lock_names)
+        for (src, dst) in lock_report.edges:
+            locks.add(src)
+            locks.add(dst)
+        blocking_ops = sum(
+            len(summary.blocking) for summary in lock_report.summaries.values()
+        )
+        return {
+            "modules": len(project.modules),
+            "classes": len(symbols.classes),
+            "functions": len(symbols.functions),
+            "import_edges": len(import_edges),
+            "call_edges": lock_report.call_edge_count,
+            "locks": len(locks),
+            "lock_order_edges": len(lock_report.edges),
+            "lock_order_cycles": len(lock_report.cycles),
+            "blocking_ops_seen": blocking_ops,
+            "findings": len(findings),
+        }

@@ -1,0 +1,55 @@
+"""Import-layer contract enforcement.
+
+The contract is an ordered list of layers (see
+:data:`repro.analysis.graph.config.LAYER_CONTRACT`); a module may import
+its own layer or anything *below* it.  A runtime import of a higher
+layer is a WPLG03 layering violation.  ``if TYPE_CHECKING:`` imports are
+exempt (they do not exist at runtime); function-level imports are
+runtime edges and are checked, but the finding notes they are deferred
+so the reader knows a cycle-breaking intent when they see one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.graph.config import GraphConfig
+from repro.analysis.graph.project import ImportEdge, Project
+
+
+class LayerViolation:
+    __slots__ = ("edge", "src_layer", "dst_layer")
+
+    def __init__(self, edge: ImportEdge, src_layer: str, dst_layer: str) -> None:
+        self.edge = edge
+        self.src_layer = src_layer
+        self.dst_layer = dst_layer
+
+
+def layer_of(project: Project, module: str, config: GraphConfig) -> Optional[Tuple[int, str]]:
+    """``(index, name)`` of the layer owning ``module``, or None."""
+    if not project.owns(module):
+        return None
+    rel = module[len(project.root_name) :].lstrip(".")
+    for index, (name, prefixes) in enumerate(config.layer_contract):
+        for prefix in prefixes:
+            if prefix == "":
+                if rel == "":
+                    return (index, name)
+            elif rel == prefix or rel.startswith(prefix + "."):
+                return (index, name)
+    return None
+
+
+def check_layers(project: Project, config: GraphConfig) -> List[LayerViolation]:
+    violations: List[LayerViolation] = []
+    for edge in project.import_edges():
+        if edge.typecheck_only:
+            continue
+        src = layer_of(project, edge.src, config)
+        dst = layer_of(project, edge.dst, config)
+        if src is None or dst is None:
+            continue
+        if dst[0] > src[0]:
+            violations.append(LayerViolation(edge, src[1], dst[1]))
+    return violations

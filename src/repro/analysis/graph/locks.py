@@ -1,0 +1,663 @@
+"""Interprocedural lock analysis.
+
+Three passes:
+
+1. **Per-function walk** (flow-sensitive): every function body is walked
+   once tracking the ordered set of locks held (``with`` blocks plus
+   statement-level ``acquire()``/``release()``), local variable types,
+   and local lock bindings.  The walk records per-function *summaries*:
+   lock acquisitions (with the locks already held at that point), call
+   sites (with held sets), and potential blocking operations.
+
+2. **Fixpoint propagation**: held-lock sets flow over the call graph —
+   if ``f`` calls ``g`` while holding ``L``, then ``g`` (and everything
+   it reaches) runs with ``L`` held.  Each inherited lock remembers one
+   witness predecessor ``(caller, call line)`` so findings can print the
+   full call chain from the holder down to the hazard.
+
+3. **Graph construction**: acquiring ``B`` while holding ``A`` adds the
+   lock-order edge ``A → B``; any cycle in the resulting digraph is a
+   potential deadlock (WPLG01).  Blocking operations whose effective
+   held set is non-empty — after exempting a ``Condition.wait`` on the
+   sole held lock, which is the sanctioned wait pattern — become WPLG02
+   hazards.
+
+Known precision limits (documented in docs/static_analysis.md): lock
+identity is per *class attribute*, not per instance, so two instances of
+the same class are one node — same-lock self-edges are therefore skipped
+rather than reported as deadlocks; ``acquire``/``release`` are tracked
+only as statements, not inside expressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.graph.callgraph import (
+    EXT,
+    FILE_HANDLE,
+    FunctionInfo,
+    LockId,
+    Resolver,
+    Symbols,
+)
+from repro.analysis.graph.config import (
+    BLOCKING_BUILTINS,
+    BLOCKING_CALLS_ALWAYS,
+    BLOCKING_METHODS_TIMEOUT,
+    ENGINE_RUN_CLASSES,
+    GraphConfig,
+    IO_RECEIVER_HINTS,
+)
+
+#: Chain step: (function qname, line in that function).
+ChainStep = Tuple[str, int]
+
+
+class Acquisition:
+    __slots__ = ("lock", "line", "held_before")
+
+    def __init__(self, lock: LockId, line: int, held_before: Tuple[LockId, ...]) -> None:
+        self.lock = lock
+        self.line = line
+        self.held_before = held_before
+
+
+class CallSite:
+    __slots__ = ("line", "targets", "held")
+
+    def __init__(self, line: int, targets: Tuple[str, ...], held: Tuple[LockId, ...]) -> None:
+        self.line = line
+        self.targets = targets
+        self.held = held
+
+
+class BlockingOp:
+    """One potentially-blocking operation found in a function body.
+
+    ``waits_on`` is the condition's underlying lock for ``wait()`` calls
+    — waiting on the *sole* held lock is the sanctioned pattern and is
+    exempted when the effective held set is exactly ``{waits_on}``.
+    """
+
+    __slots__ = ("line", "description", "held", "waits_on")
+
+    def __init__(
+        self,
+        line: int,
+        description: str,
+        held: Tuple[LockId, ...],
+        waits_on: Optional[LockId],
+    ) -> None:
+        self.line = line
+        self.description = description
+        self.held = held
+        self.waits_on = waits_on
+
+
+class FunctionSummary:
+    __slots__ = ("func", "acquisitions", "calls", "blocking")
+
+    def __init__(self, func: FunctionInfo) -> None:
+        self.func = func
+        self.acquisitions: List[Acquisition] = []
+        self.calls: List[CallSite] = []
+        self.blocking: List[BlockingOp] = []
+
+
+class LockOrderEdge:
+    """``src`` is held when ``dst`` is acquired; ``chain`` is the witness
+    call path ending at the acquiring function and line."""
+
+    __slots__ = ("src", "dst", "chain")
+
+    def __init__(self, src: LockId, dst: LockId, chain: List[ChainStep]) -> None:
+        self.src = src
+        self.dst = dst
+        self.chain = chain
+
+
+class DeadlockCycle:
+    __slots__ = ("locks", "edges")
+
+    def __init__(self, locks: List[str], edges: List[LockOrderEdge]) -> None:
+        self.locks = locks
+        self.edges = edges
+
+
+class BlockingHazard:
+    __slots__ = ("func", "line", "description", "locks", "chain")
+
+    def __init__(
+        self,
+        func: str,
+        line: int,
+        description: str,
+        locks: List[LockId],
+        chain: List[ChainStep],
+    ) -> None:
+        self.func = func
+        self.line = line
+        self.description = description
+        self.locks = locks
+        self.chain = chain
+
+
+class LockReport:
+    """Everything the lock passes computed, pre-findings."""
+
+    def __init__(self) -> None:
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.edges: Dict[Tuple[str, str], LockOrderEdge] = {}
+        self.cycles: List[DeadlockCycle] = []
+        self.hazards: List[BlockingHazard] = []
+        self.call_edge_count = 0
+        self.lock_names: Set[str] = set()
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.edges
+
+    def has_path(self, src: str, dst: str) -> bool:
+        """Reachability in the lock-order graph (for contract checks)."""
+        seen = {src}
+        queue = [src]
+        while queue:
+            current = queue.pop()
+            for (a, b) in self.edges:
+                if a == current and b not in seen:
+                    if b == dst:
+                        return True
+                    seen.add(b)
+                    queue.append(b)
+        return False
+
+
+class LockAnalysis:
+    def __init__(self, symbols: Symbols, resolver: Resolver, config: GraphConfig) -> None:
+        self.symbols = symbols
+        self.resolver = resolver
+        self.config = config
+        self.report = LockReport()
+
+    def run(self) -> LockReport:
+        roots = [
+            info
+            for qname, info in sorted(self.symbols.functions.items())
+            if info.parent is None
+        ]
+        for info in roots:
+            _FunctionWalker(self, info).walk({}, {})
+        entry_holds = self._propagate()
+        self._build_edges(entry_holds)
+        self._find_cycles()
+        self._find_hazards(entry_holds)
+        return self.report
+
+    # -- pass 2: fixpoint propagation ---------------------------------------
+
+    def _propagate(self) -> Dict[str, Dict[LockId, ChainStep]]:
+        """``entry_holds[f][lock] = (caller, line)`` — one witness per
+        lock inherited from some caller."""
+        entry_holds: Dict[str, Dict[LockId, ChainStep]] = {
+            qname: {} for qname in self.report.summaries
+        }
+        worklist = sorted(self.report.summaries)
+        seen_edges: Set[Tuple[str, str]] = set()
+        while worklist:
+            caller = worklist.pop(0)
+            summary = self.report.summaries[caller]
+            inherited = entry_holds[caller]
+            for site in summary.calls:
+                effective = dict.fromkeys(site.held)
+                for lock in inherited:
+                    effective.setdefault(lock)
+                for target in site.targets:
+                    if target not in entry_holds:
+                        continue
+                    seen_edges.add((caller, target))
+                    changed = False
+                    for lock in effective:
+                        if lock not in entry_holds[target]:
+                            entry_holds[target][lock] = (caller, site.line)
+                            changed = True
+                    if changed and target not in worklist:
+                        worklist.append(target)
+        self.report.call_edge_count = len(seen_edges)
+        return entry_holds
+
+    def _witness_chain(
+        self,
+        entry_holds: Dict[str, Dict[LockId, ChainStep]],
+        func: str,
+        lock: LockId,
+        final_line: int,
+    ) -> List[ChainStep]:
+        """Call chain from the lock-holding function down to ``func`` at
+        ``final_line``."""
+        chain: List[ChainStep] = [(func, final_line)]
+        current = func
+        visited = {func}
+        while lock in entry_holds.get(current, {}):
+            caller, line = entry_holds[current][lock]
+            if caller in visited:
+                break
+            chain.insert(0, (caller, line))
+            visited.add(caller)
+            current = caller
+        return chain
+
+    # -- pass 3: lock-order graph -------------------------------------------
+
+    def _build_edges(self, entry_holds: Dict[str, Dict[LockId, ChainStep]]) -> None:
+        for qname in sorted(self.report.summaries):
+            summary = self.report.summaries[qname]
+            for acq in summary.acquisitions:
+                self.report.lock_names.add(acq.lock.name)
+                prior: Dict[LockId, bool] = dict.fromkeys(acq.held_before, True)
+                for lock in entry_holds.get(qname, {}):
+                    prior.setdefault(lock, False)
+                for held, local in prior.items():
+                    if held == acq.lock:
+                        continue  # per-class identity: see module docstring
+                    key = (held.name, acq.lock.name)
+                    if key in self.report.edges:
+                        continue
+                    if local:
+                        chain = [(qname, acq.line)]
+                    else:
+                        chain = self._witness_chain(
+                            entry_holds, qname, held, acq.line
+                        )
+                    self.report.edges[key] = LockOrderEdge(held, acq.lock, chain)
+
+    def _find_cycles(self) -> None:
+        """Report each 2-cycle once; larger SCCs get one representative
+        cycle each (deterministic: smallest lock name first)."""
+        graph: Dict[str, Set[str]] = {}
+        for (src, dst) in self.report.edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        reported: Set[FrozenSet[str]] = set()
+        for (src, dst) in sorted(self.report.edges):
+            if (dst, src) in self.report.edges:
+                key = frozenset((src, dst))
+                if key in reported:
+                    continue
+                reported.add(key)
+                first, second = sorted((src, dst))
+                self.report.cycles.append(
+                    DeadlockCycle(
+                        [first, second],
+                        [
+                            self.report.edges[(first, second)],
+                            self.report.edges[(second, first)],
+                        ],
+                    )
+                )
+        # Longer cycles: DFS from each node, smallest-first, skipping any
+        # cycle whose lock set was already reported via a 2-cycle.
+        for start in sorted(graph):
+            path: List[str] = []
+            on_path: Set[str] = set()
+
+            def dfs(node: str) -> Optional[List[str]]:
+                path.append(node)
+                on_path.add(node)
+                for nxt in sorted(graph.get(node, ())):
+                    if nxt == start and len(path) > 2:
+                        return list(path)
+                    if nxt not in on_path and nxt > start:
+                        found = dfs(nxt)
+                        if found is not None:
+                            return found
+                path.pop()
+                on_path.discard(node)
+                return None
+
+            cycle = dfs(start)
+            if cycle is not None:
+                key = frozenset(cycle)
+                if key not in reported and not any(
+                    key >= done for done in reported
+                ):
+                    reported.add(key)
+                    edges = [
+                        self.report.edges[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                        for i in range(len(cycle))
+                    ]
+                    self.report.cycles.append(DeadlockCycle(cycle, edges))
+
+    # -- pass 3b: blocking hazards ------------------------------------------
+
+    def _find_hazards(self, entry_holds: Dict[str, Dict[LockId, ChainStep]]) -> None:
+        for qname in sorted(self.report.summaries):
+            summary = self.report.summaries[qname]
+            inherited = entry_holds.get(qname, {})
+            for op in summary.blocking:
+                effective: Dict[LockId, bool] = dict.fromkeys(op.held, True)
+                for lock in inherited:
+                    effective.setdefault(lock, False)
+                offending = [
+                    lock
+                    for lock in effective
+                    if op.waits_on is None or lock != op.waits_on
+                ]
+                if not offending:
+                    continue
+                witness_lock = min(offending, key=lambda lock: lock.name)
+                if effective[witness_lock]:
+                    chain = [(qname, op.line)]
+                else:
+                    chain = self._witness_chain(
+                        entry_holds, qname, witness_lock, op.line
+                    )
+                self.report.hazards.append(
+                    BlockingHazard(
+                        qname,
+                        op.line,
+                        op.description,
+                        sorted(offending, key=lambda lock: lock.name),
+                        chain,
+                    )
+                )
+
+
+def _call_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _has_timeout(method: str, call: ast.Call) -> bool:
+    """Does this call pass a timeout (so it cannot block unboundedly)?"""
+    if _call_kwarg(call, "timeout"):
+        return True
+    npos = len(call.args)
+    if method in ("wait", "join", "wait_zero"):
+        return npos >= 1
+    if method == "get":
+        return npos >= 2  # get(block, timeout)
+    if method == "put":
+        return npos >= 3  # put(item, block, timeout)
+    return False
+
+
+class _FunctionWalker:
+    """Flow-sensitive single-function walk building a summary.
+
+    Nested function definitions are walked inline with a snapshot of the
+    enclosing local/lock environments (closure capture) but an *empty*
+    held set — a closure runs when called, not when defined; propagation
+    supplies the caller's locks.
+    """
+
+    def __init__(self, analysis: LockAnalysis, func: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.resolver = analysis.resolver
+        self.symbols = analysis.symbols
+        self.func = func
+        self.summary = FunctionSummary(func)
+        analysis.report.summaries[func.qname] = self.summary
+        self.env: Dict[str, FrozenSet[str]] = {}
+        self.lock_env: Dict[str, LockId] = {}
+
+    def walk(
+        self,
+        outer_env: Dict[str, FrozenSet[str]],
+        outer_lock_env: Dict[str, LockId],
+    ) -> None:
+        self.env.update(outer_env)
+        self.lock_env.update(outer_lock_env)
+        body = getattr(self.func.node, "body", [])
+        self._seed_local_locks(body)
+        self._block(body, ())
+
+    def _seed_local_locks(self, body: Sequence[ast.stmt]) -> None:
+        """Pre-bind ``name = threading.Lock()``-style locals before the
+        flow walk, so a closure defined *above* the assignment still sees
+        the lock when its body is walked at the ``def`` site."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested scopes seed from their own walk
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                lock = self.resolver.local_lock(
+                    self.func, node.targets[0].id, node.value, self.env, self.lock_env
+                )
+                if lock is not None:
+                    self.lock_env.setdefault(node.targets[0].id, lock)
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self, stmts: Sequence[ast.stmt], held: Tuple[LockId, ...]) -> None:
+        for stmt in stmts:
+            held = self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: Tuple[LockId, ...]) -> Tuple[LockId, ...]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._expr(item.context_expr, inner)
+                lock = None
+                if isinstance(item.context_expr, (ast.Attribute, ast.Name)):
+                    lock = self.resolver.lock_for(
+                        self.func, item.context_expr, self.env, self.lock_env
+                    )
+                if lock is not None and lock not in inner:
+                    self.summary.acquisitions.append(
+                        Acquisition(lock, stmt.lineno, inner)
+                    )
+                    inner = inner + (lock,)
+            self._block(stmt.body, inner)
+            return held
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                lock = self.resolver.local_lock(
+                    self.func, name, stmt.value, self.env, self.lock_env
+                )
+                if lock is not None:
+                    self.lock_env[name] = lock
+                else:
+                    self.lock_env.pop(name, None)
+                    self.env[name] = self.resolver.expr_types(
+                        self.func, stmt.value, self.env
+                    )
+            return held
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, held)
+            if isinstance(stmt.target, ast.Name):
+                types = self.resolver.annotation_types(
+                    self.func.module, stmt.annotation
+                )
+                if stmt.value is not None:
+                    lock = self.resolver.local_lock(
+                        self.func, stmt.target.id, stmt.value, self.env, self.lock_env
+                    )
+                    if lock is not None:
+                        self.lock_env[stmt.target.id] = lock
+                        return held
+                    types = types | self.resolver.expr_types(
+                        self.func, stmt.value, self.env
+                    )
+                self.env[stmt.target.id] = types
+            return held
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, held)
+            return held
+        if isinstance(stmt, ast.Expr):
+            # Statement-level acquire()/release() drive the held set.
+            value = stmt.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+                method = value.func.attr
+                if method in ("acquire", "release") and isinstance(
+                    value.func.value, (ast.Attribute, ast.Name)
+                ):
+                    lock = self.resolver.lock_for(
+                        self.func, value.func.value, self.env, self.lock_env
+                    )
+                    if lock is not None:
+                        if method == "acquire":
+                            if lock not in held:
+                                self.summary.acquisitions.append(
+                                    Acquisition(lock, stmt.lineno, held)
+                                )
+                                return held + (lock,)
+                            return held
+                        return tuple(h for h in held if h != lock)
+            self._expr(value, held)
+            return held
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if getattr(stmt, "value", None) is not None:
+                self._expr(stmt.value, held)
+            if getattr(stmt, "exc", None) is not None:
+                self._expr(stmt.exc, held)
+            return held
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test, held)
+            self._block(stmt.body, held)
+            self._block(stmt.orelse, held)
+            return held
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._block(stmt.body, held)
+            self._block(stmt.orelse, held)
+            return held
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._block(stmt.body, held)
+            for handler in stmt.handlers:
+                self._block(handler.body, held)
+            self._block(stmt.orelse, held)
+            self._block(stmt.finalbody, held)
+            return held
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = self.func.nested.get(stmt.name)
+            if nested is not None:
+                walker = _FunctionWalker(self.analysis, nested)
+                walker.walk(dict(self.env), dict(self.lock_env))
+            return held
+        if isinstance(stmt, ast.Assert):
+            self._expr(stmt.test, held)
+            return held
+        if isinstance(stmt, ast.Delete):
+            return held
+        if isinstance(stmt, ast.ClassDef):
+            return held
+        # Remaining simple statements may still carry expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+        return held
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, node: ast.expr, held: Tuple[LockId, ...]) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._call(child, held)
+
+    def _call(self, call: ast.Call, held: Tuple[LockId, ...]) -> None:
+        res = self.resolver.resolve_call(self.func, call, self.env)
+        if res.targets:
+            self.summary.calls.append(
+                CallSite(call.lineno, tuple(sorted(res.targets)), held)
+            )
+        self._classify_blocking(call, res, held)
+
+    def _classify_blocking(self, call, res, held: Tuple[LockId, ...]) -> None:
+        method = res.method_name
+        line = call.lineno
+        # open() and catalogued ext-module calls (time.sleep, os.replace).
+        if res.ext_callable is not None:
+            tail = res.ext_callable.rsplit(".", 1)[-1]
+            if res.ext_callable in BLOCKING_BUILTINS:
+                self._blocking(line, BLOCKING_BUILTINS[res.ext_callable], held, None)
+                return
+            if res.ext_callable.startswith(FILE_HANDLE):
+                if tail in ("read", "write", "readline", "readlines", "flush"):
+                    self._blocking(
+                        line, f"file {tail}() under a lock", held, None
+                    )
+                return
+            if tail in BLOCKING_CALLS_ALWAYS and not res.ext_callable.startswith(
+                EXT + "threading"
+            ):
+                if tail in BLOCKING_METHODS_TIMEOUT and _has_timeout(tail, call):
+                    return
+                self._blocking(line, BLOCKING_CALLS_ALWAYS[tail], held, None)
+                return
+        if method is None:
+            return
+        receiver = call.func.value if isinstance(call.func, ast.Attribute) else None
+        # Engine run() — flagged even though the body is also analyzed,
+        # because an engine run under any lock is always a hazard.
+        if method == "run" and res.receiver_types & frozenset(ENGINE_RUN_CLASSES):
+            self._blocking(line, BLOCKING_CALLS_ALWAYS["run"], held, None)
+            return
+        if method not in BLOCKING_METHODS_TIMEOUT or method == "acquire":
+            self._maybe_io_hint(call, res, held)
+            return
+        if _has_timeout(method, call):
+            return
+        waits_on = None
+        if method == "wait" and receiver is not None:
+            waits_on = self.resolver.lock_for(
+                self.func, receiver, self.env, self.lock_env
+            )
+            if waits_on is None and not res.receiver_types:
+                return  # wait() on something we cannot see — stay quiet
+        if res.targets and method in ("get", "put"):
+            return  # project implementation — its body is analyzed
+        if method in ("get", "put"):
+            project_ext = any(
+                r.startswith(EXT + "queue.") for r in res.receiver_types
+            )
+            if not project_ext:
+                return  # dict.get()/list-ish put noise
+        if method == "join":
+            thread_like = any(
+                r.startswith(EXT + "threading.") for r in res.receiver_types
+            )
+            if not thread_like and not self._receiver_hint(receiver, ("thread", "worker", "t")):
+                return
+        self._blocking(
+            line, BLOCKING_METHODS_TIMEOUT[method], held, waits_on
+        )
+
+    def _maybe_io_hint(self, call, res, held: Tuple[LockId, ...]) -> None:
+        """``read``/``write`` on handle-ish receivers of unknown type."""
+        method = res.method_name
+        if method not in ("read", "write", "readline", "flush"):
+            return
+        if res.targets or res.receiver_types:
+            return
+        receiver = call.func.value if isinstance(call.func, ast.Attribute) else None
+        if self._receiver_hint(receiver, IO_RECEIVER_HINTS):
+            self._blocking(
+                call.lineno, f"file/socket {method}() under a lock", held, None
+            )
+
+    def _receiver_hint(self, receiver, hints) -> bool:
+        name = ""
+        if isinstance(receiver, ast.Name):
+            name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        name = name.lower().lstrip("_")
+        return any(name == hint or hint in name for hint in hints)
+
+    def _blocking(
+        self,
+        line: int,
+        description: str,
+        held: Tuple[LockId, ...],
+        waits_on: Optional[LockId],
+    ) -> None:
+        self.summary.blocking.append(BlockingOp(line, description, held, waits_on))

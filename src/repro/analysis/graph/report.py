@@ -1,0 +1,215 @@
+"""Findings, baseline mechanism, and output formats for the graph
+analyzer.
+
+Finding codes:
+
+- ``WPLG01`` — lock-order cycle (potential deadlock), with the witness
+  call chain of every edge in the cycle;
+- ``WPLG02`` — blocking call reached while a lock is held, with the
+  lock-holding call chain;
+- ``WPLG03`` — layering violation (upward runtime import);
+- ``WPLG04`` — lock-order contract violation (a configured required
+  order is reversed, or the guarded edge vanished and the config went
+  stale).
+
+Baselines are line-number independent: a fingerprint is
+``code|path|scope|subject`` so a finding survives unrelated edits to its
+file, while a *new* cycle or hazard — different locks, different
+function — misses the baseline and fails the gate.  The baseline file is
+JSON with sorted keys and a trailing newline, so regenerating it on an
+unchanged tree is byte-for-byte stable; ``justification`` text is
+preserved across regenerations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+CODES = {
+    "WPLG01": "lock-order cycle (potential deadlock)",
+    "WPLG02": "blocking call under lock",
+    "WPLG03": "layering violation (upward import)",
+    "WPLG04": "lock-order contract violation",
+}
+
+
+class GraphFinding:
+    __slots__ = ("code", "path", "line", "scope", "subject", "message", "detail")
+
+    def __init__(
+        self,
+        code: str,
+        path: str,
+        line: int,
+        scope: str,
+        subject: str,
+        message: str,
+        detail: Sequence[str] = (),
+    ) -> None:
+        self.code = code
+        self.path = path
+        self.line = line
+        self.scope = scope
+        self.subject = subject
+        self.message = message
+        self.detail = list(detail)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.code}|{self.path}|{self.scope}|{self.subject}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.code, self.subject)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "subject": self.subject,
+            "message": self.message,
+            "detail": list(self.detail),
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.path}:{self.line}: {self.code} {self.message}"]
+        for entry in self.detail:
+            lines.append(f"    {entry}")
+        return "\n".join(lines)
+
+
+class Baseline:
+    """Checked-in accepted findings, keyed by fingerprint."""
+
+    def __init__(self, entries: Dict[str, Dict[str, str]]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls({})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            entry["fingerprint"]: entry for entry in payload.get("findings", [])
+        }
+        return cls(entries)
+
+    def matches(self, finding: GraphFinding) -> bool:
+        return finding.fingerprint in self.entries
+
+    @staticmethod
+    def serialize(
+        findings: Sequence[GraphFinding],
+        previous: Optional["Baseline"] = None,
+    ) -> str:
+        """The baseline file content for ``findings`` — deterministic,
+        sorted by fingerprint, justifications carried over."""
+        entries = []
+        seen = set()
+        for finding in findings:
+            if finding.fingerprint in seen:
+                continue
+            seen.add(finding.fingerprint)
+            justification = "TODO: justify or fix"
+            if previous is not None and finding.fingerprint in previous.entries:
+                justification = previous.entries[finding.fingerprint].get(
+                    "justification", justification
+                )
+            entries.append(
+                {
+                    "fingerprint": finding.fingerprint,
+                    "code": finding.code,
+                    "message": finding.message,
+                    "justification": justification,
+                }
+            )
+        entries.sort(key=lambda entry: entry["fingerprint"])
+        payload = {"version": 1, "findings": entries}
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def to_sarif(
+    new: Sequence[GraphFinding],
+    baselined: Sequence[GraphFinding] = (),
+) -> Dict[str, object]:
+    """Minimal SARIF 2.1.0 document for CI artifact upload.
+
+    New findings are ``error``; baselined ones are included as ``note``
+    so the artifact shows the whole accepted-debt picture."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": description},
+        }
+        for code, description in sorted(CODES.items())
+    ]
+    results = []
+    for finding, level in [(f, "error") for f in new] + [
+        (f, "note") for f in baselined
+    ]:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": level,
+                "message": {
+                    "text": finding.message
+                    + ("\n" + "\n".join(finding.detail) if finding.detail else "")
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {"startLine": max(finding.line, 1)},
+                        }
+                    }
+                ],
+                "partialFingerprints": {"wplGraph/v1": finding.fingerprint},
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis-graph",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_stats(stats: Dict[str, int]) -> str:
+    width = max(len(key) for key in stats)
+    lines = ["graph analyzer stats:"]
+    for key in sorted(stats):
+        lines.append(f"  {key.ljust(width)}  {stats[key]}")
+    return "\n".join(lines)
+
+
+def format_human(
+    new: Sequence[GraphFinding],
+    baselined: Sequence[GraphFinding],
+    suppressed_count: int,
+) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(finding.render())
+    summary = (
+        f"graph: {len(new)} finding{'s' if len(new) != 1 else ''}"
+        f" ({len(baselined)} baselined, {suppressed_count} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

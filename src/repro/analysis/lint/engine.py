@@ -206,7 +206,11 @@ class LintEngine:
         return self.lint_module(module)
 
     def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
-        """Lint files and (recursively) directories of ``*.py`` files."""
+        """Lint files and (recursively) directories of ``*.py`` files.
+
+        The merged list is re-sorted globally — per-file lists are already
+        ordered, but callers may pass paths in any order and reports (and
+        report diffs) should not depend on it."""
         findings: List[Finding] = []
         for path in paths:
             path = Path(path)
@@ -215,6 +219,7 @@ class LintEngine:
                     findings.extend(self.lint_file(file))
             else:
                 findings.extend(self.lint_file(path))
+        findings.sort(key=lambda f: (str(f.path), f.line, f.col, f.code))
         return findings
 
 

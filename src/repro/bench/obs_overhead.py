@@ -1,0 +1,125 @@
+"""Observability-overhead measurement primitives.
+
+Shared between ``benchmarks/bench_obs_overhead.py`` (the pytest wrapper
+that prints the paper-shaped table and asserts the <2% bound) and the
+perf-trajectory driver (:mod:`repro.bench.trajectory`), so both report
+the same numbers measured the same way.
+
+The measurement mirrors ``bench_fault_overhead``: micro-time the
+disabled two-instruction observer guard, multiply by a deliberately
+over-counted number of hook executions in a representative run, and
+divide by the run's wall time — a deterministic *upper bound* on the
+no-observer overhead.  End-to-end walls with a live metrics observer and
+the full trace+metrics fan-out give the enabled-cost context.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.bench.workloads import get_engine
+from repro.core import ExecutionTrace, FanoutObserver
+from repro.obs import MetricsEngineObserver, MetricsRegistry
+
+GUARD_SAMPLES = 200_000
+
+
+class HookSite:
+    """The exact attribute-load + None-test shape of a disabled hook."""
+
+    __slots__ = ("observer",)
+
+    def __init__(self):
+        self.observer = None
+
+
+def time_disabled_guard(samples: int = GUARD_SAMPLES) -> float:
+    """Median per-call cost (seconds) of the no-observer guard."""
+    site = HookSite()
+    sink = 0
+    measurements = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(samples):
+            observer = site.observer
+            if observer is not None:
+                sink += 1
+        measurements.append((time.perf_counter() - start) / samples)
+    assert sink == 0
+    measurements.sort()
+    return measurements[1]
+
+
+def run_once(engine, k: int, observer=None):
+    start = time.perf_counter()
+    result = engine.run(k, algorithm="whirlpool_s", observer=observer)
+    return result, time.perf_counter() - start
+
+
+def median_wall(engine, k: int, rounds: int, observer_factory=None):
+    walls = []
+    result = None
+    for _ in range(rounds):
+        observer = observer_factory() if observer_factory is not None else None
+        result, wall = run_once(engine, k, observer)
+        walls.append(wall)
+    walls.sort()
+    return result, walls[len(walls) // 2]
+
+
+def hook_site_count(stats) -> int:
+    """Over-count of observer-hook guard executions in one run.
+
+    One ``on_seed``/``on_extension`` per partial match created, one
+    ``on_route`` plus one potential ``on_prune`` per routing decision,
+    and an ``on_queue_depth`` guard for every match that could have
+    crossed a queue (every routed match and every generated extension —
+    an overestimate, since pruned extensions never reach a queue).
+    """
+    crossings = stats.routing_decisions + stats.extensions_generated
+    return (
+        stats.partial_matches_created
+        + 2 * stats.routing_decisions
+        + stats.partial_matches_pruned
+        + crossings
+    )
+
+
+def metrics_observer() -> MetricsEngineObserver:
+    registry = MetricsRegistry()
+    return MetricsEngineObserver(registry, "whirlpool_s", "min_alive")
+
+
+def fanout_observer() -> FanoutObserver:
+    return FanoutObserver(ExecutionTrace(), metrics_observer())
+
+
+def obs_overhead_payload(
+    query: str = "Q2",
+    k: int = 15,
+    rounds: int = 5,
+    engine: Optional[object] = None,
+) -> Dict:
+    """The full overhead measurement: walls, guard cost, and the bound."""
+    engine = engine if engine is not None else get_engine(query)
+    baseline_result, baseline_wall = median_wall(engine, k, rounds)
+    _, metrics_wall = median_wall(engine, k, rounds, metrics_observer)
+    _, fanout_wall = median_wall(engine, k, rounds, fanout_observer)
+
+    guard_cost = time_disabled_guard()
+    hook_sites = hook_site_count(baseline_result.stats)
+    bound = (hook_sites * guard_cost) / baseline_wall
+    return {
+        "query": query,
+        "k": k,
+        "rounds": rounds,
+        "walls": {
+            "no_observer": baseline_wall,
+            "metrics_observer": metrics_wall,
+            "trace_and_metrics": fanout_wall,
+        },
+        "guard_cost_ns": guard_cost * 1e9,
+        "hook_sites": hook_sites,
+        "overhead_bound": bound,
+    }

@@ -1,0 +1,154 @@
+"""Per-PR performance-trajectory artifacts (``BENCH_PR<n>.json``).
+
+ROADMAP item 2: the repo has 22 bench scripts but, until PR 6, zero
+checked-in performance artifacts — so there was nothing for a later PR
+to diff against when a "refactor" quietly doubles a wall time.  This
+driver runs a small, representative subset (`fig10_vary_k` — the paper's
+headline execution-time figure — plus the observability-overhead bound)
+and writes a **normalized record schema** that future PRs can compare
+mechanically::
+
+    {
+      "schema_version": 1,
+      "pr": 6,
+      "scale": 0.02,
+      "config": {...},
+      "records": [
+        {"bench": ..., "case": ..., "metric": ..., "unit": ..., "value": ...},
+        ...
+      ]
+    }
+
+Records are sorted by ``(bench, case, metric)`` so artifact diffs are
+line-stable.  ``scale`` captures ``REPRO_BENCH_SCALE`` — artifacts are
+only comparable at equal scale.  Times are *modeled* engine times (unit
+``model_s``) or wall seconds (``s``); counts are ``ops``/``sites``;
+ratios are dimensionless ``fraction``.
+
+Usage::
+
+    python -m repro.bench.trajectory --pr 6 --out BENCH_PR6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.bench.experiments import fig10_vary_k
+from repro.bench.obs_overhead import obs_overhead_payload
+from repro.bench.params import bench_scale
+
+SCHEMA_VERSION = 1
+
+_FIG10_UNITS = {
+    "whirlpool_s_time": "model_s",
+    "whirlpool_m_time": "model_s",
+    "whirlpool_s_ops": "ops",
+    "whirlpool_m_ops": "ops",
+}
+
+
+def record(bench: str, case: str, metric: str, unit: str, value) -> Dict:
+    return {
+        "bench": bench,
+        "case": case,
+        "metric": metric,
+        "unit": unit,
+        "value": value,
+    }
+
+
+def fig10_records(payload: Dict) -> Iterator[Dict]:
+    for query, per_k in payload["series"].items():
+        for k, entry in per_k.items():
+            case = f"{query}/k={k}"
+            for metric, value in entry.items():
+                yield record(
+                    "fig10_vary_k", case, metric, _FIG10_UNITS[metric], value
+                )
+
+
+def obs_records(payload: Dict) -> Iterator[Dict]:
+    case = f"{payload['query']}/k={payload['k']}"
+    for configuration, wall in payload["walls"].items():
+        yield record("obs_overhead", case, f"wall_{configuration}", "s", wall)
+    yield record(
+        "obs_overhead", case, "guard_cost_ns", "ns", payload["guard_cost_ns"]
+    )
+    yield record("obs_overhead", case, "hook_sites", "sites", payload["hook_sites"])
+    yield record(
+        "obs_overhead", case, "overhead_bound", "fraction", payload["overhead_bound"]
+    )
+
+
+def build(
+    pr: int,
+    k_values: Sequence[int] = (3, 15, 75),
+    obs_query: str = "Q2",
+    obs_k: int = 15,
+    obs_rounds: int = 5,
+) -> Dict:
+    """Run the trajectory benches and assemble the artifact payload."""
+    records: List[Dict] = []
+    records.extend(fig10_records(fig10_vary_k(k_values=tuple(k_values))))
+    records.extend(
+        obs_records(obs_overhead_payload(obs_query, k=obs_k, rounds=obs_rounds))
+    )
+    records.sort(key=lambda r: (r["bench"], r["case"], r["metric"]))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": pr,
+        "scale": bench_scale(),
+        "config": {
+            "fig10_k_values": list(k_values),
+            "obs_query": obs_query,
+            "obs_k": obs_k,
+            "obs_rounds": obs_rounds,
+        },
+        "records": records,
+    }
+
+
+def serialize(payload: Dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description="Emit the per-PR BENCH_PR<n>.json performance artifact.",
+    )
+    parser.add_argument("--pr", type=int, required=True, help="PR number to stamp")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_PR<n>.json in the current directory)",
+    )
+    parser.add_argument(
+        "--k-values",
+        default="3,15,75",
+        help="comma-separated k values for fig10 (default: 3,15,75)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="obs-overhead wall-time rounds"
+    )
+    args = parser.parse_args(argv)
+
+    k_values = tuple(int(part) for part in args.k_values.split(",") if part)
+    payload = build(args.pr, k_values=k_values, obs_rounds=args.rounds)
+    out = args.out or Path(f"BENCH_PR{args.pr}.json")
+    out.write_text(serialize(payload), encoding="utf-8")
+    print(
+        f"{out}: {len(payload['records'])} records "
+        f"(scale={payload['scale']}, schema v{payload['schema_version']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

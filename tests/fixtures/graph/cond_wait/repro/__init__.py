@@ -1,0 +1,2 @@
+"""Fixture: ``Condition.wait()`` reached one call hop below a foreign
+lock — the analyzer must report a WPLG02 blocking-under-lock hazard."""

@@ -1,0 +1,26 @@
+"""``Coordinator.stall`` holds its own lock while calling into
+``Mailbox._wait_ready``, which blocks on a condition tied to a
+*different* lock — a classic stall-under-lock, visible only
+interprocedurally."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    def _wait_ready(self) -> None:
+        with self._lock:
+            self._ready.wait()
+
+
+class Coordinator:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._box = Mailbox()
+
+    def stall(self) -> None:
+        with self._lock:
+            self._box._wait_ready()

@@ -1,0 +1,2 @@
+"""Fixture: two locks acquired in opposite orders across two call
+chains — the analyzer must report a WPLG01 lock-order cycle."""

@@ -1,0 +1,35 @@
+"""Two functions that take ``Alpha._lock`` and ``Beta._lock`` in
+opposite orders, each crossing a function boundary — the inner
+acquisition is only reachable interprocedurally."""
+
+import threading
+
+
+class Alpha:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+class Beta:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+def forward(alpha: "Alpha", beta: "Beta") -> None:
+    with alpha._lock:
+        _grab_beta(beta)
+
+
+def _grab_beta(beta: "Beta") -> None:
+    with beta._lock:
+        pass
+
+
+def backward(alpha: "Alpha", beta: "Beta") -> None:
+    with beta._lock:
+        _grab_alpha(alpha)
+
+
+def _grab_alpha(alpha: "Alpha") -> None:
+    with alpha._lock:
+        pass

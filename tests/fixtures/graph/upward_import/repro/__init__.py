@@ -1,0 +1,2 @@
+"""Fixture: a ``core`` module importing from ``service`` — an upward
+import the layering contract must reject with WPLG03."""

@@ -1,0 +1,7 @@
+"""A core-layer module reaching up into the service layer."""
+
+from repro.service.api import handle
+
+
+def run() -> str:
+    return handle()

@@ -1,0 +1,2 @@
+def handle() -> str:
+    return "ok"

@@ -1,0 +1,252 @@
+"""Tests for the whole-program graph analyzer (``repro.analysis.graph``).
+
+Each violating fixture under ``tests/fixtures/graph/`` must produce
+exactly its expected finding; every finding must be suppressible with an
+inline ``# wpl: noqa=WPLG0x`` and baseline-able through a baseline file;
+and the shipped baseline must regenerate byte-for-byte from a clean run
+over the installed package.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.__main__ import default_baseline_path
+from repro.analysis.graph import Baseline, GraphAnalyzer, to_sarif
+
+REPO_ROOT = Path(__file__).parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "graph"
+
+EXPECTED = {
+    # fixture -> (code, path-suffix of the finding, substring of message)
+    "lock_cycle": ("WPLG01", "pair.py", "lock-order cycle"),
+    "cond_wait": ("WPLG02", "waiter.py", "wait() without timeout"),
+    "upward_import": ("WPLG03", "engine.py", "layering violation"),
+}
+
+
+def run_fixture(name, baseline=None):
+    return GraphAnalyzer(FIXTURES / name / "repro", baseline=baseline).run()
+
+
+def sole_finding(result):
+    assert len(result.new) == 1, [f.to_dict() for f in result.new]
+    assert not result.baselined and not result.suppressed
+    return result.new[0]
+
+
+class TestFixturesCaught:
+    def test_lock_cycle(self):
+        finding = sole_finding(run_fixture("lock_cycle"))
+        assert finding.code == "WPLG01"
+        # The cycle names both locks and closes on the first one.
+        assert "repro.pair.Alpha._lock" in finding.subject
+        assert "repro.pair.Beta._lock" in finding.subject
+        assert finding.subject.split(" -> ")[0] == finding.subject.split(" -> ")[-1]
+        # Both witness chains are reported, each crossing a call boundary.
+        assert len(finding.detail) == 2
+        assert any("forward" in d and "_grab_beta" in d for d in finding.detail)
+        assert any("backward" in d and "_grab_alpha" in d for d in finding.detail)
+
+    def test_cond_wait_under_foreign_lock(self):
+        finding = sole_finding(run_fixture("cond_wait"))
+        assert finding.code == "WPLG02"
+        assert "wait() without timeout" in finding.message
+        # The foreign lock (not the condition's own) is what is held.
+        assert "Coordinator._lock" in finding.message
+        assert "Mailbox._lock" not in finding.message
+        # The lock-holding path shows the caller that introduced the lock.
+        assert any("Coordinator.stall" in d for d in finding.detail)
+
+    def test_upward_import(self):
+        finding = sole_finding(run_fixture("upward_import"))
+        assert finding.code == "WPLG03"
+        assert finding.scope == "repro.core.engine"
+        assert finding.subject == "repro.service.api"
+        assert "[core]" in finding.message and "[service]" in finding.message
+
+    def test_fixture_findings_carry_locations(self):
+        for name, (code, path_suffix, message_part) in EXPECTED.items():
+            finding = sole_finding(run_fixture(name))
+            assert finding.code == code
+            assert finding.path.endswith(path_suffix)
+            assert finding.line > 0
+            assert message_part in finding.message
+
+
+class TestSuppression:
+    def _copy_fixture(self, name, tmp_path):
+        dst = tmp_path / name / "repro"
+        shutil.copytree(FIXTURES / name / "repro", dst)
+        return dst
+
+    def test_each_fixture_suppressible(self, tmp_path):
+        """Appending ``# wpl: noqa=<code>`` on the reported line silences
+        the finding — and only moves it to ``suppressed``, never drops it
+        silently from the result."""
+        for name in EXPECTED:
+            root = self._copy_fixture(name, tmp_path)
+            finding = sole_finding(GraphAnalyzer(root).run())
+            target = root / Path(finding.path).relative_to("repro")
+            lines = target.read_text(encoding="utf-8").splitlines(keepends=True)
+            idx = finding.line - 1
+            lines[idx] = (
+                lines[idx].rstrip("\n") + f"  # wpl: noqa={finding.code}\n"
+            )
+            target.write_text("".join(lines), encoding="utf-8")
+
+            result = GraphAnalyzer(root).run()
+            assert not result.new, [f.to_dict() for f in result.new]
+            assert len(result.suppressed) == 1
+            assert result.suppressed[0].code == finding.code
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        root = self._copy_fixture("upward_import", tmp_path)
+        finding = sole_finding(GraphAnalyzer(root).run())
+        target = root / Path(finding.path).relative_to("repro")
+        lines = target.read_text(encoding="utf-8").splitlines(keepends=True)
+        idx = finding.line - 1
+        lines[idx] = lines[idx].rstrip("\n") + "  # wpl: noqa=WPLG01\n"
+        target.write_text("".join(lines), encoding="utf-8")
+        result = GraphAnalyzer(root).run()
+        assert len(result.new) == 1 and not result.suppressed
+
+
+class TestBaseline:
+    def test_each_fixture_baselineable(self, tmp_path):
+        for name in EXPECTED:
+            first = run_fixture(name)
+            content = Baseline.serialize(first.all_findings)
+            baseline_path = tmp_path / f"{name}.json"
+            baseline_path.write_text(content, encoding="utf-8")
+
+            second = run_fixture(name, baseline=Baseline.load(baseline_path))
+            assert not second.new, [f.to_dict() for f in second.new]
+            assert len(second.baselined) == 1
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        """Fingerprints are line-independent: inserting a comment above
+        the violation must not invalidate the baseline entry."""
+        src = FIXTURES / "upward_import" / "repro"
+        content = Baseline.serialize(GraphAnalyzer(src).run().all_findings)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(content, encoding="utf-8")
+
+        moved = tmp_path / "moved" / "repro"
+        shutil.copytree(src, moved)
+        engine = moved / "core" / "engine.py"
+        engine.write_text(
+            "# shifted\n" + engine.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        result = GraphAnalyzer(moved, baseline=Baseline.load(baseline_path)).run()
+        assert not result.new and len(result.baselined) == 1
+
+    def test_serialize_preserves_justifications(self, tmp_path):
+        result = run_fixture("lock_cycle")
+        first = Baseline.serialize(result.all_findings)
+        payload = json.loads(first)
+        payload["findings"][0]["justification"] = "known fixture cycle"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        regenerated = Baseline.serialize(
+            result.all_findings, Baseline.load(baseline_path)
+        )
+        assert "known fixture cycle" in regenerated
+
+
+class TestShippedBaseline:
+    def test_package_clean_against_shipped_baseline(self):
+        baseline = Baseline.load(default_baseline_path())
+        result = GraphAnalyzer(
+            Path(repro.__file__).resolve().parent, baseline=baseline
+        ).run()
+        assert not result.new, [f.to_dict() for f in result.new]
+        assert not result.project.parse_errors
+
+    def test_shipped_baseline_reproducible_byte_for_byte(self):
+        """Regenerating the baseline from a clean run must reproduce the
+        checked-in file exactly — guards against drift between the
+        analyzer's findings and the accepted-debt ledger."""
+        path = default_baseline_path()
+        shipped = path.read_text(encoding="utf-8")
+        previous = Baseline.load(path)
+        result = GraphAnalyzer(
+            Path(repro.__file__).resolve().parent, baseline=previous
+        ).run()
+        assert Baseline.serialize(result.all_findings, previous) == shipped
+
+    def test_shipped_baseline_has_real_justifications(self):
+        payload = json.loads(default_baseline_path().read_text(encoding="utf-8"))
+        assert payload["findings"], "shipped baseline should not be empty"
+        for entry in payload["findings"]:
+            assert entry["justification"].strip()
+            assert not entry["justification"].startswith("TODO")
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        result = run_fixture("lock_cycle")
+        doc = to_sarif(result.new, result.baselined)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        (res,) = run["results"]
+        assert res["ruleId"] == "WPLG01"
+        assert res["level"] == "error"
+        assert res["partialFingerprints"]["wplGraph/v1"] == result.new[0].fingerprint
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"WPLG01", "WPLG02", "WPLG03", "WPLG04"} <= rule_ids
+
+    def test_sarif_baselined_are_notes(self, tmp_path):
+        result = run_fixture("cond_wait")
+        baseline_path = tmp_path / "b.json"
+        baseline_path.write_text(
+            Baseline.serialize(result.all_findings), encoding="utf-8"
+        )
+        rebaselined = run_fixture("cond_wait", baseline=Baseline.load(baseline_path))
+        doc = to_sarif(rebaselined.new, rebaselined.baselined)
+        (res,) = doc["runs"][0]["results"]
+        assert res["level"] == "note"
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "graph", *args],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+
+    def test_fixture_exits_one_with_json(self):
+        proc = self._run(str(FIXTURES / "lock_cycle" / "repro"), "--json")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["code"] == "WPLG01"
+
+    def test_package_clean_exits_zero(self):
+        proc = self._run("--stats")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "graph: 0 findings" in proc.stdout
+        assert "lock_order_edges" in proc.stdout
+
+    def test_missing_root_exits_two(self):
+        proc = self._run("does/not/exist")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+    def test_sarif_written(self, tmp_path):
+        out = tmp_path / "graph.sarif"
+        proc = self._run(
+            str(FIXTURES / "upward_import" / "repro"), "--sarif", str(out)
+        )
+        assert proc.returncode == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["runs"][0]["results"][0]["ruleId"] == "WPLG03"

@@ -7,10 +7,11 @@ assertions themselves live in ``benchmarks/``.
 
 import json
 import os
+from pathlib import Path
 
 import pytest
 
-from repro.bench import experiments
+from repro.bench import experiments, trajectory
 from repro.bench.params import DEFAULTS, QUERIES, paper_doc_bytes
 from repro.bench.reporting import format_table, write_results
 from repro.bench.workloads import clear_cache, get_database, get_engine
@@ -142,3 +143,64 @@ class TestReporting:
         path = write_results("unit", {"x": 1})
         with open(path) as handle:
             assert json.load(handle) == {"x": 1}
+
+
+class TestTrajectory:
+    """The BENCH_PR<n>.json perf-trajectory driver (repro.bench.trajectory)."""
+
+    def test_build_shape(self):
+        payload = trajectory.build(pr=6, k_values=(1, 5), obs_rounds=1)
+        assert payload["schema_version"] == trajectory.SCHEMA_VERSION
+        assert payload["pr"] == 6
+        assert payload["scale"] == pytest.approx(0.003)
+        keys = [(r["bench"], r["case"], r["metric"]) for r in payload["records"]]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys)), "duplicate record keys"
+        benches = {r["bench"] for r in payload["records"]}
+        assert benches == {"fig10_vary_k", "obs_overhead"}
+        for entry in payload["records"]:
+            assert set(entry) == {"bench", "case", "metric", "unit", "value"}
+
+    def test_records_cover_every_query_and_k(self):
+        payload = trajectory.build(pr=6, k_values=(1, 5), obs_rounds=1)
+        fig10_cases = {
+            r["case"] for r in payload["records"] if r["bench"] == "fig10_vary_k"
+        }
+        assert fig10_cases == {
+            f"{query}/k={k}" for query in QUERIES for k in (1, 5)
+        }
+        obs = {
+            r["metric"]: r
+            for r in payload["records"]
+            if r["bench"] == "obs_overhead"
+        }
+        assert obs["overhead_bound"]["unit"] == "fraction"
+        assert 0 <= obs["overhead_bound"]["value"] < 1
+        assert obs["hook_sites"]["value"] > 0
+
+    def test_cli_writes_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_PR99.json"
+        code = trajectory.main(
+            ["--pr", "99", "--out", str(out), "--k-values", "1", "--rounds", "1"]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["pr"] == 99
+        assert payload["config"]["fig10_k_values"] == [1]
+        assert payload["records"]
+
+    def test_serialize_is_stable(self):
+        payload = {"schema_version": 1, "pr": 6, "records": []}
+        assert trajectory.serialize(payload) == trajectory.serialize(payload)
+        assert trajectory.serialize(payload).endswith("\n")
+
+    def test_checked_in_artifact_matches_schema(self):
+        artifact = Path(__file__).parent.parent / "BENCH_PR6.json"
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == trajectory.SCHEMA_VERSION
+        assert payload["pr"] == 6
+        keys = [(r["bench"], r["case"], r["metric"]) for r in payload["records"]]
+        assert keys == sorted(keys)
+        # The artifact must be serialized exactly the way the driver writes
+        # it, so future regenerations diff cleanly.
+        assert artifact.read_text(encoding="utf-8") == trajectory.serialize(payload)
