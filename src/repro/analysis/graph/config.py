@@ -41,6 +41,7 @@ LAYER_CONTRACT: Sequence[Tuple[str, Sequence[str]]] = (
     ("obs", ("obs",)),
     ("recovery", ("recovery",)),
     ("service", ("service",)),
+    ("cluster", ("cluster",)),
     ("bench", ("bench",)),
     ("top", ("cli", "analysis", "__main__", "")),
 )

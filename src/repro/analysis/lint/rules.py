@@ -53,6 +53,12 @@ SHARED_CLASSES: Set[str] = {
     # drain / recover() / health() read concurrently.
     "MemoryRecoveryStore",
     "JsonFileRecoveryStore",
+    # Cluster layer: the coordinator is driven by one query thread while
+    # health()/probe() read per-shard counters from others, and the
+    # backend maps documents to coordinators under service workers.
+    "Coordinator",
+    "ShardHandle",
+    "ClusterBackend",
 }
 
 #: Mutating container methods that count as writes when called on a

@@ -229,6 +229,8 @@ def default_watched_classes() -> List[type]:
     from repro.core.stats import ExecutionStats
     from repro.core.topk import TopKSet, _Entry
     from repro.core.trace import ExecutionTrace
+    from repro.cluster.coordinator import Coordinator, ShardHandle
+    from repro.cluster.service import ClusterBackend
     from repro.core.whirlpool_m import _InFlight
     from repro.obs.metrics import Counter, Gauge, Histogram
     from repro.obs.slowlog import SlowQueryLog
@@ -249,6 +251,9 @@ def default_watched_classes() -> List[type]:
         SlowQueryLog,
         MemoryRecoveryStore,
         JsonFileRecoveryStore,
+        Coordinator,
+        ShardHandle,
+        ClusterBackend,
     ]
 
 

@@ -28,6 +28,16 @@ ratios are dimensionless ``fraction``.
 Usage::
 
     python -m repro.bench.trajectory --pr 6 --out BENCH_PR6.json
+    python -m repro.bench.trajectory --pr 7 --compare BENCH_PR6.json
+
+``--compare`` turns the emitter into a regression gate: the fresh run
+is diffed against the named baseline artifact record-by-record and the
+process exits ``1`` if anything regressed.  Modeled metrics
+(``model_s``/``ops``/``sites``) are deterministic, so *any* increase is
+a regression; wall-clock metrics (``s``/``ns`` and the derived
+``fraction`` bound) are machine-noisy and only fail beyond
+``--threshold`` (default +50%).  Artifacts at different
+``REPRO_BENCH_SCALE`` are incomparable and exit ``2``.
 """
 
 from __future__ import annotations
@@ -43,6 +53,15 @@ from repro.bench.obs_overhead import obs_overhead_payload
 from repro.bench.params import bench_scale
 
 SCHEMA_VERSION = 1
+
+#: Units measured in wall-clock time (or derived from one): subject to
+#: machine noise, compared under the ``--threshold`` band.  Everything
+#: else is modeled/counted and must not grow at all.
+NOISY_UNITS = frozenset({"s", "ns", "fraction"})
+
+#: Relative slack for deterministic units — absorbs float round-trip
+#: differences, not behaviour changes.
+_EXACT_RTOL = 1e-9
 
 _FIG10_UNITS = {
     "whirlpool_s_time": "model_s",
@@ -117,6 +136,99 @@ def serialize(payload: Dict) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def _index(payload: Dict) -> Dict:
+    return {
+        (r["bench"], r["case"], r["metric"]): r for r in payload["records"]
+    }
+
+
+def compare(current: Dict, baseline: Dict, threshold: float) -> Dict:
+    """Diff two trajectory artifacts.
+
+    Returns ``{"comparable": bool, "regressions": [...], "improvements":
+    [...], "missing": [...], "added": [...], "lines": [...]}`` where
+    ``lines`` is the human report.  A *regression* is a deterministic
+    metric that grew at all, a noisy metric that grew beyond
+    ``threshold``, or a baseline record the fresh run no longer emits
+    (lost coverage hides regressions just as well as slow code does).
+    """
+    lines: List[str] = []
+    if current.get("scale") != baseline.get("scale"):
+        lines.append(
+            "incomparable: scale mismatch "
+            f"(current={current.get('scale')}, baseline={baseline.get('scale')}); "
+            "rerun with matching REPRO_BENCH_SCALE"
+        )
+        return {
+            "comparable": False,
+            "regressions": [],
+            "improvements": [],
+            "missing": [],
+            "added": [],
+            "lines": lines,
+        }
+
+    ours, theirs = _index(current), _index(baseline)
+    regressions: List[Dict] = []
+    improvements: List[Dict] = []
+    missing = sorted(key for key in theirs if key not in ours)
+    added = sorted(key for key in ours if key not in theirs)
+
+    for key in sorted(set(ours) & set(theirs)):
+        new, old = ours[key]["value"], theirs[key]["value"]
+        unit = ours[key]["unit"]
+        if old == new:
+            continue
+        delta = new - old
+        ratio = (delta / old) if old else float("inf") if delta > 0 else 0.0
+        entry = {
+            "key": key,
+            "unit": unit,
+            "old": old,
+            "new": new,
+            "ratio": ratio,
+        }
+        noisy = unit in NOISY_UNITS
+        limit = threshold if noisy else _EXACT_RTOL
+        if ratio > limit:
+            regressions.append(entry)
+        elif delta < 0 and (noisy is False or -ratio > threshold):
+            improvements.append(entry)
+
+    def _fmt(entry: Dict, tag: str) -> str:
+        bench, case, metric = entry["key"]
+        return (
+            f"  {tag} {bench}/{case}/{metric}: "
+            f"{entry['old']:.6g} -> {entry['new']:.6g} {entry['unit']} "
+            f"({entry['ratio']:+.1%})"
+        )
+
+    for entry in regressions:
+        lines.append(_fmt(entry, "REGRESSED"))
+    for key in missing:
+        bench, case, metric = key
+        lines.append(f"  MISSING   {bench}/{case}/{metric}: gone from current run")
+    for entry in improvements:
+        lines.append(_fmt(entry, "improved "))
+    for key in added:
+        bench, case, metric = key
+        lines.append(f"  new       {bench}/{case}/{metric}")
+    lines.append(
+        f"compared {len(set(ours) & set(theirs))} records vs PR {baseline.get('pr')}: "
+        f"{len(regressions)} regressed, {len(missing)} missing, "
+        f"{len(improvements)} improved, {len(added)} new "
+        f"(noise threshold {threshold:.0%} on {'/'.join(sorted(NOISY_UNITS))})"
+    )
+    return {
+        "comparable": True,
+        "regressions": regressions,
+        "improvements": improvements,
+        "missing": missing,
+        "added": added,
+        "lines": lines,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.trajectory",
@@ -137,6 +249,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=5, help="obs-overhead wall-time rounds"
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="diff against a prior artifact; exit 1 on regression, 2 if "
+        "the artifacts are incomparable (scale mismatch)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative noise band for wall-clock metrics (default: 0.5)",
+    )
     args = parser.parse_args(argv)
 
     k_values = tuple(int(part) for part in args.k_values.split(",") if part)
@@ -147,6 +273,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{out}: {len(payload['records'])} records "
         f"(scale={payload['scale']}, schema v{payload['schema_version']})"
     )
+    if args.compare is None:
+        return 0
+
+    baseline = json.loads(args.compare.read_text(encoding="utf-8"))
+    report = compare(payload, baseline, threshold=args.threshold)
+    for line in report["lines"]:
+        print(line)
+    if not report["comparable"]:
+        return 2
+    if report["regressions"] or report["missing"]:
+        return 1
     return 0
 
 

@@ -167,6 +167,84 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="run one top-k query on a sharded multi-process cluster",
+    )
+    cluster.add_argument("xpath", help="tree-pattern query in the XPath subset")
+    cluster.add_argument(
+        "--items", type=int, default=120, help="XMark items in the generated document"
+    )
+    cluster.add_argument("--seed", type=int, default=11, help="document seed")
+    cluster.add_argument("-k", type=int, default=5, help="answers to return")
+    cluster.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="whirlpool_s",
+        help="per-shard engine algorithm",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=2, help="number of shard worker processes"
+    )
+    cluster.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="partition skew (0 = balanced; larger piles documents onto "
+        "low shards)",
+    )
+    cluster.add_argument(
+        "--partition-seed", type=int, default=0, help="partition shuffle seed"
+    )
+    cluster.add_argument(
+        "--step-ops",
+        type=int,
+        default=200,
+        metavar="N",
+        help="server operations per scatter-gather round per shard",
+    )
+    cluster.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="end-to-end budget; on expiry the merged answer degrades "
+        "with a sound global pending bound",
+    )
+    cluster.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seeded engine-level fault plan injected into every shard",
+    )
+    cluster.add_argument(
+        "--process-chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seeded process-level fault plan (SIGKILL / hang / slow "
+        "pipe at shard RPC boundaries; see docs/cluster.md)",
+    )
+    cluster.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disable checkpoint-shipping failover: a lost shard degrades "
+        "the answer instead of respawning",
+    )
+    cluster.add_argument(
+        "--compare-single",
+        action="store_true",
+        help="also run the query single-process and diff the answers "
+        "(exit 3 on mismatch)",
+    )
+    cluster.add_argument(
+        "--stats", action="store_true", help="print merged execution statistics"
+    )
+    cluster.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     metrics = commands.add_parser(
         "metrics",
         help="replay a seeded workload with observability on and dump metrics",
@@ -199,6 +277,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--slow-log",
         action="store_true",
         help="also print the captured slow-query entries",
+    )
+    metrics.add_argument(
+        "--cluster-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route the workload through an N-shard cluster backend; the "
+        "dump then includes per-shard liveness, heartbeat ages and "
+        "failover counters",
     )
 
     recover = commands.add_parser(
@@ -479,6 +566,94 @@ def _cmd_serve_demo(args) -> int:
     return 0 if unresolved == 0 else 2
 
 
+def _cmd_cluster(args) -> int:
+    from repro.cluster import Coordinator
+    from repro.faults import FaultPlan
+    from repro.xmark.generator import generate_database
+    from repro.xmark.schema import XMarkConfig
+
+    database = generate_database(XMarkConfig(items=args.items, seed=args.seed))
+    engine_faults = (
+        FaultPlan.chaos(args.chaos_seed) if args.chaos_seed is not None else None
+    )
+    process_faults = (
+        FaultPlan.worker_chaos(args.process_chaos_seed, args.shards)
+        if args.process_chaos_seed is not None
+        else None
+    )
+    with Coordinator(
+        database,
+        shards=args.shards,
+        skew=args.skew,
+        partition_seed=args.partition_seed,
+        step_operations=args.step_ops,
+    ) as coordinator:
+        result = coordinator.run_query(
+            args.xpath,
+            args.k,
+            algorithm=args.algorithm,
+            deadline_seconds=args.deadline,
+            engine_faults=engine_faults,
+            process_faults=process_faults,
+            fail_over=not args.no_failover,
+        )
+        health = coordinator.health()
+
+    mismatch = False
+    single = None
+    if args.compare_single:
+        single = Engine(database, args.xpath).run(args.k, algorithm=args.algorithm)
+        got = [(tuple(a.root_node.dewey), round(a.score, 9)) for a in result.answers]
+        want = [(tuple(a.root_node.dewey), round(a.score, 9)) for a in single.answers]
+        mismatch = got != want
+
+    if args.json:
+        payload = {
+            "answers": [
+                {
+                    "dewey": ".".join(map(str, answer.root_node.dewey)),
+                    "tag": answer.root_node.tag,
+                    "score": answer.score,
+                }
+                for answer in result.answers
+            ],
+            "degraded": result.degraded,
+            "pending_bound": result.pending_bound,
+            "shards": result.shards,
+            "missing_shards": list(result.missing_shards),
+            "failovers": result.failovers,
+            "heartbeat_misses": result.heartbeat_misses,
+            "rounds": result.rounds,
+            "stats": result.stats.as_dict(),
+            "health": health,
+        }
+        if args.compare_single:
+            payload["matches_single_process"] = not mismatch
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.table())
+        print(
+            f"\ncluster: {result.shards} shards, {result.rounds} rounds, "
+            f"{result.failovers} failovers, "
+            f"{result.heartbeat_misses} heartbeat misses"
+        )
+        if result.degraded:
+            print(
+                f"warning: degraded result — missing shards "
+                f"{list(result.missing_shards) or 'none'}, unreported answers "
+                f"score <= {result.pending_bound:.4f}",
+                file=sys.stderr,
+            )
+        if args.compare_single:
+            verdict = "MISMATCH" if mismatch else "identical"
+            print(f"single-process comparison: {verdict}")
+        if args.stats:
+            print("\nmerged execution statistics:")
+            for key, value in result.stats.as_dict().items():
+                print(f"  {key}: {value}")
+    return 3 if mismatch else 0
+
+
 def _cmd_metrics(args) -> int:
     import random
 
@@ -489,11 +664,21 @@ def _cmd_metrics(args) -> int:
 
     database = generate_database(XMarkConfig(items=args.items, seed=args.seed))
     obs = Observability(slow_query_seconds=args.slow_query_seconds)
+    backend = None
+    if args.cluster_shards is not None:
+        from repro.cluster.service import ClusterBackend
+
+        backend = ClusterBackend(
+            {"auction": database},
+            shards=args.cluster_shards,
+            observability=obs,
+        )
     service = WhirlpoolService(
         {"auction": database},
         workers=args.workers,
         seed=args.seed,
         observability=obs,
+        backend=backend,
     )
 
     rng = random.Random(args.seed)
@@ -506,16 +691,40 @@ def _cmd_metrics(args) -> int:
                 algorithm=rng.choice(["whirlpool_s", "whirlpool_m", "lockstep"]),
             )
         )
+    # Capture backend liveness before drain tears the worker fleet down.
+    backend_health = service.health().backend
     service.drain(30.0)
 
     if args.format == "json":
         payload = {"metrics": obs.registry.as_dict()}
+        if backend_health is not None:
+            payload["backend"] = backend_health
         if args.slow_log and obs.slow_log is not None:
             payload["slow_queries"] = obs.slow_log.as_dicts()
         print(json.dumps(payload, indent=2))
         return 0
 
     print(service.metrics_text(), end="")
+    if backend_health is not None:
+        print("\n# cluster backend health", file=sys.stderr)
+        for name, doc in sorted(backend_health.get("documents", {}).items()):
+            print(
+                f"# {name}: {doc.get('live_shards')}/{doc.get('shards')} shards "
+                f"live, {doc.get('failovers')} failovers, "
+                f"{doc.get('queries')} queries "
+                f"({doc.get('degraded_queries')} degraded)",
+                file=sys.stderr,
+            )
+            for shard_id, row in sorted(doc.get("per_shard", {}).items()):
+                age = row.get("last_heartbeat_age_seconds")
+                age_text = "never" if age is None else f"{age:.3f}s"
+                print(
+                    f"#   shard {shard_id}: {row.get('state')}, "
+                    f"last heartbeat {age_text}, "
+                    f"failovers={row.get('failovers')}, "
+                    f"misses={row.get('heartbeat_misses')}",
+                    file=sys.stderr,
+                )
     if args.slow_log and obs.slow_log is not None:
         entries = obs.slow_log.entries()
         print(
@@ -646,6 +855,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "generate": _cmd_generate,
         "serve-demo": _cmd_serve_demo,
+        "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
         "recover": _cmd_recover,
         "bench": _cmd_bench,

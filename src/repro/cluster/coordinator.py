@@ -1,0 +1,1051 @@
+"""The scatter-gather coordinator: shard processes, failover, certified merge.
+
+The coordinator owns N :class:`ShardHandle`\\ s, each wrapping a worker
+subprocess (:mod:`repro.cluster.worker`) bound to one partition of the
+forest (:mod:`repro.cluster.partition`).  A query proceeds in rounds:
+
+1. **scatter** — send every live, undominated, unfinished shard a
+   ``step`` RPC (a fixed operation budget);
+2. **gather** — collect each reply under the retry/timeout ladder,
+   shipping the returned checkpoint into the coordinator's
+   :class:`~repro.recovery.store.RecoveryStore`;
+3. **merge** — fold the per-shard local top-k's and ``pending_bound``
+   certificates through :mod:`repro.cluster.merge`; a shard whose bound
+   is strictly below the merged k-th score is *dominated* and stops
+   being stepped (TA-style early termination).
+
+Failure handling is the point of the design:
+
+- every RPC read runs a timeout ladder with backoff windows (the
+  :class:`~repro.faults.supervisor.RetryPolicy` shape); each expired
+  window is a *heartbeat miss*, and a worker silent past its liveness
+  deadline is killed and failed over;
+- failover respawns the worker, re-ships its cached partition, and
+  restores the last shipped checkpoint — so the failed-over shard
+  resumes exactly where its last ``step`` left off, and the final
+  answer is bit-identical to the fault-free run (the chaos matrix in
+  ``tests/test_cluster_chaos.py`` proves this per seed × engine);
+- process-level fault plans are deliberately *not* re-shipped to a
+  replacement worker (mirroring the service's "recovered runs
+  re-execute fault-free" contract), so one injected kill cannot
+  permanently wedge a shard;
+- when failover is disabled or exhausted, the shard is *lost*: the
+  query still returns, degraded, with the missing shards named and a
+  sound global ``pending_bound`` from
+  :func:`repro.cluster.merge.lost_shard_bound`.
+
+Locking discipline: the coordinator and handles guard their mutable
+counters with short ``self._lock`` sections (they are watched by WPL001
+and the runtime race detector) and *never* hold a lock across pipe I/O
+— the graph analyzer's WPLG02 blocking-under-lock rule applies to this
+package with no baseline entries.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.merge import (
+    MergedAnswer,
+    dominated,
+    global_pending_bound,
+    kth_score,
+    lost_shard_bound,
+    merge_answers,
+)
+from repro.cluster.partition import ShardSpec, build_shard_specs, remap_match_payload
+from repro.cluster.protocol import FrameReader, FrameTimeout, write_frame
+from repro.core.engine import ALGORITHMS, Engine
+from repro.core.base import TopKResult
+from repro.core.stats import ExecutionStats, monotonic_seconds
+from repro.core.topk import TopKAnswer
+from repro.errors import ClusterError, EngineError, WorkerLostError
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import RetryPolicy
+from repro.obs import Observability
+from repro.obs.spans import Span
+from repro.query.pattern import TreePattern
+from repro.recovery.codec import decode_match
+from repro.recovery.store import MemoryRecoveryStore, RecoveryStore
+from repro.xmldb.dewey import Dewey, dewey_str, parse_dewey
+from repro.xmldb.model import Database
+
+_STATS_COUNTERS = (
+    "server_operations",
+    "join_comparisons",
+    "partial_matches_created",
+    "partial_matches_pruned",
+    "extensions_generated",
+    "deleted_extensions",
+    "completed_matches",
+    "routing_decisions",
+    "checkpoints_taken",
+    "wall_time_seconds",
+)
+
+
+class ClusterResult(TopKResult):
+    """A :class:`~repro.core.base.TopKResult` plus cluster provenance.
+
+    Everything the single-process result carries keeps its meaning —
+    ``degraded`` / ``pending_bound`` are now *global* (they cover lost
+    shards' stranded work) — and the extra fields say how the cluster
+    got there.
+    """
+
+    __slots__ = (
+        "shards",
+        "missing_shards",
+        "failovers",
+        "heartbeat_misses",
+        "rounds",
+        "dominated_shards",
+        "shard_reports",
+    )
+
+    def __init__(
+        self,
+        *args: Any,
+        shards: int = 0,
+        missing_shards: Sequence[int] = (),
+        failovers: int = 0,
+        heartbeat_misses: int = 0,
+        rounds: int = 0,
+        dominated_shards: Sequence[int] = (),
+        shard_reports: Optional[Dict[int, Dict[str, Any]]] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.shards = shards
+        self.missing_shards = list(missing_shards)
+        self.failovers = failovers
+        self.heartbeat_misses = heartbeat_misses
+        self.rounds = rounds
+        self.dominated_shards = list(dominated_shards)
+        self.shard_reports = dict(shard_reports or {})
+
+
+class _ClusterMetrics:
+    """Coordinator metric families (no-op instruments when disabled)."""
+
+    def __init__(self, obs: Observability) -> None:
+        registry = obs.registry
+        self.rpc_latency = registry.histogram(
+            "cluster_rpc_latency_seconds",
+            "Coordinator-observed RPC round trip per shard and op.",
+            labels=("shard", "op"),
+        )
+        self.heartbeat_misses = registry.counter(
+            "cluster_heartbeat_misses_total",
+            "Expired RPC wait windows (retry-ladder rungs) per shard.",
+            labels=("shard",),
+        )
+        self.failovers = registry.counter(
+            "cluster_failovers_total",
+            "Worker respawn-and-restore events per shard.",
+            labels=("shard",),
+        )
+        self.lost_shards = registry.counter(
+            "cluster_lost_shards_total",
+            "Shards abandoned after failover was exhausted or disabled.",
+            labels=("shard",),
+        )
+        self.merge_threshold = registry.gauge(
+            "cluster_merge_threshold",
+            "Merged global k-th score after each gather round.",
+        )
+        self.live_shards = registry.gauge(
+            "cluster_live_shards",
+            "Shard workers currently believed alive.",
+        )
+        self.queries = registry.counter(
+            "cluster_queries_total",
+            "Cluster queries by terminal state.",
+            labels=("state",),
+        )
+        self.merge_threshold_child = self.merge_threshold.labels()
+        self.live_shards_child = self.live_shards.labels()
+
+
+class ShardHandle:
+    """One shard's worker process, pipes, and liveness bookkeeping.
+
+    RPC traffic is single-owner (the coordinator thread running the
+    current query); the lock protects the counters that ``health()``
+    reads from other threads.  I/O never happens under the lock.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        rpc_timeout_seconds: float,
+        liveness_deadline_seconds: float,
+        retry_policy: RetryPolicy,
+        metrics: _ClusterMetrics,
+        python_executable: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.shard_id = spec.shard_id
+        self.rpc_timeout_seconds = rpc_timeout_seconds
+        self.liveness_deadline_seconds = liveness_deadline_seconds
+        self.retry_policy = retry_policy
+        self.metrics = metrics
+        self.python_executable = python_executable or sys.executable
+        self._lock = threading.Lock()
+        self._rng = random.Random(retry_policy.seed ^ (spec.shard_id + 1))
+        self.proc: Optional[subprocess.Popen] = None
+        self.reader: Optional[FrameReader] = None
+        self.rpc_seq = 0
+        self.state = "new"  # new | live | dead | lost
+        self.failovers = 0
+        self.heartbeat_misses = 0
+        self.operations = 0
+        self.done = False
+        self.last_reply_at: Optional[float] = None
+
+    # -- process lifecycle -------------------------------------------------------
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker subprocess."""
+        # The directory containing the ``repro`` package, derived from
+        # this module's own path (…/repro/cluster/coordinator.py → …),
+        # so workers import the same tree even without an installed dist.
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        proc = subprocess.Popen(
+            [
+                self.python_executable,
+                "-m",
+                "repro.cluster.worker",
+                "--shard",
+                str(self.shard_id),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # inherit: worker tracebacks surface in our stderr
+            env=env,
+        )
+        assert proc.stdout is not None
+        reader = FrameReader(proc.stdout.fileno())
+        with self._lock:
+            self.proc = proc
+            self.reader = reader
+            self.state = "live"
+            self.done = False
+
+    def kill(self) -> None:
+        """Tear the worker down (idempotent; used before respawn)."""
+        proc = self.proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            proc.kill()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL pending
+            pass
+        # close() flushes, and a flush into a SIGKILLed worker's pipe
+        # raises BrokenPipeError — the bytes are moot, the pipe is gone.
+        if proc.stdin is not None:
+            try:
+                proc.stdin.close()
+            except OSError:
+                pass
+        if proc.stdout is not None:
+            try:
+                proc.stdout.close()
+            except OSError:
+                pass
+        with self._lock:
+            self.proc = None
+            self.reader = None
+            if self.state == "live":
+                self.state = "dead"
+
+    def alive(self) -> bool:
+        proc = self.proc
+        return proc is not None and proc.poll() is None and self.state == "live"
+
+    # -- RPC with the retry/timeout ladder ---------------------------------------
+
+    def rpc(
+        self,
+        op: str,
+        payload: Optional[Dict[str, Any]] = None,
+        deadline_at: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One request/reply exchange; raises :class:`WorkerLostError`
+        on EOF or a worker silent past the liveness deadline."""
+        proc = self.proc
+        reader = self.reader
+        if proc is None or reader is None or proc.stdin is None:
+            raise WorkerLostError(self.shard_id, "eof")
+        with self._lock:
+            self.rpc_seq += 1
+            rpc_id = self.rpc_seq
+        frame = {"op": op, "id": rpc_id, **(payload or {})}
+        started = monotonic_seconds()
+        try:
+            write_frame(proc.stdin, frame)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerLostError(self.shard_id, "eof") from exc
+        reply = self._await(reader, rpc_id, started, deadline_at)
+        self.metrics.rpc_latency.labels(str(self.shard_id), op).observe(
+            monotonic_seconds() - started
+        )
+        return reply
+
+    def _await(
+        self,
+        reader: FrameReader,
+        rpc_id: int,
+        started: float,
+        deadline_at: Optional[float],
+    ) -> Dict[str, Any]:
+        """The ladder: bounded wait windows with backoff, each expiry a
+        heartbeat miss, the total capped by the liveness deadline."""
+        give_up = started + self.liveness_deadline_seconds
+        if deadline_at is not None:
+            give_up = min(give_up, deadline_at)
+        attempt = 0
+        window = self.rpc_timeout_seconds
+        while True:
+            slice_end = min(monotonic_seconds() + window, give_up)
+            try:
+                reply = reader.read(slice_end)
+            except FrameTimeout:
+                with self._lock:
+                    self.heartbeat_misses += 1
+                self.metrics.heartbeat_misses.labels(str(self.shard_id)).inc()
+                if monotonic_seconds() >= give_up:
+                    raise WorkerLostError(self.shard_id, "timeout") from None
+                attempt += 1
+                window = self.rpc_timeout_seconds + self.retry_policy.backoff_delay(
+                    attempt, self._rng
+                )
+                continue
+            if reply is None:
+                raise WorkerLostError(self.shard_id, "eof")
+            if reply.get("id") != rpc_id:
+                # A stale reply from before a timeout we already charged;
+                # drain and keep waiting for ours.
+                continue
+            with self._lock:
+                self.last_reply_at = monotonic_seconds()
+            return reply
+
+    def ping(self, deadline_at: Optional[float] = None) -> bool:
+        """Liveness probe; ``False`` (never an exception) on a miss."""
+        try:
+            reply = self.rpc("ping", deadline_at=deadline_at)
+        except WorkerLostError:
+            return False
+        return bool(reply.get("ok"))
+
+    def last_heartbeat_age(self) -> Optional[float]:
+        with self._lock:
+            last = self.last_reply_at
+        return None if last is None else monotonic_seconds() - last
+
+    def snapshot_counters(self) -> Dict[str, Any]:
+        """One atomic health row for this shard."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "failovers": self.failovers,
+                "heartbeat_misses": self.heartbeat_misses,
+                "operations": self.operations,
+                "done": self.done,
+                "last_heartbeat_age_seconds": (
+                    None
+                    if self.last_reply_at is None
+                    else monotonic_seconds() - self.last_reply_at
+                ),
+                "documents": len(self.spec.global_ordinals),
+            }
+
+
+class _ShardQueryState:
+    """Per-query, per-shard merge inputs (single-owner, no locking)."""
+
+    __slots__ = (
+        "answers",
+        "match_payloads",
+        "bound",
+        "done",
+        "lost",
+        "is_dominated",
+        "degraded",
+        "stats",
+        "reported",
+    )
+
+    def __init__(self) -> None:
+        self.answers: List[Tuple[Dewey, float]] = []
+        self.match_payloads: Dict[str, Dict[str, Any]] = {}
+        self.bound = 0.0
+        self.done = False
+        self.lost = False
+        self.is_dominated = False
+        self.degraded = False
+        self.stats: Dict[str, float] = {}
+        self.reported = False
+
+
+class Coordinator:
+    """Fault-tolerant scatter-gather over N shard workers."""
+
+    def __init__(
+        self,
+        database: Database,
+        shards: int = 2,
+        skew: float = 0.0,
+        partition_seed: int = 0,
+        step_operations: int = 200,
+        rpc_timeout_seconds: float = 1.0,
+        liveness_deadline_seconds: float = 4.0,
+        heartbeat_interval_seconds: float = 1.0,
+        max_failovers: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        recovery_store: Optional[RecoveryStore] = None,
+        observability: Optional[Observability] = None,
+        python_executable: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ClusterError(f"shards must be >= 1, got {shards}")
+        if step_operations < 1:
+            raise ClusterError(f"step_operations must be >= 1, got {step_operations}")
+        if rpc_timeout_seconds <= 0 or liveness_deadline_seconds <= 0:
+            raise ClusterError("rpc timeout and liveness deadline must be positive")
+        self.database = database
+        self.shards = shards
+        self.step_operations = step_operations
+        self.heartbeat_interval_seconds = heartbeat_interval_seconds
+        self.max_failovers = max_failovers
+        self.store = recovery_store if recovery_store is not None else MemoryRecoveryStore()
+        self.obs = observability if observability is not None else Observability.disabled()
+        self.metrics = _ClusterMetrics(self.obs)
+        policy = retry_policy if retry_policy is not None else RetryPolicy(
+            base_delay=rpc_timeout_seconds / 2, max_delay=liveness_deadline_seconds
+        )
+        self.specs = build_shard_specs(database, shards, skew=skew, seed=partition_seed)
+        self.handles = [
+            ShardHandle(
+                spec,
+                rpc_timeout_seconds,
+                liveness_deadline_seconds,
+                policy,
+                self.metrics,
+                python_executable=python_executable,
+            )
+            for spec in self.specs
+        ]
+        self._lock = threading.Lock()
+        self._active = False
+        self._closed = False
+        self._queries = 0
+        self._degraded_queries = 0
+        self._failovers_total = 0
+        self._engines: Dict[Tuple[str, bool], Engine] = {}
+        self.last_span: Optional[Span] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down (best-effort ``shutdown``, then kill)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in self.handles:
+            if handle.alive():
+                try:
+                    handle.rpc("shutdown")
+                except (ClusterError, WorkerLostError):
+                    pass
+            handle.kill()
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- observability -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Per-shard liveness + coordinator totals (the satellite-6 view)."""
+        with self._lock:
+            totals = {
+                "queries": self._queries,
+                "degraded_queries": self._degraded_queries,
+                "failovers": self._failovers_total,
+                "closed": self._closed,
+            }
+        shard_rows = {
+            handle.shard_id: handle.snapshot_counters() for handle in self.handles
+        }
+        live = sum(1 for row in shard_rows.values() if row["state"] == "live")
+        self.metrics.live_shards_child.set(float(live))
+        return {
+            "shards": self.shards,
+            "live_shards": live,
+            "per_shard": shard_rows,
+            **totals,
+        }
+
+    def probe(self, deadline_seconds: Optional[float] = None) -> Dict[int, bool]:
+        """Explicit heartbeat sweep over live workers (used between
+        queries; during a query the step traffic is the heartbeat)."""
+        deadline_at = (
+            monotonic_seconds() + deadline_seconds if deadline_seconds else None
+        )
+        return {
+            handle.shard_id: handle.ping(deadline_at=deadline_at)
+            for handle in self.handles
+            if handle.alive()
+        }
+
+    # -- the query ---------------------------------------------------------------
+
+    def run_query(
+        self,
+        query: Union[str, TreePattern],
+        k: int,
+        algorithm: str = "whirlpool_s",
+        relaxed: bool = True,
+        routing: str = "min_alive",
+        deadline_seconds: Optional[float] = None,
+        step_operations: Optional[int] = None,
+        engine_faults: Optional[FaultPlan] = None,
+        engine_retry_policy: Optional[RetryPolicy] = None,
+        process_faults: Optional[FaultPlan] = None,
+        fail_over: bool = True,
+    ) -> ClusterResult:
+        """Evaluate one top-k query across the shard fleet.
+
+        ``engine_faults`` ships an in-engine chaos plan to every worker
+        (pair it with ``engine_retry_policy`` so workers recover injected
+        faults in-engine, as the single-process chaos tests do);
+        ``process_faults`` arms worker-boundary KILL/HANG/SLOW_PIPE
+        rules (:meth:`FaultPlan.worker_chaos`).  ``fail_over=False``
+        turns every worker loss into a lost shard — the degraded-answer
+        path the soundness tests exercise.
+        """
+        if algorithm not in ALGORITHMS:
+            raise EngineError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{', '.join(sorted(ALGORITHMS))}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ClusterError("coordinator is closed")
+            if self._active:
+                raise ClusterError("coordinator runs one query at a time")
+            self._active = True
+            self._queries += 1
+        span: Optional[Span] = None
+        if self.obs.enabled:
+            span = Span(
+                "cluster_query",
+                {
+                    "xpath": str(query),
+                    "k": k,
+                    "algorithm": algorithm,
+                    "shards": self.shards,
+                },
+            )
+        try:
+            result = self._run(
+                query,
+                k,
+                algorithm,
+                relaxed,
+                routing,
+                deadline_seconds,
+                step_operations or self.step_operations,
+                engine_faults,
+                engine_retry_policy,
+                process_faults,
+                fail_over,
+                span,
+            )
+        finally:
+            if span is not None:
+                span.finish()
+            with self._lock:
+                if span is not None:
+                    self.last_span = span
+                self._active = False
+        with self._lock:
+            if result.degraded:
+                self._degraded_queries += 1
+            self._failovers_total += result.failovers
+        self.metrics.queries.labels("degraded" if result.degraded else "ok").inc()
+        return result
+
+    # The worker bootstrap sequence (spawn → init → begin) and one step,
+    # all under the failover ladder.
+
+    def _store_key(self, shard_id: int) -> str:
+        return f"cluster-shard-{shard_id}"
+
+    def _bootstrap(
+        self,
+        handle: ShardHandle,
+        begin_payload: Dict[str, Any],
+        process_faults: Optional[FaultPlan],
+        restore: Optional[Dict[str, Any]],
+        deadline_at: Optional[float],
+        first_boot: bool,
+    ) -> None:
+        """Spawn + init + begin one worker.  ``process_faults`` ship only
+        on first boot: a replacement worker must not re-arm the fault
+        that killed its predecessor."""
+        handle.kill()
+        handle.spawn()
+        init_payload: Dict[str, Any] = {"documents": list(handle.spec.xml_texts)}
+        if first_boot and process_faults is not None:
+            init_payload["process_faults"] = process_faults.as_dict()
+        reply = handle.rpc("init", init_payload, deadline_at=deadline_at)
+        if not reply.get("ok"):
+            raise WorkerLostError(handle.shard_id, "spawn_failed")
+        payload = dict(begin_payload)
+        if restore is not None:
+            payload["restore"] = restore
+        reply = handle.rpc("begin", payload, deadline_at=deadline_at)
+        if not reply.get("ok"):
+            raise WorkerLostError(handle.shard_id, "spawn_failed")
+
+    def _step_with_failover(
+        self,
+        handle: ShardHandle,
+        state: _ShardQueryState,
+        begin_payload: Dict[str, Any],
+        process_faults: Optional[FaultPlan],
+        step_ops: int,
+        deadline_at: Optional[float],
+        fail_over: bool,
+        span: Optional[Span],
+        sent: bool,
+    ) -> Optional[Dict[str, Any]]:
+        """Gather one step reply, failing over as needed.
+
+        ``sent=True`` means the scatter phase already wrote the step
+        frame and only the reply is outstanding.  Returns ``None`` when
+        the shard was lost (failover disabled/exhausted or deadline
+        passed); the caller marks it missing.  A ``resumable`` worker
+        error (an injected in-engine crash — the resident snapshot did
+        not advance) is retried once fault-free, mirroring the service's
+        recovery contract; any other worker-reported error propagates to
+        the caller unretried.
+        """
+        fault_free = False
+        while True:
+            try:
+                if not sent:
+                    reply = handle.rpc(
+                        "step",
+                        {"operations": step_ops, "fault_free": fault_free},
+                        deadline_at=deadline_at,
+                    )
+                else:
+                    sent = False
+                    reader = handle.reader
+                    if reader is None:
+                        raise WorkerLostError(handle.shard_id, "eof")
+                    started = monotonic_seconds()
+                    with handle._lock:
+                        rpc_id = handle.rpc_seq
+                    reply = handle._await(reader, rpc_id, started, deadline_at)
+                    handle.metrics.rpc_latency.labels(
+                        str(handle.shard_id), "step"
+                    ).observe(monotonic_seconds() - started)
+                if reply.get("ok") or fault_free or not reply.get("resumable"):
+                    return reply
+                if span is not None:
+                    span.event(
+                        "step_crash_retry",
+                        shard=handle.shard_id,
+                        error=reply.get("error"),
+                    )
+                fault_free = True
+            except WorkerLostError as exc:
+                if span is not None:
+                    span.event(
+                        "worker_lost", shard=handle.shard_id, reason=exc.reason
+                    )
+                over_deadline = (
+                    deadline_at is not None and monotonic_seconds() >= deadline_at
+                )
+                with handle._lock:
+                    exhausted = handle.failovers >= self.max_failovers
+                if not fail_over or exhausted or over_deadline:
+                    handle.kill()
+                    with handle._lock:
+                        handle.state = "lost"
+                    self.metrics.lost_shards.labels(str(handle.shard_id)).inc()
+                    return None
+                with handle._lock:
+                    handle.failovers += 1
+                self.metrics.failovers.labels(str(handle.shard_id)).inc()
+                if span is not None:
+                    span.event("failover", shard=handle.shard_id)
+                restore = self.store.load(self._store_key(handle.shard_id))
+                try:
+                    self._bootstrap(
+                        handle,
+                        begin_payload,
+                        process_faults,
+                        restore,
+                        deadline_at,
+                        first_boot=False,
+                    )
+                except WorkerLostError:
+                    continue  # charge another failover (or exhaust) next loop
+                # Re-issue the step ourselves; the engine-level fault that
+                # crashed a step (vs. killed the process) retries clean.
+                fault_free = True
+
+    def _run(
+        self,
+        query: Union[str, TreePattern],
+        k: int,
+        algorithm: str,
+        relaxed: bool,
+        routing: str,
+        deadline_seconds: Optional[float],
+        step_ops: int,
+        engine_faults: Optional[FaultPlan],
+        engine_retry_policy: Optional[RetryPolicy],
+        process_faults: Optional[FaultPlan],
+        fail_over: bool,
+        span: Optional[Span],
+    ) -> ClusterResult:
+        started = monotonic_seconds()
+        deadline_at = started + deadline_seconds if deadline_seconds else None
+        engine = self._engine_for(query, relaxed)
+        contributions = engine.score_model.contributions()
+        max_total = engine.score_model.max_total()
+        begin_payload: Dict[str, Any] = {
+            "query": engine.pattern.to_xpath(),
+            "k": k,
+            "algorithm": algorithm,
+            "routing": routing,
+            "relaxed": relaxed,
+            "contributions": contributions,
+            "step_operations": step_ops,
+        }
+        if engine_faults is not None:
+            begin_payload["engine_faults"] = engine_faults.as_dict()
+        if engine_retry_policy is not None:
+            begin_payload["engine_retry"] = engine_retry_policy.as_dict()
+
+        states: Dict[int, _ShardQueryState] = {
+            handle.shard_id: _ShardQueryState() for handle in self.handles
+        }
+        # Boot every shard (first boot ships the process-fault plan).
+        for handle in self.handles:
+            self.store.delete(self._store_key(handle.shard_id))
+            try:
+                self._bootstrap(
+                    handle,
+                    begin_payload,
+                    process_faults,
+                    restore=None,
+                    deadline_at=deadline_at,
+                    first_boot=True,
+                )
+            except WorkerLostError:
+                # Boot-time loss goes straight through the step ladder on
+                # round 1 (sent=False forces a fresh step → failover).
+                pass
+
+        rounds = 0
+        merged: List[MergedAnswer] = []
+        while True:
+            if deadline_at is not None and monotonic_seconds() >= deadline_at:
+                break
+            active = [
+                handle
+                for handle in self.handles
+                if not states[handle.shard_id].done
+                and not states[handle.shard_id].lost
+                and not states[handle.shard_id].is_dominated
+            ]
+            if not active:
+                break
+            rounds += 1
+            # Scatter: pipeline the step frames so shards work in parallel.
+            pending: List[Tuple[ShardHandle, bool]] = []
+            for handle in active:
+                try:
+                    proc = handle.proc
+                    if proc is None or proc.stdin is None:
+                        raise WorkerLostError(handle.shard_id, "eof")
+                    with handle._lock:
+                        handle.rpc_seq += 1
+                        rpc_id = handle.rpc_seq
+                    write_frame(
+                        proc.stdin,
+                        {
+                            "op": "step",
+                            "id": rpc_id,
+                            "operations": step_ops,
+                            "fault_free": False,
+                        },
+                    )
+                    pending.append((handle, True))
+                except (BrokenPipeError, OSError, WorkerLostError):
+                    pending.append((handle, False))
+            # Gather, with failover, one shard at a time.
+            for handle, sent in pending:
+                state = states[handle.shard_id]
+                reply = self._step_with_failover(
+                    handle,
+                    state,
+                    begin_payload,
+                    process_faults,
+                    step_ops,
+                    deadline_at,
+                    fail_over,
+                    span,
+                    sent=sent,
+                )
+                if reply is None or not reply.get("ok"):
+                    if reply is not None:
+                        # Non-resumable worker error: give the shard up.
+                        handle.kill()
+                        with handle._lock:
+                            handle.state = "lost"
+                        self.metrics.lost_shards.labels(str(handle.shard_id)).inc()
+                    state.lost = True
+                    continue
+                self._absorb(handle, state, reply)
+            # Merge + threshold + domination.
+            merged = merge_answers(
+                {
+                    shard_id: state.answers
+                    for shard_id, state in states.items()
+                    if state.reported
+                },
+                k,
+            )
+            threshold = kth_score(merged, k)
+            if threshold is not None:
+                self.metrics.merge_threshold_child.set(threshold)
+            for handle in self.handles:
+                state = states[handle.shard_id]
+                if state.done or state.lost or state.is_dominated:
+                    continue
+                if dominated(state.bound, threshold):
+                    state.is_dominated = True
+                    if span is not None:
+                        span.event(
+                            "shard_dominated",
+                            shard=handle.shard_id,
+                            bound=state.bound,
+                            threshold=threshold,
+                        )
+            if span is not None:
+                span.event(
+                    "round",
+                    number=rounds,
+                    threshold=threshold,
+                    active=len(active),
+                )
+            self._probe_idle(states, deadline_at)
+
+        return self._finalize(
+            engine, states, merged, k, algorithm, started, rounds, span
+        )
+
+    def _absorb(
+        self, handle: ShardHandle, state: _ShardQueryState, reply: Dict[str, Any]
+    ) -> None:
+        """Fold one step reply into the shard's merge inputs."""
+        ordinals = handle.spec.global_ordinals
+        answers: List[Tuple[Dewey, float]] = []
+        payloads: Dict[str, Dict[str, Any]] = {}
+        for entry in reply.get("answers", []):
+            payload = remap_match_payload(entry["match"], ordinals)
+            dewey = parse_dewey(payload["root"])
+            answers.append((dewey, float(entry["score"])))
+            payloads[payload["root"]] = payload
+        state.answers = answers
+        state.match_payloads = payloads
+        state.bound = float(reply.get("pending_bound", 0.0))
+        state.done = bool(reply.get("done"))
+        state.degraded = bool(reply.get("degraded"))
+        state.stats = dict(reply.get("stats", {}))
+        state.reported = True
+        operations = int(reply.get("operations", 0))
+        with handle._lock:
+            handle.operations = operations
+            handle.done = state.done
+        checkpoint = reply.get("checkpoint")
+        if checkpoint is not None:
+            self.store.save(self._store_key(handle.shard_id), checkpoint)
+        elif state.done:
+            self.store.delete(self._store_key(handle.shard_id))
+
+    def _probe_idle(
+        self, states: Dict[int, _ShardQueryState], deadline_at: Optional[float]
+    ) -> None:
+        """Heartbeat shards that finished early but must stay live (their
+        answers are already merged; this just keeps health() honest)."""
+        for handle in self.handles:
+            state = states[handle.shard_id]
+            if not (state.done or state.is_dominated) or not handle.alive():
+                continue
+            age = handle.last_heartbeat_age()
+            if age is not None and age >= self.heartbeat_interval_seconds:
+                handle.ping(deadline_at=deadline_at)
+
+    def _finalize(
+        self,
+        engine: Engine,
+        states: Dict[int, _ShardQueryState],
+        merged: List[MergedAnswer],
+        k: int,
+        algorithm: str,
+        started: float,
+        rounds: int,
+        span: Optional[Span],
+    ) -> ClusterResult:
+        max_contributions = {
+            node_id: engine.score_model.max_contribution(node_id)
+            for node_id in engine.score_model.node_ids()
+        }
+        answers: List[TopKAnswer] = []
+        for dewey, score, shard_id in merged:
+            payload = states[shard_id].match_payloads[dewey_str(dewey)]
+            match = decode_match(
+                payload, self.database.node_by_dewey, max_contributions
+            )
+            root = self.database.node_by_dewey(dewey)
+            if root is None:  # pragma: no cover - remap guarantees presence
+                raise ClusterError(f"merged answer references unknown root {dewey}")
+            answers.append(TopKAnswer(root, score, match))
+
+        missing = sorted(
+            shard_id for shard_id, state in states.items() if state.lost
+        )
+        dominated_ids = sorted(
+            shard_id for shard_id, state in states.items() if state.is_dominated
+        )
+        unfinished = [
+            state
+            for state in states.values()
+            if not state.done and not state.lost and not state.is_dominated
+        ]
+        live_bounds = [state.bound for state in unfinished if state.reported]
+        live_bounds.extend(
+            states[shard_id].bound for shard_id in dominated_ids
+        )
+        lost_bounds = [
+            lost_shard_bound(
+                state.bound if state.reported else None,
+                state.answers if state.reported else None,
+                k,
+                engine.score_model.max_total(),
+            )
+            for state in states.values()
+            if state.lost
+        ]
+        # Degraded = work was left anywhere we cannot vouch for: a lost
+        # shard, an unfinished live shard (deadline), a never-reported
+        # shard, or a shard whose own run was terminally degraded
+        # (fault-dropped or abandoned matches — reported done, but its
+        # pending_bound certifies the loss).  Dominated shards are *not*
+        # degradation — their bound proves they cannot contribute.
+        unreported = [
+            state for state in states.values() if not state.reported and not state.lost
+        ]
+        terminal = [
+            state
+            for state in states.values()
+            if state.done and state.degraded and not state.lost
+        ]
+        degraded = (
+            bool(missing) or bool(unfinished) or bool(unreported) or bool(terminal)
+        )
+        live_bounds.extend(state.bound for state in terminal)
+        pending = global_pending_bound(
+            live_bounds
+            + [engine.score_model.max_total() for _ in unreported],
+            lost_bounds,
+        )
+        if not degraded and not dominated_ids:
+            pending = 0.0
+
+        stats = ExecutionStats()
+        for state in states.values():
+            if not state.stats:
+                continue
+            for field in _STATS_COUNTERS:
+                value = state.stats.get(field)
+                if value is not None:
+                    setattr(stats, field, getattr(stats, field) + value)
+        stats.wall_time_seconds = monotonic_seconds() - started
+
+        failovers = 0
+        misses = 0
+        for handle in self.handles:
+            with handle._lock:
+                failovers += handle.failovers
+                misses += handle.heartbeat_misses
+
+        result = ClusterResult(
+            answers,
+            stats,
+            f"cluster:{algorithm}",
+            k,
+            engine.pattern,
+            degraded=degraded,
+            pending_bound=pending,
+            shards=self.shards,
+            missing_shards=missing,
+            failovers=failovers,
+            heartbeat_misses=misses,
+            rounds=rounds,
+            dominated_shards=dominated_ids,
+            shard_reports={
+                shard_id: {
+                    "done": state.done,
+                    "lost": state.lost,
+                    "dominated": state.is_dominated,
+                    "degraded": state.degraded,
+                    "bound": state.bound,
+                    "answers": len(state.answers),
+                }
+                for shard_id, state in states.items()
+            },
+        )
+        if span is not None:
+            span.annotate("degraded", degraded)
+            span.annotate("missing_shards", missing)
+            span.annotate("rounds", rounds)
+        return result
+
+    def _engine_for(self, query: Union[str, TreePattern], relaxed: bool) -> Engine:
+        key = (str(query), relaxed)
+        with self._lock:
+            engine = self._engines.get(key)
+        if engine is not None:
+            return engine
+        built = Engine(self.database, query, relaxed=relaxed)
+        with self._lock:
+            engine = self._engines.setdefault(key, built)
+        return engine

@@ -1,0 +1,152 @@
+"""Length-prefixed JSON framing for coordinator ↔ worker pipes.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The encoding is deliberately the dumbest thing
+that works: snapshots are already pickle-free JSON (:mod:`repro.recovery.codec`),
+so the wire carries dictionaries end to end and a hex dump of the pipe
+is readable with ``json.tool``.
+
+Two read paths share the framing:
+
+- :func:`read_frame` — blocking, used by the worker on its stdin; a
+  clean EOF returns ``None`` (parent told us to go away or died).
+- :class:`FrameReader` — coordinator side, ``select()``-driven reads
+  against a deadline so a hung worker can never wedge the coordinator;
+  a timeout raises :class:`FrameTimeout` *without* discarding partial
+  bytes — the next call resumes mid-frame, which is what lets the
+  retry ladder keep waiting for a slow worker's reply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import struct
+from typing import Any, BinaryIO, Dict, Optional
+
+from repro.core.stats import monotonic_seconds
+from repro.errors import ClusterError
+
+#: Hard cap on one frame (snapshots of realistic partitions are ~KBs;
+#: anything near this size is a protocol bug, not data).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameTimeout(ClusterError):
+    """A :class:`FrameReader` deadline expired before a full frame
+    arrived.  Partial bytes stay buffered; reading may be resumed."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes (header + JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body back into a message dictionary."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ClusterError(f"frame payload must be an object, got {type(payload).__name__}")
+    return payload
+
+
+def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
+    """Write one message and flush (small frames; blocking is fine)."""
+    stream.write(encode_frame(payload))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Blocking read of one message; ``None`` on clean EOF at a frame
+    boundary (mid-frame EOF is a protocol error)."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ClusterError("truncated frame header")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    body = b""
+    while len(body) < length:
+        chunk = stream.read(length - len(body))
+        if not chunk:
+            raise ClusterError("EOF mid-frame")
+        body += chunk
+    return decode_body(body)
+
+
+class FrameReader:
+    """Deadline-capable frame reads over a pipe file descriptor.
+
+    Buffers whatever ``select`` hands us; :meth:`read` assembles at most
+    one frame per call.  All state is single-owner (the coordinator
+    thread driving this shard), so there is no locking here — the
+    owning :class:`~repro.cluster.coordinator.ShardHandle` serializes
+    access.
+    """
+
+    __slots__ = ("_fd", "_buffer", "_eof")
+
+    def __init__(self, fd: int) -> None:
+        self._fd = fd
+        self._buffer = bytearray()
+        self._eof = False
+
+    def _fill(self, deadline_at: Optional[float]) -> None:
+        """Pull available bytes, waiting until ``deadline_at`` at most."""
+        if self._eof:
+            raise ClusterError("read past EOF")
+        timeout: Optional[float] = None
+        if deadline_at is not None:
+            timeout = max(0.0, deadline_at - monotonic_seconds())
+        readable, _, _ = select.select([self._fd], [], [], timeout)
+        if not readable:
+            raise FrameTimeout("no frame within deadline")
+        # Bounded read keeps one giant frame from monopolizing the call;
+        # the loop in read() comes back for the rest.
+        chunk = _read_fd(self._fd)
+        if not chunk:
+            self._eof = True
+            return
+        self._buffer.extend(chunk)
+
+    def read(self, deadline_at: Optional[float]) -> Optional[Dict[str, Any]]:
+        """One message, or ``None`` on EOF at a frame boundary.
+
+        Raises :class:`FrameTimeout` when ``deadline_at`` (monotonic
+        seconds) passes first; buffered partial bytes are kept so a
+        later call can finish the frame.
+        """
+        while True:
+            if len(self._buffer) >= _HEADER.size:
+                (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
+                if length > MAX_FRAME_BYTES:
+                    raise ClusterError(
+                        f"frame of {length} bytes exceeds MAX_FRAME_BYTES"
+                    )
+                if len(self._buffer) >= _HEADER.size + length:
+                    body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+                    del self._buffer[: _HEADER.size + length]
+                    return decode_body(body)
+            if self._eof:
+                if self._buffer:
+                    raise ClusterError("EOF mid-frame")
+                return None
+            self._fill(deadline_at)
+
+
+def _read_fd(fd: int, size: int = 1 << 16) -> bytes:
+    """``os.read`` isolated for monkeypatching in pipe-fault tests."""
+    return os.read(fd, size)

@@ -1,0 +1,208 @@
+"""The cluster execution backend for :class:`~repro.service.service.WhirlpoolService`.
+
+The service's backend hook is duck-typed — anything with
+``run_query(request, k, deadline_seconds, restore_from)``, ``health()``
+and ``close()`` — so ``repro.service`` never imports this package (the
+layer contract puts ``cluster`` *above* ``service``; the dependency
+points down, and a cluster-backed service is assembled by the caller):
+
+    backend = ClusterBackend({"auction": db}, shards=4)
+    service = WhirlpoolService({"auction": db}, backend=backend)
+
+One :class:`~repro.cluster.coordinator.Coordinator` is built lazily per
+registered document handle and reused across requests — the expensive
+parts (forest partitioning/serialization, per-query engine facades for
+the global score model) amortize the same way the service's engine cache
+does.  A coordinator serves one query at a time; concurrent service
+workers contend by polling (a short sleep outside any lock) rather than
+by blocking on a lock across subprocess I/O, which keeps the package
+clean under the graph analyzer's blocking-under-lock rule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.cluster.coordinator import ClusterResult, Coordinator
+from repro.core.stats import monotonic_seconds
+from repro.errors import ClusterError
+from repro.faults.supervisor import RetryPolicy
+from repro.obs import Observability
+from repro.recovery.store import RecoveryStore
+from repro.service.request import QueryRequest
+from repro.xmldb.model import Database
+
+#: Poll interval while another request owns the document's coordinator.
+_BUSY_POLL_SECONDS = 0.005
+#: How long a request waits for the coordinator slot when it carries no
+#: deadline of its own.
+_DEFAULT_SLOT_WAIT_SECONDS = 30.0
+
+
+class ClusterBackend:
+    """Route service queries to sharded coordinator clusters.
+
+    Parameters mirror :class:`~repro.cluster.coordinator.Coordinator`;
+    every document handle gets its own coordinator (lazily, on first
+    query) built with the same tuning.
+    """
+
+    def __init__(
+        self,
+        documents: Optional[Mapping[str, Database]] = None,
+        shards: int = 2,
+        skew: float = 0.0,
+        partition_seed: int = 0,
+        step_operations: int = 200,
+        rpc_timeout_seconds: float = 1.0,
+        liveness_deadline_seconds: float = 4.0,
+        heartbeat_interval_seconds: float = 1.0,
+        max_failovers: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        recovery_store: Optional[RecoveryStore] = None,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        if shards < 1:
+            raise ClusterError(f"shards must be >= 1, got {shards}")
+        self._documents: Dict[str, Database] = dict(documents or {})
+        self.shards = shards
+        self.skew = skew
+        self.partition_seed = partition_seed
+        self.step_operations = step_operations
+        self.rpc_timeout_seconds = rpc_timeout_seconds
+        self.liveness_deadline_seconds = liveness_deadline_seconds
+        self.heartbeat_interval_seconds = heartbeat_interval_seconds
+        self.max_failovers = max_failovers
+        self.retry_policy = retry_policy
+        self.recovery_store = recovery_store
+        self.obs = observability if observability is not None else Observability.disabled()
+        self._lock = threading.Lock()
+        self._coordinators: Dict[str, Coordinator] = {}
+        self._closed = False
+
+    # -- the service-facing backend protocol -------------------------------------
+
+    def run_query(
+        self,
+        request: QueryRequest,
+        k: int,
+        deadline_seconds: Optional[float] = None,
+        restore_from: Optional[Dict[str, Any]] = None,
+    ) -> ClusterResult:
+        """Execute one admitted request on its document's cluster.
+
+        ``restore_from`` (a single-process engine snapshot from the
+        service's recovery envelope) is ignored: the cluster ships its
+        own per-shard checkpoints through the coordinator's recovery
+        store, and a recovered request simply re-executes — the anytime
+        certificate, not the snapshot, is the contract that survives.
+        """
+        coordinator = self._coordinator_for(request.document)
+        give_up = monotonic_seconds() + (
+            deadline_seconds
+            if deadline_seconds is not None
+            else _DEFAULT_SLOT_WAIT_SECONDS
+        )
+        while True:
+            try:
+                return coordinator.run_query(
+                    request.xpath,
+                    k,
+                    algorithm=request.algorithm,
+                    relaxed=request.relaxed,
+                    routing=request.routing,
+                    deadline_seconds=deadline_seconds,
+                    engine_faults=request.faults,
+                    engine_retry_policy=request.retry_policy,
+                )
+            except ClusterError as exc:
+                # Coordinator busy with another worker's query: poll for
+                # the slot (never hold a lock across the cluster's pipe
+                # I/O).  Everything else is a real error.
+                if "one query at a time" not in str(exc):
+                    raise
+                if monotonic_seconds() >= give_up:
+                    raise ClusterError(
+                        f"coordinator for {request.document!r} busy past deadline"
+                    ) from exc
+                time.sleep(_BUSY_POLL_SECONDS)
+
+    def health(self) -> Dict[str, Any]:
+        """Backend health: per-document coordinator fleets (satellite of
+        the service's ``health()``; also surfaced by ``repro metrics``)."""
+        with self._lock:
+            coordinators = dict(self._coordinators)
+            closed = self._closed
+        return {
+            "kind": "cluster",
+            "shards": self.shards,
+            "closed": closed,
+            "documents": {
+                name: coordinator.health()
+                for name, coordinator in sorted(coordinators.items())
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down every coordinator's worker fleet (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            coordinators = list(self._coordinators.values())
+        for coordinator in coordinators:
+            coordinator.close()
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def register_document(self, name: str, database: Database) -> None:
+        """Add (or replace) a document handle (mirrors the service API).
+
+        Replacing a handle closes its existing coordinator; in-flight
+        queries on it finish first (close waits on the query lock only
+        in the sense that teardown kills workers — the active query then
+        degrades, which is the documented replace-under-load behavior).
+        """
+        with self._lock:
+            self._documents[name] = database
+            stale = self._coordinators.pop(name, None)
+        if stale is not None:
+            stale.close()
+
+    def _coordinator_for(self, document: str) -> Coordinator:
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster backend is closed")
+            coordinator = self._coordinators.get(document)
+            if coordinator is not None:
+                return coordinator
+            database = self._documents.get(document)
+        if database is None:
+            raise ClusterError(f"unknown document {document!r}")
+        built = Coordinator(
+            database,
+            shards=self.shards,
+            skew=self.skew,
+            partition_seed=self.partition_seed,
+            step_operations=self.step_operations,
+            rpc_timeout_seconds=self.rpc_timeout_seconds,
+            liveness_deadline_seconds=self.liveness_deadline_seconds,
+            heartbeat_interval_seconds=self.heartbeat_interval_seconds,
+            max_failovers=self.max_failovers,
+            retry_policy=self.retry_policy,
+            recovery_store=self.recovery_store,
+            observability=self.obs,
+        )
+        with self._lock:
+            cached = self._coordinators.setdefault(document, built)
+        if cached is not built:
+            built.close()
+        return cached

@@ -1,0 +1,310 @@
+"""Shard worker: one subprocess, one partition, a full engine.
+
+Launched by the coordinator as ``python -m repro.cluster.worker --shard
+<id>`` and spoken to over stdin/stdout with the length-prefixed JSON
+frames of :mod:`repro.cluster.protocol` (stderr carries tracebacks and
+is surfaced by the coordinator on failure).  The worker is a plain
+request loop — *all* policy (retries, liveness, failover, merging)
+lives in the coordinator; the worker's one invariant is that its
+resident snapshot only ever advances past a step that completed.
+
+RPCs
+----
+``init``
+    Parse the shard's documents (shipped as serialized XML) into a
+    fresh :class:`~repro.xmldb.model.Database`, and arm the optional
+    process-level fault plan.
+``begin``
+    Bind a query: build the :class:`~repro.core.engine.Engine` facade
+    with the coordinator-shipped **global** score contributions (never
+    shard-local idf — Dewey remapping aside, shard scores must be
+    bit-identical to a single-process run), optionally seed the
+    resident snapshot from a failed-over checkpoint.
+``step``
+    Advance the engine by an operation budget: run with
+    ``max_operations = resident ops + budget`` restoring from the
+    resident snapshot; the budget-exit checkpoint (taken by every
+    engine when a checkpoint policy is attached) becomes the new
+    resident snapshot and ships back in the reply, giving the
+    coordinator its failover point.  A finished run replies ``done``
+    with the final answers.
+``ping`` / ``end`` / ``shutdown``
+    Liveness probe / unbind the query / exit the loop.
+
+Process-level faults (:attr:`repro.faults.plan.FaultPlan.PROCESS_ACTIONS`)
+are executed *here*, at the RPC boundary: ``KILL`` SIGKILLs the process
+before any reply, ``HANG`` sleeps far past the liveness deadline before
+processing, ``SLOW_PIPE`` delays the reply.  ``ping`` never arms a rule:
+probe timing depends on coordinator-side waits, and arming it would
+make the seeded per-RPC schedules nondeterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.protocol import read_frame, write_frame
+from repro.core.engine import Engine
+from repro.core.base import TopKResult
+from repro.errors import EngineCrashError, ReproError
+from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
+from repro.faults.supervisor import RetryPolicy
+from repro.recovery.codec import encode_match
+from repro.recovery.policy import CheckpointPolicy
+from repro.scoring.model import ScoreModel
+from repro.xmldb.dewey import dewey_str
+from repro.xmldb.model import Database
+from repro.xmldb.parser import parse_forest
+
+
+class ProcessFaultArm:
+    """Seeded trigger evaluation for WORKER_RPC rules.
+
+    The counting/trigger semantics mirror
+    :meth:`repro.faults.inject.FaultInjector._arm` — per-(site, target)
+    operation counters, per-rule fire caps, probability draws from the
+    plan's seeded RNG — but the armed *actions* act on the process, so
+    execution lives in the worker loop, not in the injector.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._count = 0
+        self._fires: Dict[int, int] = {}
+
+    def arm(self, target: str) -> Optional[FaultRule]:
+        """Advance the RPC counter; return the rule firing, if any."""
+        self._count += 1
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches(FaultSite.WORKER_RPC, target):
+                continue
+            fired = self._fires.get(index, 0)
+            if rule.times is not None and fired >= rule.times:
+                continue
+            if rule.triggers(self._count, self._rng):
+                self._fires[index] = fired + 1
+                return rule
+        return None
+
+
+class ShardWorker:
+    """Request-loop state machine for one shard process."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.database: Optional[Database] = None
+        self.engine: Optional[Engine] = None
+        self.k = 0
+        self.algorithm = "whirlpool_s"
+        self.routing = "min_alive"
+        self.step_default = 200
+        self.engine_faults: Optional[FaultPlan] = None
+        self.engine_retry: Optional[RetryPolicy] = None
+        self.snapshot: Optional[Dict[str, Any]] = None
+        self.resident_ops = 0
+        self.lost_bound = 0.0
+        self.process_faults: Optional[ProcessFaultArm] = None
+        self.reply_delay = 0.0
+
+    # -- fault boundary ----------------------------------------------------------
+
+    def intercept(self, op: str) -> None:
+        """Run the process-fault boundary for one inbound RPC."""
+        self.reply_delay = 0.0
+        if self.process_faults is None or op == "ping":
+            return
+        rule = self.process_faults.arm(str(self.shard_id))
+        if rule is None:
+            return
+        if rule.action is FaultAction.KILL:
+            sys.stderr.write(f"shard {self.shard_id}: injected SIGKILL\n")
+            sys.stderr.flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif rule.action is FaultAction.HANG:
+            time.sleep(rule.delay_seconds)
+        elif rule.action is FaultAction.SLOW_PIPE:
+            self.reply_delay = rule.delay_seconds
+
+    # -- RPC handlers ------------------------------------------------------------
+
+    def handle(self, message: Dict[str, Any]) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """Dispatch one frame → (reply or None, exit-loop flag)."""
+        op = str(message.get("op", ""))
+        self.intercept(op)
+        handler = getattr(self, f"_op_{op}", None)
+        base = {"id": message.get("id"), "op": op}
+        if handler is None:
+            return {**base, "ok": False, "error": f"unknown op {op!r}"}, False
+        try:
+            reply, should_exit = handler(message)
+        except ReproError as exc:
+            reply, should_exit = (
+                {"ok": False, "error": str(exc), "kind": type(exc).__name__},
+                False,
+            )
+        return {**base, **reply}, should_exit
+
+    def _op_init(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        self.database = parse_forest(message.get("documents", []))
+        plan_payload = message.get("process_faults")
+        if plan_payload is not None:
+            self.process_faults = ProcessFaultArm(FaultPlan.from_dict(plan_payload))
+        return (
+            {
+                "ok": True,
+                "documents": len(self.database.documents),
+                "nodes": self.database.node_count(),
+            },
+            False,
+        )
+
+    def _op_begin(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        if self.database is None:
+            return {"ok": False, "error": "begin before init"}, False
+        self.k = int(message["k"])
+        self.algorithm = str(message.get("algorithm", "whirlpool_s"))
+        self.routing = str(message.get("routing", "min_alive"))
+        self.step_default = int(message.get("step_operations", 200))
+        self.engine = Engine(
+            self.database,
+            str(message["query"]),
+            relaxed=bool(message.get("relaxed", True)),
+            score_model=ScoreModel.from_contributions(message["contributions"]),
+        )
+        faults_payload = message.get("engine_faults")
+        self.engine_faults = (
+            FaultPlan.from_dict(faults_payload) if faults_payload is not None else None
+        )
+        retry_payload = message.get("engine_retry")
+        self.engine_retry = (
+            RetryPolicy.from_dict(retry_payload) if retry_payload is not None else None
+        )
+        self.snapshot = message.get("restore")
+        self.resident_ops = (
+            int(self.snapshot["operations"]) if self.snapshot is not None else 0
+        )
+        self.lost_bound = 0.0
+        return {"ok": True}, False
+
+    def _op_step(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        if self.engine is None:
+            return {"ok": False, "error": "step before begin"}, False
+        budget = int(message.get("operations", self.step_default))
+        fault_free = bool(message.get("fault_free", False))
+        captured: List[Dict[str, Any]] = []
+        try:
+            result = self.engine.run(
+                self.k,
+                algorithm=self.algorithm,
+                routing=self.routing,
+                max_operations=self.resident_ops + budget,
+                faults=None if fault_free else self.engine_faults,
+                retry_policy=self.engine_retry,
+                checkpoint_policy=CheckpointPolicy(every_operations=max(budget, 1)),
+                checkpoint_sink=captured.append,
+                restore_from=self.snapshot,
+            )
+        except EngineCrashError as exc:
+            # The resident snapshot did not advance; the coordinator
+            # retries this step (fault-free, mirroring the service's
+            # recovery contract: recovered runs re-execute clean).
+            return (
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "kind": "EngineCrashError",
+                    "resumable": True,
+                },
+                False,
+            )
+        # ``degraded`` conflates two very different states (see
+        # EngineBase.make_result): budget exit with queued leftovers —
+        # *resumable*, the final checkpoint holds them — and terminal
+        # loss (abandoned or injector-dropped matches) in a run that
+        # otherwise finished.  Only the former continues stepping; the
+        # latter's bound is remembered across steps (each run rebuilds
+        # its injector, so earlier drops would silently vanish from
+        # later reports) and keeps the final report degraded-but-done.
+        if result.failure is not None:
+            for failed in result.failure.failed_matches:
+                self.lost_bound = max(self.lost_bound, failed.upper_bound)
+            for drop in result.failure.dropped:
+                self.lost_bound = max(
+                    self.lost_bound, float(drop.get("upper_bound", 0.0))
+                )
+        hit_budget = (
+            result.stats.server_operations >= self.resident_ops + budget
+        )
+        done = not (result.degraded and hit_budget and captured)
+        if not done:
+            self.snapshot = captured[-1]
+            self.resident_ops = int(self.snapshot["operations"])
+        return {**{"ok": True, "done": done}, **self._report(result, done)}, False
+
+    def _report(self, result: TopKResult, done: bool) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "answers": [
+                {
+                    "root": dewey_str(answer.root_node.dewey),
+                    "score": answer.score,
+                    "match": encode_match(answer.match),
+                }
+                for answer in result.answers
+            ],
+            "pending_bound": max(result.pending_bound, self.lost_bound),
+            "degraded": self.lost_bound > 0.0 or not done,
+            "operations": result.stats.server_operations,
+            "stats": result.stats.as_dict(),
+            "checkpoint": None if done else self.snapshot,
+        }
+        return payload
+
+    def _op_ping(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        return (
+            {"ok": True, "shard": self.shard_id, "operations": self.resident_ops},
+            False,
+        )
+
+    def _op_end(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        self.engine = None
+        self.engine_faults = None
+        self.engine_retry = None
+        self.snapshot = None
+        self.resident_ops = 0
+        self.lost_bound = 0.0
+        return {"ok": True}, False
+
+    def _op_shutdown(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        return {"ok": True}, True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.cluster.worker")
+    parser.add_argument("--shard", type=int, required=True, help="shard id")
+    args = parser.parse_args(argv)
+
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    worker = ShardWorker(args.shard)
+    while True:
+        message = read_frame(stdin)
+        if message is None:
+            return 0
+        reply, should_exit = worker.handle(message)
+        if worker.reply_delay > 0:
+            time.sleep(worker.reply_delay)
+        if reply is not None:
+            write_frame(stdout, reply)
+        if should_exit:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,12 @@ class LockStep(EngineBase):
                 if self.budget_exhausted():
                     # Budget hit mid-server: everything still queued (plus
                     # the survivors already spawned) is unreported work.
+                    # Snapshot it first when a checkpoint policy is on, so
+                    # a budget-stepped run can resume without loss.
+                    if self.checkpoint_policy is not None:
+                        self.checkpoint(
+                            {f"server:{server_id}": queue}, loose=survivors
+                        )
                     snapshots[f"server:{server_id}"] = len(queue)
                     leftovers = queue.drain() + survivors
                     if leftovers:

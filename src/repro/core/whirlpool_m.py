@@ -435,7 +435,15 @@ class WhirlpoolM(EngineBase):
             raise crashed[0]
 
         # Anything still queued at shutdown is unreported work; its best
-        # upper bound is the degradation certificate.
+        # upper bound is the degradation certificate.  Workers have joined,
+        # so this point is naturally quiesced: with a checkpoint policy on,
+        # snapshot the budget-exit state so a stepped run resumes lossless
+        # (puts on closed queues still land, so in-hand extensions are in).
+        if out_of_budget and policy_active:
+            final_labelled: Dict[str, MatchQueue] = {"router": router_queue}
+            for node_id, queue in server_queues.items():
+                final_labelled[f"server:{node_id}"] = queue
+            self.checkpoint(final_labelled)
         snapshots: Dict[str, int] = {"router": len(router_queue)}
         for node_id, queue in server_queues.items():
             snapshots[f"server:{node_id}"] = len(queue)

@@ -52,7 +52,11 @@ class WhirlpoolS(EngineBase):
             if self.budget_exhausted():
                 # Deadline / operation budget hit: whatever is still queued
                 # becomes the anytime certificate — no unreported answer
-                # can beat the best queued upper bound.
+                # can beat the best queued upper bound.  With a checkpoint
+                # policy attached the same state is also snapshotted, so a
+                # budget-stepped run (the cluster worker) loses nothing.
+                if self.checkpoint_policy is not None:
+                    self.checkpoint({"router": router_queue})
                 snapshots["router"] = len(router_queue)
                 leftovers = router_queue.drain()
                 if leftovers:

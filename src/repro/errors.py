@@ -190,3 +190,36 @@ class ServiceOverloadError(ServiceError):
 
 class GeneratorError(ReproError):
     """Raised for invalid XMark generator parameters."""
+
+
+class ClusterError(ReproError):
+    """Raised for sharded-cluster misuse and unrecoverable cluster state:
+    bad construction parameters, malformed worker replies, or a query on
+    a coordinator that was already closed.
+
+    Per-shard *failures* (a killed, hung or slow worker) are not
+    exceptions — the coordinator absorbs them through failover and, when
+    failover is exhausted, degrades the answer with a sound global
+    ``pending_bound`` instead of raising.
+    """
+
+
+class WorkerLostError(ClusterError):
+    """Raised inside the coordinator's RPC layer when a shard worker
+    dies (EOF / broken pipe) or misses its liveness deadline.  Always
+    caught by the failover ladder; callers of
+    :meth:`~repro.cluster.coordinator.Coordinator.run_query` never see
+    it.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose worker was lost.
+    reason:
+        ``eof``, ``timeout`` or ``spawn_failed``.
+    """
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        self.shard_id = shard_id
+        self.reason = reason
+        super().__init__(f"shard {shard_id} worker lost ({reason})")

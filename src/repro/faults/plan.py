@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 
 class FaultAction(enum.Enum):
@@ -38,6 +38,20 @@ class FaultAction(enum.Enum):
     #: to absorb — the run aborts and only a checkpoint restore
     #: (:mod:`repro.recovery`) brings the work back.
     CRASH = "crash"
+    #: Process-level: SIGKILL the shard worker process outright.  Only
+    #: meaningful at :attr:`FaultSite.WORKER_RPC`; executed by the
+    #: cluster worker itself (:mod:`repro.cluster.worker`), never by the
+    #: in-engine :class:`~repro.faults.inject.FaultInjector`.
+    KILL = "kill"
+    #: Process-level: the worker stops responding (sleeps
+    #: ``delay_seconds``, which :meth:`FaultPlan.worker_chaos` sets far
+    #: past any liveness deadline) so the coordinator must detect the
+    #: hang and fail over.
+    HANG = "hang"
+    #: Process-level: the worker delays its reply by ``delay_seconds``
+    #: — slow enough to trip heartbeat misses and retry waits, fast
+    #: enough to recover without failover.
+    SLOW_PIPE = "slow_pipe"
 
 
 class FaultSite(enum.Enum):
@@ -51,6 +65,24 @@ class FaultSite(enum.Enum):
     QUEUE_GET = "queue_get"
     #: A routing decision; target is unused (there is one router).
     ROUTER = "router"
+    #: One coordinator→worker RPC delivery at the shard-worker boundary;
+    #: target = shard id as a string.  Armed by the worker process on
+    #: every inbound request, not by the in-engine injector.
+    WORKER_RPC = "worker_rpc"
+
+
+#: The sites :meth:`FaultPlan.chaos` draws from.  Deliberately *not*
+#: ``list(FaultSite)``: the chaos schedule for a seed is a function of
+#: the drawn pool, so appending new sites (``WORKER_RPC``) to the enum
+#: must not reshuffle the per-seed schedules the existing matrices were
+#: validated against.  Process-level sites get their own generator,
+#: :meth:`FaultPlan.worker_chaos`.
+ENGINE_SITES = (
+    FaultSite.SERVER_OP,
+    FaultSite.QUEUE_PUT,
+    FaultSite.QUEUE_GET,
+    FaultSite.ROUTER,
+)
 
 
 class FaultRule:
@@ -141,6 +173,35 @@ class FaultRule:
             return True
         return False
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly wire form (shipped to cluster workers)."""
+        return {
+            "site": self.site.value,
+            "action": self.action.value,
+            "target": self.target,
+            "nth": self.nth,
+            "every": self.every,
+            "probability": self.probability,
+            "times": self.times,
+            "delay_seconds": self.delay_seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultRule":
+        """Inverse of :meth:`as_dict`; validates through ``__init__``."""
+        return cls(
+            site=FaultSite(payload["site"]),
+            action=FaultAction(payload["action"]),
+            target=payload.get("target"),
+            nth=payload.get("nth"),
+            every=payload.get("every"),
+            probability=payload.get("probability"),
+            times=payload.get("times"),
+            delay_seconds=float(payload.get("delay_seconds", 0.001)),
+            message=str(payload.get("message", "")),
+        )
+
     def describe(self) -> str:
         """One-line human description (used by FailureReport)."""
         where = self.site.value if self.target is None else f"{self.site.value}:{self.target}"
@@ -188,6 +249,11 @@ class FaultPlan:
     #: chaos matrix was validated against.
     CHAOS_ACTIONS = (FaultAction.ERROR, FaultAction.DELAY, FaultAction.DROP)
 
+    #: The process-level actions :meth:`worker_chaos` draws from.  These
+    #: act on a shard worker *process*, so they never appear in the
+    #: in-engine pools above.
+    PROCESS_ACTIONS = (FaultAction.KILL, FaultAction.HANG, FaultAction.SLOW_PIPE)
+
     @classmethod
     def chaos(
         cls,
@@ -210,7 +276,7 @@ class FaultPlan:
         rng = random.Random(seed)
         rules: List[FaultRule] = []
         for _ in range(rng.randint(1, max_rules)):
-            site = rng.choice(list(FaultSite))
+            site = rng.choice(ENGINE_SITES)
             action = rng.choice(pool)
             if rng.random() < 0.5:
                 trigger = {"nth": rng.randint(1, 40)}
@@ -227,6 +293,59 @@ class FaultPlan:
                 )
             )
         return cls(rules, seed=seed)
+
+    @classmethod
+    def worker_chaos(
+        cls,
+        seed: int,
+        shards: int,
+        max_rules: int = 2,
+        hang_seconds: float = 30.0,
+        slow_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A process-level fault schedule for a sharded cluster run.
+
+        Every rule targets :attr:`FaultSite.WORKER_RPC` on one shard and
+        fires exactly once on a small RPC index, drawing its action from
+        :attr:`PROCESS_ACTIONS` — so each seed deterministically decides
+        *which* worker dies/hangs/slows and *when*.  ``hang_seconds`` is
+        deliberately far past any sane liveness deadline (the coordinator
+        must kill the hung process, it never waits the sleep out);
+        ``slow_seconds`` only trips retry waits.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        rng = random.Random(seed)
+        rules: List[FaultRule] = []
+        for _ in range(rng.randint(1, max_rules)):
+            action = rng.choice(cls.PROCESS_ACTIONS)
+            delay = hang_seconds if action is FaultAction.HANG else slow_seconds
+            rules.append(
+                FaultRule(
+                    site=FaultSite.WORKER_RPC,
+                    action=action,
+                    # Targets are compared as strings at the fault
+                    # boundary (the worker arms str(shard_id)).
+                    target=str(rng.randrange(shards)),
+                    nth=rng.randint(2, 6),
+                    times=1,
+                    delay_seconds=delay,
+                    message=f"worker chaos seed={seed}",
+                )
+            )
+        return cls(rules, seed=seed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly wire form (shipped to cluster workers)."""
+        return {"seed": self.seed, "rules": [rule.as_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            [FaultRule.from_dict(entry) for entry in payload.get("rules", ())],
+            seed=int(payload.get("seed", 0)),
+        )
 
     def __repr__(self) -> str:
         return f"FaultPlan({len(self.rules)} rules, seed={self.seed})"

@@ -93,6 +93,29 @@ class RetryPolicy:
         delay = min(self.base_delay * (2.0 ** max(attempt - 1, 0)), self.max_delay)
         return delay * (1.0 + self.jitter * rng.random())
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding (shipped to cluster workers over the wire)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "requeue_limit": self.requeue_limit,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RetryPolicy":
+        """Inverse of :meth:`as_dict` (validates via ``__init__``)."""
+        return cls(
+            max_attempts=int(payload.get("max_attempts", 3)),
+            requeue_limit=int(payload.get("requeue_limit", 1)),
+            base_delay=float(payload.get("base_delay", 0.001)),
+            max_delay=float(payload.get("max_delay", 0.05)),
+            jitter=float(payload.get("jitter", 0.5)),
+            seed=int(payload.get("seed", 0)),
+        )
+
 
 class Supervisor:
     """Shared failure book-keeping for one engine run."""

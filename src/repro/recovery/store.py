@@ -91,11 +91,23 @@ class MemoryRecoveryStore(RecoveryStore):
 
 
 class JsonFileRecoveryStore(RecoveryStore):
-    """Directory-of-JSON-files store that survives process death."""
+    """Directory-of-JSON-files store that survives process death.
+
+    All file I/O happens **outside** the lock (WPLG02): the lock's only
+    job is handing each writer a unique temp-file sequence number.
+    Correctness never depended on serializing the I/O — every write
+    lands in its own ``<key>.json.<pid>.<seq>.tmp`` and is published by
+    an atomic :func:`os.replace`, so concurrent savers of the same key
+    race only at the rename (last writer wins, both files complete) and
+    readers always see a whole old or whole new snapshot.  ``load`` /
+    ``delete`` / ``keys`` are single atomic syscalls per call and take
+    no lock at all.
+    """
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
         self._lock = threading.Lock()
+        self._tmp_seq = 0
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, key: str) -> str:
@@ -105,19 +117,20 @@ class JsonFileRecoveryStore(RecoveryStore):
         path = self._path(key)
         text = json.dumps(snapshot, sort_keys=True)
         with self._lock:
-            tmp = f"{path}.tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
+            self._tmp_seq += 1
+            seq = self._tmp_seq
+        tmp = f"{path}.{os.getpid()}.{seq}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
-        with self._lock:
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    text = handle.read()
-            except FileNotFoundError:
-                return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            return None
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -127,21 +140,16 @@ class JsonFileRecoveryStore(RecoveryStore):
         return payload
 
     def delete(self, key: str) -> None:
-        path = self._path(key)
-        with self._lock:
-            try:
-                os.remove(path)
-            except FileNotFoundError:
-                pass
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            pass
 
     def keys(self) -> List[str]:
-        with self._lock:
-            try:
-                names = os.listdir(self.directory)
-            except FileNotFoundError:
-                return []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
         return sorted(
-            name[: -len(".json")]
-            for name in names
-            if name.endswith(".json") and not name.endswith(".tmp")
+            name[: -len(".json")] for name in names if name.endswith(".json")
         )

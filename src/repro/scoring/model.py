@@ -82,6 +82,28 @@ class ScoreModel:
         """Upper bound on any complete match's score."""
         return sum(self.max_contribution(node_id) for node_id in self.node_ids())
 
+    def contributions(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-node contribution tables for wire shipping.
+
+        The cluster coordinator builds the score model once over the
+        *global* forest and ships these tables to shard workers, so
+        per-partition idf statistics never skew shard-local scores.
+        Per-candidate overrides (:class:`TableScoreModel`) are not
+        portable this way — only per-node models round-trip exactly.
+        """
+        return {
+            "exact": {str(nid): value for nid, value in self._exact.items()},
+            "relaxed": {str(nid): value for nid, value in self._relaxed.items()},
+        }
+
+    @classmethod
+    def from_contributions(cls, payload: Dict[str, Dict[str, float]]) -> "ScoreModel":
+        """Rebuild a plain :class:`ScoreModel` from :meth:`contributions`."""
+        return cls(
+            {int(nid): float(v) for nid, v in payload.get("exact", {}).items()},
+            {int(nid): float(v) for nid, v in payload.get("relaxed", {}).items()},
+        )
+
     def describe(self) -> str:
         """One line per node: exact / relaxed contribution."""
         lines = []

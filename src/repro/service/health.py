@@ -116,6 +116,11 @@ class HealthSnapshot:
         ``{"pending_snapshots": <count>}`` when the service runs with a
         :class:`~repro.recovery.RecoveryStore`, else ``None`` — non-zero
         pending snapshots after a restart means ``recover()`` has work.
+    backend:
+        The execution backend's own ``health()`` dictionary when the
+        service delegates runs to one (e.g. the sharded cluster backend:
+        per-shard liveness, last-heartbeat age, failover counters), else
+        ``None`` for in-process engine execution.
     """
 
     __slots__ = (
@@ -132,6 +137,7 @@ class HealthSnapshot:
         "metrics",
         "slow_queries",
         "recovery",
+        "backend",
     )
 
     def __init__(
@@ -149,6 +155,7 @@ class HealthSnapshot:
         metrics: Optional[Dict[str, Dict[str, object]]] = None,
         slow_queries: Optional[List[Dict[str, Any]]] = None,
         recovery: Optional[Dict[str, Any]] = None,
+        backend: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.queue_depth = queue_depth
         self.queue_capacity = queue_capacity
@@ -163,6 +170,7 @@ class HealthSnapshot:
         self.metrics = metrics
         self.slow_queries = slow_queries
         self.recovery = recovery
+        self.backend = backend
 
     def ok(self) -> bool:
         """Liveness verdict: accepting work and the pool is intact."""
@@ -189,6 +197,7 @@ class HealthSnapshot:
             "metrics": self.metrics,
             "slow_queries": self.slow_queries,
             "recovery": self.recovery,
+            "backend": self.backend,
         }
 
     def __repr__(self) -> str:

@@ -109,6 +109,18 @@ class WhirlpoolService:
         run gets a :meth:`~repro.recovery.CheckpointPolicy.fresh` copy so
         per-run trigger state never leaks between requests.  Only
         meaningful together with ``recovery_store``.
+    backend:
+        Optional execution backend.  When set, admitted requests run on
+        it instead of the in-process engine cache: the service still
+        owns admission, deadline propagation, drain and the
+        one-outcome-per-request invariant, while the backend owns
+        execution (e.g. the sharded cluster coordinator of
+        ``repro.cluster.service.ClusterBackend``, with its own failover
+        and certificates).  The hook is duck-typed — anything with
+        ``run_query(request, k, deadline_seconds, restore_from)``,
+        ``health()`` and ``close()`` — so this module never imports the
+        higher ``cluster`` layer.  Breakers and the engine cache are
+        bypassed on the backend path; ``drain`` closes the backend.
     """
 
     def __init__(
@@ -127,12 +139,14 @@ class WhirlpoolService:
         auto_start: bool = True,
         recovery_store: Optional[RecoveryStore] = None,
         checkpoint_policy: Optional[CheckpointPolicy] = None,
+        backend: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         self._documents: Dict[str, Database] = dict(documents or {})
         self._recovery_store = recovery_store
         self._checkpoint_policy = checkpoint_policy
+        self._backend = backend
         self._queue = AdmissionQueue(queue_depth, policy=overload_policy, degrade=degrade)
         self._degrade = self._queue.degrade_settings
         self.obs = observability if observability is not None else Observability.disabled()
@@ -261,6 +275,8 @@ class WhirlpoolService:
         for thread in self._threads:
             if thread.ident is not None:  # never-started pools have nothing to join
                 thread.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        if self._backend is not None:
+            self._backend.close()
         self._stopped.set()
         return self._counters.outstanding() == 0
 
@@ -362,6 +378,9 @@ class WhirlpoolService:
                 if self._recovery_store is not None
                 else None
             ),
+            backend=(
+                self._backend.health() if self._backend is not None else None
+            ),
         )
 
     def metrics_text(self) -> str:
@@ -444,6 +463,12 @@ class WhirlpoolService:
             )
         if remaining is not None:
             remaining = max(remaining, _MIN_DEADLINE_SECONDS)
+
+        if self._backend is not None:
+            self._execute_on_backend(
+                ticket, request, k, remaining, wait, degraded_by_service, span
+            )
+            return
 
         try:
             engine = self._engine_for(request)
@@ -608,6 +633,80 @@ class WhirlpoolService:
                 result=result,
                 algorithm_used=chosen,
                 fallback_from=fallback_from,
+                queue_wait_seconds=wait,
+                degraded_by_service=degraded_by_service,
+            ),
+        )
+
+    def _execute_on_backend(
+        self,
+        ticket: Ticket,
+        request: QueryRequest,
+        k: int,
+        remaining: Optional[float],
+        wait: float,
+        degraded_by_service: bool,
+        span: Optional[Span],
+    ) -> None:
+        """Run one admitted request on the configured execution backend.
+
+        The backend path keeps the service's admission/deadline/outcome
+        machinery but skips breakers and the engine cache: the backend
+        (e.g. a sharded cluster coordinator) has its own failover story,
+        and a backend result's ``degraded`` flag already certifies any
+        partial answer via its ``pending_bound``.
+        """
+        backend_span: Optional[Span] = None
+        if span is not None:
+            backend_span = span.child(
+                "backend", {"algorithm": request.algorithm, "k": k}
+            )
+        try:
+            result = self._backend.run_query(
+                request,
+                k,
+                deadline_seconds=remaining,
+                restore_from=ticket.restore_from,
+            )
+        except ReproError as exc:
+            if backend_span is not None:
+                backend_span.annotate("error", f"{type(exc).__name__}: {exc}")
+                backend_span.finish()
+            self._finish(
+                ticket,
+                QueryResponse(
+                    Outcome.FAILED,
+                    ticket.request_id,
+                    reason="backend_error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    queue_wait_seconds=wait,
+                ),
+            )
+            return
+        self._discard_snapshot(ticket.request_id)
+        algorithm_used = getattr(result, "algorithm", request.algorithm)
+        if backend_span is not None:
+            backend_span.annotate("algorithm_used", algorithm_used)
+            backend_span.annotate("server_operations", result.stats.server_operations)
+            backend_span.annotate("degraded", result.degraded)
+            backend_span.finish()
+        self._engine_stats.merge(result.stats)
+        outcome = (
+            Outcome.DEGRADED
+            if (result.degraded or degraded_by_service)
+            else Outcome.SERVED
+        )
+        if self.obs.enabled:
+            record_run(
+                self.obs.registry, algorithm_used, request.routing, outcome.value, result
+            )
+        self._finish(
+            ticket,
+            QueryResponse(
+                outcome,
+                ticket.request_id,
+                result=result,
+                algorithm_used=algorithm_used,
                 queue_wait_seconds=wait,
                 degraded_by_service=degraded_by_service,
             ),

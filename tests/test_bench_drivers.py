@@ -194,13 +194,112 @@ class TestTrajectory:
         assert trajectory.serialize(payload) == trajectory.serialize(payload)
         assert trajectory.serialize(payload).endswith("\n")
 
-    def test_checked_in_artifact_matches_schema(self):
-        artifact = Path(__file__).parent.parent / "BENCH_PR6.json"
+    @pytest.mark.parametrize("pr", [6, 7])
+    def test_checked_in_artifact_matches_schema(self, pr):
+        artifact = Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
         payload = json.loads(artifact.read_text(encoding="utf-8"))
         assert payload["schema_version"] == trajectory.SCHEMA_VERSION
-        assert payload["pr"] == 6
+        assert payload["pr"] == pr
         keys = [(r["bench"], r["case"], r["metric"]) for r in payload["records"]]
         assert keys == sorted(keys)
         # The artifact must be serialized exactly the way the driver writes
         # it, so future regenerations diff cleanly.
         assert artifact.read_text(encoding="utf-8") == trajectory.serialize(payload)
+
+
+def _artifact(*records, scale=0.02, pr=6):
+    return {"schema_version": 1, "pr": pr, "scale": scale, "records": list(records)}
+
+
+def _rec(metric, unit, value, bench="b", case="c"):
+    return trajectory.record(bench, case, metric, unit, value)
+
+
+class TestCompare:
+    """The ``--compare`` regression gate over two trajectory artifacts."""
+
+    def test_identical_artifacts_pass(self):
+        base = _artifact(_rec("ops", "ops", 100), _rec("wall", "s", 1.0))
+        report = trajectory.compare(base, base, threshold=0.5)
+        assert report["comparable"]
+        assert not report["regressions"] and not report["missing"]
+
+    def test_deterministic_metric_must_not_grow_at_all(self):
+        base = _artifact(_rec("ops", "ops", 100))
+        cur = _artifact(_rec("ops", "ops", 101), pr=7)
+        report = trajectory.compare(cur, base, threshold=0.5)
+        assert [entry["key"] for entry in report["regressions"]] == [("b", "c", "ops")]
+
+    def test_noisy_metric_gets_the_threshold_band(self):
+        base = _artifact(_rec("wall", "s", 1.0))
+        inside = trajectory.compare(
+            _artifact(_rec("wall", "s", 1.4), pr=7), base, threshold=0.5
+        )
+        assert not inside["regressions"]
+        outside = trajectory.compare(
+            _artifact(_rec("wall", "s", 1.6), pr=7), base, threshold=0.5
+        )
+        assert len(outside["regressions"]) == 1
+
+    def test_lost_coverage_counts_as_regression_signal(self):
+        base = _artifact(_rec("ops", "ops", 100), _rec("gone", "ops", 5))
+        cur = _artifact(_rec("ops", "ops", 100), _rec("new", "ops", 7), pr=7)
+        report = trajectory.compare(cur, base, threshold=0.5)
+        assert report["missing"] == [("b", "c", "gone")]
+        assert report["added"] == [("b", "c", "new")]
+        assert not report["regressions"]
+
+    def test_scale_mismatch_is_incomparable(self):
+        base = _artifact(_rec("ops", "ops", 100), scale=1.0)
+        cur = _artifact(_rec("ops", "ops", 100), scale=0.02, pr=7)
+        report = trajectory.compare(cur, base, threshold=0.5)
+        assert not report["comparable"]
+        assert "scale mismatch" in report["lines"][0]
+
+    def test_improvements_are_reported_not_failed(self):
+        base = _artifact(_rec("ops", "ops", 100))
+        report = trajectory.compare(
+            _artifact(_rec("ops", "ops", 90), pr=7), base, threshold=0.5
+        )
+        assert not report["regressions"]
+        assert [entry["key"] for entry in report["improvements"]] == [
+            ("b", "c", "ops")
+        ]
+
+    def test_cli_exit_codes(self, tmp_path):
+        out = tmp_path / "BENCH_PR99.json"
+        assert (
+            trajectory.main(
+                ["--pr", "99", "--out", str(out), "--k-values", "1", "--rounds", "1"]
+            )
+            == 0
+        )
+        # Regressed baseline: shrink one deterministic value so the fresh
+        # run looks like it grew.
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        for entry in payload["records"]:
+            if entry["unit"] == "ops" and entry["value"] > 0:
+                entry["value"] -= 1
+                break
+        regressed = tmp_path / "baseline_regressed.json"
+        regressed.write_text(trajectory.serialize(payload), encoding="utf-8")
+        code = trajectory.main(
+            [
+                "--pr", "100", "--out", str(tmp_path / "a.json"),
+                "--k-values", "1", "--rounds", "1",
+                "--compare", str(regressed),
+            ]
+        )
+        assert code == 1
+        # Scale mismatch is a distinct failure: exit 2.
+        payload["scale"] = 123.0
+        mismatched = tmp_path / "baseline_mismatched.json"
+        mismatched.write_text(trajectory.serialize(payload), encoding="utf-8")
+        code = trajectory.main(
+            [
+                "--pr", "100", "--out", str(tmp_path / "b.json"),
+                "--k-values", "1", "--rounds", "1",
+                "--compare", str(mismatched),
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,142 @@
+"""Differential cluster tests: sharded answers equal single-process ones.
+
+The central claim of :mod:`repro.cluster` is that partitioning the
+forest changes *where* matches are computed but never *what* the top-k
+is: shard answer sets are disjoint, every worker scores with the
+coordinator-shipped global contribution tables, and the merge is the
+engines' own total order.  These tests pin that equality across shard
+counts, pathological skew, and all three engine algorithms, plus the
+coordinator's lifecycle/health surface.  Fault injection lives in
+``test_cluster_chaos.py``.
+"""
+
+import pytest
+
+from repro.cluster import ClusterResult, Coordinator
+from repro.core.engine import Engine
+from repro.errors import ClusterError, EngineError
+from repro.recovery.store import MemoryRecoveryStore
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+K = 5
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(XMarkConfig(items=60, seed=7))
+
+
+@pytest.fixture(scope="module")
+def oracles(database):
+    """Fault-free single-process answers per algorithm."""
+    engine = Engine(database, QUERY)
+    return {
+        algorithm: [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in engine.run(K, algorithm=algorithm).answers
+        ]
+        for algorithm in ("whirlpool_s", "whirlpool_m", "lockstep")
+    }
+
+
+def answer_keys(result):
+    return [
+        (tuple(answer.root_node.dewey), round(answer.score, 9))
+        for answer in result.answers
+    ]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("algorithm", ["whirlpool_s", "whirlpool_m", "lockstep"])
+def test_cluster_equals_single_process(database, oracles, shards, algorithm):
+    # skew > 0 deliberately unbalances the partition: merge correctness
+    # must not depend on shard sizes (one shard may own most of the
+    # forest, another a single document).
+    with Coordinator(
+        database, shards=shards, skew=2.5, partition_seed=3, step_operations=300
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, algorithm=algorithm)
+    assert isinstance(result, ClusterResult)
+    assert not result.degraded
+    # A dominated shard stops being stepped (TA early termination); its
+    # bound survives as the certificate and must sit strictly below the
+    # merged k-th score.  Fully drained clusters certify 0.0.
+    if result.dominated_shards:
+        assert result.pending_bound < result.answers[-1].score
+    else:
+        assert result.pending_bound == 0.0
+    assert result.missing_shards == []
+    assert result.shards == shards
+    assert result.algorithm == f"cluster:{algorithm}"
+    assert answer_keys(result) == oracles[algorithm]
+
+
+def test_small_steps_take_many_rounds_same_answer(database, oracles):
+    with Coordinator(
+        database, shards=2, step_operations=40, recovery_store=MemoryRecoveryStore()
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K)
+    assert result.rounds > 1
+    assert answer_keys(result) == oracles["whirlpool_s"]
+    assert not result.degraded
+
+
+def test_match_provenance_survives_remap(database):
+    with Coordinator(database, shards=4, skew=1.0, partition_seed=1) as coordinator:
+        result = coordinator.run_query(QUERY, K)
+    oracle = Engine(database, QUERY).run(K)
+    for got, want in zip(result.answers, oracle.answers):
+        assert got.root_node.dewey == want.root_node.dewey
+        # The decoded match must point at real global nodes with the same
+        # instantiation shape as the single-process run.
+        assert got.match.describe() == want.match.describe()
+
+
+def test_deadline_returns_degraded_with_sound_bound(database):
+    with Coordinator(database, shards=2, step_operations=25) as coordinator:
+        result = coordinator.run_query(QUERY, K, deadline_seconds=0.05)
+    if result.degraded:
+        oracle = Engine(database, QUERY).run(K)
+        reported = {tuple(answer.root_node.dewey) for answer in result.answers}
+        for answer in oracle.answers:
+            if tuple(answer.root_node.dewey) not in reported:
+                assert answer.score <= result.pending_bound + 1e-9
+    else:
+        # A fast machine may finish inside the budget — then the answer
+        # must be the exact one.
+        assert answer_keys(result) == answer_keys(Engine(database, QUERY).run(K))
+
+
+def test_shard_reports_and_health(database):
+    with Coordinator(database, shards=2) as coordinator:
+        result = coordinator.run_query(QUERY, K)
+        health = coordinator.health()
+    assert set(result.shard_reports) == {0, 1}
+    for report in result.shard_reports.values():
+        assert report["done"] and not report["lost"]
+    assert health["shards"] == 2
+    assert health["live_shards"] == 2
+    assert health["queries"] == 1
+    assert health["degraded_queries"] == 0
+    assert set(health["per_shard"]) == {0, 1}
+    for row in health["per_shard"].values():
+        assert row["state"] == "live"
+        assert row["failovers"] == 0
+
+
+def test_closed_coordinator_rejects_queries(database):
+    coordinator = Coordinator(database, shards=1)
+    coordinator.close()
+    coordinator.close()  # idempotent
+    with pytest.raises(ClusterError):
+        coordinator.run_query(QUERY, K)
+    assert coordinator.health()["closed"]
+
+
+def test_unknown_algorithm_rejected(database):
+    # Same error type as the single-process Engine facade.
+    with Coordinator(database, shards=1) as coordinator:
+        with pytest.raises(EngineError):
+            coordinator.run_query(QUERY, K, algorithm="nope")

@@ -1,0 +1,278 @@
+"""Cluster chaos matrix: failover must reproduce the fault-free answer.
+
+The differential guarantee under test: a query that loses a worker to
+SIGKILL (or a hang past the liveness deadline) and fails over via
+checkpoint shipping returns *exactly* the top-k — same roots, same
+scores — as the uninterrupted single-process run.  With failover
+disabled, the degraded answer must instead name the missing shards and
+certify them with a sound global ``pending_bound``.
+
+The kill matrix sweeps 20 seeds × 3 engines with explicit ``KILL``
+rules so each case deterministically murders one shard at one RPC
+index.  RPC indexing note: the worker's fault boundary arms every
+non-``ping`` RPC *after* ``init`` installed the plan, so ``begin`` is
+armed RPC #1 and the steps count from #2 — killing at ``nth ∈ [2, 4]``
+lands mid-query for the small step budgets used here.
+"""
+
+import pytest
+
+from repro.cluster import Coordinator
+from repro.core.engine import Engine
+from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
+from repro.faults.supervisor import RetryPolicy
+from repro.recovery.store import MemoryRecoveryStore
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+K = 4
+ENGINES = ("whirlpool_s", "whirlpool_m", "lockstep")
+SEEDS = range(20)
+
+#: Tight ladder so injected losses are detected in milliseconds, not the
+#: production default's seconds.
+FAST_LADDER = dict(
+    rpc_timeout_seconds=0.25,
+    liveness_deadline_seconds=1.0,
+    retry_policy=RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0),
+)
+
+#: In-engine recovery bounds for the engine-level chaos sweep.
+FAST_RETRY = RetryPolicy(
+    max_attempts=2, requeue_limit=1, base_delay=0.0001, max_delay=0.0005, jitter=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(XMarkConfig(items=40, seed=7))
+
+
+@pytest.fixture(scope="module")
+def oracles(database):
+    engine = Engine(database, QUERY)
+    return {
+        algorithm: [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in engine.run(K, algorithm=algorithm).answers
+        ]
+        for algorithm in ENGINES
+    }
+
+
+def answer_keys(result):
+    return [
+        (tuple(answer.root_node.dewey), round(answer.score, 9))
+        for answer in result.answers
+    ]
+
+
+def kill_plan(shard: int, nth: int) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.KILL,
+                target=str(shard),
+                nth=nth,
+                times=1,
+            )
+        ],
+        seed=shard * 31 + nth,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ENGINES)
+def test_kill_matrix_failover_reproduces_fault_free_topk(
+    database, oracles, algorithm
+):
+    """20 seeds per engine: SIGKILL a shard mid-query, demand the exact
+    fault-free answer back."""
+    failovers_seen = 0
+    for seed in SEEDS:
+        shard = seed % 2
+        nth = 2 + seed % 3  # begin=1, so steps are armed RPCs 2, 3, 4…
+        with Coordinator(
+            database,
+            shards=2,
+            step_operations=30,
+            recovery_store=MemoryRecoveryStore(),
+            **FAST_LADDER,
+        ) as coordinator:
+            result = coordinator.run_query(
+                QUERY,
+                K,
+                algorithm=algorithm,
+                process_faults=kill_plan(shard, nth),
+            )
+        assert not result.degraded, (seed, algorithm, result.missing_shards)
+        assert result.missing_shards == []
+        assert answer_keys(result) == oracles[algorithm], (seed, algorithm)
+        failovers_seen += result.failovers
+    # The matrix must actually exercise failover, not just schedule kills
+    # that land after the query finished.
+    assert failovers_seen >= len(SEEDS) // 2
+
+
+def test_hang_past_liveness_deadline_fails_over(database, oracles):
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.HANG,
+                target="1",
+                nth=2,
+                times=1,
+                delay_seconds=30.0,
+            )
+        ],
+        seed=1,
+    )
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        recovery_store=MemoryRecoveryStore(),
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, process_faults=plan)
+    assert result.failovers >= 1
+    assert result.heartbeat_misses >= 1
+    assert not result.degraded
+    assert answer_keys(result) == oracles["whirlpool_s"]
+
+
+def test_slow_pipe_rides_the_retry_ladder_without_failover(database, oracles):
+    # Reply delay sits between the RPC timeout (miss) and the liveness
+    # deadline (failover): the ladder should absorb it.
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.SLOW_PIPE,
+                target="0",
+                nth=2,
+                times=1,
+                delay_seconds=0.45,
+            )
+        ],
+        seed=2,
+    )
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, process_faults=plan)
+    assert result.failovers == 0
+    assert result.heartbeat_misses >= 1
+    assert not result.degraded
+    assert answer_keys(result) == oracles["whirlpool_s"]
+
+
+def test_no_failover_kill_degrades_with_sound_global_bound(database):
+    """With failover disabled a killed shard is lost; the survivors'
+    answer must name it and bound everything it could have held."""
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(
+            QUERY,
+            K,
+            process_faults=kill_plan(shard=0, nth=2),
+            fail_over=False,
+        )
+    assert result.degraded
+    assert result.missing_shards == [0]
+    assert result.failovers == 0
+    # Soundness: every fault-free answer the degraded response does not
+    # report scores at or below the certified global bound.
+    oracle = Engine(database, QUERY).run(K)
+    reported = {tuple(answer.root_node.dewey) for answer in result.answers}
+    for answer in oracle.answers:
+        if tuple(answer.root_node.dewey) not in reported:
+            assert answer.score <= result.pending_bound + 1e-9
+
+
+def test_replacement_worker_runs_fault_free(database, oracles):
+    """A fault plan dies with the worker it killed: the replacement is
+    deliberately not re-armed (mirroring the service's recovered-runs-
+    re-execute-clean contract), so even an every-RPC kill schedule is
+    survived by exactly one failover."""
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.KILL,
+                target="0",
+                every=1,  # every armed RPC on shard 0 dies
+            )
+        ],
+        seed=3,
+    )
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        recovery_store=MemoryRecoveryStore(),
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, process_faults=plan)
+    assert not result.degraded
+    assert result.failovers == 1
+    assert answer_keys(result) == oracles["whirlpool_s"]
+
+
+def test_failover_exhaustion_loses_the_shard(database):
+    """A kill beyond the failover budget (here: zero) loses the shard;
+    the query must degrade instead of respawning forever."""
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        max_failovers=0,
+        recovery_store=MemoryRecoveryStore(),
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(
+            QUERY, K, process_faults=kill_plan(shard=0, nth=2)
+        )
+    assert result.degraded
+    assert result.missing_shards == [0]
+    assert result.failovers == 0
+    assert result.pending_bound > 0.0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_engine_level_chaos_terminates_with_sound_certificates(
+    database, oracles, seed
+):
+    """Engine-internal faults (queue errors, crashes, drops) inside the
+    workers: the cluster query always terminates, and any degradation is
+    covered by the certificate."""
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=60,
+        recovery_store=MemoryRecoveryStore(),
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(
+            QUERY,
+            K,
+            engine_faults=FaultPlan.chaos(seed),
+            engine_retry_policy=FAST_RETRY,
+        )
+    if result.degraded:
+        oracle = Engine(database, QUERY).run(K)
+        reported = {tuple(answer.root_node.dewey) for answer in result.answers}
+        for answer in oracle.answers:
+            if tuple(answer.root_node.dewey) not in reported:
+                assert answer.score <= result.pending_bound + 1e-9
+    else:
+        assert answer_keys(result) == oracles["whirlpool_s"]

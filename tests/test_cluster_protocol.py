@@ -1,0 +1,247 @@
+"""Pure-logic cluster tests: framing, partitioning, merge algebra.
+
+Nothing here spawns a process — these are the fast proofs that the
+cluster's data plane (length-prefixed frames, Dewey remapping, the
+global-threshold merge) is correct independent of any I/O, so the
+process-level tests in ``test_cluster.py`` / ``test_cluster_chaos.py``
+only have to exercise orchestration.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.cluster.merge import (
+    dominated,
+    global_pending_bound,
+    kth_score,
+    lost_shard_bound,
+    merge_answers,
+)
+from repro.cluster.partition import (
+    build_shard_specs,
+    partition_ordinals,
+    remap_dewey,
+    remap_match_payload,
+)
+from repro.cluster.protocol import (
+    FrameReader,
+    FrameTimeout,
+    decode_body,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.core.stats import monotonic_seconds
+from repro.errors import ClusterError
+from repro.faults.plan import FaultAction, FaultPlan, FaultSite
+from repro.faults.supervisor import RetryPolicy
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    payload = {"op": "step", "id": 7, "nested": {"k": [1, 2, 3]}, "text": "héllo"}
+    assert decode_body(encode_frame(payload)[4:]) == payload
+
+    stream = io.BytesIO()
+    write_frame(stream, payload)
+    write_frame(stream, {"op": "ping", "id": 8})
+    stream.seek(0)
+    assert read_frame(stream) == payload
+    assert read_frame(stream) == {"op": "ping", "id": 8}
+    assert read_frame(stream) is None  # clean EOF
+
+
+def test_read_frame_rejects_torn_stream():
+    stream = io.BytesIO()
+    write_frame(stream, {"op": "ping"})
+    data = stream.getvalue()
+    with pytest.raises(ClusterError):
+        read_frame(io.BytesIO(data[: len(data) - 2]))  # truncated body
+    with pytest.raises(ClusterError):
+        read_frame(io.BytesIO(data[:2]))  # truncated header
+
+
+def test_frame_reader_preserves_partial_frames_across_timeouts():
+    read_fd, write_fd = os.pipe()
+    try:
+        reader = FrameReader(read_fd)
+        frame = encode_frame({"op": "step", "id": 3})
+        # Ship only half the frame: the reader must time out without
+        # discarding the buffered prefix.
+        os.write(write_fd, frame[: len(frame) // 2])
+        with pytest.raises(FrameTimeout):
+            reader.read(deadline_at=monotonic_seconds() + 0.05)
+        os.write(write_fd, frame[len(frame) // 2 :])
+        assert reader.read(deadline_at=monotonic_seconds() + 1.0) == {
+            "op": "step",
+            "id": 3,
+        }
+        os.close(write_fd)
+        write_fd = -1
+        assert reader.read(deadline_at=monotonic_seconds() + 1.0) is None  # EOF
+    finally:
+        os.close(read_fd)
+        if write_fd >= 0:
+            os.close(write_fd)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning and Dewey remapping
+# ---------------------------------------------------------------------------
+
+
+def test_partition_balanced_round_robin():
+    assignment = partition_ordinals(7, 3)
+    assert assignment == [[0, 3, 6], [1, 4], [2, 5]]
+    # Exhaustive and disjoint.
+    flat = sorted(ordinal for shard in assignment for ordinal in shard)
+    assert flat == list(range(7))
+
+
+def test_partition_skew_is_deterministic_and_exhaustive():
+    first = partition_ordinals(40, 4, skew=2.0, seed=9)
+    second = partition_ordinals(40, 4, skew=2.0, seed=9)
+    assert first == second
+    flat = sorted(ordinal for shard in first for ordinal in shard)
+    assert flat == list(range(40))
+    # Heavy skew concentrates documents on the high-weight shards.
+    assert len(first[-1]) > len(first[0])
+
+
+def test_partition_rejects_bad_arguments():
+    with pytest.raises(ClusterError):
+        partition_ordinals(4, 0)
+    with pytest.raises(ClusterError):
+        partition_ordinals(-1, 2)
+    with pytest.raises(ClusterError):
+        partition_ordinals(4, 2, skew=-0.5)
+
+
+def test_build_shard_specs_covers_forest():
+    database = generate_database(XMarkConfig(items=12, seed=5))
+    specs = build_shard_specs(database, shards=3, skew=1.0, seed=2)
+    owned = sorted(
+        ordinal for spec in specs for ordinal in spec.global_ordinals
+    )
+    assert owned == list(range(len(database.documents)))
+    for spec in specs:
+        assert len(spec.xml_texts) == len(spec.global_ordinals)
+
+
+def test_remap_dewey():
+    assert remap_dewey((0, 4, 1), (7, 9)) == (7, 4, 1)
+    assert remap_dewey((1, 0), (7, 9)) == (9, 0)
+    with pytest.raises(ClusterError):
+        remap_dewey((2, 0), (7, 9))  # ordinal outside the partition
+    with pytest.raises(ClusterError):
+        remap_dewey((), (7,))
+
+
+def test_remap_match_payload():
+    payload = {
+        "root": "1.2",
+        "instantiations": {"0": "1.2", "1": "1.2.0", "2": None},
+        "score": 0.5,
+    }
+    remapped = remap_match_payload(payload, (5, 11))
+    assert remapped["root"] == "11.2"
+    assert remapped["instantiations"] == {"0": "11.2", "1": "11.2.0", "2": None}
+    assert remapped["score"] == 0.5
+    assert payload["root"] == "1.2"  # input untouched
+
+
+# ---------------------------------------------------------------------------
+# Merge algebra
+# ---------------------------------------------------------------------------
+
+
+def test_merge_answers_orders_by_score_then_dewey():
+    merged = merge_answers(
+        {
+            0: [((0, 1), 0.9), ((0, 3), 0.4)],
+            1: [((1, 0), 0.9), ((1, 2), 0.7)],
+        },
+        k=3,
+    )
+    assert merged == [((0, 1), 0.9, 0), ((1, 0), 0.9, 1), ((1, 2), 0.7, 1)]
+
+
+def test_kth_score_requires_full_k():
+    merged = merge_answers({0: [((0, 0), 0.8)]}, k=2)
+    assert kth_score(merged, 2) is None
+    merged = merge_answers({0: [((0, 0), 0.8), ((0, 1), 0.5)]}, k=2)
+    assert kth_score(merged, 2) == 0.5
+
+
+def test_dominated_is_strict():
+    assert dominated(0.4, 0.5)
+    assert not dominated(0.5, 0.5)  # a tie may still join the answer set
+    assert not dominated(0.6, 0.5)
+    assert not dominated(0.0, None)  # no threshold yet → nothing dominated
+
+
+def test_lost_shard_bound():
+    # Never reported: only the score-model ceiling is sound.
+    assert lost_shard_bound(None, None, k=2, max_total=4.0) == 4.0
+    # Reported a full local top-k: unreported processed roots are bounded
+    # by its k-th score, queued work by its pending bound.
+    answers = [((0, 0), 0.9), ((0, 1), 0.6)]
+    assert lost_shard_bound(0.3, answers, k=2, max_total=4.0) == 0.6
+    assert lost_shard_bound(0.8, answers, k=2, max_total=4.0) == 0.8
+    # Fewer than k answers reported = the shard had reported everything.
+    assert lost_shard_bound(0.2, answers[:1], k=2, max_total=4.0) == 0.2
+
+
+def test_global_pending_bound():
+    assert global_pending_bound([], []) == 0.0
+    assert global_pending_bound([0.2, 0.5], [0.4]) == 0.5
+    assert global_pending_bound([], [1.5]) == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Wire forms for policies and fault plans
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_round_trip():
+    policy = RetryPolicy(
+        max_attempts=4,
+        requeue_limit=2,
+        base_delay=0.002,
+        max_delay=0.1,
+        jitter=0.25,
+        seed=17,
+    )
+    clone = RetryPolicy.from_dict(policy.as_dict())
+    assert clone.as_dict() == policy.as_dict()
+    with pytest.raises(ValueError):
+        RetryPolicy.from_dict({"max_attempts": 0})
+
+
+def test_worker_chaos_plan_round_trip_and_targets():
+    plan = FaultPlan.worker_chaos(seed=3, shards=4)
+    assert plan.rules
+    for rule in plan.rules:
+        assert rule.site is FaultSite.WORKER_RPC
+        assert rule.action in FaultPlan.PROCESS_ACTIONS
+        # Targets must be strings: the worker arms str(shard_id).
+        assert rule.target in {str(shard) for shard in range(4)}
+        assert rule.times == 1
+    clone = FaultPlan.from_dict(plan.as_dict())
+    assert clone.as_dict() == plan.as_dict()
+
+
+def test_worker_chaos_hang_outlasts_any_sane_liveness_deadline():
+    for seed in range(20):
+        plan = FaultPlan.worker_chaos(seed=seed, shards=2, hang_seconds=30.0)
+        for rule in plan.rules:
+            if rule.action is FaultAction.HANG:
+                assert rule.delay_seconds == 30.0

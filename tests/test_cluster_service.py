@@ -1,0 +1,128 @@
+"""The cluster backend behind ``WhirlpoolService``.
+
+The service keeps owning admission, deadlines, drain and the one-
+outcome-per-request invariant; the backend owns execution.  These tests
+pin the seam: results flow back unchanged, health exposes per-shard
+liveness, concurrent submissions serialize on the coordinator without
+deadlock, and drain tears the worker fleet down.
+"""
+
+import pytest
+
+from repro.cluster import ClusterResult
+from repro.cluster.service import ClusterBackend
+from repro.core.engine import Engine
+from repro.errors import ClusterError
+from repro.service import QueryRequest, WhirlpoolService
+from repro.service.request import Outcome
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+K = 4
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(XMarkConfig(items=40, seed=7))
+
+
+def test_backend_serves_exact_answers_through_service(database):
+    backend = ClusterBackend({"auction": database}, shards=2, skew=1.0)
+    with WhirlpoolService(
+        {"auction": database}, workers=2, backend=backend
+    ) as service:
+        tickets = [
+            service.submit(QueryRequest("auction", QUERY, k=K)),
+            service.submit(
+                QueryRequest("auction", QUERY, k=K, algorithm="lockstep")
+            ),
+        ]
+        responses = [ticket.result(timeout=30.0) for ticket in tickets]
+    oracle = {
+        algorithm: [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in Engine(database, QUERY).run(K, algorithm=algorithm).answers
+        ]
+        for algorithm in ("whirlpool_s", "lockstep")
+    }
+    for response, algorithm in zip(responses, ("whirlpool_s", "lockstep")):
+        assert response.outcome is Outcome.SERVED
+        assert response.algorithm_used == f"cluster:{algorithm}"
+        assert isinstance(response.result, ClusterResult)
+        got = [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in response.result.answers
+        ]
+        assert got == oracle[algorithm]
+
+
+def test_health_carries_backend_fleet(database):
+    backend = ClusterBackend({"auction": database}, shards=2)
+    with WhirlpoolService(
+        {"auction": database}, workers=1, backend=backend
+    ) as service:
+        service.submit(QueryRequest("auction", QUERY, k=K)).result(timeout=30.0)
+        snapshot = service.health()
+        assert snapshot.backend is not None
+        assert snapshot.backend["kind"] == "cluster"
+        doc = snapshot.backend["documents"]["auction"]
+        assert doc["live_shards"] == 2
+        assert set(doc["per_shard"]) == {0, 1}
+        for row in doc["per_shard"].values():
+            assert "last_heartbeat_age_seconds" in row
+            assert "failovers" in row
+        assert snapshot.as_dict()["backend"]["kind"] == "cluster"
+    # Drain closed the backend.
+    assert backend.health()["closed"]
+    with pytest.raises(ClusterError):
+        backend.run_query(QueryRequest("auction", QUERY, k=K), K)
+
+
+def test_backend_unknown_document_fails_request(database):
+    backend = ClusterBackend({"auction": database}, shards=1)
+    with WhirlpoolService(
+        {"auction": database, "ghost": database}, workers=1, backend=backend
+    ) as service:
+        # "ghost" passes service admission (it is registered there) but
+        # the backend has no handle for it → FAILED backend_error.
+        response = service.submit(
+            QueryRequest("ghost", QUERY, k=K)
+        ).result(timeout=30.0)
+    assert response.outcome is Outcome.FAILED
+    assert response.reason == "backend_error"
+
+
+def test_concurrent_submissions_serialize_on_the_coordinator(database):
+    # More in-flight requests than coordinator slots (one): the busy
+    # poll-retry path must serve all of them, none lost or deadlocked.
+    backend = ClusterBackend({"auction": database}, shards=2)
+    with WhirlpoolService(
+        {"auction": database}, workers=3, queue_depth=8, backend=backend
+    ) as service:
+        tickets = [
+            service.submit(QueryRequest("auction", QUERY, k=K)) for _ in range(5)
+        ]
+        responses = [ticket.result(timeout=60.0) for ticket in tickets]
+    assert all(response.outcome is Outcome.SERVED for response in responses)
+
+
+def test_register_document_replaces_coordinator(database):
+    other = generate_database(XMarkConfig(items=20, seed=9))
+    backend = ClusterBackend({"auction": database}, shards=1)
+    try:
+        first = backend.run_query(QueryRequest("auction", QUERY, k=K), K)
+        backend.register_document("auction", other)
+        second = backend.run_query(QueryRequest("auction", QUERY, k=K), K)
+        oracle = [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in Engine(other, QUERY).run(K).answers
+        ]
+        got = [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in second.answers
+        ]
+        assert got == oracle
+        assert first.answers  # the pre-replacement run was real too
+    finally:
+        backend.close()
