@@ -59,6 +59,11 @@ SHARED_CLASSES: Set[str] = {
     "Coordinator",
     "ShardHandle",
     "ClusterBackend",
+    # Transports: send() sequences frames under the transport lock while
+    # the coordinator's reconnect/kill paths race it from failover.
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
 }
 
 #: Mutating container methods that count as writes when called on a

@@ -227,6 +227,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "pipe at shard RPC boundaries; see docs/cluster.md)",
     )
     cluster.add_argument(
+        "--transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help="worker transport: inherited stdio pipes, or loopback TCP "
+        "sockets with reconnect-and-replay session resume",
+    )
+    cluster.add_argument(
+        "--net-chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seeded transport-level fault plan (partition / frame "
+        "corruption / duplication / reconnect storms; see "
+        "docs/robustness.md)",
+    )
+    cluster.add_argument(
+        "--no-rebalance",
+        action="store_true",
+        help="disable live rebalancing: a persistently slow shard keeps "
+        "its slice instead of being migrated via checkpoint shipping",
+    )
+    cluster.add_argument(
         "--no-failover",
         action="store_true",
         help="disable checkpoint-shipping failover: a lost shard degrades "
@@ -286,6 +308,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="route the workload through an N-shard cluster backend; the "
         "dump then includes per-shard liveness, heartbeat ages and "
         "failover counters",
+    )
+    metrics.add_argument(
+        "--cluster-transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help="worker transport for the cluster backend (with "
+        "--cluster-shards)",
     )
 
     recover = commands.add_parser(
@@ -581,12 +610,19 @@ def _cmd_cluster(args) -> int:
         if args.process_chaos_seed is not None
         else None
     )
+    net_faults = (
+        FaultPlan.net_chaos(args.net_chaos_seed, args.shards)
+        if args.net_chaos_seed is not None
+        else None
+    )
     with Coordinator(
         database,
         shards=args.shards,
         skew=args.skew,
         partition_seed=args.partition_seed,
         step_operations=args.step_ops,
+        transport=args.transport,
+        rebalance=not args.no_rebalance,
     ) as coordinator:
         result = coordinator.run_query(
             args.xpath,
@@ -595,6 +631,7 @@ def _cmd_cluster(args) -> int:
             deadline_seconds=args.deadline,
             engine_faults=engine_faults,
             process_faults=process_faults,
+            net_faults=net_faults,
             fail_over=not args.no_failover,
         )
         health = coordinator.health()
@@ -623,6 +660,9 @@ def _cmd_cluster(args) -> int:
             "missing_shards": list(result.missing_shards),
             "failovers": result.failovers,
             "heartbeat_misses": result.heartbeat_misses,
+            "reconnects": result.reconnects,
+            "rebalances": result.rebalances,
+            "transport": result.transport,
             "rounds": result.rounds,
             "stats": result.stats.as_dict(),
             "health": health,
@@ -633,9 +673,10 @@ def _cmd_cluster(args) -> int:
     else:
         print(result.table())
         print(
-            f"\ncluster: {result.shards} shards, {result.rounds} rounds, "
-            f"{result.failovers} failovers, "
-            f"{result.heartbeat_misses} heartbeat misses"
+            f"\ncluster: {result.shards} shards ({result.transport}), "
+            f"{result.rounds} rounds, {result.failovers} failovers, "
+            f"{result.heartbeat_misses} heartbeat misses, "
+            f"{result.reconnects} reconnects, {result.rebalances} rebalances"
         )
         if result.degraded:
             print(
@@ -672,6 +713,7 @@ def _cmd_metrics(args) -> int:
             {"auction": database},
             shards=args.cluster_shards,
             observability=obs,
+            transport=args.cluster_transport,
         )
     service = WhirlpoolService(
         {"auction": database},
@@ -719,10 +761,12 @@ def _cmd_metrics(args) -> int:
                 age = row.get("last_heartbeat_age_seconds")
                 age_text = "never" if age is None else f"{age:.3f}s"
                 print(
-                    f"#   shard {shard_id}: {row.get('state')}, "
+                    f"#   shard {shard_id}: {row.get('state')}"
+                    f"/{row.get('connection')}, "
                     f"last heartbeat {age_text}, "
                     f"failovers={row.get('failovers')}, "
-                    f"misses={row.get('heartbeat_misses')}",
+                    f"misses={row.get('heartbeat_misses')}, "
+                    f"reconnects={row.get('reconnects')}",
                     file=sys.stderr,
                 )
     if args.slow_log and obs.slow_log is not None:

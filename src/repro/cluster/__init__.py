@@ -7,18 +7,28 @@ streams through a coordinator (:mod:`repro.cluster.coordinator`) that
 merges under a global threshold derived from per-shard ``pending_bound``
 certificates (:mod:`repro.cluster.merge`).
 
-Robustness is the design driver: heartbeat/liveness deadlines and a
-retry/backoff ladder on every RPC, periodic checkpoint shipping into the
-coordinator's :class:`~repro.recovery.store.RecoveryStore` so a killed or
-hung worker fails over by respawn-and-restore (provably reproducing the
-fault-free answer), and certified degraded answers — missing shards named,
-global ``pending_bound`` still sound — when failover is exhausted.
+Robustness is the design driver: CRC-checked, sequence-numbered frames
+with a hard size cap over pluggable transports (pipe or TCP socket,
+:mod:`repro.cluster.net`) with reconnect-and-idempotent-replay on the
+socket path; heartbeat/liveness deadlines and a retry/backoff ladder on
+every RPC; periodic checkpoint shipping into CRC-validated generations
+(:class:`~repro.recovery.generations.CheckpointGenerations`) so a
+killed or hung worker fails over by respawn-and-restore (provably
+reproducing the fault-free answer) and a merely *slow* worker is
+rebalanced off the same way; and certified degraded answers — missing
+shards named, global ``pending_bound`` still sound — when failover is
+exhausted.
 
-See ``docs/cluster.md`` for the protocol, the failover state machine, and
-the soundness argument.
+See ``docs/cluster.md`` for the protocol, the transports, the failover
+and connection state machines, and the soundness argument.
 """
 
-from repro.cluster.coordinator import ClusterResult, Coordinator, ShardHandle
+from repro.cluster.coordinator import (
+    CONNECTION_STATES,
+    ClusterResult,
+    Coordinator,
+    ShardHandle,
+)
 from repro.cluster.merge import (
     MergedAnswer,
     dominated,
@@ -26,6 +36,14 @@ from repro.cluster.merge import (
     kth_score,
     lost_shard_bound,
     merge_answers,
+)
+from repro.cluster.net import (
+    TRANSPORTS,
+    NetFaultArm,
+    PipeTransport,
+    SocketTransport,
+    Transport,
+    create_transport,
 )
 from repro.cluster.partition import (
     ShardSpec,
@@ -35,15 +53,20 @@ from repro.cluster.partition import (
     remap_match_payload,
 )
 from repro.cluster.protocol import (
+    FRAME_MAGIC,
+    HEADER_BYTES,
     MAX_FRAME_BYTES,
     FrameReader,
     FrameTimeout,
     encode_frame,
+    frame_crc,
     read_frame,
+    read_frame_ex,
     write_frame,
 )
 
 __all__ = [
+    "CONNECTION_STATES",
     "ClusterResult",
     "Coordinator",
     "ShardHandle",
@@ -53,15 +76,25 @@ __all__ = [
     "dominated",
     "lost_shard_bound",
     "global_pending_bound",
+    "TRANSPORTS",
+    "NetFaultArm",
+    "PipeTransport",
+    "SocketTransport",
+    "Transport",
+    "create_transport",
     "ShardSpec",
     "build_shard_specs",
     "partition_ordinals",
     "remap_dewey",
     "remap_match_payload",
+    "FRAME_MAGIC",
+    "HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "FrameReader",
     "FrameTimeout",
     "encode_frame",
+    "frame_crc",
     "read_frame",
+    "read_frame_ex",
     "write_frame",
 ]

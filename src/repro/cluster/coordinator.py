@@ -1,8 +1,10 @@
 """The scatter-gather coordinator: shard processes, failover, certified merge.
 
 The coordinator owns N :class:`ShardHandle`\\ s, each wrapping a worker
-subprocess (:mod:`repro.cluster.worker`) bound to one partition of the
-forest (:mod:`repro.cluster.partition`).  A query proceeds in rounds:
+subprocess (:mod:`repro.cluster.worker`) behind a
+:class:`~repro.cluster.net.Transport` (pipe or TCP socket) and bound to
+one partition of the forest (:mod:`repro.cluster.partition`).  A query
+proceeds in rounds:
 
 1. **scatter** — send every live, undominated, unfinished shard a
    ``step`` RPC (a fixed operation budget);
@@ -20,33 +22,51 @@ Failure handling is the point of the design:
   :class:`~repro.faults.supervisor.RetryPolicy` shape); each expired
   window is a *heartbeat miss*, and a worker silent past its liveness
   deadline is killed and failed over;
+- a *lost connection* is distinguished from a lost worker: on a
+  reconnect-capable transport whose process is still alive, the handle
+  re-accepts the worker's redial and **replays** the in-flight request
+  — the worker's idempotent reply cache answers without re-executing —
+  so a network partition costs a pause, not a failover;
 - failover respawns the worker, re-ships its cached partition, and
-  restores the last shipped checkpoint — so the failed-over shard
+  restores the newest CRC-validated checkpoint *generation*
+  (:class:`~repro.recovery.generations.CheckpointGenerations`; a
+  corrupted newest checkpoint falls back to an older one, which
+  deterministic replay makes equivalent) — so the failed-over shard
   resumes exactly where its last ``step`` left off, and the final
   answer is bit-identical to the fault-free run (the chaos matrix in
-  ``tests/test_cluster_chaos.py`` proves this per seed × engine);
+  ``tests/test_cluster_chaos.py`` proves this per seed × engine ×
+  transport);
 - process-level fault plans are deliberately *not* re-shipped to a
   replacement worker (mirroring the service's "recovered runs
   re-execute fault-free" contract), so one injected kill cannot
-  permanently wedge a shard;
+  permanently wedge a shard; injected *network* plans stay armed across
+  failovers (the network does not heal because a process was replaced);
+- the same ship-a-checkpoint machinery drives live **rebalancing**: a
+  shard whose step latency stays far above the fleet median for
+  consecutive rounds is retired and its checkpoint shipped to a fresh
+  worker (see ``rebalance_*`` knobs on :class:`Coordinator`);
 - when failover is disabled or exhausted, the shard is *lost*: the
   query still returns, degraded, with the missing shards named and a
   sound global ``pending_bound`` from
   :func:`repro.cluster.merge.lost_shard_bound`.
 
+Each shard's link carries an explicit connection state machine —
+``connected → degraded`` (heartbeat misses) ``→ partitioned`` (link
+down, reconnect in flight) ``→ failed`` (shard lost) — surfaced through
+``cluster_connection_state`` gauges, span events, and
+:meth:`Coordinator.health`.
+
 Locking discipline: the coordinator and handles guard their mutable
 counters with short ``self._lock`` sections (they are watched by WPL001
-and the runtime race detector) and *never* hold a lock across pipe I/O
-— the graph analyzer's WPLG02 blocking-under-lock rule applies to this
-package with no baseline entries.
+and the runtime race detector) and *never* hold a lock across pipe or
+socket I/O — the graph analyzer's WPLG02 blocking-under-lock rule
+applies to this package with no baseline entries.
 """
 
 from __future__ import annotations
 
-import os
 import random
-import subprocess
-import sys
+import statistics
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -58,19 +78,27 @@ from repro.cluster.merge import (
     lost_shard_bound,
     merge_answers,
 )
+from repro.cluster.net import NetFaultArm, Transport, create_transport
 from repro.cluster.partition import ShardSpec, build_shard_specs, remap_match_payload
-from repro.cluster.protocol import FrameReader, FrameTimeout, write_frame
+from repro.cluster.protocol import FrameTimeout
 from repro.core.engine import ALGORITHMS, Engine
 from repro.core.base import TopKResult
 from repro.core.stats import ExecutionStats, monotonic_seconds
 from repro.core.topk import TopKAnswer
-from repro.errors import ClusterError, EngineError, WorkerLostError
+from repro.errors import (
+    ClusterError,
+    ConnectionLostError,
+    EngineError,
+    ProtocolError,
+    WorkerLostError,
+)
 from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RetryPolicy
 from repro.obs import Observability
 from repro.obs.spans import Span
 from repro.query.pattern import TreePattern
 from repro.recovery.codec import decode_match
+from repro.recovery.generations import CheckpointGenerations
 from repro.recovery.store import MemoryRecoveryStore, RecoveryStore
 from repro.xmldb.dewey import Dewey, dewey_str, parse_dewey
 from repro.xmldb.model import Database
@@ -106,6 +134,9 @@ class ClusterResult(TopKResult):
         "rounds",
         "dominated_shards",
         "shard_reports",
+        "reconnects",
+        "rebalances",
+        "transport",
     )
 
     def __init__(
@@ -118,6 +149,9 @@ class ClusterResult(TopKResult):
         rounds: int = 0,
         dominated_shards: Sequence[int] = (),
         shard_reports: Optional[Dict[int, Dict[str, Any]]] = None,
+        reconnects: int = 0,
+        rebalances: int = 0,
+        transport: str = "pipe",
         **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -128,6 +162,9 @@ class ClusterResult(TopKResult):
         self.rounds = rounds
         self.dominated_shards = list(dominated_shards)
         self.shard_reports = dict(shard_reports or {})
+        self.reconnects = reconnects
+        self.rebalances = rebalances
+        self.transport = transport
 
 
 class _ClusterMetrics:
@@ -168,116 +205,166 @@ class _ClusterMetrics:
             "Cluster queries by terminal state.",
             labels=("state",),
         )
+        self.reconnects = registry.counter(
+            "cluster_reconnects_total",
+            "Transport reconnects (same worker session resumed) per shard.",
+            labels=("shard",),
+        )
+        self.rebalances = registry.counter(
+            "cluster_rebalances_total",
+            "Checkpoint-shipping shard migrations off degraded workers.",
+            labels=("shard",),
+        )
+        self.connection_state = registry.gauge(
+            "cluster_connection_state",
+            "Per-shard link state: 0=connected 1=degraded 2=partitioned 3=failed.",
+            labels=("shard",),
+        )
         self.merge_threshold_child = self.merge_threshold.labels()
         self.live_shards_child = self.live_shards.labels()
 
 
+#: Gauge encoding of the per-shard connection state machine.
+CONNECTION_STATES = ("connected", "degraded", "partitioned", "failed")
+_CONNECTION_CODES = {name: float(code) for code, name in enumerate(CONNECTION_STATES)}
+
+
 class ShardHandle:
-    """One shard's worker process, pipes, and liveness bookkeeping.
+    """One shard's worker process (behind a transport) and liveness
+    bookkeeping.
 
     RPC traffic is single-owner (the coordinator thread running the
     current query); the lock protects the counters that ``health()``
     reads from other threads.  I/O never happens under the lock.
+
+    The handle runs the per-shard connection state machine::
+
+        connected ──heartbeat miss──▶ degraded
+        connected/degraded ──link lost──▶ partitioned
+        partitioned ──redial accepted──▶ connected  (reconnect + replay)
+        partitioned ──ladder exhausted──▶ failed    (failover or lost)
+
+    ``partitioned → connected`` exists only on transports that support
+    reconnection; a pipe goes ``partitioned → failed`` in one hop.
     """
 
     def __init__(
         self,
         spec: ShardSpec,
+        transport: Transport,
         rpc_timeout_seconds: float,
         liveness_deadline_seconds: float,
         retry_policy: RetryPolicy,
         metrics: _ClusterMetrics,
-        python_executable: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.shard_id = spec.shard_id
+        self.transport = transport
         self.rpc_timeout_seconds = rpc_timeout_seconds
         self.liveness_deadline_seconds = liveness_deadline_seconds
         self.retry_policy = retry_policy
         self.metrics = metrics
-        self.python_executable = python_executable or sys.executable
         self._lock = threading.Lock()
         self._rng = random.Random(retry_policy.seed ^ (spec.shard_id + 1))
-        self.proc: Optional[subprocess.Popen] = None
-        self.reader: Optional[FrameReader] = None
         self.rpc_seq = 0
         self.state = "new"  # new | live | dead | lost
+        self.connection = "partitioned"  # no link yet
         self.failovers = 0
         self.heartbeat_misses = 0
+        self.reconnects = 0
+        self.rebalances = 0
         self.operations = 0
         self.done = False
         self.last_reply_at: Optional[float] = None
+        self.last_step_seconds: Optional[float] = None
+        self._inflight: Optional[Tuple[Dict[str, Any], float]] = None
+
+    # -- connection state machine ------------------------------------------------
+
+    def _set_connection(self, state: str) -> None:
+        with self._lock:
+            if self.connection == state:
+                return
+            self.connection = state
+        self.metrics.connection_state.labels(str(self.shard_id)).set(
+            _CONNECTION_CODES[state]
+        )
+
+    def _note_degraded(self) -> None:
+        """A heartbeat miss: connected links degrade; a partitioned or
+        failed link stays where it is (degraded is the *mild* state)."""
+        with self._lock:
+            if self.connection != "connected":
+                return
+            self.connection = "degraded"
+        self.metrics.connection_state.labels(str(self.shard_id)).set(
+            _CONNECTION_CODES["degraded"]
+        )
 
     # -- process lifecycle -------------------------------------------------------
 
     def spawn(self) -> None:
-        """Start (or restart) the worker subprocess."""
-        # The directory containing the ``repro`` package, derived from
-        # this module's own path (…/repro/cluster/coordinator.py → …),
-        # so workers import the same tree even without an installed dist.
-        src_root = os.path.dirname(
-            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        )
-        env = dict(os.environ)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            src_root if not existing else src_root + os.pathsep + existing
-        )
-        proc = subprocess.Popen(
-            [
-                self.python_executable,
-                "-m",
-                "repro.cluster.worker",
-                "--shard",
-                str(self.shard_id),
-            ],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=None,  # inherit: worker tracebacks surface in our stderr
-            env=env,
-        )
-        assert proc.stdout is not None
-        reader = FrameReader(proc.stdout.fileno())
+        """Start (or restart) the worker via the transport."""
+        self.transport.spawn()
         with self._lock:
-            self.proc = proc
-            self.reader = reader
             self.state = "live"
             self.done = False
+            self._inflight = None
+        self._set_connection("connected")
 
     def kill(self) -> None:
         """Tear the worker down (idempotent; used before respawn)."""
-        proc = self.proc
-        if proc is None:
-            return
-        if proc.poll() is None:
-            proc.kill()
-        try:
-            proc.wait(timeout=5.0)
-        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL pending
-            pass
-        # close() flushes, and a flush into a SIGKILLed worker's pipe
-        # raises BrokenPipeError — the bytes are moot, the pipe is gone.
-        if proc.stdin is not None:
-            try:
-                proc.stdin.close()
-            except OSError:
-                pass
-        if proc.stdout is not None:
-            try:
-                proc.stdout.close()
-            except OSError:
-                pass
+        self.transport.kill()
         with self._lock:
-            self.proc = None
-            self.reader = None
+            self._inflight = None
             if self.state == "live":
                 self.state = "dead"
 
-    def alive(self) -> bool:
-        proc = self.proc
-        return proc is not None and proc.poll() is None and self.state == "live"
+    def close(self) -> None:
+        self.kill()
+        self.transport.close()
 
-    # -- RPC with the retry/timeout ladder ---------------------------------------
+    def alive(self) -> bool:
+        return self.transport.alive() and self.state == "live"
+
+    # -- RPC with the retry/timeout + reconnect ladder ----------------------------
+
+    def post(
+        self,
+        op: str,
+        payload: Optional[Dict[str, Any]] = None,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        """Send one request without waiting for the reply (the scatter
+        half); :meth:`finish` collects it.  Raises
+        :class:`WorkerLostError` when delivery is impossible even after
+        the reconnect ladder."""
+        with self._lock:
+            self.rpc_seq += 1
+            rpc_id = self.rpc_seq
+        frame = {"op": op, "id": rpc_id, **(payload or {})}
+        started = monotonic_seconds()
+        with self._lock:
+            self._inflight = (frame, started)
+        give_up = self._give_up(started, deadline_at)
+        self._deliver(frame, give_up)
+
+    def finish(self, deadline_at: Optional[float] = None) -> Dict[str, Any]:
+        """Collect the reply to the posted request (the gather half)."""
+        with self._lock:
+            inflight = self._inflight
+        if inflight is None:
+            raise ClusterError(f"shard {self.shard_id}: finish() without post()")
+        frame, _ = inflight
+        # The liveness clock restarts at gather time: scatter pipelines
+        # frames to the whole fleet, so a shard must not be charged for
+        # time spent gathering its siblings' replies.
+        started = monotonic_seconds()
+        reply = self._await(frame, started, deadline_at)
+        self.metrics.rpc_latency.labels(str(self.shard_id), str(frame["op"])).observe(
+            monotonic_seconds() - started
+        )
+        return reply
 
     def rpc(
         self,
@@ -287,44 +374,71 @@ class ShardHandle:
     ) -> Dict[str, Any]:
         """One request/reply exchange; raises :class:`WorkerLostError`
         on EOF or a worker silent past the liveness deadline."""
-        proc = self.proc
-        reader = self.reader
-        if proc is None or reader is None or proc.stdin is None:
-            raise WorkerLostError(self.shard_id, "eof")
-        with self._lock:
-            self.rpc_seq += 1
-            rpc_id = self.rpc_seq
-        frame = {"op": op, "id": rpc_id, **(payload or {})}
-        started = monotonic_seconds()
+        self.post(op, payload, deadline_at=deadline_at)
+        return self.finish(deadline_at=deadline_at)
+
+    def _give_up(self, started: float, deadline_at: Optional[float]) -> float:
+        give_up = started + self.liveness_deadline_seconds
+        if deadline_at is not None:
+            give_up = min(give_up, deadline_at)
+        return give_up
+
+    def _deliver(self, frame: Dict[str, Any], give_up: float) -> None:
+        """Send one frame, riding out partitions via the reconnect
+        ladder; raises :class:`WorkerLostError` when the link cannot be
+        restored in time."""
         try:
-            write_frame(proc.stdin, frame)
-        except (BrokenPipeError, OSError) as exc:
-            raise WorkerLostError(self.shard_id, "eof") from exc
-        reply = self._await(reader, rpc_id, started, deadline_at)
-        self.metrics.rpc_latency.labels(str(self.shard_id), op).observe(
-            monotonic_seconds() - started
-        )
-        return reply
+            self.transport.send(frame)
+        except ConnectionLostError as exc:
+            self._set_connection("partitioned")
+            if not self._reconnect_and_replay(frame, give_up):
+                raise WorkerLostError(self.shard_id, "eof") from exc
+
+    def _reconnect_and_replay(self, frame: Dict[str, Any], give_up: float) -> bool:
+        """Restore the link to the *same* worker session and replay the
+        in-flight frame.  Replay is safe because the worker's reply
+        cache answers an already-executed RPC id without re-executing.
+        ``False`` when the transport cannot reconnect (pipe), the worker
+        process is dead, or ``give_up`` passes first."""
+        while monotonic_seconds() < give_up:
+            if not self.transport.supports_reconnect or not self.transport.alive():
+                return False
+            if not self.transport.reconnect(give_up):
+                return False
+            with self._lock:
+                self.reconnects += 1
+            self.metrics.reconnects.labels(str(self.shard_id)).inc()
+            self._set_connection("connected")
+            try:
+                self.transport.send(frame)
+                return True
+            except ConnectionLostError:
+                # Severed again mid-replay (reconnect storm): climb the
+                # ladder once more until give_up.
+                self._set_connection("partitioned")
+                continue
+        return False
 
     def _await(
         self,
-        reader: FrameReader,
-        rpc_id: int,
+        frame: Dict[str, Any],
         started: float,
         deadline_at: Optional[float],
     ) -> Dict[str, Any]:
         """The ladder: bounded wait windows with backoff, each expiry a
-        heartbeat miss, the total capped by the liveness deadline."""
-        give_up = started + self.liveness_deadline_seconds
-        if deadline_at is not None:
-            give_up = min(give_up, deadline_at)
+        heartbeat miss, the total capped by the liveness deadline; a
+        dropped connection reconnects-and-replays when the transport
+        supports it."""
+        rpc_id = frame["id"]
+        give_up = self._give_up(started, deadline_at)
         attempt = 0
         window = self.rpc_timeout_seconds
         while True:
             slice_end = min(monotonic_seconds() + window, give_up)
             try:
-                reply = reader.read(slice_end)
+                reply = self.transport.recv(slice_end)
             except FrameTimeout:
+                self._note_degraded()
                 with self._lock:
                     self.heartbeat_misses += 1
                 self.metrics.heartbeat_misses.labels(str(self.shard_id)).inc()
@@ -335,14 +449,22 @@ class ShardHandle:
                     attempt, self._rng
                 )
                 continue
-            if reply is None:
-                raise WorkerLostError(self.shard_id, "eof")
+            except (ConnectionLostError, ProtocolError) as exc:
+                self._set_connection("partitioned")
+                if monotonic_seconds() >= give_up or not self._reconnect_and_replay(
+                    frame, give_up
+                ):
+                    raise WorkerLostError(self.shard_id, "eof") from exc
+                continue
             if reply.get("id") != rpc_id:
                 # A stale reply from before a timeout we already charged;
                 # drain and keep waiting for ours.
                 continue
+            now = monotonic_seconds()
             with self._lock:
-                self.last_reply_at = monotonic_seconds()
+                self.last_reply_at = now
+                self._inflight = None
+            self._set_connection("connected")
             return reply
 
     def ping(self, deadline_at: Optional[float] = None) -> bool:
@@ -363,8 +485,12 @@ class ShardHandle:
         with self._lock:
             return {
                 "state": self.state,
+                "connection": self.connection,
+                "transport": self.transport.kind,
                 "failovers": self.failovers,
                 "heartbeat_misses": self.heartbeat_misses,
+                "reconnects": self.reconnects,
+                "rebalances": self.rebalances,
                 "operations": self.operations,
                 "done": self.done,
                 "last_heartbeat_age_seconds": (
@@ -421,6 +547,13 @@ class Coordinator:
         recovery_store: Optional[RecoveryStore] = None,
         observability: Optional[Observability] = None,
         python_executable: Optional[str] = None,
+        transport: str = "pipe",
+        worker_reconnect_window_seconds: float = 30.0,
+        checkpoint_generations: int = 3,
+        rebalance_latency_factor: float = 4.0,
+        rebalance_min_latency_seconds: float = 0.25,
+        rebalance_slow_rounds: int = 2,
+        rebalance: bool = True,
     ) -> None:
         if shards < 1:
             raise ClusterError(f"shards must be >= 1, got {shards}")
@@ -428,12 +561,26 @@ class Coordinator:
             raise ClusterError(f"step_operations must be >= 1, got {step_operations}")
         if rpc_timeout_seconds <= 0 or liveness_deadline_seconds <= 0:
             raise ClusterError("rpc timeout and liveness deadline must be positive")
+        if rebalance_latency_factor < 1.0:
+            raise ClusterError(
+                f"rebalance_latency_factor must be >= 1, got {rebalance_latency_factor}"
+            )
+        if rebalance_slow_rounds < 1:
+            raise ClusterError(
+                f"rebalance_slow_rounds must be >= 1, got {rebalance_slow_rounds}"
+            )
         self.database = database
         self.shards = shards
         self.step_operations = step_operations
         self.heartbeat_interval_seconds = heartbeat_interval_seconds
         self.max_failovers = max_failovers
+        self.transport = transport
+        self.rebalance_enabled = rebalance
+        self.rebalance_latency_factor = rebalance_latency_factor
+        self.rebalance_min_latency_seconds = rebalance_min_latency_seconds
+        self.rebalance_slow_rounds = rebalance_slow_rounds
         self.store = recovery_store if recovery_store is not None else MemoryRecoveryStore()
+        self.checkpoints = CheckpointGenerations(self.store, keep=checkpoint_generations)
         self.obs = observability if observability is not None else Observability.disabled()
         self.metrics = _ClusterMetrics(self.obs)
         policy = retry_policy if retry_policy is not None else RetryPolicy(
@@ -443,11 +590,16 @@ class Coordinator:
         self.handles = [
             ShardHandle(
                 spec,
+                create_transport(
+                    transport,
+                    spec.shard_id,
+                    python_executable=python_executable,
+                    worker_reconnect_window_seconds=worker_reconnect_window_seconds,
+                ),
                 rpc_timeout_seconds,
                 liveness_deadline_seconds,
                 policy,
                 self.metrics,
-                python_executable=python_executable,
             )
             for spec in self.specs
         ]
@@ -457,6 +609,8 @@ class Coordinator:
         self._queries = 0
         self._degraded_queries = 0
         self._failovers_total = 0
+        self._reconnects_total = 0
+        self._rebalances_total = 0
         self._engines: Dict[Tuple[str, bool], Engine] = {}
         self.last_span: Optional[Span] = None
 
@@ -474,7 +628,7 @@ class Coordinator:
                     handle.rpc("shutdown")
                 except (ClusterError, WorkerLostError):
                     pass
-            handle.kill()
+            handle.close()
 
     def __enter__(self) -> "Coordinator":
         return self
@@ -491,6 +645,8 @@ class Coordinator:
                 "queries": self._queries,
                 "degraded_queries": self._degraded_queries,
                 "failovers": self._failovers_total,
+                "reconnects": self._reconnects_total,
+                "rebalances": self._rebalances_total,
                 "closed": self._closed,
             }
         shard_rows = {
@@ -500,6 +656,7 @@ class Coordinator:
         self.metrics.live_shards_child.set(float(live))
         return {
             "shards": self.shards,
+            "transport": self.transport,
             "live_shards": live,
             "per_shard": shard_rows,
             **totals,
@@ -531,6 +688,7 @@ class Coordinator:
         engine_faults: Optional[FaultPlan] = None,
         engine_retry_policy: Optional[RetryPolicy] = None,
         process_faults: Optional[FaultPlan] = None,
+        net_faults: Optional[FaultPlan] = None,
         fail_over: bool = True,
     ) -> ClusterResult:
         """Evaluate one top-k query across the shard fleet.
@@ -539,9 +697,13 @@ class Coordinator:
         (pair it with ``engine_retry_policy`` so workers recover injected
         faults in-engine, as the single-process chaos tests do);
         ``process_faults`` arms worker-boundary KILL/HANG/SLOW_PIPE
-        rules (:meth:`FaultPlan.worker_chaos`).  ``fail_over=False``
-        turns every worker loss into a lost shard — the degraded-answer
-        path the soundness tests exercise.
+        rules (:meth:`FaultPlan.worker_chaos`); ``net_faults`` arms
+        coordinator-side PARTITION/CORRUPT_FRAME/DUP_FRAME/
+        RECONNECT_STORM rules on each shard's link
+        (:meth:`FaultPlan.net_chaos`) — unlike process plans, net plans
+        stay armed across failovers.  ``fail_over=False`` turns every
+        worker loss into a lost shard — the degraded-answer path the
+        soundness tests exercise.
         """
         if algorithm not in ALGORITHMS:
             raise EngineError(
@@ -566,6 +728,12 @@ class Coordinator:
                     "shards": self.shards,
                 },
             )
+        for handle in self.handles:
+            handle.transport.arm_net_faults(
+                NetFaultArm(net_faults, handle.shard_id)
+                if net_faults is not None
+                else None
+            )
         try:
             result = self._run(
                 query,
@@ -582,6 +750,8 @@ class Coordinator:
                 span,
             )
         finally:
+            for handle in self.handles:
+                handle.transport.arm_net_faults(None)
             if span is not None:
                 span.finish()
             with self._lock:
@@ -592,6 +762,8 @@ class Coordinator:
             if result.degraded:
                 self._degraded_queries += 1
             self._failovers_total += result.failovers
+            self._reconnects_total += result.reconnects
+            self._rebalances_total += result.rebalances
         self.metrics.queries.labels("degraded" if result.degraded else "ok").inc()
         return result
 
@@ -652,27 +824,23 @@ class Coordinator:
         the caller unretried.
         """
         fault_free = False
+        started_at = monotonic_seconds()
         while True:
             try:
                 if not sent:
-                    reply = handle.rpc(
+                    handle.post(
                         "step",
                         {"operations": step_ops, "fault_free": fault_free},
                         deadline_at=deadline_at,
                     )
-                else:
-                    sent = False
-                    reader = handle.reader
-                    if reader is None:
-                        raise WorkerLostError(handle.shard_id, "eof")
-                    started = monotonic_seconds()
-                    with handle._lock:
-                        rpc_id = handle.rpc_seq
-                    reply = handle._await(reader, rpc_id, started, deadline_at)
-                    handle.metrics.rpc_latency.labels(
-                        str(handle.shard_id), "step"
-                    ).observe(monotonic_seconds() - started)
+                sent = False
+                reply = handle.finish(deadline_at=deadline_at)
                 if reply.get("ok") or fault_free or not reply.get("resumable"):
+                    # Step latency feeds the rebalancing trigger; measured
+                    # from gather entry so a SLOW_PIPE'd shard shows its
+                    # real stall, not its siblings' gather time.
+                    with handle._lock:
+                        handle.last_step_seconds = monotonic_seconds() - started_at
                     return reply
                 if span is not None:
                     span.event(
@@ -695,6 +863,7 @@ class Coordinator:
                     handle.kill()
                     with handle._lock:
                         handle.state = "lost"
+                    handle._set_connection("failed")
                     self.metrics.lost_shards.labels(str(handle.shard_id)).inc()
                     return None
                 with handle._lock:
@@ -702,7 +871,7 @@ class Coordinator:
                 self.metrics.failovers.labels(str(handle.shard_id)).inc()
                 if span is not None:
                     span.event("failover", shard=handle.shard_id)
-                restore = self.store.load(self._store_key(handle.shard_id))
+                restore = self.checkpoints.load(self._store_key(handle.shard_id))
                 try:
                     self._bootstrap(
                         handle,
@@ -757,7 +926,7 @@ class Coordinator:
         }
         # Boot every shard (first boot ships the process-fault plan).
         for handle in self.handles:
-            self.store.delete(self._store_key(handle.shard_id))
+            self.checkpoints.delete(self._store_key(handle.shard_id))
             try:
                 self._bootstrap(
                     handle,
@@ -774,6 +943,7 @@ class Coordinator:
 
         rounds = 0
         merged: List[MergedAnswer] = []
+        slow_rounds: Dict[int, int] = {handle.shard_id: 0 for handle in self.handles}
         while True:
             if deadline_at is not None and monotonic_seconds() >= deadline_at:
                 break
@@ -791,23 +961,13 @@ class Coordinator:
             pending: List[Tuple[ShardHandle, bool]] = []
             for handle in active:
                 try:
-                    proc = handle.proc
-                    if proc is None or proc.stdin is None:
-                        raise WorkerLostError(handle.shard_id, "eof")
-                    with handle._lock:
-                        handle.rpc_seq += 1
-                        rpc_id = handle.rpc_seq
-                    write_frame(
-                        proc.stdin,
-                        {
-                            "op": "step",
-                            "id": rpc_id,
-                            "operations": step_ops,
-                            "fault_free": False,
-                        },
+                    handle.post(
+                        "step",
+                        {"operations": step_ops, "fault_free": False},
+                        deadline_at=deadline_at,
                     )
                     pending.append((handle, True))
-                except (BrokenPipeError, OSError, WorkerLostError):
+                except WorkerLostError:
                     pending.append((handle, False))
             # Gather, with failover, one shard at a time.
             for handle, sent in pending:
@@ -829,6 +989,7 @@ class Coordinator:
                         handle.kill()
                         with handle._lock:
                             handle.state = "lost"
+                        handle._set_connection("failed")
                         self.metrics.lost_shards.labels(str(handle.shard_id)).inc()
                     state.lost = True
                     continue
@@ -865,6 +1026,10 @@ class Coordinator:
                     threshold=threshold,
                     active=len(active),
                 )
+            if self.rebalance_enabled and fail_over:
+                self._maybe_rebalance(
+                    states, slow_rounds, begin_payload, deadline_at, span
+                )
             self._probe_idle(states, deadline_at)
 
         return self._finalize(
@@ -896,9 +1061,96 @@ class Coordinator:
             handle.done = state.done
         checkpoint = reply.get("checkpoint")
         if checkpoint is not None:
-            self.store.save(self._store_key(handle.shard_id), checkpoint)
+            self.checkpoints.save(self._store_key(handle.shard_id), checkpoint)
         elif state.done:
-            self.store.delete(self._store_key(handle.shard_id))
+            self.checkpoints.delete(self._store_key(handle.shard_id))
+
+    # -- rebalancing --------------------------------------------------------------
+
+    def _maybe_rebalance(
+        self,
+        states: Dict[int, _ShardQueryState],
+        slow_rounds: Dict[int, int],
+        begin_payload: Dict[str, Any],
+        deadline_at: Optional[float],
+        span: Optional[Span],
+    ) -> None:
+        """Retire-and-migrate shards whose step latency stays far above
+        the fleet.  The trigger is relative (``rebalance_latency_factor``
+        × the median of the *other* still-active shards' latencies) with
+        an absolute floor (``rebalance_min_latency_seconds``) so healthy
+        microsecond jitter can never look like degradation, and must
+        hold for ``rebalance_slow_rounds`` consecutive rounds.  A shard
+        grinding alone — its siblings already done or dominated — is
+        judged against the floor only.  Each shard's migrations share
+        the failover budget, so a slice that is legitimately huge (and
+        therefore still slow on the replacement) cannot thrash through
+        endless respawns."""
+        latencies: Dict[int, float] = {}
+        for handle in self.handles:
+            state = states[handle.shard_id]
+            if state.done or state.lost or state.is_dominated:
+                continue
+            with handle._lock:
+                latency = handle.last_step_seconds
+            if latency is not None:
+                latencies[handle.shard_id] = latency
+        budget = max(1, self.max_failovers)
+        for handle in self.handles:
+            shard_id = handle.shard_id
+            if shard_id not in latencies:
+                continue
+            others = [lat for sid, lat in latencies.items() if sid != shard_id]
+            threshold = self.rebalance_min_latency_seconds
+            if others:
+                threshold = max(
+                    threshold,
+                    self.rebalance_latency_factor * statistics.median(others),
+                )
+            if latencies[shard_id] >= threshold:
+                slow_rounds[shard_id] += 1
+            else:
+                slow_rounds[shard_id] = 0
+            with handle._lock:
+                spent = handle.rebalances
+            if slow_rounds[shard_id] >= self.rebalance_slow_rounds:
+                slow_rounds[shard_id] = 0
+                if spent < budget:
+                    self._rebalance(handle, begin_payload, deadline_at, span)
+
+    def _rebalance(
+        self,
+        handle: ShardHandle,
+        begin_payload: Dict[str, Any],
+        deadline_at: Optional[float],
+        span: Optional[Span],
+    ) -> None:
+        """Ship the shard's newest validated checkpoint to a fresh worker
+        and retire the laggard — the failover machinery, reused for a
+        worker that is alive but degraded.  The replacement never
+        re-arms process faults (same contract as failover), which is
+        exactly what migrates off a SLOW_PIPE'd worker."""
+        with handle._lock:
+            handle.rebalances += 1
+        self.metrics.rebalances.labels(str(handle.shard_id)).inc()
+        if span is not None:
+            span.event("rebalance", shard=handle.shard_id)
+        restore = self.checkpoints.load(self._store_key(handle.shard_id))
+        try:
+            self._bootstrap(
+                handle,
+                begin_payload,
+                process_faults=None,
+                restore=restore,
+                deadline_at=deadline_at,
+                first_boot=False,
+            )
+        except WorkerLostError:
+            # The replacement failed to come up; the next step's failover
+            # ladder (which this shard will now enter) owns recovery.
+            pass
+        with handle._lock:
+            handle.last_step_seconds = None
 
     def _probe_idle(
         self, states: Dict[int, _ShardQueryState], deadline_at: Optional[float]
@@ -1002,10 +1254,14 @@ class Coordinator:
 
         failovers = 0
         misses = 0
+        reconnects = 0
+        rebalances = 0
         for handle in self.handles:
             with handle._lock:
                 failovers += handle.failovers
                 misses += handle.heartbeat_misses
+                reconnects += handle.reconnects
+                rebalances += handle.rebalances
 
         result = ClusterResult(
             answers,
@@ -1021,6 +1277,9 @@ class Coordinator:
             heartbeat_misses=misses,
             rounds=rounds,
             dominated_shards=dominated_ids,
+            reconnects=reconnects,
+            rebalances=rebalances,
+            transport=self.transport,
             shard_reports={
                 shard_id: {
                     "done": state.done,

@@ -1,0 +1,595 @@
+"""Shard transports: how the coordinator reaches a worker process.
+
+PR 7 hard-wired the coordinator to stdin/stdout pipes.  This module
+extracts that link behind a :class:`Transport` so the protocol layer
+(RPC ids, retry ladders, failover, checkpoint shipping) is transport
+agnostic, and adds the first *networked* implementation:
+
+- :class:`PipeTransport` — the PR 7 behavior: worker subprocess, frames
+  over its stdin/stdout.  A broken pipe is unrecoverable (pipes cannot
+  redial), so every connection loss escalates straight to failover.
+- :class:`SocketTransport` — worker subprocess that dials back to a
+  coordinator-owned loopback TCP listener and authenticates with a
+  per-spawn session token.  A dropped connection is *not* a dead
+  worker: the worker redials with exponential backoff, the coordinator
+  re-accepts, and the in-flight RPC is replayed idempotently (the
+  worker's reply cache answers duplicates without re-executing).  A
+  stale worker — one superseded by failover — presents an old token,
+  is refused at the handshake, and exits instead of split-braining the
+  shard.
+
+Both transports sequence outbound frames per connection (duplicate
+delivery is dropped by the receiver's ``seq`` check) and carry the
+CRC-checked framing of :mod:`repro.cluster.protocol`, so a flipped bit
+anywhere on the link is detected, condemns the connection, and rides
+the same reconnect-or-failover path as a partition.
+
+Network fault injection lives here too: :class:`NetFaultArm` evaluates
+seeded :attr:`~repro.faults.plan.FaultSite.NET` rules on the
+coordinator-side send path — PARTITION severs the link, CORRUPT_FRAME
+flips a bit in flight, DUP_FRAME delivers twice, RECONNECT_STORM severs
+on several consecutive sends — which is what the transport half of the
+chaos matrix in ``tests/test_cluster_chaos.py`` sweeps.
+
+Locking discipline: transports guard their mutable attributes with
+short ``self._lock`` sections (they are watched by WPL001 and the
+runtime race detector) and never hold a lock across pipe or socket I/O
+— the graph analyzer's WPLG02 blocking-under-lock rule applies to this
+module with no baseline entries.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import select
+import socket
+import subprocess
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.protocol import FrameReader, encode_frame
+from repro.core.stats import monotonic_seconds
+from repro.errors import (
+    ClusterError,
+    ConnectionLostError,
+    ProtocolError,
+    WorkerLostError,
+)
+from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
+
+#: Transport kinds accepted by :func:`create_transport` (and the CLI's
+#: ``--transport`` flag).
+TRANSPORTS = ("pipe", "socket")
+
+#: Total link severs a RECONNECT_STORM rule performs (the firing send
+#: plus this many minus one follow-ups), so one rule exercises several
+#: rungs of the reconnect backoff ladder in quick succession.
+RECONNECT_STORM_DROPS = 3
+
+
+def corrupt_frame_bytes(data: bytes) -> bytes:
+    """Flip one bit in a frame's final byte — enough to fail the CRC
+    without disturbing the header, mimicking payload corruption in
+    flight."""
+    if not data:
+        return data
+    return data[:-1] + bytes([data[-1] ^ 0x01])
+
+
+class NetFaultArm:
+    """Seeded trigger evaluation for NET rules on one shard's link.
+
+    The counting/trigger semantics mirror
+    :class:`repro.cluster.worker.ProcessFaultArm` — per-rule fire caps,
+    probability draws from a seeded RNG — but the counter is *this
+    shard's outbound frames*, so each shard's schedule is deterministic
+    regardless of how rounds interleave across shards.  Unlike process
+    fault plans, a NET arm stays armed across failovers: the network
+    does not get healthier because a worker was replaced (rule ``times``
+    caps keep every schedule finite).
+    """
+
+    def __init__(self, plan: FaultPlan, shard_id: int) -> None:
+        self.plan = plan
+        self.target = str(shard_id)
+        self._rng = random.Random(plan.seed ^ (shard_id + 1))
+        self._count = 0
+        self._fires: Dict[int, int] = {}
+
+    def arm(self) -> Optional[FaultRule]:
+        """Advance the send counter; return the rule firing, if any."""
+        self._count += 1
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches(FaultSite.NET, self.target):
+                continue
+            fired = self._fires.get(index, 0)
+            if rule.times is not None and fired >= rule.times:
+                continue
+            if rule.triggers(self._count, self._rng):
+                self._fires[index] = fired + 1
+                return rule
+        return None
+
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess environment with this checkout's ``src`` on
+    ``PYTHONPATH`` so workers import the same tree even without an
+    installed dist."""
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
+    return env
+
+
+class Transport:
+    """One shard's worker process plus the framed link to it.
+
+    Subclasses own process lifecycle (:meth:`spawn` / :meth:`kill`) and
+    raw byte movement (:meth:`_write_bytes` / :meth:`recv`); this base
+    owns what both share — outbound sequence numbering and the NET
+    fault boundary on every send.
+    """
+
+    kind: str = "abstract"
+    supports_reconnect: bool = False
+
+    def __init__(self, shard_id: int, python_executable: Optional[str] = None) -> None:
+        self.shard_id = shard_id
+        self.python_executable = python_executable or sys.executable
+        self._lock = threading.Lock()
+        self._proc: Optional[subprocess.Popen] = None
+        self._out_seq = 0
+        self._net_arm: Optional[NetFaultArm] = None
+        self._storm_remaining = 0
+
+    # -- lifecycle (subclass responsibility) -------------------------------------
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker and establish the link; raises
+        :class:`~repro.errors.WorkerLostError` when the worker never
+        comes up."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Tear down the worker process and the link (idempotent)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Final teardown; also releases listener resources."""
+        self.kill()
+
+    def alive(self) -> bool:
+        proc = self._proc
+        return proc is not None and proc.poll() is None
+
+    def connected(self) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """One health row for this link."""
+        return {"kind": self.kind, "connected": self.connected()}
+
+    # -- fault boundary -----------------------------------------------------------
+
+    def arm_net_faults(self, arm: Optional[NetFaultArm]) -> None:
+        """Install (or clear) the per-query NET fault schedule."""
+        with self._lock:
+            self._net_arm = arm
+            self._storm_remaining = 0
+
+    # -- frames -------------------------------------------------------------------
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Encode, sequence, and deliver one frame through the NET fault
+        boundary; raises :class:`~repro.errors.ConnectionLostError` when
+        the link is (or just became) unusable."""
+        with self._lock:
+            self._out_seq += 1
+            seq = self._out_seq
+            arm = self._net_arm
+            storm = self._storm_remaining > 0
+            if storm:
+                self._storm_remaining -= 1
+        data = encode_frame(payload, seq=seq)
+        duplicate = False
+        if not storm and arm is not None:
+            rule = arm.arm()
+            if rule is not None:
+                if rule.action is FaultAction.CORRUPT_FRAME:
+                    data = corrupt_frame_bytes(data)
+                elif rule.action is FaultAction.DUP_FRAME:
+                    duplicate = True
+                elif rule.action is FaultAction.PARTITION:
+                    storm = True
+                elif rule.action is FaultAction.RECONNECT_STORM:
+                    with self._lock:
+                        self._storm_remaining = RECONNECT_STORM_DROPS - 1
+                    storm = True
+        if storm:
+            self._sever()
+            raise ConnectionLostError(self.shard_id, "partition")
+        self._write_bytes(data)
+        if duplicate:
+            self._write_bytes(data)
+
+    def recv(self, deadline_at: Optional[float]) -> Dict[str, Any]:
+        """One inbound frame; raises :class:`FrameTimeout` past the
+        deadline, the typed :class:`~repro.errors.ProtocolError` family
+        on corruption, :class:`~repro.errors.ConnectionLostError` on
+        EOF/reset."""
+        raise NotImplementedError
+
+    def reconnect(self, give_up_at: float) -> bool:
+        """Re-establish the link to the *same* worker session, waiting
+        until ``give_up_at`` at most.  Pipe links cannot; socket links
+        accept the worker's redial."""
+        return False
+
+    # -- subclass plumbing --------------------------------------------------------
+
+    def _write_bytes(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _sever(self) -> None:
+        """Drop the link (PARTITION semantics) without killing the
+        process."""
+        raise NotImplementedError
+
+    def _reap(self, timeout: float = 5.0) -> None:
+        """Kill and wait out the worker process, if any."""
+        proc = self._proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            proc.kill()
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL pending
+            pass
+        with self._lock:
+            self._proc = None
+
+
+class PipeTransport(Transport):
+    """Frames over the worker's stdin/stdout (the PR 7 link).
+
+    Single-host only, and severing is terminal: a pipe cannot be
+    redialed, so PARTITION/CORRUPT_FRAME faults (and real broken pipes)
+    surface as a lost worker and ride the failover ladder.
+    """
+
+    kind = "pipe"
+    supports_reconnect = False
+
+    def __init__(self, shard_id: int, python_executable: Optional[str] = None) -> None:
+        super().__init__(shard_id, python_executable)
+        self._reader: Optional[FrameReader] = None
+
+    def spawn(self) -> None:
+        proc = subprocess.Popen(
+            [
+                self.python_executable,
+                "-m",
+                "repro.cluster.worker",
+                "--shard",
+                str(self.shard_id),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # inherit: worker tracebacks surface in our stderr
+            env=_worker_env(),
+        )
+        assert proc.stdout is not None
+        reader = FrameReader(proc.stdout.fileno())
+        with self._lock:
+            self._proc = proc
+            self._reader = reader
+            self._out_seq = 0
+
+    def kill(self) -> None:
+        with self._lock:
+            proc = self._proc
+            self._reader = None
+        if proc is None:
+            return
+        if proc.poll() is None:
+            proc.kill()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL pending
+            pass
+        # close() flushes, and a flush into a SIGKILLed worker's pipe
+        # raises BrokenPipeError — the bytes are moot, the pipe is gone.
+        for stream in (proc.stdin, proc.stdout):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        with self._lock:
+            self._proc = None
+
+    def connected(self) -> bool:
+        return self._reader is not None and self.alive()
+
+    def recv(self, deadline_at: Optional[float]) -> Dict[str, Any]:
+        reader = self._reader
+        if reader is None:
+            raise ConnectionLostError(self.shard_id, "not_connected")
+        try:
+            reply = reader.read(deadline_at)
+        except ProtocolError:
+            self._sever()
+            raise
+        if reply is None:
+            self._sever()
+            raise ConnectionLostError(self.shard_id, "eof")
+        return reply
+
+    def _write_bytes(self, data: bytes) -> None:
+        proc = self._proc
+        stream = proc.stdin if proc is not None else None
+        if stream is None:
+            raise ConnectionLostError(self.shard_id, "not_connected")
+        try:
+            stream.write(data)
+            stream.flush()
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise ConnectionLostError(self.shard_id, "eof") from exc
+
+    def _sever(self) -> None:
+        with self._lock:
+            proc = self._proc
+            self._reader = None
+        if proc is None:
+            return
+        for stream in (proc.stdin, proc.stdout):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+
+
+class SocketTransport(Transport):
+    """Frames over loopback TCP with token-authenticated redial.
+
+    The coordinator owns one listening socket per shard (bound once,
+    port stable across respawns).  ``spawn`` mints a fresh session
+    token, passes it to the worker on its command line, and waits for
+    the worker to dial back and present it; ``reconnect`` re-runs only
+    the accept/handshake half against the *same* token, which is what
+    distinguishes a partitioned worker (session intact, state resident)
+    from a replaced one (old token refused, process exits).
+    """
+
+    kind = "socket"
+    supports_reconnect = True
+
+    def __init__(
+        self,
+        shard_id: int,
+        python_executable: Optional[str] = None,
+        connect_timeout_seconds: float = 10.0,
+        worker_reconnect_window_seconds: float = 30.0,
+    ) -> None:
+        super().__init__(shard_id, python_executable)
+        if connect_timeout_seconds <= 0:
+            raise ClusterError("connect timeout must be positive")
+        self.connect_timeout_seconds = connect_timeout_seconds
+        self.worker_reconnect_window_seconds = worker_reconnect_window_seconds
+        self._listener: Optional[socket.socket] = None
+        self._port = 0
+        self._conn: Optional[socket.socket] = None
+        self._reader: Optional[FrameReader] = None
+        self._token = ""
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_listener(self) -> socket.socket:
+        listener = self._listener
+        if listener is not None:
+            return listener
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(8)
+        port = sock.getsockname()[1]
+        with self._lock:
+            self._listener = sock
+            self._port = port
+        return sock
+
+    def spawn(self) -> None:
+        self._ensure_listener()
+        token = os.urandom(8).hex()
+        with self._lock:
+            self._token = token
+        proc = subprocess.Popen(
+            [
+                self.python_executable,
+                "-m",
+                "repro.cluster.worker",
+                "--shard",
+                str(self.shard_id),
+                "--transport",
+                "socket",
+                "--connect",
+                f"127.0.0.1:{self._port}",
+                "--token",
+                token,
+                "--reconnect-window",
+                str(self.worker_reconnect_window_seconds),
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=None,
+            stderr=None,  # inherit both: tracebacks surface in our stderr
+            env=_worker_env(),
+        )
+        with self._lock:
+            self._proc = proc
+            self._conn = None
+            self._reader = None
+        if not self._accept(monotonic_seconds() + self.connect_timeout_seconds):
+            self.kill()
+            raise WorkerLostError(self.shard_id, "spawn_failed")
+
+    def _accept(self, give_up_at: float) -> bool:
+        """Accept-and-handshake loop: take the next dial-in that
+        presents the current session token; refuse (and keep waiting
+        past) anything else until ``give_up_at``."""
+        listener = self._listener
+        if listener is None:
+            return False
+        while True:
+            timeout = give_up_at - monotonic_seconds()
+            if timeout <= 0:
+                return False
+            try:
+                readable, _, _ = select.select([listener.fileno()], [], [], timeout)
+            except OSError:  # listener closed under us (teardown race)
+                return False
+            if not readable:
+                return False
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return False
+            reader = FrameReader(conn.fileno())
+            try:
+                hello = reader.read(give_up_at)
+            except ClusterError:
+                conn.close()
+                continue
+            with self._lock:
+                token = self._token
+            accepted = (
+                hello is not None
+                and hello.get("op") == "hello"
+                and hello.get("shard") == self.shard_id
+                and hello.get("token") == token
+            )
+            try:
+                conn.sendall(encode_frame({"op": "hello", "ok": accepted}, seq=1))
+            except OSError:
+                conn.close()
+                continue
+            if not accepted:
+                # A stale session (pre-failover worker) or an impostor:
+                # refused, and the refusal tells the worker to exit.
+                conn.close()
+                continue
+            old = self._conn
+            with self._lock:
+                self._conn = conn
+                self._reader = reader
+                self._out_seq = 1  # the hello ack consumed seq 1
+            if old is not None:
+                try:
+                    old.close()
+                except OSError:
+                    pass
+            return True
+
+    def kill(self) -> None:
+        self._sever()
+        self._reap()
+
+    def close(self) -> None:
+        self.kill()
+        with self._lock:
+            listener = self._listener
+            self._listener = None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def connected(self) -> bool:
+        return self._conn is not None
+
+    # -- frames -------------------------------------------------------------------
+
+    def recv(self, deadline_at: Optional[float]) -> Dict[str, Any]:
+        reader = self._reader
+        if reader is None:
+            raise ConnectionLostError(self.shard_id, "not_connected")
+        try:
+            reply = reader.read(deadline_at)
+        except ProtocolError:
+            self._sever()
+            raise
+        if reply is None:
+            self._sever()
+            raise ConnectionLostError(self.shard_id, "eof")
+        return reply
+
+    def reconnect(self, give_up_at: float) -> bool:
+        self._sever()
+        return self._accept(give_up_at)
+
+    def _write_bytes(self, data: bytes) -> None:
+        conn = self._conn
+        if conn is None:
+            raise ConnectionLostError(self.shard_id, "not_connected")
+        try:
+            conn.sendall(data)
+        except OSError as exc:
+            self._sever()
+            raise ConnectionLostError(self.shard_id, "reset") from exc
+
+    def _sever(self) -> None:
+        with self._lock:
+            conn = self._conn
+            self._conn = None
+            self._reader = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def describe(self) -> Dict[str, Any]:
+        row = super().describe()
+        row["port"] = self._port
+        return row
+
+
+def create_transport(
+    kind: str,
+    shard_id: int,
+    python_executable: Optional[str] = None,
+    connect_timeout_seconds: float = 10.0,
+    worker_reconnect_window_seconds: float = 30.0,
+) -> Transport:
+    """Build one shard's transport by name (``pipe`` or ``socket``)."""
+    if kind == "pipe":
+        return PipeTransport(shard_id, python_executable)
+    if kind == "socket":
+        return SocketTransport(
+            shard_id,
+            python_executable,
+            connect_timeout_seconds=connect_timeout_seconds,
+            worker_reconnect_window_seconds=worker_reconnect_window_seconds,
+        )
+    raise ClusterError(
+        f"unknown transport {kind!r}; expected one of {', '.join(TRANSPORTS)}"
+    )
+
+
+__all__: List[str] = [
+    "TRANSPORTS",
+    "RECONNECT_STORM_DROPS",
+    "NetFaultArm",
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
+    "create_transport",
+    "corrupt_frame_bytes",
+]

@@ -1,15 +1,31 @@
-"""Length-prefixed JSON framing for coordinator ↔ worker pipes.
+"""Integrity-checked JSON framing for coordinator ↔ worker links.
 
-One frame = a 4-byte big-endian payload length followed by that many
-bytes of UTF-8 JSON.  The encoding is deliberately the dumbest thing
-that works: snapshots are already pickle-free JSON (:mod:`repro.recovery.codec`),
-so the wire carries dictionaries end to end and a hex dump of the pipe
-is readable with ``json.tool``.
+One frame = a fixed 14-byte header followed by a UTF-8 JSON body::
 
-Two read paths share the framing:
+    >H  magic      0x5746 ("WF") — catches stream desync immediately
+    >I  length     body bytes, hard-capped at MAX_FRAME_BYTES
+    >I  seq        per-connection sender sequence number (1-based;
+                   0 = unsequenced, never deduplicated)
+    >I  crc32      CRC-32 of seq (big-endian) + body
 
-- :func:`read_frame` — blocking, used by the worker on its stdin; a
-  clean EOF returns ``None`` (parent told us to go away or died).
+The envelope is what lets the cluster trust a *hostile* link (PR 8):
+
+- a flipped bit in the length prefix raises a typed
+  :class:`~repro.errors.FrameTooLargeError` **before** any allocation —
+  a corrupt 4-byte length can never drive an unbounded read;
+- a flipped bit anywhere else fails the magic or CRC check and raises
+  :class:`~repro.errors.FrameCorruptError` — framing cannot be resumed
+  after corruption, so the connection is condemned and the transport
+  layer reconnects (socket) or fails over (pipe);
+- a duplicated frame re-arrives with the same ``seq`` and is silently
+  dropped by the receiver (sequence numbers are per-connection and
+  strictly increasing from each sender).
+
+Two read paths share the decoder:
+
+- :func:`read_frame` / :func:`read_frame_ex` — blocking, used by the
+  worker on its stdin or socket stream; a clean EOF at a frame boundary
+  returns ``None``.
 - :class:`FrameReader` — coordinator side, ``select()``-driven reads
   against a deadline so a hung worker can never wedge the coordinator;
   a timeout raises :class:`FrameTimeout` *without* discarding partial
@@ -23,16 +39,32 @@ import json
 import os
 import select
 import struct
-from typing import Any, BinaryIO, Dict, Optional
+import zlib
+from typing import Any, BinaryIO, Dict, Optional, Tuple
 
 from repro.core.stats import monotonic_seconds
-from repro.errors import ClusterError
+from repro.errors import (
+    ClusterError,
+    FrameCorruptError,
+    FrameTooLargeError,
+    ProtocolError,
+)
 
-#: Hard cap on one frame (snapshots of realistic partitions are ~KBs;
-#: anything near this size is a protocol bug, not data).
+#: Hard cap on one frame body (snapshots of realistic partitions are
+#: ~KBs; anything near this size is a protocol bug, not data).  Enforced
+#: on encode and — critically — on the *declared* length before any read.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-_HEADER = struct.Struct(">I")
+#: Two magic bytes ("WF", Whirlpool Frame) opening every header.  A
+#: reader positioned anywhere but a frame boundary fails this check
+#: immediately instead of interpreting payload bytes as a length.
+FRAME_MAGIC = 0x5746
+
+_HEADER = struct.Struct(">HIII")
+_SEQ = struct.Struct(">I")
+
+#: Full header size in bytes (magic + length + seq + crc32).
+HEADER_BYTES = _HEADER.size
 
 
 class FrameTimeout(ClusterError):
@@ -40,14 +72,35 @@ class FrameTimeout(ClusterError):
     arrived.  Partial bytes stay buffered; reading may be resumed."""
 
 
-def encode_frame(payload: Dict[str, Any]) -> bytes:
+def frame_crc(seq: int, body: bytes) -> int:
+    """The integrity checksum carried by a frame: CRC-32 over the
+    sequence number (big-endian) and the body bytes."""
+    return zlib.crc32(body, zlib.crc32(_SEQ.pack(seq & 0xFFFFFFFF))) & 0xFFFFFFFF
+
+
+def encode_frame(payload: Dict[str, Any], seq: int = 0) -> bytes:
     """Serialize one message to its on-wire bytes (header + JSON)."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
-        raise ClusterError(
-            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        raise FrameTooLargeError(len(body), MAX_FRAME_BYTES)
+    return _HEADER.pack(FRAME_MAGIC, len(body), seq & 0xFFFFFFFF, frame_crc(seq, body)) + body
+
+
+def decode_header(header: bytes) -> Tuple[int, int, int]:
+    """Validate a 14-byte header; return ``(length, seq, crc)``.
+
+    Raises the typed protocol errors — :class:`FrameCorruptError` on a
+    magic mismatch, :class:`FrameTooLargeError` on an oversized declared
+    length — without touching the body.
+    """
+    magic, length, seq, crc = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise FrameCorruptError(
+            "bad_magic", f"bad frame magic 0x{magic:04x} (stream desync or corruption)"
         )
-    return _HEADER.pack(len(body)) + body
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(length, MAX_FRAME_BYTES)
+    return length, seq, crc
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
@@ -55,54 +108,69 @@ def decode_body(body: bytes) -> Dict[str, Any]:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ClusterError(f"undecodable frame: {exc}") from exc
+        raise ProtocolError("garbage", f"undecodable frame: {exc}") from exc
     if not isinstance(payload, dict):
-        raise ClusterError(f"frame payload must be an object, got {type(payload).__name__}")
+        raise ProtocolError(
+            "garbage", f"frame payload must be an object, got {type(payload).__name__}"
+        )
     return payload
 
 
-def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
+def write_frame(stream: BinaryIO, payload: Dict[str, Any], seq: int = 0) -> None:
     """Write one message and flush (small frames; blocking is fine)."""
-    stream.write(encode_frame(payload))
+    stream.write(encode_frame(payload, seq=seq))
     stream.flush()
 
 
-def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
-    """Blocking read of one message; ``None`` on clean EOF at a frame
-    boundary (mid-frame EOF is a protocol error)."""
-    header = stream.read(_HEADER.size)
+def read_frame_ex(stream: BinaryIO) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Blocking read of one verified message; ``(payload, seq)``, or
+    ``None`` on clean EOF at a frame boundary (mid-frame EOF is a
+    :class:`~repro.errors.ProtocolError`)."""
+    header = stream.read(HEADER_BYTES)
     if not header:
         return None
-    if len(header) < _HEADER.size:
-        raise ClusterError("truncated frame header")
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    if len(header) < HEADER_BYTES:
+        raise ProtocolError("truncated", "truncated frame header")
+    length, seq, crc = decode_header(header)
     body = b""
     while len(body) < length:
         chunk = stream.read(length - len(body))
         if not chunk:
-            raise ClusterError("EOF mid-frame")
+            raise ProtocolError("truncated", "EOF mid-frame")
         body += chunk
-    return decode_body(body)
+    if frame_crc(seq, body) != crc:
+        raise FrameCorruptError("crc_mismatch", "frame CRC mismatch")
+    return decode_body(body), seq
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Blocking read of one message; ``None`` on clean EOF at a frame
+    boundary.  Sequence-number-blind — callers that need duplicate
+    suppression use :func:`read_frame_ex` and track the sender sequence
+    themselves (the worker serve loop does)."""
+    result = read_frame_ex(stream)
+    return None if result is None else result[0]
 
 
 class FrameReader:
-    """Deadline-capable frame reads over a pipe file descriptor.
+    """Deadline-capable, integrity-checking frame reads from a file
+    descriptor (pipe or socket).
 
     Buffers whatever ``select`` hands us; :meth:`read` assembles at most
-    one frame per call.  All state is single-owner (the coordinator
-    thread driving this shard), so there is no locking here — the
-    owning :class:`~repro.cluster.coordinator.ShardHandle` serializes
-    access.
+    one frame per call, verifies magic/length/CRC through the same typed
+    errors as the blocking path, and silently drops duplicated frames
+    (``seq`` at or below the highest already delivered).  All state is
+    single-owner (the coordinator thread driving this shard), so there
+    is no locking here — the owning transport serializes access.
     """
 
-    __slots__ = ("_fd", "_buffer", "_eof")
+    __slots__ = ("_fd", "_buffer", "_eof", "_last_seq")
 
     def __init__(self, fd: int) -> None:
         self._fd = fd
         self._buffer = bytearray()
         self._eof = False
+        self._last_seq = 0
 
     def _fill(self, deadline_at: Optional[float]) -> None:
         """Pull available bytes, waiting until ``deadline_at`` at most."""
@@ -115,34 +183,42 @@ class FrameReader:
         if not readable:
             raise FrameTimeout("no frame within deadline")
         # Bounded read keeps one giant frame from monopolizing the call;
-        # the loop in read() comes back for the rest.
-        chunk = _read_fd(self._fd)
+        # the loop in read() comes back for the rest.  A reset connection
+        # is EOF for framing purposes — there is nothing left to resync.
+        try:
+            chunk = _read_fd(self._fd)
+        except OSError:
+            chunk = b""
         if not chunk:
             self._eof = True
             return
         self._buffer.extend(chunk)
 
     def read(self, deadline_at: Optional[float]) -> Optional[Dict[str, Any]]:
-        """One message, or ``None`` on EOF at a frame boundary.
+        """One verified message, or ``None`` on EOF at a frame boundary.
 
         Raises :class:`FrameTimeout` when ``deadline_at`` (monotonic
         seconds) passes first; buffered partial bytes are kept so a
-        later call can finish the frame.
+        later call can finish the frame.  Raises the typed
+        :class:`~repro.errors.ProtocolError` family on corruption; a
+        duplicated frame (stale ``seq``) is dropped, never returned.
         """
         while True:
-            if len(self._buffer) >= _HEADER.size:
-                (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
-                if length > MAX_FRAME_BYTES:
-                    raise ClusterError(
-                        f"frame of {length} bytes exceeds MAX_FRAME_BYTES"
-                    )
-                if len(self._buffer) >= _HEADER.size + length:
-                    body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
-                    del self._buffer[: _HEADER.size + length]
+            if len(self._buffer) >= HEADER_BYTES:
+                length, seq, crc = decode_header(bytes(self._buffer[:HEADER_BYTES]))
+                if len(self._buffer) >= HEADER_BYTES + length:
+                    body = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+                    del self._buffer[: HEADER_BYTES + length]
+                    if frame_crc(seq, body) != crc:
+                        raise FrameCorruptError("crc_mismatch", "frame CRC mismatch")
+                    if seq and seq <= self._last_seq:
+                        continue  # duplicated delivery: drop, keep reading
+                    if seq:
+                        self._last_seq = seq
                     return decode_body(body)
             if self._eof:
                 if self._buffer:
-                    raise ClusterError("EOF mid-frame")
+                    raise ProtocolError("truncated", "EOF mid-frame")
                 return None
             self._fill(deadline_at)
 

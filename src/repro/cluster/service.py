@@ -63,6 +63,7 @@ class ClusterBackend:
         retry_policy: Optional[RetryPolicy] = None,
         recovery_store: Optional[RecoveryStore] = None,
         observability: Optional[Observability] = None,
+        transport: str = "pipe",
     ) -> None:
         if shards < 1:
             raise ClusterError(f"shards must be >= 1, got {shards}")
@@ -77,6 +78,7 @@ class ClusterBackend:
         self.max_failovers = max_failovers
         self.retry_policy = retry_policy
         self.recovery_store = recovery_store
+        self.transport = transport
         self.obs = observability if observability is not None else Observability.disabled()
         self._lock = threading.Lock()
         self._coordinators: Dict[str, Coordinator] = {}
@@ -138,6 +140,7 @@ class ClusterBackend:
         return {
             "kind": "cluster",
             "shards": self.shards,
+            "transport": self.transport,
             "closed": closed,
             "documents": {
                 name: coordinator.health()
@@ -200,6 +203,7 @@ class ClusterBackend:
             retry_policy=self.retry_policy,
             recovery_store=self.recovery_store,
             observability=self.obs,
+            transport=self.transport,
         )
         with self._lock:
             cached = self._coordinators.setdefault(document, built)

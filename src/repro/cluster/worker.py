@@ -1,12 +1,27 @@
 """Shard worker: one subprocess, one partition, a full engine.
 
 Launched by the coordinator as ``python -m repro.cluster.worker --shard
-<id>`` and spoken to over stdin/stdout with the length-prefixed JSON
-frames of :mod:`repro.cluster.protocol` (stderr carries tracebacks and
-is surfaced by the coordinator on failure).  The worker is a plain
-request loop — *all* policy (retries, liveness, failover, merging)
-lives in the coordinator; the worker's one invariant is that its
-resident snapshot only ever advances past a step that completed.
+<id>`` and spoken to with the CRC-checked, sequence-numbered frames of
+:mod:`repro.cluster.protocol` over one of two transports (stderr
+carries tracebacks and is surfaced by the coordinator on failure):
+
+- **pipe** (default): frames over stdin/stdout.  EOF or a corrupt
+  frame ends the process — a pipe cannot be redialed, so the
+  coordinator's failover ladder is the only recovery.
+- **socket** (``--transport socket --connect host:port --token T``):
+  the worker dials the coordinator's listener, authenticates with its
+  per-spawn session token, and serves frames over TCP.  A dropped
+  connection does *not* end the session: the worker redials with
+  exponential backoff for ``--reconnect-window`` seconds, and a reply
+  cache keyed by RPC id answers replayed requests idempotently — a
+  step whose reply was lost in the partition is never re-executed.  A
+  *refused* handshake means the coordinator failed this session over
+  to a fresh worker; the stale worker exits instead of split-braining.
+
+The worker is a plain request loop — *all* policy (retries, liveness,
+failover, merging) lives in the coordinator; the worker's one
+invariant is that its resident snapshot only ever advances past a step
+that completed.
 
 RPCs
 ----
@@ -45,14 +60,16 @@ import argparse
 import os
 import random
 import signal
+import socket
 import sys
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, BinaryIO, Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.protocol import read_frame, write_frame
+from repro.cluster.protocol import encode_frame, read_frame_ex
 from repro.core.engine import Engine
 from repro.core.base import TopKResult
-from repro.errors import EngineCrashError, ReproError
+from repro.core.stats import monotonic_seconds
+from repro.errors import ClusterError, EngineCrashError, ProtocolError, ReproError
 from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
 from repro.faults.supervisor import RetryPolicy
 from repro.recovery.codec import encode_match
@@ -94,6 +111,40 @@ class ProcessFaultArm:
         return None
 
 
+class FrameChannel:
+    """One connection's frame plumbing on the worker side: blocking
+    reads with duplicate suppression, sequence-numbered writes.
+
+    Per-connection by design — a reconnect builds a fresh channel (both
+    peers restart their sequence spaces with the new connection) while
+    the session-level state (engine, snapshot, reply cache) stays on
+    the :class:`ShardWorker`.
+    """
+
+    def __init__(self, rx: BinaryIO, send_bytes: Callable[[bytes], None]) -> None:
+        self._rx = rx
+        self._send_bytes = send_bytes
+        self._last_seq = 0
+        self._out_seq = 0
+
+    def read(self) -> Optional[Dict[str, Any]]:
+        """Next non-duplicate message; ``None`` on clean EOF."""
+        while True:
+            got = read_frame_ex(self._rx)
+            if got is None:
+                return None
+            payload, seq = got
+            if seq and seq <= self._last_seq:
+                continue  # duplicated delivery: drop, keep reading
+            if seq:
+                self._last_seq = seq
+            return payload
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        self._out_seq += 1
+        self._send_bytes(encode_frame(payload, seq=self._out_seq))
+
+
 class ShardWorker:
     """Request-loop state machine for one shard process."""
 
@@ -112,6 +163,14 @@ class ShardWorker:
         self.lost_bound = 0.0
         self.process_faults: Optional[ProcessFaultArm] = None
         self.reply_delay = 0.0
+        # Idempotent-replay cache: the last RPC id answered and its
+        # reply.  After a reconnect the coordinator resends the in-flight
+        # request with the *same* id; if this worker already executed it
+        # (the partition ate the reply, not the request), the cached
+        # reply is returned without re-running the step — which is what
+        # keeps "engine advanced past step N" exactly-once.
+        self.last_reply_id: Optional[Any] = None
+        self.last_reply: Optional[Dict[str, Any]] = None
 
     # -- fault boundary ----------------------------------------------------------
 
@@ -285,25 +344,148 @@ class ShardWorker:
         return {"ok": True}, True
 
 
+def serve(worker: ShardWorker, channel: FrameChannel) -> str:
+    """Drain one connection; returns ``"shutdown"`` (clean exit asked)
+    or ``"lost"`` (EOF, reset, or condemned-by-corruption — the socket
+    main loop redials, the pipe main loop exits into failover)."""
+    while True:
+        try:
+            message = channel.read()
+        except ProtocolError:
+            return "lost"  # corruption condemns the connection
+        except OSError:
+            return "lost"
+        if message is None:
+            return "lost"
+        rpc_id = message.get("id")
+        try:
+            if rpc_id is not None and rpc_id == worker.last_reply_id:
+                # Replayed request: already executed, reply was lost in
+                # transit.  Answer from cache, never re-execute.
+                assert worker.last_reply is not None
+                channel.write(worker.last_reply)
+                continue
+            reply, should_exit = worker.handle(message)
+            if worker.reply_delay > 0:
+                time.sleep(worker.reply_delay)
+            if reply is not None:
+                if rpc_id is not None:
+                    worker.last_reply_id = rpc_id
+                    worker.last_reply = reply
+                channel.write(reply)
+            if should_exit:
+                return "shutdown"
+        except (BrokenPipeError, OSError):
+            return "lost"  # reply undeliverable; it is cached for replay
+
+
+def run_pipe(worker: ShardWorker) -> int:
+    """Pipe mode: one connection, no second chances."""
+    stdout = sys.stdout.buffer
+    channel = FrameChannel(sys.stdin.buffer, lambda data: _write_flush(stdout, data))
+    serve(worker, channel)
+    return 0
+
+
+def _write_flush(stream: BinaryIO, data: bytes) -> None:
+    stream.write(data)
+    stream.flush()
+
+
+def run_socket(
+    worker: ShardWorker,
+    host: str,
+    port: int,
+    token: str,
+    reconnect_window_seconds: float,
+) -> int:
+    """Socket mode: dial, authenticate, serve; redial with exponential
+    backoff when the link drops, for at most the reconnect window per
+    outage.  Exits 0 when told to shut down or when the coordinator
+    refuses the token (this session was failed over — a stale worker
+    must die quietly, not contest the shard)."""
+    give_up_at = monotonic_seconds() + reconnect_window_seconds
+    backoff = 0.05
+    while True:
+        if monotonic_seconds() >= give_up_at:
+            sys.stderr.write(
+                f"shard {worker.shard_id}: reconnect window exhausted\n"
+            )
+            return 1
+        try:
+            sock = socket.create_connection((host, port), timeout=backoff + 1.0)
+        except OSError:
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 1.0)
+            continue
+        sock.settimeout(None)
+        channel = FrameChannel(sock.makefile("rb"), sock.sendall)
+        try:
+            channel.write({"op": "hello", "shard": worker.shard_id, "token": token})
+            ack = channel.read()
+        except (ClusterError, OSError):
+            sock.close()
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 1.0)
+            continue
+        if ack is None or ack.get("op") != "hello":
+            sock.close()
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 1.0)
+            continue
+        if not ack.get("ok"):
+            sock.close()
+            return 0  # refused: superseded session, exit without a fight
+        backoff = 0.05
+        outcome = serve(worker, channel)
+        try:
+            sock.close()
+        except OSError:
+            pass
+        if outcome == "shutdown":
+            return 0
+        give_up_at = monotonic_seconds() + reconnect_window_seconds
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.cluster.worker")
     parser.add_argument("--shard", type=int, required=True, help="shard id")
+    parser.add_argument(
+        "--transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help="frame transport back to the coordinator",
+    )
+    parser.add_argument(
+        "--connect",
+        default="",
+        metavar="HOST:PORT",
+        help="coordinator listener address (socket transport)",
+    )
+    parser.add_argument(
+        "--token",
+        default="",
+        help="session token presented in the hello handshake (socket transport)",
+    )
+    parser.add_argument(
+        "--reconnect-window",
+        type=float,
+        default=30.0,
+        help="seconds to keep redialing after a lost connection (socket transport)",
+    )
     args = parser.parse_args(argv)
 
-    stdin = sys.stdin.buffer
-    stdout = sys.stdout.buffer
     worker = ShardWorker(args.shard)
-    while True:
-        message = read_frame(stdin)
-        if message is None:
-            return 0
-        reply, should_exit = worker.handle(message)
-        if worker.reply_delay > 0:
-            time.sleep(worker.reply_delay)
-        if reply is not None:
-            write_frame(stdout, reply)
-        if should_exit:
-            return 0
+    if args.transport == "pipe":
+        return run_pipe(worker)
+    if not args.connect or not args.token:
+        parser.error("socket transport requires --connect and --token")
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"bad --connect address {args.connect!r}")
+    return run_socket(worker, host or "127.0.0.1", port, args.token, args.reconnect_window)
 
 
 if __name__ == "__main__":

@@ -204,6 +204,77 @@ class ClusterError(ReproError):
     """
 
 
+class ProtocolError(ClusterError):
+    """Typed wire-protocol violation on a coordinator↔worker stream.
+
+    Raised by :mod:`repro.cluster.protocol` when inbound bytes cannot be
+    a well-formed frame: bad magic, an oversized length prefix, a CRC32
+    mismatch, or a stream torn mid-frame.  A protocol error condemns the
+    *connection*, never the worker session — the socket transport
+    reconnects and replays idempotently, the pipe transport fails over.
+
+    Attributes
+    ----------
+    reason:
+        ``bad_magic``, ``oversize``, ``crc_mismatch``, ``truncated`` or
+        ``garbage`` (undecodable body).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        super().__init__(detail or f"protocol error: {reason}")
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame length (declared or encoded) exceeds ``MAX_FRAME_BYTES``.
+
+    Raised *before* any allocation or read of the declared size — a
+    corrupted 4-byte length prefix must never drive an unbounded read.
+
+    Attributes
+    ----------
+    declared_bytes:
+        The length the header claimed.
+    """
+
+    def __init__(self, declared_bytes: int, limit: int) -> None:
+        self.declared_bytes = declared_bytes
+        super().__init__(
+            "oversize",
+            f"frame of {declared_bytes} bytes exceeds MAX_FRAME_BYTES ({limit})",
+        )
+
+
+class FrameCorruptError(ProtocolError):
+    """A frame failed an integrity check (magic or CRC32).
+
+    The byte stream is unusable from here on: framing cannot be resumed
+    after corruption, so readers surface this instead of guessing at a
+    resync point.
+    """
+
+
+class ConnectionLostError(ClusterError):
+    """The transport connection to a shard worker broke (EOF, reset, or
+    an injected PARTITION).  Unlike :class:`WorkerLostError` the worker
+    *process* may still be alive — the socket transport answers this by
+    accepting a redial from the same session, and only escalates to
+    failover when the reconnect ladder is exhausted.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose connection dropped.
+    reason:
+        ``eof``, ``reset``, ``partition`` or ``not_connected``.
+    """
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        self.shard_id = shard_id
+        self.reason = reason
+        super().__init__(f"shard {shard_id} connection lost ({reason})")
+
+
 class WorkerLostError(ClusterError):
     """Raised inside the coordinator's RPC layer when a shard worker
     dies (EOF / broken pipe) or misses its liveness deadline.  Always

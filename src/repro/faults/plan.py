@@ -52,6 +52,22 @@ class FaultAction(enum.Enum):
     #: — slow enough to trip heartbeat misses and retry waits, fast
     #: enough to recover without failover.
     SLOW_PIPE = "slow_pipe"
+    #: Network-level: sever the coordinator↔worker link before the frame
+    #: leaves.  The worker process stays alive; a socket transport
+    #: reconnects and replays, a pipe transport fails over.  Only
+    #: meaningful at :attr:`FaultSite.NET`; executed by the coordinator's
+    #: transport (:mod:`repro.cluster.net`).
+    PARTITION = "partition"
+    #: Network-level: flip a bit in the encoded frame in flight, so the
+    #: receiver's CRC check condemns the connection.
+    CORRUPT_FRAME = "corrupt_frame"
+    #: Network-level: deliver the frame twice; the receiver's sequence
+    #: check must drop the duplicate.
+    DUP_FRAME = "dup_frame"
+    #: Network-level: sever the link on several consecutive sends
+    #: (:data:`repro.cluster.net.RECONNECT_STORM_DROPS`), forcing the
+    #: reconnect backoff ladder to climb before the session resumes.
+    RECONNECT_STORM = "reconnect_storm"
 
 
 class FaultSite(enum.Enum):
@@ -69,6 +85,11 @@ class FaultSite(enum.Enum):
     #: target = shard id as a string.  Armed by the worker process on
     #: every inbound request, not by the in-engine injector.
     WORKER_RPC = "worker_rpc"
+    #: One coordinator→worker frame *send* at the transport boundary;
+    #: target = shard id as a string.  Armed by the coordinator-side
+    #: transport (:class:`repro.cluster.net.NetFaultArm`) on every
+    #: outbound frame, never by the in-engine injector or the worker.
+    NET = "net"
 
 
 #: The sites :meth:`FaultPlan.chaos` draws from.  Deliberately *not*
@@ -254,6 +275,17 @@ class FaultPlan:
     #: in-engine pools above.
     PROCESS_ACTIONS = (FaultAction.KILL, FaultAction.HANG, FaultAction.SLOW_PIPE)
 
+    #: The network-level actions :meth:`net_chaos` draws from.  These act
+    #: on the coordinator↔worker *link* (the worker process survives
+    #: them), so they live in their own pool — adding them to the tuples
+    #: above would reshuffle validated per-seed schedules.
+    NET_ACTIONS = (
+        FaultAction.PARTITION,
+        FaultAction.CORRUPT_FRAME,
+        FaultAction.DUP_FRAME,
+        FaultAction.RECONNECT_STORM,
+    )
+
     @classmethod
     def chaos(
         cls,
@@ -331,6 +363,43 @@ class FaultPlan:
                     times=1,
                     delay_seconds=delay,
                     message=f"worker chaos seed={seed}",
+                )
+            )
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def net_chaos(
+        cls,
+        seed: int,
+        shards: int,
+        max_rules: int = 2,
+    ) -> "FaultPlan":
+        """A network-level fault schedule for a sharded cluster run.
+
+        Every rule targets :attr:`FaultSite.NET` on one shard and fires
+        exactly once on a small outbound-frame index, drawing its action
+        from :attr:`NET_ACTIONS` — each seed deterministically decides
+        *which* link partitions/corrupts/duplicates and *when*.  The
+        frame counter is per-shard (see
+        :class:`repro.cluster.net.NetFaultArm`), so the schedule is
+        independent of cross-shard interleaving.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        rng = random.Random(seed)
+        rules: List[FaultRule] = []
+        for _ in range(rng.randint(1, max_rules)):
+            action = rng.choice(cls.NET_ACTIONS)
+            rules.append(
+                FaultRule(
+                    site=FaultSite.NET,
+                    action=action,
+                    # Targets are compared as strings at the fault
+                    # boundary (the transport arms str(shard_id)).
+                    target=str(rng.randrange(shards)),
+                    nth=rng.randint(2, 8),
+                    times=1,
+                    message=f"net chaos seed={seed}",
                 )
             )
         return cls(rules, seed=seed)

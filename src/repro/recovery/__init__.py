@@ -14,7 +14,11 @@ into machinery:
   after faults);
 - :mod:`~repro.recovery.store` — :class:`RecoveryStore` backends
   (in-memory, JSON files) keyed by request id for the service layer's
-  drain / crash / restart story.
+  drain / crash / restart story;
+- :mod:`~repro.recovery.generations` — :class:`CheckpointGenerations`
+  layering last-N CRC-validated snapshots over any store, so restore
+  can fall back past a corrupted newest checkpoint (the cluster
+  coordinator's failover/rebalancing path rides this).
 
 The engine-side hooks live on :class:`repro.core.base.EngineBase`
 (``checkpoint()`` / ``restore()``); the service-side re-admission lives
@@ -29,6 +33,7 @@ from repro.recovery.codec import (
     restore_engine_state,
     validate_snapshot,
 )
+from repro.recovery.generations import CheckpointGenerations, snapshot_crc
 from repro.recovery.policy import CheckpointPolicy
 from repro.recovery.store import (
     JsonFileRecoveryStore,
@@ -38,6 +43,7 @@ from repro.recovery.store import (
 
 __all__ = [
     "SNAPSHOT_VERSION",
+    "CheckpointGenerations",
     "CheckpointPolicy",
     "JsonFileRecoveryStore",
     "MemoryRecoveryStore",
@@ -46,5 +52,6 @@ __all__ = [
     "encode_engine_state",
     "encode_match",
     "restore_engine_state",
+    "snapshot_crc",
     "validate_snapshot",
 ]

@@ -1,0 +1,111 @@
+"""Checkpoint generations: keep the last N *validated* snapshots.
+
+A single-slot store (key → latest snapshot) has a blind spot the
+cluster's hostile-network work exposed: if the newest checkpoint is
+corrupted — torn on disk, damaged in flight, or truncated by a crash —
+restore has nothing to fall back to and the whole run restarts from
+zero.  :class:`CheckpointGenerations` closes that gap by layering a
+small ring of generations over any :class:`~repro.recovery.store.RecoveryStore`:
+
+- ``save`` appends ``{"generation", "crc", "snapshot"}`` and trims to
+  the newest ``keep`` entries, where ``crc`` is a CRC-32 over the
+  snapshot's canonical JSON form;
+- ``load`` walks newest → oldest and returns the first snapshot whose
+  CRC still matches, skipping (and counting) corrupt entries.
+
+Falling back to an *older* generation is always safe for the cluster:
+shard steps are deterministic, so restoring an earlier checkpoint just
+replays the operations in between and lands on the same state — the
+bit-identical-answer guarantee survives, only some work is redone.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from typing import Any, Dict, List, Optional
+
+from repro.errors import RecoveryError
+from repro.recovery.store import RecoveryStore
+
+
+def snapshot_crc(snapshot: Dict[str, Any]) -> int:
+    """CRC-32 over the snapshot's canonical JSON encoding (sorted keys,
+    no whitespace) — stable across save/load round trips."""
+    text = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class CheckpointGenerations:
+    """Last-``keep`` validated checkpoints per key, over any store.
+
+    The lock guards an in-memory copy of each key's generation ring; the
+    store write happens *outside* the lock (never hold a lock across
+    file I/O — the graph analyzer's WPLG02 rule).  Concurrent savers of
+    the same key may therefore land their store writes out of order, but
+    every write carries the full ring, so the next save self-heals; the
+    cluster saves each shard's key from a single query thread anyway.
+    """
+
+    def __init__(self, store: RecoveryStore, keep: int = 3) -> None:
+        if keep < 1:
+            raise RecoveryError(f"keep must be >= 1, got {keep}")
+        self.store = store
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._rings: Dict[str, List[Dict[str, Any]]] = {}
+
+    def _entries(self, key: str) -> List[Dict[str, Any]]:
+        payload = self.store.load(key)
+        if payload is None:
+            return []
+        entries = payload.get("generations")
+        if not isinstance(entries, list):
+            # A pre-generations single snapshot: treat it as generation 0
+            # so upgrades never lose an existing checkpoint.
+            return [
+                {"generation": 0, "crc": snapshot_crc(payload), "snapshot": payload}
+            ]
+        return entries
+
+    def save(self, key: str, snapshot: Dict[str, Any]) -> None:
+        """Append ``snapshot`` as the newest generation and trim."""
+        # Prime the in-memory ring from the store on first touch, with
+        # the store read outside the lock.
+        with self._lock:
+            primed = key in self._rings
+        loaded = None if primed else self._entries(key)
+        entry = {
+            "generation": 0,
+            "crc": snapshot_crc(snapshot),
+            "snapshot": snapshot,
+        }
+        with self._lock:
+            ring = self._rings.setdefault(key, loaded or [])
+            entry["generation"] = 1 + max(
+                (int(existing.get("generation", 0)) for existing in ring), default=-1
+            )
+            ring.append(entry)
+            del ring[: -self.keep]
+            payload = {"generations": list(ring)}
+        self.store.save(key, payload)
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The newest snapshot whose CRC validates, or ``None``."""
+        for entry in reversed(self._entries(key)):
+            snapshot = entry.get("snapshot")
+            if not isinstance(snapshot, dict):
+                continue
+            if snapshot_crc(snapshot) == int(entry.get("crc", -1)):
+                return snapshot
+        return None
+
+    def generations(self, key: str) -> List[int]:
+        """Stored generation numbers for ``key``, oldest first."""
+        return [int(entry.get("generation", 0)) for entry in self._entries(key)]
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._rings.pop(key, None)
+        self.store.delete(key)

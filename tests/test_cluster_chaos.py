@@ -18,6 +18,7 @@ lands mid-query for the small step budgets used here.
 import pytest
 
 from repro.cluster import Coordinator
+from repro.cluster.net import TRANSPORTS
 from repro.core.engine import Engine
 from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
 from repro.faults.supervisor import RetryPolicy
@@ -246,6 +247,172 @@ def test_failover_exhaustion_loses_the_shard(database):
     assert result.missing_shards == [0]
     assert result.failovers == 0
     assert result.pending_bound > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Network chaos: the transport matrix
+# ---------------------------------------------------------------------------
+
+#: The explicit NET action schedule the transport matrix cycles through,
+#: guaranteeing every seed set covers PARTITION and CORRUPT_FRAME.
+NET_ACTIONS = (
+    FaultAction.PARTITION,
+    FaultAction.CORRUPT_FRAME,
+    FaultAction.DUP_FRAME,
+    FaultAction.RECONNECT_STORM,
+)
+
+
+def net_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.NET,
+                action=NET_ACTIONS[seed % len(NET_ACTIONS)],
+                target=str(seed % 2),
+                nth=2 + (seed // 2) % 3,
+                times=1,
+            )
+        ],
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+@pytest.mark.parametrize("algorithm", ENGINES)
+def test_net_matrix_converges_bit_identical(
+    database, oracles, transport, algorithm
+):
+    """20 seeds × 3 engines × 2 transports: every NET action (partition,
+    frame corruption, duplication, reconnect storm) lands mid-query and
+    the merged answer must still be bit-identical to the fault-free
+    single-process run — regardless of whether recovery rode socket
+    reconnect-and-replay or pipe checkpoint failover."""
+    recovered = 0
+    for seed in SEEDS:
+        with Coordinator(
+            database,
+            shards=2,
+            step_operations=30,
+            transport=transport,
+            recovery_store=MemoryRecoveryStore(),
+            max_failovers=8,  # a pipe reconnect storm burns several
+            **FAST_LADDER,
+        ) as coordinator:
+            result = coordinator.run_query(
+                QUERY,
+                K,
+                algorithm=algorithm,
+                net_faults=net_plan(seed),
+            )
+        assert not result.degraded, (seed, transport, algorithm)
+        assert result.missing_shards == []
+        assert answer_keys(result) == oracles[algorithm], (
+            seed,
+            transport,
+            algorithm,
+        )
+        recovered += result.failovers + result.reconnects
+    # The matrix must actually disturb the link, not schedule faults
+    # that land after the query finished (DUP_FRAME recovers silently,
+    # so the floor is the non-duplicate share of the schedule).
+    assert recovered >= len(SEEDS) // 4
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+@pytest.mark.parametrize("seed", range(6))
+def test_seeded_net_chaos_converges_bit_identical(
+    database, oracles, transport, seed
+):
+    """The randomized plan generator (multiple rules, seeded actions /
+    targets / trigger points) against both transports."""
+    with Coordinator(
+        database,
+        shards=2,
+        step_operations=30,
+        transport=transport,
+        recovery_store=MemoryRecoveryStore(),
+        max_failovers=8,
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(
+            QUERY, K, net_faults=FaultPlan.net_chaos(seed, shards=2)
+        )
+    assert not result.degraded, (seed, transport)
+    assert answer_keys(result) == oracles["whirlpool_s"], (seed, transport)
+
+
+def test_slow_shard_is_rebalanced_by_checkpoint_shipping(database, oracles):
+    """Live rebalancing: a skewed partition plus a persistently throttled
+    shard (SLOW_PIPE on every RPC, delay below the RPC timeout so the
+    retry ladder never trips) must trigger migration — the coordinator
+    ships the shard's newest checkpoint generation to a fresh worker —
+    and the answer must still match the single-process run."""
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.SLOW_PIPE,
+                target="0",
+                every=1,
+                times=100,
+                delay_seconds=0.15,
+            )
+        ],
+        seed=4,
+    )
+    with Coordinator(
+        database,
+        shards=2,
+        skew=0.6,  # pile documents onto shard 0, then throttle it
+        partition_seed=3,
+        step_operations=10,
+        recovery_store=MemoryRecoveryStore(),
+        rebalance_min_latency_seconds=0.1,
+        rebalance_latency_factor=2.0,
+        rebalance_slow_rounds=2,
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, process_faults=plan)
+        health = coordinator.health()
+    assert result.rebalances >= 1, result.rounds
+    assert health["rebalances"] == result.rebalances
+    assert result.failovers == 0  # migration, not crash recovery
+    assert not result.degraded
+    assert answer_keys(result) == oracles["whirlpool_s"]
+
+
+def test_rebalance_disabled_keeps_the_slow_shard(database, oracles):
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.WORKER_RPC,
+                action=FaultAction.SLOW_PIPE,
+                target="0",
+                every=1,
+                times=100,
+                delay_seconds=0.15,
+            )
+        ],
+        seed=4,
+    )
+    with Coordinator(
+        database,
+        shards=2,
+        skew=0.6,
+        partition_seed=3,
+        step_operations=10,
+        recovery_store=MemoryRecoveryStore(),
+        rebalance_min_latency_seconds=0.1,
+        rebalance_latency_factor=2.0,
+        rebalance_slow_rounds=2,
+        rebalance=False,
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(QUERY, K, process_faults=plan)
+    assert result.rebalances == 0
+    assert not result.degraded
+    assert answer_keys(result) == oracles["whirlpool_s"]
 
 
 @pytest.mark.parametrize("seed", range(8))

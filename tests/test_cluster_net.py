@@ -1,0 +1,227 @@
+"""Transport-layer tests: pipe vs. socket, partitions, frame damage.
+
+The contract under test is the tentpole's: whatever the link does —
+partition mid-query, corrupt or duplicate frames, storm through
+reconnects — both transports converge on the bit-identical fault-free
+answer.  The recovery *mechanism* differs by transport and is asserted
+explicitly: a socket partition resumes the same worker session via
+reconnect + idempotent replay (zero failovers), while a pipe partition
+is unrecoverable in place and rides checkpoint-shipping failover
+instead.
+"""
+
+import pytest
+
+from repro.cluster import Coordinator
+from repro.cluster.net import (
+    RECONNECT_STORM_DROPS,
+    TRANSPORTS,
+    NetFaultArm,
+    corrupt_frame_bytes,
+    create_transport,
+)
+from repro.cluster.protocol import encode_frame, frame_crc
+from repro.core.engine import Engine
+from repro.errors import ClusterError
+from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
+from repro.faults.supervisor import RetryPolicy
+from repro.recovery.store import MemoryRecoveryStore
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+K = 4
+
+FAST_LADDER = dict(
+    rpc_timeout_seconds=0.25,
+    liveness_deadline_seconds=1.0,
+    retry_policy=RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0),
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(XMarkConfig(items=40, seed=7))
+
+
+@pytest.fixture(scope="module")
+def oracle(database):
+    return [
+        (tuple(answer.root_node.dewey), round(answer.score, 9))
+        for answer in Engine(database, QUERY).run(K).answers
+    ]
+
+
+def answer_keys(result):
+    return [
+        (tuple(answer.root_node.dewey), round(answer.score, 9))
+        for answer in result.answers
+    ]
+
+
+def net_plan(action, shard=0, nth=3, times=1) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(
+                site=FaultSite.NET,
+                action=action,
+                target=str(shard),
+                nth=nth,
+                times=times,
+            )
+        ],
+        seed=17,
+    )
+
+
+def run(database, transport, plan, **overrides):
+    kwargs = dict(
+        shards=2,
+        step_operations=30,
+        transport=transport,
+        recovery_store=MemoryRecoveryStore(),
+        max_failovers=8,
+        **FAST_LADDER,
+    )
+    kwargs.update(overrides)
+    with Coordinator(database, **kwargs) as coordinator:
+        return coordinator.run_query(QUERY, K, net_faults=plan)
+
+
+# ---------------------------------------------------------------------------
+# Small pieces
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_frame_bytes_breaks_the_crc():
+    frame = encode_frame({"op": "step", "id": 1}, seq=5)
+    damaged = corrupt_frame_bytes(frame)
+    assert len(damaged) == len(frame)
+    assert damaged != frame
+    assert damaged[:-1] == frame[:-1]  # header untouched
+    assert frame_crc(5, damaged[14:]) != frame_crc(5, frame[14:])
+    assert corrupt_frame_bytes(b"") == b""
+
+
+def test_net_fault_arm_is_deterministic_and_targeted():
+    plan = net_plan(FaultAction.PARTITION, shard=0, nth=3, times=1)
+    arm = NetFaultArm(plan, shard_id=0)
+    fired = [arm.arm() for _ in range(6)]
+    assert [rule is not None for rule in fired] == [
+        False, False, True, False, False, False,
+    ]
+    assert fired[2].action is FaultAction.PARTITION
+    # Another shard's link never fires a rule targeted at shard 0.
+    other = NetFaultArm(plan, shard_id=1)
+    assert all(other.arm() is None for _ in range(6))
+    # Same seed, same schedule: the replayed arm fires identically.
+    replay = NetFaultArm(plan, shard_id=0)
+    assert [replay.arm() is not None for _ in range(6)] == [
+        rule is not None for rule in fired
+    ]
+
+
+def test_create_transport_rejects_unknown_kind():
+    with pytest.raises(ClusterError):
+        create_transport("carrier-pigeon", 0)
+
+
+def test_net_chaos_plans_only_contain_net_rules():
+    for seed in range(25):
+        plan = FaultPlan.net_chaos(seed, shards=3)
+        assert plan.rules, seed
+        for rule in plan.rules:
+            assert rule.site is FaultSite.NET
+            assert rule.action in FaultPlan.NET_ACTIONS
+            assert rule.target in {"0", "1", "2"}
+            assert rule.times == 1
+
+
+# ---------------------------------------------------------------------------
+# Differential recovery semantics per transport
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_fault_free_transports_agree_with_single_process(
+    database, oracle, transport
+):
+    result = run(database, transport, plan=None)
+    assert not result.degraded
+    assert result.transport == transport
+    assert result.failovers == 0
+    assert result.reconnects == 0
+    assert answer_keys(result) == oracle
+
+
+def test_socket_partition_resumes_session_without_failover(database, oracle):
+    result = run(database, "socket", net_plan(FaultAction.PARTITION))
+    assert not result.degraded
+    assert result.reconnects >= 1
+    assert result.failovers == 0  # same worker, session resumed by replay
+    assert answer_keys(result) == oracle
+
+
+def test_pipe_partition_fails_over_via_checkpoints(database, oracle):
+    result = run(database, "pipe", net_plan(FaultAction.PARTITION))
+    assert not result.degraded
+    assert result.failovers >= 1  # pipes cannot reconnect: respawn+restore
+    assert answer_keys(result) == oracle
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_duplicated_frames_are_absorbed_silently(database, oracle, transport):
+    result = run(
+        database, transport, net_plan(FaultAction.DUP_FRAME, nth=2, times=3)
+    )
+    assert not result.degraded
+    assert result.failovers == 0
+    assert result.reconnects == 0
+    assert result.heartbeat_misses == 0
+    assert answer_keys(result) == oracle
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_corrupted_frames_are_detected_and_recovered(
+    database, oracle, transport
+):
+    result = run(database, transport, net_plan(FaultAction.CORRUPT_FRAME))
+    assert not result.degraded
+    # The worker tears the connection down on a CRC mismatch; sockets
+    # resume the session, pipes fail over.
+    if transport == "socket":
+        assert result.reconnects >= 1
+        assert result.failovers == 0
+    else:
+        assert result.failovers >= 1
+    assert answer_keys(result) == oracle
+
+
+def test_reconnect_storm_rides_the_backoff_ladder(database, oracle):
+    result = run(database, "socket", net_plan(FaultAction.RECONNECT_STORM))
+    assert not result.degraded
+    assert result.reconnects == RECONNECT_STORM_DROPS
+    assert result.failovers == 0
+    assert answer_keys(result) == oracle
+
+
+def test_health_surfaces_transport_and_connection_state(database):
+    with Coordinator(
+        database,
+        shards=2,
+        transport="socket",
+        recovery_store=MemoryRecoveryStore(),
+        **FAST_LADDER,
+    ) as coordinator:
+        result = coordinator.run_query(
+            QUERY, K, net_faults=net_plan(FaultAction.PARTITION)
+        )
+        health = coordinator.health()
+    assert result.reconnects >= 1
+    assert health["transport"] == "socket"
+    assert health["reconnects"] == result.reconnects
+    assert "rebalances" in health
+    for row in health["per_shard"].values():
+        assert row["connection"] in ("connected", "degraded", "partitioned", "failed")
+        assert row["transport"] == "socket"
+    assert health["per_shard"][0]["reconnects"] >= 1

@@ -9,6 +9,8 @@ only have to exercise orchestration.
 
 import io
 import os
+import random
+import struct
 
 import pytest
 
@@ -26,15 +28,24 @@ from repro.cluster.partition import (
     remap_match_payload,
 )
 from repro.cluster.protocol import (
+    FRAME_MAGIC,
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
     FrameReader,
     FrameTimeout,
     decode_body,
     encode_frame,
     read_frame,
+    read_frame_ex,
     write_frame,
 )
 from repro.core.stats import monotonic_seconds
-from repro.errors import ClusterError
+from repro.errors import (
+    ClusterError,
+    FrameCorruptError,
+    FrameTooLargeError,
+    ProtocolError,
+)
 from repro.faults.plan import FaultAction, FaultPlan, FaultSite
 from repro.faults.supervisor import RetryPolicy
 from repro.xmark.generator import generate_database
@@ -48,7 +59,7 @@ from repro.xmark.schema import XMarkConfig
 
 def test_frame_round_trip():
     payload = {"op": "step", "id": 7, "nested": {"k": [1, 2, 3]}, "text": "héllo"}
-    assert decode_body(encode_frame(payload)[4:]) == payload
+    assert decode_body(encode_frame(payload)[HEADER_BYTES:]) == payload
 
     stream = io.BytesIO()
     write_frame(stream, payload)
@@ -59,14 +70,61 @@ def test_frame_round_trip():
     assert read_frame(stream) is None  # clean EOF
 
 
+def test_frame_sequence_numbers_round_trip():
+    stream = io.BytesIO()
+    write_frame(stream, {"op": "step"}, seq=41)
+    stream.seek(0)
+    got = read_frame_ex(stream)
+    assert got is not None
+    assert got == ({"op": "step"}, 41)
+
+
 def test_read_frame_rejects_torn_stream():
     stream = io.BytesIO()
     write_frame(stream, {"op": "ping"})
     data = stream.getvalue()
-    with pytest.raises(ClusterError):
+    with pytest.raises(ProtocolError):
         read_frame(io.BytesIO(data[: len(data) - 2]))  # truncated body
-    with pytest.raises(ClusterError):
+    with pytest.raises(ProtocolError):
         read_frame(io.BytesIO(data[:2]))  # truncated header
+
+
+def test_oversize_length_prefix_is_rejected_before_any_read():
+    # Regression: a corrupted 4-byte length prefix used to drive an
+    # unbounded read/allocation.  The declared length must be rejected
+    # from the header alone, as a typed error, on both read paths.
+    header = struct.pack(">HIII", FRAME_MAGIC, MAX_FRAME_BYTES + 1, 0, 0)
+    with pytest.raises(FrameTooLargeError) as exc_info:
+        read_frame(io.BytesIO(header))
+    assert exc_info.value.declared_bytes == MAX_FRAME_BYTES + 1
+    assert exc_info.value.reason == "oversize"
+
+    read_fd, write_fd = os.pipe()
+    try:
+        os.write(write_fd, header)
+        with pytest.raises(FrameTooLargeError):
+            FrameReader(read_fd).read(deadline_at=monotonic_seconds() + 1.0)
+    finally:
+        os.close(read_fd)
+        os.close(write_fd)
+
+
+def test_bad_magic_and_crc_mismatch_are_typed_errors():
+    frame = bytearray(encode_frame({"op": "ping"}, seq=1))
+    flipped_magic = bytes([frame[0] ^ 0xFF]) + bytes(frame[1:])
+    with pytest.raises(FrameCorruptError) as exc_info:
+        read_frame(io.BytesIO(flipped_magic))
+    assert exc_info.value.reason == "bad_magic"
+
+    flipped_body = bytes(frame[:-1]) + bytes([frame[-1] ^ 0x01])
+    with pytest.raises(FrameCorruptError) as exc_info:
+        read_frame(io.BytesIO(flipped_body))
+    assert exc_info.value.reason == "crc_mismatch"
+
+
+def test_encode_frame_enforces_the_cap():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
 
 
 def test_frame_reader_preserves_partial_frames_across_timeouts():
@@ -91,6 +149,103 @@ def test_frame_reader_preserves_partial_frames_across_timeouts():
         os.close(read_fd)
         if write_fd >= 0:
             os.close(write_fd)
+
+
+def test_frame_reader_drops_duplicated_frames():
+    read_fd, write_fd = os.pipe()
+    try:
+        reader = FrameReader(read_fd)
+        first = encode_frame({"op": "step", "id": 1}, seq=1)
+        second = encode_frame({"op": "step", "id": 2}, seq=2)
+        # Duplicate delivery of seq 1 (and a replay of it after seq 2)
+        # must vanish; unsequenced frames (seq 0) are never deduplicated.
+        os.write(write_fd, first + first + second + first)
+        os.write(write_fd, encode_frame({"op": "ping"}, seq=0))
+        os.write(write_fd, encode_frame({"op": "ping"}, seq=0))
+        deadline = monotonic_seconds() + 1.0
+        assert reader.read(deadline) == {"op": "step", "id": 1}
+        assert reader.read(deadline) == {"op": "step", "id": 2}
+        assert reader.read(deadline) == {"op": "ping"}
+        assert reader.read(deadline) == {"op": "ping"}
+    finally:
+        os.close(read_fd)
+        os.close(write_fd)
+
+
+def _feed_reader(data: bytes):
+    """Run ``data`` through a pipe-backed FrameReader to exhaustion,
+    collecting every outcome (decoded frame, EOF, or typed error)."""
+    read_fd, write_fd = os.pipe()
+    outcomes = []
+    try:
+        os.write(write_fd, data)
+        os.close(write_fd)
+        write_fd = -1
+        reader = FrameReader(read_fd)
+        while True:
+            try:
+                frame = reader.read(deadline_at=monotonic_seconds() + 1.0)
+            except ProtocolError as exc:
+                outcomes.append(exc)
+                return outcomes
+            except ClusterError as exc:  # read past EOF after an error
+                outcomes.append(exc)
+                return outcomes
+            if frame is None:
+                outcomes.append(None)
+                return outcomes
+            outcomes.append(frame)
+    finally:
+        os.close(read_fd)
+        if write_fd >= 0:
+            os.close(write_fd)
+
+
+def test_frame_reader_fuzz_never_returns_garbage():
+    """Satellite: truncated / bit-flipped / duplicated byte streams may
+    only ever produce valid decoded frames, a clean EOF (None), or the
+    typed protocol errors — never an unhandled exception or a frame that
+    was not actually sent."""
+    rng = random.Random(0xC0FFEE)
+    valid_payloads = [
+        {"op": "step", "id": n, "data": "x" * rng.randrange(0, 64)} for n in range(4)
+    ]
+    valid_frames = [
+        encode_frame(payload, seq=n + 1) for n, payload in enumerate(valid_payloads)
+    ]
+    stream = b"".join(valid_frames)
+    cases = []
+    # Truncations at every prefix length (header cuts, body cuts).
+    cases.extend(stream[:cut] for cut in range(0, len(valid_frames[0]) + 8))
+    cases.append(stream[: len(stream) - 3])
+    # Single-bit flips at seeded positions.
+    for _ in range(200):
+        position = rng.randrange(len(stream))
+        bit = 1 << rng.randrange(8)
+        mutated = bytearray(stream)
+        mutated[position] ^= bit
+        cases.append(bytes(mutated))
+    # Duplicated frames and duplicated raw chunks.
+    cases.append(valid_frames[0] * 3 + valid_frames[1])
+    cases.append(stream + stream)
+    chunk = stream[: rng.randrange(1, len(stream))]
+    cases.append(stream + chunk)
+    # Pure garbage.
+    cases.append(bytes(rng.randrange(256) for _ in range(64)))
+
+    for data in cases:
+        outcomes = _feed_reader(data)
+        assert outcomes, "reader must always produce at least one outcome"
+        for outcome in outcomes[:-1]:
+            # Everything before the terminal outcome must be a frame that
+            # was genuinely sent.
+            assert outcome in valid_payloads, outcome
+        terminal = outcomes[-1]
+        assert (
+            terminal is None
+            or isinstance(terminal, (ProtocolError, ClusterError))
+            or terminal in valid_payloads
+        ), terminal
 
 
 # ---------------------------------------------------------------------------
