@@ -64,6 +64,13 @@ SHARED_CLASSES: Set[str] = {
     "Transport",
     "PipeTransport",
     "SocketTransport",
+    # Index hot path: servers are shared when the service reuses cached
+    # engines across worker threads, their probe memo / count caches are
+    # written per probe, columnar indexes rebuild their arenas on insert,
+    # and probe-cost accounting is bumped from every server thread.
+    "Server",
+    "ColumnarTagIndex",
+    "ProbeCost",
 }
 
 #: Mutating container methods that count as writes when called on a

@@ -235,8 +235,10 @@ def default_watched_classes() -> List[type]:
     from repro.core.whirlpool_m import _InFlight
     from repro.obs.metrics import Counter, Gauge, Histogram
     from repro.obs.slowlog import SlowQueryLog
+    from repro.core.server import Server
     from repro.obs.spans import Span
     from repro.recovery.store import JsonFileRecoveryStore, MemoryRecoveryStore
+    from repro.xmldb.index import ColumnarTagIndex, ProbeCost
 
     return [
         TopKSet,
@@ -257,6 +259,9 @@ def default_watched_classes() -> List[type]:
         ClusterBackend,
         PipeTransport,
         SocketTransport,
+        Server,
+        ColumnarTagIndex,
+        ProbeCost,
     ]
 
 

@@ -373,6 +373,55 @@ def fig10_vary_k(
     return payload
 
 
+def fig10_backend_speedup(
+    doc: str = None, k_values: Sequence[int] = (3, 15, 75)
+) -> Dict:
+    """Index-backend comparison on the fig10 workload (ROADMAP item 2).
+
+    Runs the fig10 query/k matrix once per index backend over the same
+    document and reports, per query: the *deterministic* probe cost in
+    modeled boxed component comparisons (see
+    :class:`repro.xmldb.index.ProbeCost` — identical probe sequences, so
+    the ratio isolates the encoding) and the wall seconds of the sweep
+    (machine-noisy; the engines' own machinery dominates at bench scale,
+    so the wall numbers mostly bound the regression risk rather than show
+    the win).  Answers are bit-identical across backends — the
+    differential tests assert that; this driver only measures cost.
+    """
+    import time as _time
+
+    from repro.bench.workloads import get_database
+    from repro.xmldb.index import INDEX_BACKENDS
+
+    doc = doc or DEFAULTS["doc"]
+    database = get_database(doc)
+    payload: Dict = {"doc": doc, "k_values": list(k_values), "series": {}}
+    totals: Dict[str, int] = {}
+    for query in QUERIES:
+        per_backend: Dict[str, Dict] = {}
+        for backend in INDEX_BACKENDS:
+            engine = Engine(database, QUERIES[query], index_backend=backend)
+            engine.index.reset_probe_cost()
+            started = _time.perf_counter()
+            for k in k_values:
+                run_whirlpool_s(engine, k)
+                run_whirlpool_m_sim(engine, k)
+            wall = _time.perf_counter() - started
+            units, probes = engine.index.probe_cost()
+            per_backend[backend] = {
+                "probe_units": units,
+                "probes": probes,
+                "wall_s": wall,
+            }
+            totals[backend] = totals.get(backend, 0) + units
+        payload["series"][query] = per_backend
+    payload["total_units"] = dict(totals)
+    payload["speedup_units"] = (
+        totals["object"] / totals["columnar"] if totals.get("columnar") else 0.0
+    )
+    return payload
+
+
 def fig11_vary_docsize(
     k: int = None, docs: Sequence[str] = ("1M", "10M", "50M")
 ) -> Dict:

@@ -52,7 +52,7 @@ import sys
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.bench.experiments import fig10_vary_k
+from repro.bench.experiments import fig10_backend_speedup, fig10_vary_k
 from repro.bench.obs_overhead import obs_overhead_payload
 from repro.bench.params import bench_scale
 
@@ -95,6 +95,25 @@ def fig10_records(payload: Dict) -> Iterator[Dict]:
                 )
 
 
+def backend_records(payload: Dict) -> Iterator[Dict]:
+    """Records for the index-backend comparison on the fig10 workload.
+
+    Probe units are modeled boxed component comparisons — deterministic,
+    so future PRs gate them exactly (a columnar regression shows up as a
+    unit increase).  Wall seconds ride along as noisy records.  The
+    speedup *ratio* is intentionally not emitted as a record: the compare
+    gate treats growth as regression, and a faster columnar backend grows
+    the ratio.  It lives in the payload/docs instead.
+    """
+    for query, per_backend in payload["series"].items():
+        for backend, entry in per_backend.items():
+            case = f"{query}/{backend}"
+            yield record(
+                "fig10_backend", case, "probe_units", "units", entry["probe_units"]
+            )
+            yield record("fig10_backend", case, "wall", "s", entry["wall_s"])
+
+
 def obs_records(payload: Dict) -> Iterator[Dict]:
     case = f"{payload['query']}/k={payload['k']}"
     for configuration, wall in payload["walls"].items():
@@ -118,6 +137,7 @@ def build(
     """Run the trajectory benches and assemble the artifact payload."""
     records: List[Dict] = []
     records.extend(fig10_records(fig10_vary_k(k_values=tuple(k_values))))
+    records.extend(backend_records(fig10_backend_speedup(k_values=tuple(k_values))))
     records.extend(
         obs_records(obs_overhead_payload(obs_query, k=obs_k, rounds=obs_rounds))
     )
@@ -234,6 +254,38 @@ def compare(current: Dict, baseline: Dict, threshold: float) -> Dict:
     }
 
 
+def noise_floor(repeats: int, **build_kwargs) -> Dict:
+    """Measure the machine's wall-clock noise floor over bench repeats.
+
+    Runs the trajectory benches ``repeats`` times and, for every
+    noisy-unit record, computes the relative spread ``(max - min) / min``
+    across the runs.  The *floor* is the worst spread observed — the band
+    below which a wall-clock "regression" on this machine is
+    indistinguishable from noise.  ROADMAP item 2 flips the CI wall-clock
+    band from advisory to blocking only where the measured floor is
+    comfortably below the gate threshold.
+    """
+    samples: Dict[tuple, List[float]] = {}
+    for _ in range(repeats):
+        payload = build(pr=0, **build_kwargs)
+        for entry in payload["records"]:
+            if entry["unit"] in NOISY_UNITS:
+                key = (entry["bench"], entry["case"], entry["metric"])
+                samples.setdefault(key, []).append(float(entry["value"]))
+    spreads: Dict[tuple, float] = {}
+    for key, values in samples.items():
+        low, high = min(values), max(values)
+        spreads[key] = (high - low) / low if low > 0 else 0.0
+    worst_key = max(spreads, key=lambda key: spreads[key]) if spreads else None
+    return {
+        "repeats": repeats,
+        "records": len(spreads),
+        "floor": max(spreads.values()) if spreads else 0.0,
+        "worst": "/".join(worst_key) if worst_key else None,
+        "spreads": {"/".join(key): spread for key, spread in sorted(spreads.items())},
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.trajectory",
@@ -269,6 +321,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="relative noise band for wall-clock metrics (default: 0.5)",
     )
     parser.add_argument(
+        "--noise-floor",
+        type=int,
+        default=None,
+        metavar="REPEATS",
+        help="instead of emitting an artifact, run the benches REPEATS "
+        "times and report the worst relative spread among wall-clock "
+        "records — the machine's noise floor for the --threshold band",
+    )
+    parser.add_argument(
         "--noisy-advisory",
         action="store_true",
         help="report wall-clock regressions without failing on them: the "
@@ -279,6 +340,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     k_values = tuple(int(part) for part in args.k_values.split(",") if part)
+    if args.noise_floor is not None:
+        report = noise_floor(
+            args.noise_floor, k_values=k_values, obs_rounds=args.rounds
+        )
+        for key, spread in report["spreads"].items():
+            print(f"  {key}: spread {spread:+.1%}")
+        print(
+            f"noise floor over {report['repeats']} repeats: "
+            f"{report['floor']:.1%} (worst: {report['worst']}); "
+            f"wall-clock band --threshold {args.threshold:.0%} is "
+            f"{'SAFE to block on' if report['floor'] < args.threshold / 2 else 'too tight'} "
+            "for this machine"
+        )
+        return 0
     payload = build(args.pr, k_values=k_values, obs_rounds=args.rounds)
     out = args.out or Path(f"BENCH_PR{args.pr}.json")
     out.write_text(serialize(payload), encoding="utf-8")

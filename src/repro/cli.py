@@ -249,6 +249,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "its slice instead of being migrated via checkpoint shipping",
     )
     cluster.add_argument(
+        "--index-backend",
+        choices=("columnar", "object"),
+        default=None,
+        help="per-shard tag-index backend (default: $REPRO_INDEX_BACKEND, "
+        "then columnar); shipped to every worker so the fleet agrees",
+    )
+    cluster.add_argument(
         "--no-failover",
         action="store_true",
         help="disable checkpoint-shipping failover: a lost shard degrades "
@@ -623,6 +630,7 @@ def _cmd_cluster(args) -> int:
         step_operations=args.step_ops,
         transport=args.transport,
         rebalance=not args.no_rebalance,
+        index_backend=args.index_backend,
     ) as coordinator:
         result = coordinator.run_query(
             args.xpath,

@@ -101,6 +101,7 @@ from repro.recovery.codec import decode_match
 from repro.recovery.generations import CheckpointGenerations
 from repro.recovery.store import MemoryRecoveryStore, RecoveryStore
 from repro.xmldb.dewey import Dewey, dewey_str, parse_dewey
+from repro.xmldb.index import resolve_index_backend
 from repro.xmldb.model import Database
 
 _STATS_COUNTERS = (
@@ -554,6 +555,7 @@ class Coordinator:
         rebalance_min_latency_seconds: float = 0.25,
         rebalance_slow_rounds: int = 2,
         rebalance: bool = True,
+        index_backend: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise ClusterError(f"shards must be >= 1, got {shards}")
@@ -572,6 +574,11 @@ class Coordinator:
         self.database = database
         self.shards = shards
         self.step_operations = step_operations
+        # Resolved once here (explicit > $REPRO_INDEX_BACKEND > default)
+        # and shipped to every worker in the begin payload, so the whole
+        # fleet builds its shard indexes on one backend regardless of the
+        # workers' own environments.
+        self.index_backend = resolve_index_backend(index_backend)
         self.heartbeat_interval_seconds = heartbeat_interval_seconds
         self.max_failovers = max_failovers
         self.transport = transport
@@ -915,6 +922,7 @@ class Coordinator:
             "relaxed": relaxed,
             "contributions": contributions,
             "step_operations": step_ops,
+            "index_backend": self.index_backend,
         }
         if engine_faults is not None:
             begin_payload["engine_faults"] = engine_faults.as_dict()
@@ -1304,7 +1312,9 @@ class Coordinator:
             engine = self._engines.get(key)
         if engine is not None:
             return engine
-        built = Engine(self.database, query, relaxed=relaxed)
+        built = Engine(
+            self.database, query, relaxed=relaxed, index_backend=self.index_backend
+        )
         with self._lock:
             engine = self._engines.setdefault(key, built)
         return engine

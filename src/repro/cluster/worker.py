@@ -236,6 +236,10 @@ class ShardWorker:
             str(message["query"]),
             relaxed=bool(message.get("relaxed", True)),
             score_model=ScoreModel.from_contributions(message["contributions"]),
+            # Shipped by the coordinator so every shard builds its index
+            # on the same backend; absent (old coordinator) falls back to
+            # this worker's own environment/default.
+            index_backend=message.get("index_backend"),
         )
         faults_payload = message.get("engine_faults")
         self.engine_faults = (

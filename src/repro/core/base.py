@@ -342,6 +342,27 @@ class EngineBase:
         self._notify_extension(parent, extension, "alive")
         return extension
 
+    def absorb_extensions(
+        self,
+        extensions: Sequence[PartialMatch],
+        parent: Optional[PartialMatch] = None,
+    ) -> List[PartialMatch]:
+        """Absorb one server operation's whole extension batch, in order.
+
+        One queue pop produces every sibling extension of the popped match
+        at once (the server's probe memo already amortizes the index probe
+        across the router's sizing call and the operation itself); engines
+        absorb the batch through this single call so the pop → probe →
+        absorb unit stays one step, and only the surviving extensions come
+        back for re-queueing.
+        """
+        survivors: List[PartialMatch] = []
+        for extension in extensions:
+            survivor = self.absorb_extension(extension, parent=parent)
+            if survivor is not None:
+                survivors.append(survivor)
+        return survivors
+
     def _notify_extension(
         self,
         parent: Optional[PartialMatch],

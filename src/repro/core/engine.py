@@ -90,11 +90,17 @@ class Engine:
         normalization: str = "sparse",
         seed: int = 0,
         score_model: Optional[ScoreModel] = None,
+        index_backend: Optional[str] = None,
     ) -> None:
         self.database = database
         self.pattern = parse_xpath(query) if isinstance(query, str) else query
         self.relaxed = relaxed
-        self.index = DatabaseIndex(database, tags=self.pattern.tags())
+        # index_backend: "columnar" (flat array('I') Dewey arenas, the
+        # default) or "object" (per-node tuple lists); None defers to
+        # $REPRO_INDEX_BACKEND.  Both produce bit-identical answers.
+        self.index = DatabaseIndex(
+            database, tags=self.pattern.tags(), backend=index_backend
+        )
         self.statistics = DatabaseStatistics(self.index)
         if score_model is not None:
             self.score_model = score_model
@@ -270,12 +276,20 @@ def topk(
     """One-shot convenience: build an :class:`Engine` and run it once.
 
     Engine-construction keyword arguments (``relaxed``, ``scoring``,
-    ``normalization``, ``seed``, ``score_model``) and run arguments
-    (``routing``, ``static_order``, ``queue_policy``) are both accepted.
+    ``normalization``, ``seed``, ``score_model``, ``index_backend``) and
+    run arguments (``routing``, ``static_order``, ``queue_policy``) are
+    both accepted.
     """
     engine_kwargs = {
         key: kwargs.pop(key)
-        for key in ("relaxed", "scoring", "normalization", "seed", "score_model")
+        for key in (
+            "relaxed",
+            "scoring",
+            "normalization",
+            "seed",
+            "score_model",
+            "index_backend",
+        )
         if key in kwargs
     }
     engine = Engine(database, query, **engine_kwargs)

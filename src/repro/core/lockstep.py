@@ -113,12 +113,10 @@ class LockStep(EngineBase):
                 )
                 if extensions is None:  # abandoned; supervisor holds the bound
                     continue
-                for extension in extensions:
-                    if self.prune:
-                        survivor = self.absorb_extension(extension, parent=match)
-                        if survivor is not None:
-                            survivors.append(survivor)
-                    else:
+                if self.prune:
+                    survivors.extend(self.absorb_extensions(extensions, parent=match))
+                else:
+                    for extension in extensions:
                         extension.refresh_bound(self.max_contributions)
                         complete = extension.is_complete(self.server_ids)
                         self.topk.observe(extension, complete)

@@ -29,10 +29,12 @@ filters.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.match import PartialMatch
 from repro.core.stats import ExecutionStats
+from repro.query.predicates import compiled_axis_test
 from repro.relax.plan import ServerPredicates
 from repro.scoring.model import MatchQuality, ScoreModel
 from repro.xmldb.dewey import Dewey
@@ -41,6 +43,13 @@ from repro.xmldb.model import XMLNode
 
 if TYPE_CHECKING:
     from repro.faults.inject import FaultInjector
+
+#: Probe-memo capacity per server.  The memo amortizes one index probe
+#: across the router's sizing call and the server operation(s) for the
+#: same root image; clearing wholesale at the cap keeps eviction
+#: deterministic (entries are pure functions of the root image, so a
+#: recompute after a clear returns identical values).
+PROBE_MEMO_CAP = 512
 
 
 class CandidateCounts:
@@ -114,8 +123,20 @@ class Server:
         self.join_algorithm = join_algorithm
         self._injector = injector
         self._root_tag: Optional[str] = None
+        # One lock covers every piece of per-server cached state: servers
+        # are shared whenever the service layer hands one cached engine to
+        # several worker threads, and Whirlpool-M probes from every server
+        # thread.  Dict reads/writes below must happen under it.
+        self._cache_lock = threading.Lock()
         self._estimates_cache: Optional[RoutingEstimates] = None
         self._count_cache: Dict[Dewey, CandidateCounts] = {}
+        # root image -> (survivors, probe_comparisons): the post-value-
+        # filter candidates with their precomputed exact-quality flags,
+        # plus the comparison count the probe charged (pre-filter).  Both
+        # the router's candidate_counts() and process() draw from it, so
+        # a popped match's sibling extensions pay for one probe total.
+        self._probe_memo: Dict[Dewey, Tuple[Tuple[Tuple[XMLNode, bool], ...], int]] = {}
+        self._exact_test = compiled_axis_test(spec.tag, spec.exact_root_axis)
 
     def _probe(self, root_dewey: Dewey) -> Tuple[List[XMLNode], int]:
         """Locate candidates; returns (candidates, comparisons_paid)."""
@@ -133,6 +154,39 @@ class Server:
             if self.spec.probe_axis.matches(root_dewey, node.dewey)
         ]
         return candidates, len(all_nodes)
+
+    def _probe_shared(
+        self, root_dewey: Dewey
+    ) -> Tuple[Tuple[Tuple[XMLNode, bool], ...], int]:
+        """Memoized probe for one root image.
+
+        Returns ``(survivors, comparisons)``: the value-filtered candidates
+        paired with their exact-root-axis verdicts, and the comparison
+        count the underlying probe paid (the *pre*-filter candidate count —
+        what :meth:`process` reports to ``ExecutionStats``, so memo hits
+        and misses produce identical stats).  Entries are pure functions of
+        the root image; on a miss the probe runs outside the lock (a
+        concurrent duplicate probe is benign and both writers store equal
+        values).
+        """
+        with self._cache_lock:
+            entry = self._probe_memo.get(root_dewey)
+        if entry is not None:
+            return entry
+        spec = self.spec
+        candidates, comparisons = self._probe(root_dewey)
+        exact_test = self._exact_test
+        survivors = tuple(
+            (candidate, exact_test(root_dewey, candidate.dewey))
+            for candidate in candidates
+            if spec.value_matches(candidate.value)
+        )
+        entry = (survivors, comparisons)
+        with self._cache_lock:
+            if len(self._probe_memo) >= PROBE_MEMO_CAP:
+                self._probe_memo.clear()
+            self._probe_memo[root_dewey] = entry
+        return entry
 
     @property
     def node_id(self) -> int:
@@ -167,14 +221,10 @@ class Server:
 
         spec = self.spec
         root_dewey = match.root_node.dewey
-        candidates, comparisons = self._probe(root_dewey)
+        survivors, comparisons = self._probe_shared(root_dewey)
 
         extensions: List[PartialMatch] = []
-        for candidate in candidates:
-            if not spec.value_matches(candidate.value):
-                continue
-
-            exact = spec.exact_root_axis.matches(root_dewey, candidate.dewey)
+        for candidate, exact in survivors:
             if not self.relaxed:
                 # Exact mode: the conditional predicate sequence is a
                 # mandatory filter — every instantiated related node must
@@ -223,8 +273,9 @@ class Server:
 
     def set_root_tag(self, root_tag: str) -> None:
         """Tell the server its query root tag (needed for fan-out estimates)."""
-        self._root_tag = root_tag
-        self._estimates_cache = None
+        with self._cache_lock:
+            self._root_tag = root_tag
+            self._estimates_cache = None
 
     def routing_estimates(self) -> "RoutingEstimates":
         """Fan-out statistics driving the size-based router.
@@ -234,9 +285,13 @@ class Server:
         the fraction of root images with an empty probe (those spawn the
         single outer-join deleted extension).  The analog of the paper's
         "estimates... obtained by using work on selectivity estimation for
-        XML".
+        XML".  The scan draws on the shared probe memo, pre-warming it for
+        the root images the engines are about to pop.  Computed outside
+        the cache lock (it probes the index); a concurrent duplicate
+        computation stores an identical value.
         """
-        cached = self._estimates_cache
+        with self._cache_lock:
+            cached = self._estimates_cache
         if cached is not None:
             return cached
         root_tag = self._root_tag
@@ -251,28 +306,20 @@ class Server:
             exact_total = 0
             empty = 0
             for anchor in anchors:
-                related = self.index.related(
-                    self.spec.tag, anchor.dewey, self.spec.probe_axis
-                )
-                if self.spec.value is not None:
-                    related = [
-                        node for node in related if self.spec.value_matches(node.value)
-                    ]
-                total += len(related)
-                exact_total += sum(
-                    1
-                    for node in related
-                    if self.spec.exact_root_axis.matches(anchor.dewey, node.dewey)
-                )
-                if not related:
+                survivors, _ = self._probe_shared(anchor.dewey)
+                total += len(survivors)
+                exact_total += sum(1 for _, exact in survivors if exact)
+                if not survivors:
                     empty += 1
             estimates = RoutingEstimates(
                 fanout_total=total / len(anchors),
                 fanout_exact=exact_total / len(anchors),
                 p_empty=empty / len(anchors),
             )
-        self._estimates_cache = estimates
-        return estimates
+        with self._cache_lock:
+            if self._estimates_cache is None:
+                self._estimates_cache = estimates
+            return self._estimates_cache
 
     def estimated_fanout(self) -> float:
         """Mean candidate count per root image (shortcut for tests)."""
@@ -283,25 +330,20 @@ class Server:
 
         This is the size-based router's per-match signal: how many
         extensions this server would spawn for a match anchored at
-        ``root_dewey``.  Cached per root image — the probe repeats the
-        index work the eventual server operation does, which is precisely
-        the "cost of adaptivity" the paper's Figure 8 charges.
+        ``root_dewey``.  Cached per root image, and computed from the
+        shared probe memo — so the sizing probe and the eventual server
+        operation pay for one index probe between them (the "cost of
+        adaptivity" the paper's Figure 8 charges is the memo fill).
         """
-        cache = self._count_cache
-        counts = cache.get(root_dewey)
+        with self._cache_lock:
+            counts = self._count_cache.get(root_dewey)
         if counts is not None:
             return counts
-        related = self.index.related(self.spec.tag, root_dewey, self.spec.probe_axis)
-        if self.spec.value is not None:
-            related = [node for node in related if self.spec.value_matches(node.value)]
-        exact = sum(
-            1
-            for node in related
-            if self.spec.exact_root_axis.matches(root_dewey, node.dewey)
-        )
-        counts = CandidateCounts(total=len(related), exact=exact)
-        cache[root_dewey] = counts
-        return counts
+        survivors, _ = self._probe_shared(root_dewey)
+        exact = sum(1 for _, is_exact in survivors if is_exact)
+        counts = CandidateCounts(total=len(survivors), exact=exact)
+        with self._cache_lock:
+            return self._count_cache.setdefault(root_dewey, counts)
 
     def __repr__(self) -> str:
         mode = "relaxed" if self.relaxed else "exact"

@@ -237,10 +237,8 @@ class WhirlpoolM(EngineBase):
                 return
             if extensions is None:  # abandoned; supervisor holds the bound
                 return
-            for extension in extensions:
-                survivor = self.absorb_extension(extension, parent=match)
-                if survivor is not None:
-                    safe_put(router_queue, "queue:router", survivor)
+            for survivor in self.absorb_extensions(extensions, parent=match):
+                safe_put(router_queue, "queue:router", survivor)
 
         def router_loop() -> None:
             while not stop.is_set():

@@ -86,10 +86,8 @@ class WhirlpoolS(EngineBase):
                 continue
             if extensions is None:  # abandoned; supervisor holds the bound
                 continue
-            for extension in extensions:
-                survivor = self.absorb_extension(extension, parent=match)
-                if survivor is not None:
-                    self.put_or_abandon(router_queue, "queue:router", survivor)
+            for survivor in self.absorb_extensions(extensions, parent=match):
+                self.put_or_abandon(router_queue, "queue:router", survivor)
 
         self.stats.stop_clock()
         return self.make_result(

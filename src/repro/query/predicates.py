@@ -15,10 +15,71 @@ test, when present).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.query.pattern import PatternNode, TreePattern
-from repro.xmldb.dewey import DepthRange
+from repro.xmldb.dewey import DepthRange, Dewey
+
+#: A compiled axis evaluator: ``test(anchor, node) -> bool``, equivalent to
+#: ``axis.matches(anchor, node)`` but specialized to the axis shape.
+AxisTest = Callable[[Dewey, Dewey], bool]
+
+#: Compiled component-predicate tests, keyed by ``(tag, DepthRange)``.
+#: Every engine build for the same query shape re-derives the same handful
+#: of composed axes; compiling once per (tag, axis) pair keeps the hot
+#: loop's exact-quality checks monomorphic closures instead of generic
+#: ``DepthRange.matches`` calls.  Guarded by a lock: engines are built from
+#: service worker threads.
+_COMPILED_AXIS_TESTS: Dict[Tuple[str, DepthRange], AxisTest] = {}
+_COMPILED_AXIS_LOCK = threading.Lock()
+
+
+def _compile_axis(axis: DepthRange) -> AxisTest:
+    """Specialize ``axis.matches`` to the axis shape (self / unbounded /
+    bounded).  Must stay semantically identical to
+    :meth:`DepthRange.matches` — the differential tests compare them."""
+    lo, hi = axis.lo, axis.hi
+    if lo == 0 and hi == 0:
+        def test(anchor: Dewey, node: Dewey) -> bool:
+            return anchor == node
+    elif hi is None:
+        def test(anchor: Dewey, node: Dewey) -> bool:
+            return len(node) - len(anchor) >= lo and node[: len(anchor)] == anchor
+    else:
+        def test(anchor: Dewey, node: Dewey) -> bool:
+            diff = len(node) - len(anchor)
+            return lo <= diff <= hi and node[: len(anchor)] == anchor
+    return test
+
+
+def compiled_axis_test(tag: str, axis: DepthRange) -> AxisTest:
+    """The compiled evaluator for component predicate ``(tag, axis)``.
+
+    ``tag`` keys the cache alongside the axis so per-predicate entries stay
+    inspectable (two query nodes with equal composed axes but different
+    tags are distinct predicates even though their tests are extensionally
+    equal).  Double-checked under the lock; compiling twice is harmless.
+    """
+    key = (tag, axis)
+    test = _COMPILED_AXIS_TESTS.get(key)
+    if test is None:
+        test = _compile_axis(axis)
+        with _COMPILED_AXIS_LOCK:
+            test = _COMPILED_AXIS_TESTS.setdefault(key, test)
+    return test
+
+
+def compiled_axis_cache_size() -> int:
+    """Number of cached compiled predicates (test observability)."""
+    with _COMPILED_AXIS_LOCK:
+        return len(_COMPILED_AXIS_TESTS)
+
+
+def clear_compiled_axis_tests() -> None:
+    """Drop the compiled-predicate cache (test isolation)."""
+    with _COMPILED_AXIS_LOCK:
+        _COMPILED_AXIS_TESTS.clear()
 
 
 class ComponentPredicate:

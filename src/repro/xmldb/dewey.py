@@ -115,7 +115,14 @@ def subtree_interval(dewey: Dewey) -> Tuple[Dewey, Dewey]:
     Any node ``n`` satisfies ``lo <= n.dewey < hi`` iff ``n`` is the node
     itself or one of its descendants; the bound works because Dewey tuples
     compare lexicographically.  Used for index range scans.
+
+    The empty Dewey ``()`` names no node (every attached node carries at
+    least its document ordinal), so it has no subtree and is rejected with
+    :class:`ValueError` instead of the ``IndexError`` the tuple arithmetic
+    used to raise.
     """
+    if not dewey:
+        raise ValueError("the empty Dewey names no node and has no subtree interval")
     return dewey, dewey[:-1] + (dewey[-1] + 1,)
 
 
@@ -174,10 +181,19 @@ class DepthRange:
 
         ``pc`` relaxes to ``ad``; any composed bounded range relaxes to
         descendant-at-any-depth.  ``self`` stays ``self``.
+
+        Relaxation may only *widen* the predicate (Algorithm 1's
+        ``getComposition`` substitutes the relaxed axis wherever the exact
+        one fails): the result always :meth:`subsumes` the original.  In
+        particular a self-inclusive range (``lo == 0``) keeps the self
+        case and relaxes to descendant-or-self — dropping it would evict
+        valid matches from relaxed answers.
         """
-        if self.lo == 0 and self.hi == 0:
+        if self.hi == 0:
             return self
-        return DepthRange(min(self.lo, 1) or 1, None)
+        if self.lo == 0:
+            return DepthRange(0, None)
+        return DepthRange(1, None)
 
     def subsumes(self, other: "DepthRange") -> bool:
         """True iff every pair related by ``other`` is related by ``self``."""

@@ -61,10 +61,18 @@ class XMLNode:
         return self.add_child(XMLNode(tag, value))
 
     def _assign_deweys(self, dewey: Dewey) -> None:
-        """Recursively stamp this subtree with Dewey ids rooted at ``dewey``."""
-        self.dewey = dewey
-        for ordinal, child in enumerate(self.children):
-            child._assign_deweys(dewey + (ordinal,))
+        """Stamp this subtree with Dewey ids rooted at ``dewey``.
+
+        Iterative on an explicit stack: document depth is data-controlled
+        (the columnar index arena has no depth limit), so stamping must not
+        be bounded by the interpreter recursion limit.
+        """
+        stack = [(self, dewey)]
+        while stack:
+            node, node_dewey = stack.pop()
+            node.dewey = node_dewey
+            for ordinal, child in enumerate(node.children):
+                stack.append((child, node_dewey + (ordinal,)))
 
     # -- navigation --------------------------------------------------------
 

@@ -1,0 +1,140 @@
+"""Backend differential matrix: columnar and object indexes are bit-identical.
+
+The columnar backend is a pure representation change — every observable of
+a run (top-k answers, the ``pending_bound`` certificate, every
+``ExecutionStats`` counter) must match the object backend exactly, on
+every seed, engine, and workload.  Only the *probe cost* accounting may
+differ: that difference is the measured speedup, asserted at the end.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.params import QUERIES
+from repro.bench.workloads import get_database
+from repro.cluster import Coordinator
+from repro.core.engine import Engine
+from repro.xmark.generator import generate_database
+from repro.xmark.schema import XMarkConfig
+from repro.xmldb.model import Database, XMLNode
+
+SEEDS = range(20)
+ALGORITHMS = ("whirlpool_s", "lockstep", "lockstep_noprun")
+TAGS = ("r", "x", "y", "z")
+
+#: ExecutionStats keys that are machine noise, not semantics.
+_NOISY_STATS = {"wall_time_seconds"}
+
+
+def _random_database(rng: random.Random) -> Database:
+    def build(depth):
+        node = XMLNode(rng.choice(TAGS))
+        if depth > 0:
+            for _ in range(rng.randint(0, 3)):
+                node.add_child(build(depth - 1))
+        return node
+
+    roots = [build(3) for _ in range(rng.randint(1, 3))]
+    roots.append(XMLNode("r"))
+    for root in roots:
+        if rng.random() < 0.7 and root.tag != "r":
+            root.tag = "r"
+    return Database.from_roots(roots)
+
+
+def _random_xpath(rng: random.Random) -> str:
+    axes = ("/", "//")
+    steps = [f".{rng.choice(axes)}{rng.choice(TAGS[1:])}" for _ in range(rng.randint(1, 3))]
+    return "//r[" + " and ".join(steps) + "]"
+
+
+def _fingerprint(result):
+    stats = {
+        key: value
+        for key, value in result.stats.as_dict().items()
+        if key not in _NOISY_STATS
+    }
+    return (
+        [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in result.answers
+        ],
+        round(result.pending_bound, 9),
+        stats,
+    )
+
+
+class TestRandomMatrix:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_backends_bit_identical_across_engines(self, seed):
+        rng = random.Random(seed)
+        database = _random_database(rng)
+        xpath = _random_xpath(rng)
+        k = rng.randint(1, 5)
+        engines = {
+            backend: Engine(database, xpath, index_backend=backend)
+            for backend in ("object", "columnar")
+        }
+        for algorithm in ALGORITHMS:
+            prints = {
+                backend: _fingerprint(engine.run(k, algorithm=algorithm))
+                for backend, engine in engines.items()
+            }
+            assert prints["columnar"] == prints["object"], (seed, algorithm, xpath)
+
+
+class TestFig10Workloads:
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_backends_bit_identical_on_fig10(self, query):
+        database = get_database()
+        engines = {
+            backend: Engine(database, QUERIES[query], index_backend=backend)
+            for backend in ("object", "columnar")
+        }
+        for k in (3, 15, 75):
+            prints = {
+                backend: _fingerprint(engine.run(k, algorithm="whirlpool_s"))
+                for backend, engine in engines.items()
+            }
+            assert prints["columnar"] == prints["object"], (query, k)
+
+    def test_columnar_probe_units_beat_object_on_fig10(self):
+        database = get_database()
+        totals = {}
+        for backend in ("object", "columnar"):
+            units = 0
+            for query in QUERIES.values():
+                engine = Engine(database, query, index_backend=backend)
+                engine.index.reset_probe_cost()
+                engine.run(15, algorithm="whirlpool_s")
+                units += engine.index.probe_cost()[0]
+            totals[backend] = units
+        # The acceptance bar: >= 1.5x fewer modeled comparisons.
+        assert totals["object"] >= 1.5 * totals["columnar"], totals
+
+
+class TestClusterSocket:
+    def test_backends_agree_across_socket_cluster(self):
+        database = generate_database(XMarkConfig(items=40, seed=7))
+        query = QUERIES["Q2"]
+        answers = {}
+        for backend in ("object", "columnar"):
+            with Coordinator(
+                database,
+                shards=2,
+                transport="socket",
+                index_backend=backend,
+            ) as coordinator:
+                result = coordinator.run_query(query, 4)
+            assert coordinator.index_backend == backend
+            answers[backend] = [
+                (tuple(answer.root_node.dewey), round(answer.score, 9))
+                for answer in result.answers
+            ]
+        assert answers["columnar"] == answers["object"]
+        single = [
+            (tuple(answer.root_node.dewey), round(answer.score, 9))
+            for answer in Engine(database, query).run(4).answers
+        ]
+        assert answers["columnar"] == single

@@ -157,7 +157,7 @@ class TestTrajectory:
         assert keys == sorted(keys)
         assert len(keys) == len(set(keys)), "duplicate record keys"
         benches = {r["bench"] for r in payload["records"]}
-        assert benches == {"fig10_vary_k", "obs_overhead"}
+        assert benches == {"fig10_vary_k", "fig10_backend", "obs_overhead"}
         for entry in payload["records"]:
             assert set(entry) == {"bench", "case", "metric", "unit", "value"}
 
@@ -189,12 +189,75 @@ class TestTrajectory:
         assert payload["config"]["fig10_k_values"] == [1]
         assert payload["records"]
 
+    def test_backend_speedup_payload(self):
+        payload = experiments.fig10_backend_speedup(k_values=(1,))
+        assert set(payload["series"]) == set(QUERIES)
+        for per_backend in payload["series"].values():
+            assert set(per_backend) == {"columnar", "object"}
+            for cell in per_backend.values():
+                assert cell["probe_units"] > 0
+                assert cell["probes"] > 0
+                assert cell["wall_s"] >= 0
+            # Identical probe sequences, cheaper columnar units.
+            assert (
+                per_backend["columnar"]["probes"] == per_backend["object"]["probes"]
+            )
+        assert payload["speedup_units"] >= 1.5
+
+    def test_backend_records_shape(self):
+        payload = experiments.fig10_backend_speedup(k_values=(1,))
+        records = list(trajectory.backend_records(payload))
+        by_metric = {}
+        for entry in records:
+            assert entry["bench"] == "fig10_backend"
+            by_metric.setdefault(entry["metric"], []).append(entry)
+        # probe_units gates as a deterministic unit; wall stays noisy.
+        assert all(e["unit"] == "units" for e in by_metric["probe_units"])
+        assert all(e["unit"] == "s" for e in by_metric["wall"])
+        cases = {e["case"] for e in by_metric["probe_units"]}
+        assert cases == {
+            f"{query}/{backend}"
+            for query in QUERIES
+            for backend in ("columnar", "object")
+        }
+        # No speedup-ratio record: the gate would read growth of a
+        # deterministic unit as a regression.
+        assert set(by_metric) == {"probe_units", "wall"}
+
+    def test_noise_floor_report(self):
+        report = trajectory.noise_floor(2, k_values=(1,), obs_rounds=1)
+        assert report["repeats"] == 2
+        assert report["records"] > 0
+        assert report["floor"] >= 0
+        assert report["worst"] in report["spreads"]
+        assert all(key.count("/") >= 2 for key in report["spreads"])
+
+    def test_noise_floor_cli_skips_artifact(self, tmp_path, capsys):
+        out = tmp_path / "never_written.json"
+        code = trajectory.main(
+            [
+                "--pr",
+                "99",
+                "--out",
+                str(out),
+                "--k-values",
+                "1",
+                "--rounds",
+                "1",
+                "--noise-floor",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert not out.exists()
+        assert "noise floor over 2 repeats" in capsys.readouterr().out
+
     def test_serialize_is_stable(self):
         payload = {"schema_version": 1, "pr": 6, "records": []}
         assert trajectory.serialize(payload) == trajectory.serialize(payload)
         assert trajectory.serialize(payload).endswith("\n")
 
-    @pytest.mark.parametrize("pr", [6, 7])
+    @pytest.mark.parametrize("pr", [6, 7, 8, 9])
     def test_checked_in_artifact_matches_schema(self, pr):
         artifact = Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
         payload = json.loads(artifact.read_text(encoding="utf-8"))

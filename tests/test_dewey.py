@@ -59,6 +59,10 @@ class TestBasicPredicates:
         assert not (lo <= (0, 2) < hi)
         assert not (lo <= (0, 0, 9) < hi)
 
+    def test_subtree_interval_rejects_empty_dewey(self):
+        with pytest.raises(ValueError):
+            dw.subtree_interval(())
+
     def test_dewey_str_roundtrip(self):
         assert dw.dewey_str((0, 2, 1)) == "0.2.1"
         assert dw.parse_dewey("0.2.1") == (0, 2, 1)
@@ -101,6 +105,19 @@ class TestDepthRange:
         assert DepthRange(2, 2).relaxed() == DepthRange.ad()
         assert DepthRange.ad().relaxed() == DepthRange.ad()
         assert DepthRange.self_axis().relaxed() == DepthRange.self_axis()
+
+    def test_relaxed_never_narrows_zero_lo(self):
+        # Regression: relaxing a range that already admits the anchor
+        # itself (lo == 0) must keep admitting it.  The old code mapped
+        # every non-self range to (1, None), silently dropping the
+        # self-match and making relaxation unsound.
+        assert DepthRange(0, 2).relaxed() == DepthRange(0, None)
+        assert DepthRange(0, 0).relaxed() == DepthRange(0, 0)
+        assert DepthRange(0, None).relaxed() == DepthRange(0, None)
+        anchor, node = (0, 1), (0, 1)
+        loose = DepthRange(0, 2)
+        assert loose.matches(anchor, node)
+        assert loose.relaxed().matches(anchor, node)
 
     def test_subsumes(self):
         assert DepthRange.ad().subsumes(DepthRange.pc())
@@ -186,3 +203,28 @@ class TestDepthRangeProperties:
     def test_subsumes_reflexive(self, lo, extra):
         axis = DepthRange(lo, lo + extra)
         assert axis.subsumes(axis)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [DepthRange.self_axis(), DepthRange.pc(), DepthRange.ad()]
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_relaxed_subsumes_original_over_compositions(self, axes):
+        # Every range reachable by composing the query axes must only
+        # widen under relaxation: matches lost here are matches the
+        # adaptive engine would wrongly prune after relaxing an edge.
+        composed = axes[0]
+        for axis in axes[1:]:
+            composed = composed.compose(axis)
+        assert composed.relaxed().subsumes(composed)
+
+    @given(st.integers(0, 4), st.integers(0, 4))
+    def test_relaxed_subsumes_arbitrary_bounded(self, lo, extra):
+        axis = DepthRange(lo, lo + extra)
+        assert axis.relaxed().subsumes(axis)
+        unbounded = DepthRange(lo, None)
+        assert unbounded.relaxed().subsumes(unbounded)

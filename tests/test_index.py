@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.xmldb.dewey import DepthRange
-from repro.xmldb.index import DatabaseIndex, TagIndex
+from repro.xmldb.index import (
+    DEFAULT_INDEX_BACKEND,
+    INDEX_BACKEND_ENV,
+    INDEX_BACKENDS,
+    MAX_ARENA_COMPONENT,
+    ColumnarTagIndex,
+    DatabaseIndex,
+    TagIndex,
+    resolve_index_backend,
+)
 from repro.xmldb.model import Database, XMLNode, build_tree
 from repro.xmldb.parser import parse_document
 
@@ -98,6 +107,127 @@ class TestDatabaseIndex:
         assert set(index.tags()) == {"a", "b", "c", "d"}
 
 
+class TestBackendSelection:
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv(INDEX_BACKEND_ENV, "object")
+        assert resolve_index_backend("columnar") == "columnar"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(INDEX_BACKEND_ENV, "object")
+        assert resolve_index_backend() == "object"
+
+    def test_default_is_columnar(self, monkeypatch):
+        monkeypatch.delenv(INDEX_BACKEND_ENV, raising=False)
+        assert resolve_index_backend() == DEFAULT_INDEX_BACKEND == "columnar"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_index_backend("btree")
+        monkeypatch.setenv(INDEX_BACKEND_ENV, "btree")
+        with pytest.raises(ValueError):
+            resolve_index_backend()
+
+    def test_database_index_honours_backend(self, small_db):
+        for backend in INDEX_BACKENDS:
+            index = DatabaseIndex(small_db, backend=backend)
+            assert index.backend == backend
+            assert index["c"].backend == backend
+
+
+class TestColumnarTagIndex:
+    def test_probe_equivalence_on_fixture(self, small_db):
+        obj = DatabaseIndex(small_db, backend="object")
+        col = DatabaseIndex(small_db, backend="columnar")
+        anchors = [node.dewey for node in small_db.iter_nodes()]
+        axes = [
+            DepthRange.self_axis(),
+            DepthRange.pc(),
+            DepthRange.ad(),
+            DepthRange(0, None),
+            DepthRange(0, 2),
+            DepthRange(2, 2),
+            DepthRange(2, None),
+            DepthRange(1, 3),
+        ]
+        for tag in obj.tags():
+            for anchor in anchors:
+                assert obj[tag].in_subtree(anchor) == col[tag].in_subtree(anchor)
+                assert obj[tag].in_subtree(
+                    anchor, include_self=True
+                ) == col[tag].in_subtree(anchor, include_self=True)
+                assert obj[tag].count_in_subtree(anchor) == col[tag].count_in_subtree(
+                    anchor
+                )
+                for axis in axes:
+                    assert obj[tag].related(anchor, axis) == col[tag].related(
+                        anchor, axis
+                    )
+
+    def test_unbounded_deep_axis_filters_shallow_nodes(self):
+        # Regression: DepthRange(2, None) must not take the pure-slice
+        # shortcut — depth-1 children sit inside the subtree interval but
+        # are not grandchildren-or-deeper.
+        db = parse_document("<a><c/><b><c/><b><c/></b></b></a>")
+        index = ColumnarTagIndex("c", db.nodes_with_tag("c"))
+        root = db.documents[0].root
+        hits = index.related(root.dewey, DepthRange(2, None))
+        assert [len(node.dewey) - len(root.dewey) for node in hits] == [2, 3]
+
+    def test_insert_keeps_order_and_columns(self):
+        db = parse_document("<a><b/><b/></a>")
+        index = ColumnarTagIndex("b", db.nodes_with_tag("b"))
+        late = XMLNode("b")
+        db.documents[0].root.add_child(late)
+        index.insert(late)
+        deweys = [node.dewey for node in index.all()]
+        assert deweys == sorted(deweys)
+        assert len(index) == 3
+        root = db.documents[0].root
+        assert index.in_subtree(root.dewey) == index.all()
+
+    def test_insert_rejects_wrong_tag(self):
+        index = ColumnarTagIndex("b")
+        with pytest.raises(ValueError):
+            index.insert(XMLNode("c"))
+
+    def test_oversized_component_rejected(self):
+        node = XMLNode("b")
+        node.dewey = (0, MAX_ARENA_COMPONENT)
+        with pytest.raises(ValueError):
+            ColumnarTagIndex("b", [node])
+        largest = XMLNode("b")
+        largest.dewey = (0, MAX_ARENA_COMPONENT - 1)
+        index = ColumnarTagIndex("b", [largest])
+        assert index.in_subtree((0,)) == [largest]
+
+    def test_probe_cost_accounting(self, small_db):
+        index = DatabaseIndex(small_db, backend="columnar")
+        index.reset_probe_cost()
+        assert index.probe_cost() == (0, 0)
+        root = small_db.documents[0].root
+        index["c"].in_subtree(root.dewey)
+        index["c"].related(root.dewey, DepthRange.pc())
+        units, probes = index.probe_cost()
+        assert probes == 2
+        assert units > 0
+        index.reset_probe_cost()
+        assert index.probe_cost() == (0, 0)
+
+    def test_columnar_charges_fewer_units_than_object(self, small_db):
+        obj = DatabaseIndex(small_db, backend="object")
+        col = DatabaseIndex(small_db, backend="columnar")
+        root = small_db.documents[0].root
+        for index in (obj, col):
+            index.reset_probe_cost()
+            for tag in index.tags():
+                index[tag].related(root.dewey, DepthRange.ad())
+                index[tag].related(root.dewey, DepthRange(1, 2))
+        obj_units, obj_probes = obj.probe_cost()
+        col_units, col_probes = col.probe_cost()
+        assert obj_probes == col_probes
+        assert col_units < obj_units
+
+
 # -- property: related() agrees with the brute-force definition ---------------
 
 _branches = st.integers(min_value=0, max_value=3)
@@ -130,8 +260,8 @@ def _random_axis(draw):
 class TestRelatedProperty:
     @settings(max_examples=60)
     @given(_random_db(), _random_axis())
-    def test_related_matches_bruteforce(self, db, axis):
-        index = DatabaseIndex(db)
+    def test_related_matches_bruteforce_both_backends(self, db, axis):
+        indexes = [DatabaseIndex(db, backend=backend) for backend in INDEX_BACKENDS]
         all_nodes = list(db.iter_nodes())
         for anchor in all_nodes:
             expected = sorted(
@@ -139,7 +269,8 @@ class TestRelatedProperty:
                 for node in all_nodes
                 if node.tag == "y" and axis.matches(anchor.dewey, node.dewey)
             )
-            got = sorted(
-                node.dewey for node in index.related("y", anchor.dewey, axis)
-            )
-            assert got == expected
+            for index in indexes:
+                got = sorted(
+                    node.dewey for node in index.related("y", anchor.dewey, axis)
+                )
+                assert got == expected, index.backend

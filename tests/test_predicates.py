@@ -3,7 +3,14 @@
 import pytest
 
 from repro.query.pattern import pattern_from_spec
-from repro.query.predicates import ComponentPredicate, component_predicates, composed_axis
+from repro.query.predicates import (
+    ComponentPredicate,
+    clear_compiled_axis_tests,
+    compiled_axis_cache_size,
+    compiled_axis_test,
+    component_predicates,
+    composed_axis,
+)
 from repro.query.xpath import parse_xpath
 from repro.xmldb.dewey import DepthRange
 
@@ -88,3 +95,34 @@ class TestComponentPredicates:
         assert rendered == ["a[./b]", "a[./c]", "a[.[depth 2..inf]/d]"]
         # a -> c (pc) -> d (ad) composes to depth >= 2; its relaxation is ad.
         assert predicates[2].relaxed_axis == DepthRange.ad()
+
+
+class TestCompiledAxisTests:
+    def setup_method(self):
+        clear_compiled_axis_tests()
+
+    def teardown_method(self):
+        clear_compiled_axis_tests()
+
+    def test_cache_keyed_by_tag_and_axis(self):
+        first = compiled_axis_test("item", DepthRange.pc())
+        assert compiled_axis_test("item", DepthRange(1, 1)) is first
+        assert compiled_axis_test("name", DepthRange.pc()) is not first
+        assert compiled_axis_test("item", DepthRange.ad()) is not first
+        assert compiled_axis_cache_size() == 3
+
+    def test_specializations_agree_with_matches(self):
+        anchor = (0, 1)
+        nodes = [(0, 1), (0, 1, 0), (0, 1, 0, 2), (0, 2), (0, 1, 0, 0, 1)]
+        for axis in (
+            DepthRange.self_axis(),
+            DepthRange.pc(),
+            DepthRange.ad(),
+            DepthRange(0, None),
+            DepthRange(0, 2),
+            DepthRange(2, 2),
+            DepthRange(2, None),
+        ):
+            test = compiled_axis_test("t", axis)
+            for node in nodes:
+                assert test(anchor, node) == axis.matches(anchor, node), (axis, node)

@@ -221,3 +221,60 @@ class TestJoinAlgorithms:
         # Two title nodes exist in the fixture; the scan compares both
         # even though only one lies under this root.
         assert stats.join_comparisons == 2
+
+
+class TestProbeMemo:
+    def test_memo_hit_produces_identical_stats(self, db, index):
+        pattern, servers = _servers(index)
+        server = servers[1]
+        per_run = []
+        for _ in range(2):
+            stats = ExecutionStats()
+            server.process(_seed(db), stats)
+            per_run.append(stats.as_dict())
+            per_run[-1].pop("wall_time_seconds")
+        assert per_run[0] == per_run[1]
+
+    def test_memo_shared_with_candidate_counts(self, db, index):
+        pattern, servers = _servers(index)
+        server = servers[1]
+        counts = server.candidate_counts((0, 0))
+        survivors, _ = server._probe_shared((0, 0))
+        assert counts.total == len(survivors)
+        assert counts.exact == sum(1 for _, exact in survivors if exact)
+        assert (0, 0) in server._probe_memo
+
+    def test_memo_cap_clears_wholesale_and_recomputes_identically(self, db, index):
+        from repro.core import server as server_module
+
+        pattern, servers = _servers(index)
+        server = servers[1]
+        before, _ = server._probe_shared((0, 0))
+        # Fill to the cap with synthetic root images; the next store clears.
+        with server._cache_lock:
+            for ordinal in range(server_module.PROBE_MEMO_CAP):
+                server._probe_memo[(9, ordinal)] = ((), 0)
+        after, _ = server._probe_shared((0, 2))
+        assert (9, 0) not in server._probe_memo
+        recomputed, _ = server._probe_shared((0, 0))
+        assert recomputed == before
+
+    def test_concurrent_probes_agree(self, db, index):
+        import threading
+
+        pattern, servers = _servers(index)
+        server = servers[1]
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            entry = server._probe_shared((0, 0))
+            with lock:
+                results.append(entry)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1
