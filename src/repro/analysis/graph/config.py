@@ -30,6 +30,15 @@ from typing import Dict, List, Sequence, Tuple
 #: names (``errors``, ``cli``) cover that single module.
 LAYER_CONTRACT: Sequence[Tuple[str, Sequence[str]]] = (
     ("foundation", ("errors",)),
+    # The clock seam sits below everything timed: ``sim.clock`` imports
+    # only the stdlib, and core/faults/simulate/cluster all route their
+    # sleeps and deadline reads through it (as ``import repro.sim.clock``
+    # so the edge targets this prefix, not the package).  Entries match
+    # in contract order (see ``layers.py``), so this one must precede
+    # the broad ``sim`` entry — the harness side of ``sim``, which
+    # drives engines and clusters, lands in the *high* layer below
+    # ``bench``.
+    ("clock", ("sim.clock",)),
     ("storage", ("xmldb",)),
     ("corpus", ("xmark", "biblio")),
     ("query", ("query",)),
@@ -42,6 +51,7 @@ LAYER_CONTRACT: Sequence[Tuple[str, Sequence[str]]] = (
     ("recovery", ("recovery",)),
     ("service", ("service",)),
     ("cluster", ("cluster",)),
+    ("sim", ("sim",)),
     ("bench", ("bench",)),
     ("top", ("cli", "analysis", "__main__", "")),
 )

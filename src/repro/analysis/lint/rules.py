@@ -1,4 +1,4 @@
-"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL009``).
+"""Repo-specific concurrency-discipline lint rules (``WPL001``–``WPL010``).
 
 Each rule encodes one invariant Whirlpool-M's correctness (or the bench
 suite's honesty) rests on.  They are deliberately narrow: a rule that
@@ -71,6 +71,10 @@ SHARED_CLASSES: Set[str] = {
     "Server",
     "ColumnarTagIndex",
     "ProbeCost",
+    # Simulation layer: the installed clock is process-global — every
+    # engine/service/cluster thread reads it, and a VirtualClock's warp
+    # offset is bumped from whichever thread sleeps first.
+    "VirtualClock",
 }
 
 #: Mutating container methods that count as writes when called on a
@@ -727,6 +731,71 @@ class NoPickleSnapshotRule(Rule):
                     )
 
 
+class NoDirectSleepRule(Rule):
+    """WPL010: no direct ``time.sleep`` in ``repro`` outside the clock seam.
+
+    Deterministic simulation rests on a single choke point for blocking
+    on time: :mod:`repro.sim.clock`.  A stray ``time.sleep`` elsewhere is
+    invisible to the :class:`~repro.sim.clock.VirtualClock` — it burns
+    real wall seconds in every simulated chaos run *and* introduces a
+    pacing wait no fault schedule can warp past, quietly breaking the
+    ≥2× wall-time contract the simulation layer documents.  Pacing goes
+    through ``simclock.sleep``/``simclock.wait``; progress waits on
+    conditions go through ``simclock.wait_for``; only ``sim/clock.py``
+    itself may call ``time.sleep``.
+    """
+
+    code = "WPL010"
+    name = "no-direct-sleep"
+    description = "direct time.sleep in repro code (route through repro.sim.clock)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        if module.path.name == "clock.py" and module.in_package("sim"):
+            return
+        time_aliases: Set[str] = set()
+        direct_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        direct_names.add(alias.asname or alias.name)
+                        yield self.finding(
+                            module,
+                            node,
+                            "importing time.sleep bypasses the clock seam "
+                            "(use repro.sim.clock.sleep)",
+                        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "direct time.sleep() is invisible to the VirtualClock; "
+                    "route the wait through repro.sim.clock",
+                )
+            elif isinstance(func, ast.Name) and func.id in direct_names:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{func.id}() is time.sleep — route the wait through "
+                    f"repro.sim.clock",
+                )
+
+
 def default_rules() -> List[Rule]:
     """One fresh instance of every built-in rule, code order."""
     return [
@@ -739,4 +808,5 @@ def default_rules() -> List[Rule]:
         UnboundedServiceQueueRule(),
         NoWallclockDurationRule(),
         NoPickleSnapshotRule(),
+        NoDirectSleepRule(),
     ]

@@ -238,6 +238,7 @@ def default_watched_classes() -> List[type]:
     from repro.core.server import Server
     from repro.obs.spans import Span
     from repro.recovery.store import JsonFileRecoveryStore, MemoryRecoveryStore
+    from repro.sim.clock import VirtualClock
     from repro.xmldb.index import ColumnarTagIndex, ProbeCost
 
     return [
@@ -262,6 +263,7 @@ def default_watched_classes() -> List[type]:
         Server,
         ColumnarTagIndex,
         ProbeCost,
+        VirtualClock,
     ]
 
 

@@ -8,6 +8,9 @@ Installed as ``python -m repro``::
     python -m repro generate --size 1000000 --seed 7 -o auction.xml
     python -m repro metrics --requests 40 --format prom
     python -m repro recover --store ./recovery --populate 8
+    python -m repro sim explore --budget 40
+    python -m repro sim replay --corpus tests/fixtures/sim
+    python -m repro sim walltime --seeds 6 --json
     python -m repro bench fig5
 
 Every subcommand is a thin shell over the library API; anything the CLI
@@ -360,6 +363,70 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+
+    sim = commands.add_parser(
+        "sim",
+        help="deterministic simulation: explore fault schedules, replay "
+        "the reproducer corpus, measure the virtual-clock speedup",
+    )
+    sim.add_argument(
+        "action",
+        choices=("explore", "replay", "walltime"),
+        help="explore: randomized+perturbation schedule search (shrinks "
+        "any violation to a minimal reproducer); replay: re-run corpus "
+        "fixtures and compare verdicts byte-for-byte; walltime: run a "
+        "chaos sweep under real and virtual clocks and report the "
+        "wall-time reduction",
+    )
+    sim.add_argument(
+        "--budget", type=int, default=40, help="explore: simulated runs to spend"
+    )
+    sim.add_argument("--seed", type=int, default=0, help="explore: search seed")
+    sim.add_argument(
+        "--kind",
+        choices=("engine", "cluster"),
+        default="engine",
+        help="explore: scenario kind (cluster adds worker/net faults)",
+    )
+    sim.add_argument(
+        "--transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help="explore: cluster transport",
+    )
+    sim.add_argument(
+        "--shards", type=int, default=2, help="explore: cluster shard count"
+    )
+    sim.add_argument(
+        "--items", type=int, default=40, help="scenario XMark document size"
+    )
+    sim.add_argument("-k", type=int, default=4, help="scenario top-k size")
+    sim.add_argument(
+        "--out",
+        metavar="DIR",
+        help="explore: write shrunk reproducer fixtures into DIR",
+    )
+    sim.add_argument(
+        "--corpus",
+        default="tests/fixtures/sim",
+        metavar="DIR",
+        help="replay: fixture corpus directory",
+    )
+    sim.add_argument(
+        "--seeds", type=int, default=6, help="walltime: chaos seeds to sweep"
+    )
+    sim.add_argument(
+        "--delay",
+        type=float,
+        default=0.05,
+        help="walltime: max injected DELAY per chaos rule (seconds)",
+    )
+    sim.add_argument(
+        "--real-clock",
+        action="store_true",
+        help="explore/replay: run on the real clock instead of warping",
+    )
+    sim.add_argument("--json", action="store_true", help="machine-readable output")
 
     bench = commands.add_parser("bench", help="run one experiment driver")
     bench.add_argument(
@@ -876,6 +943,133 @@ def _cmd_recover(args) -> int:
     return 0 if unresolved == 0 else 2
 
 
+def _cmd_sim(args) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.sim.explore import explore
+    from repro.sim.harness import SimHarness, SimScenario
+    from repro.sim.shrink import replay_fixture, shrink, write_fixture
+
+    if args.action == "explore":
+        scenario = SimScenario(
+            kind=args.kind,
+            k=args.k,
+            xmark_items=args.items,
+            shards=args.shards,
+            transport=args.transport,
+        )
+        harness = SimHarness(scenario, virtual=not args.real_clock)
+        violations, stats = explore(
+            scenario, budget=args.budget, seed=args.seed, harness=harness
+        )
+        reproducers = []
+        for index, violation in enumerate(violations):
+            minimal = shrink(harness, violation.schedule)
+            run = harness.run(minimal)
+            entry = {
+                "schedule": minimal.describe(),
+                "violated": [v.name for v in run.report.violations()],
+            }
+            if args.out:
+                out_dir = Path(args.out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                name = f"violation_{index}"
+                entry["fixture"] = str(
+                    write_fixture(out_dir / f"{name}.json", scenario, run, name)
+                )
+            reproducers.append(entry)
+        payload = {"stats": stats.as_dict(), "reproducers": reproducers}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"explored {stats.runs} schedules "
+                f"({stats.random_runs} random, {stats.perturbed_runs} perturbed) "
+                f"in {stats.wall_seconds:.2f}s wall, "
+                f"{stats.warped_seconds:.2f}s warped away"
+            )
+            for entry in reproducers:
+                print(f"  violation: {' + '.join(entry['schedule'])}")
+        return 1 if violations else 0
+
+    if args.action == "replay":
+        corpus = sorted(Path(args.corpus).glob("*.json"))
+        if not corpus:
+            print(f"error: no fixtures under {args.corpus!r}", file=sys.stderr)
+            return 2
+        results = []
+        for path in corpus:
+            replay = replay_fixture(path, virtual=not args.real_clock)
+            results.append(
+                {
+                    "fixture": str(path),
+                    "name": replay["name"],
+                    "matches": replay["matches"],
+                }
+            )
+        mismatches = [entry for entry in results if not entry["matches"]]
+        if args.json:
+            print(json.dumps({"replays": results}, indent=2))
+        else:
+            for entry in results:
+                flag = "ok" if entry["matches"] else "MISMATCH"
+                print(f"  {entry['name']}: {flag}")
+        return 1 if mismatches else 0
+
+    # walltime: the same chaos sweep on both clocks — answers must agree,
+    # and the virtual clock must warp the injected delays away.
+    from repro.core.engine import Engine
+    from repro.faults.plan import FaultPlan
+    from repro.sim.clock import RealClock, VirtualClock, use_clock
+    from repro.xmark.generator import generate_database
+    from repro.xmark.schema import XMarkConfig
+
+    database = generate_database(XMarkConfig(items=args.items, seed=7))
+    engine = Engine(
+        database, "//item[./description/parlist and ./mailbox/mail/text]"
+    )
+
+    def sweep(clock) -> tuple:
+        keys = []
+        started = _time.monotonic()
+        with use_clock(clock):
+            for seed in range(args.seeds):
+                plan = FaultPlan.chaos(seed, max_delay_seconds=args.delay)
+                result = engine.run(args.k, faults=plan)
+                keys.append(
+                    (
+                        result.degraded,
+                        tuple(
+                            (tuple(a.root_node.dewey), repr(a.score))
+                            for a in result.answers
+                        ),
+                    )
+                )
+        return _time.monotonic() - started, keys
+
+    real_seconds, real_keys = sweep(RealClock())
+    virtual_seconds, virtual_keys = sweep(VirtualClock())
+    equivalent = real_keys == virtual_keys
+    reduction = real_seconds / virtual_seconds if virtual_seconds > 0 else float("inf")
+    payload = {
+        "seeds": args.seeds,
+        "real_seconds": round(real_seconds, 4),
+        "virtual_seconds": round(virtual_seconds, 4),
+        "reduction": round(reduction, 2),
+        "equivalent": equivalent,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"chaos sweep over {args.seeds} seeds: real {real_seconds:.2f}s, "
+            f"virtual {virtual_seconds:.2f}s ({reduction:.1f}x reduction), "
+            f"answers {'identical' if equivalent else 'DIVERGED'}"
+        )
+    return 0 if equivalent else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import experiments
 
@@ -910,6 +1104,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "metrics": _cmd_metrics,
         "recover": _cmd_recover,
+        "sim": _cmd_sim,
         "bench": _cmd_bench,
     }
     try:

@@ -100,6 +100,7 @@ from repro.query.pattern import TreePattern
 from repro.recovery.codec import decode_match
 from repro.recovery.generations import CheckpointGenerations
 from repro.recovery.store import MemoryRecoveryStore, RecoveryStore
+import repro.sim.clock as simclock
 from repro.xmldb.dewey import Dewey, dewey_str, parse_dewey
 from repro.xmldb.index import resolve_index_backend
 from repro.xmldb.model import Database
@@ -611,6 +612,9 @@ class Coordinator:
             for spec in self.specs
         ]
         self._lock = threading.Lock()
+        # Slot condition: waiters block here (clock-seam progress wait)
+        # until the single query slot frees, instead of spin-polling.
+        self._idle_cond = threading.Condition(self._lock)
         self._active = False
         self._closed = False
         self._queries = 0
@@ -629,6 +633,9 @@ class Coordinator:
             if self._closed:
                 return
             self._closed = True
+            # Closing also frees slot waiters: their next submit attempt
+            # raises "coordinator is closed" instead of blocking forever.
+            self._idle_cond.notify_all()
         for handle in self.handles:
             if handle.alive():
                 try:
@@ -654,6 +661,7 @@ class Coordinator:
                 "failovers": self._failovers_total,
                 "reconnects": self._reconnects_total,
                 "rebalances": self._rebalances_total,
+                "active": self._active,
                 "closed": self._closed,
             }
         shard_rows = {
@@ -680,6 +688,20 @@ class Coordinator:
             for handle in self.handles
             if handle.alive()
         }
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the single query slot is free (or the coordinator
+        closes); True when the slot was observed free within ``timeout``.
+
+        This is a *progress* wait on the clock seam
+        (:meth:`repro.sim.clock.Clock.wait_for`): the predicate turns
+        true when another thread's query completes, so it is never
+        warped away — even a :class:`~repro.sim.clock.VirtualClock`
+        blocks here for the real hand-off.
+        """
+        return simclock.wait_for(
+            self._idle_cond, lambda: self._closed or not self._active, timeout
+        )
 
     # -- the query ---------------------------------------------------------------
 
@@ -765,6 +787,8 @@ class Coordinator:
                 if span is not None:
                     self.last_span = span
                 self._active = False
+                # Wake every submit blocked on the slot (wait_idle).
+                self._idle_cond.notify_all()
         with self._lock:
             if result.degraded:
                 self._degraded_queries += 1

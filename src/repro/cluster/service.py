@@ -14,15 +14,17 @@ registered document handle and reused across requests — the expensive
 parts (forest partitioning/serialization, per-query engine facades for
 the global score model) amortize the same way the service's engine cache
 does.  A coordinator serves one query at a time; concurrent service
-workers contend by polling (a short sleep outside any lock) rather than
-by blocking on a lock across subprocess I/O, which keeps the package
-clean under the graph analyzer's blocking-under-lock rule.
+workers contend by blocking on the coordinator's own idle condition
+(:meth:`~repro.cluster.coordinator.Coordinator.wait_idle`, a progress
+wait on the clock seam) — never on a lock held across subprocess I/O,
+which keeps the package clean under the graph analyzer's
+blocking-under-lock rule, and never by spin-polling, so a blocked
+submit wakes the instant the slot frees.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Dict, Mapping, Optional
 
 from repro.cluster.coordinator import ClusterResult, Coordinator
@@ -34,8 +36,6 @@ from repro.recovery.store import RecoveryStore
 from repro.service.request import QueryRequest
 from repro.xmldb.model import Database
 
-#: Poll interval while another request owns the document's coordinator.
-_BUSY_POLL_SECONDS = 0.005
 #: How long a request waits for the coordinator slot when it carries no
 #: deadline of its own.
 _DEFAULT_SLOT_WAIT_SECONDS = 30.0
@@ -120,16 +120,17 @@ class ClusterBackend:
                     engine_retry_policy=request.retry_policy,
                 )
             except ClusterError as exc:
-                # Coordinator busy with another worker's query: poll for
-                # the slot (never hold a lock across the cluster's pipe
-                # I/O).  Everything else is a real error.
+                # Coordinator busy with another worker's query: block on
+                # its idle condition until the slot frees (never a lock
+                # held across the cluster's pipe I/O, never a spin
+                # poll).  Everything else is a real error.
                 if "one query at a time" not in str(exc):
                     raise
-                if monotonic_seconds() >= give_up:
+                remaining = give_up - monotonic_seconds()
+                if remaining <= 0 or not coordinator.wait_idle(remaining):
                     raise ClusterError(
                         f"coordinator for {request.document!r} busy past deadline"
                     ) from exc
-                time.sleep(_BUSY_POLL_SECONDS)
 
     def health(self) -> Dict[str, Any]:
         """Backend health: per-document coordinator fleets (satellite of

@@ -62,7 +62,6 @@ import random
 import signal
 import socket
 import sys
-import time
 from typing import Any, BinaryIO, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.protocol import encode_frame, read_frame_ex
@@ -75,6 +74,8 @@ from repro.faults.supervisor import RetryPolicy
 from repro.recovery.codec import encode_match
 from repro.recovery.policy import CheckpointPolicy
 from repro.scoring.model import ScoreModel
+import repro.sim.clock as simclock
+from repro.sim.clock import RealClock, set_clock
 from repro.xmldb.dewey import dewey_str
 from repro.xmldb.model import Database
 from repro.xmldb.parser import parse_forest
@@ -187,7 +188,7 @@ class ShardWorker:
             sys.stderr.flush()
             os.kill(os.getpid(), signal.SIGKILL)
         elif rule.action is FaultAction.HANG:
-            time.sleep(rule.delay_seconds)
+            simclock.sleep(rule.delay_seconds)
         elif rule.action is FaultAction.SLOW_PIPE:
             self.reply_delay = rule.delay_seconds
 
@@ -371,7 +372,7 @@ def serve(worker: ShardWorker, channel: FrameChannel) -> str:
                 continue
             reply, should_exit = worker.handle(message)
             if worker.reply_delay > 0:
-                time.sleep(worker.reply_delay)
+                simclock.sleep(worker.reply_delay)
             if reply is not None:
                 if rpc_id is not None:
                     worker.last_reply_id = rpc_id
@@ -419,7 +420,7 @@ def run_socket(
         try:
             sock = socket.create_connection((host, port), timeout=backoff + 1.0)
         except OSError:
-            time.sleep(backoff)
+            simclock.sleep(backoff)
             backoff = min(backoff * 2, 1.0)
             continue
         sock.settimeout(None)
@@ -429,12 +430,12 @@ def run_socket(
             ack = channel.read()
         except (ClusterError, OSError):
             sock.close()
-            time.sleep(backoff)
+            simclock.sleep(backoff)
             backoff = min(backoff * 2, 1.0)
             continue
         if ack is None or ack.get("op") != "hello":
             sock.close()
-            time.sleep(backoff)
+            simclock.sleep(backoff)
             backoff = min(backoff * 2, 1.0)
             continue
         if not ack.get("ok"):
@@ -479,6 +480,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Workers always run on real time, even when the coordinator process
+    # exported REPRO_SIM_CLOCK=virtual to its environment: process-level
+    # faults (HANG) must burn real seconds to be observable as liveness
+    # misses from the coordinator side, and reconnect backoff paces a
+    # real socket.  Simulated time is a coordinator-side illusion.
+    set_clock(RealClock())
     worker = ShardWorker(args.shard)
     if args.transport == "pipe":
         return run_pipe(worker)

@@ -209,6 +209,12 @@ class EngineBase:
         #: tell a resumable failure from a total loss).
         self.last_checkpoint: Optional[Dict[str, Any]] = None
         self._restored: Optional[List[PartialMatch]] = None
+        #: Loss inherited from a restored snapshot (work the *crashed*
+        #: run dropped or abandoned before its last checkpoint).  The
+        #: resumed run can be locally fault-free and still be missing
+        #: that work, so :meth:`make_result` folds it into the
+        #: degradation flag and the ``pending_bound`` certificate.
+        self.carried_loss: Optional[Dict[str, Any]] = None
 
     # -- checkpoint / restore ------------------------------------------------------
 
@@ -394,7 +400,8 @@ class EngineBase:
 
         Engines pass ``degraded=True`` with the largest upper bound among
         *their* unprocessed matches (deadline leftovers); abandoned and
-        injector-dropped matches are folded in here so the certificate is
+        injector-dropped matches — and loss carried in from a restored
+        snapshot — are folded in here so the certificate is
         complete regardless of which engine ran.  A
         :class:`~repro.faults.report.FailureReport` is attached whenever
         anything went wrong — errors, degradation, or fired faults.
@@ -408,6 +415,9 @@ class EngineBase:
         if injector is not None and injector.dropped_count() > 0:
             degraded = True
             pending_bound = max(pending_bound, injector.max_dropped_bound())
+        if self.carried_loss is not None:
+            degraded = True
+            pending_bound = max(pending_bound, float(self.carried_loss["bound"]))
         error_counts, retries, requeues = supervisor.counters()
         fired = injector.fired_count() if injector is not None else 0
         failure: Optional[FailureReport] = None

@@ -20,6 +20,8 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
+import repro.sim.clock as simclock
+
 
 def monotonic_seconds() -> float:
     """Sanctioned monotonic clock read for deadline enforcement.
@@ -28,8 +30,15 @@ def monotonic_seconds() -> float:
     to touch the wall clock (lint rule WPL004): engines that enforce a
     deadline import this instead of ``time``, keeping the exception
     auditable in a single file.
+
+    Routed through the simulation clock seam (:mod:`repro.sim.clock`):
+    under the default :class:`~repro.sim.clock.RealClock` this is exactly
+    ``time.monotonic()``; under a :class:`~repro.sim.clock.VirtualClock`
+    it additionally carries the warp offset, so every deadline, backoff
+    ladder and probe window in the repo advances consistently with the
+    simulator's warped sleeps.
     """
-    return time.monotonic()
+    return simclock.now()
 
 
 class ExecutionStats:

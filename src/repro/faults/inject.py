@@ -16,12 +16,12 @@ engine can fold the loss into the result's ``pending_bound`` certificate
 from __future__ import annotations
 
 import threading
-import time
 from random import Random
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import EngineCrashError, InjectedFaultError
 from repro.faults.plan import FaultAction, FaultPlan, FaultRule, FaultSite
+import repro.sim.clock as simclock
 
 if TYPE_CHECKING:
     from repro.core.match import PartialMatch
@@ -114,7 +114,7 @@ class FaultInjector:
         if rule.action is FaultAction.DELAY:
             with self._lock:
                 self._delays_injected += 1
-            time.sleep(rule.delay_seconds)
+            simclock.sleep(rule.delay_seconds)
             return True
         if rule.action is FaultAction.DROP:
             self._record_drop(match, site, target)
@@ -192,6 +192,19 @@ class FaultInjector:
         with self._lock:
             return sum(self._fires.values())
 
+    def site_counts(self) -> Dict[str, int]:
+        """Operations observed per ``site:target`` — the run's *yield
+        points*.  Every count is a step index a timing-precise
+        :class:`~repro.sim.schedule.SimTrigger` could fire at, which is
+        what the schedule explorer perturbs around."""
+        with self._lock:
+            return {
+                f"{site.value}:{target}": count
+                for (site, target), count in sorted(
+                    self._counts.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+                )
+            }
+
     def crash_possible(self) -> bool:
         """True when the plan carries any CRASH rule (plans are immutable,
         so engines can decide their wait strategy up front)."""
@@ -207,6 +220,13 @@ class FaultInjector:
                 "delays_injected": self._delays_injected,
                 "crashes_injected": self._crashes_injected,
                 "matches_dropped": len(self._dropped),
+                "site_counts": {
+                    f"{site.value}:{target}": count
+                    for (site, target), count in sorted(
+                        self._counts.items(),
+                        key=lambda kv: (kv[0][0].value, kv[0][1]),
+                    )
+                },
             }
 
     def __repr__(self) -> str:

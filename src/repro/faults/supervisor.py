@@ -29,6 +29,7 @@ from random import Random
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.faults.report import FailedMatch
+import repro.sim.clock as simclock
 
 if TYPE_CHECKING:
     from repro.core.match import PartialMatch
@@ -187,7 +188,9 @@ class Supervisor:
         if max_seconds is not None:
             delay = min(delay, max(max_seconds, 0.0))
         if delay > 0:
-            self._wakeup.wait(delay)
+            # Pacing wait through the clock seam: interruptible via
+            # interrupt(), warped away entirely under a VirtualClock.
+            simclock.wait(self._wakeup, delay)
 
     def interrupt(self) -> None:
         """Cancel the current and all future backoff waits.

@@ -156,7 +156,7 @@ def encode_engine_state(
             }
         )
     stats = engine.stats.as_dict()
-    return {
+    payload = {
         "version": SNAPSHOT_VERSION,
         "algorithm": engine.algorithm,
         "k": engine.k,
@@ -169,6 +169,25 @@ def encode_engine_state(
         "router": {"strategy": type(engine.router).__name__},
         "stats": {field: int(stats[field]) for field in _STATS_FIELDS},
     }
+    # Work the crashed run had *already lost* before this checkpoint —
+    # injector-dropped operations and matches abandoned after exhausted
+    # recovery.  The queued matches above do not cover it (a dropped
+    # match is gone from every queue), so without this record a restore
+    # would resume into a run that claims exactness over answers it can
+    # never produce.  Written only when non-empty so pre-existing
+    # snapshots keep their shape byte-for-byte.
+    lost: Dict[str, Any] = {}
+    injector = engine.fault_injector
+    if injector is not None and injector.dropped_count() > 0:
+        lost["dropped_operations"] = injector.dropped_count()
+        lost["dropped_bound"] = injector.max_dropped_bound()
+    abandoned = engine.supervisor.abandoned()
+    if abandoned:
+        lost["abandoned_matches"] = len(abandoned)
+        lost["abandoned_bound"] = engine.supervisor.max_abandoned_bound()
+    if lost:
+        payload["lost"] = lost
+    return payload
 
 
 def validate_snapshot(snapshot: Dict[str, Any], engine: "EngineBase") -> None:
@@ -232,4 +251,13 @@ def restore_engine_state(
         for field in _STATS_FIELDS:
             setattr(carried, field, int(counters.get(field, 0)))
         engine.stats.merge(carried)
+    lost = snapshot.get("lost")
+    if lost:
+        engine.carried_loss = {
+            "bound": max(
+                float(lost.get("dropped_bound", 0.0)),
+                float(lost.get("abandoned_bound", 0.0)),
+            ),
+            "detail": dict(lost),
+        }
     return matches

@@ -1,0 +1,255 @@
+"""Schedule search: randomize fault timing, then perturb around yield points.
+
+The chaos matrices sample fault *placement* from a seeded lottery; the
+explorer searches fault *timing*.  Two phases per budget:
+
+1. **Randomize** — draw schedules of 1–``max_triggers`` triggers with
+   sites, actions and steps sampled (seeded ``random.Random``, so a
+   given ``(scenario, seed, budget)`` explores the same schedules every
+   time) from the scenario's fault families and the observed operation
+   counts.
+2. **Perturb** — for every violating or near-miss schedule, and for the
+   most interesting clean ones, systematically shift each trigger's step
+   by ±1/±2 around the *yield points* the run actually observed (the
+   injector's per-site operation counts).  Faults are only interesting
+   when they land next to a scheduling decision; stepping the trigger
+   across adjacent operation indexes is exactly how a timing race is
+   found once random search gets close.
+
+Every violating run is returned as a :class:`Violation` carrying the
+schedule and its invariant report; callers hand those to
+:mod:`repro.sim.shrink` for minimization.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import ENGINE_SITES, FaultAction, FaultPlan, FaultSite
+from repro.sim.harness import SimHarness, SimRun, SimScenario
+from repro.sim.schedule import FaultSchedule, SimTrigger
+
+#: Engine-site action pool for random draws (CRASH included: the
+#: recovery path is part of the searched surface).
+_ENGINE_ACTIONS = (
+    FaultAction.ERROR,
+    FaultAction.DELAY,
+    FaultAction.DROP,
+    FaultAction.CRASH,
+)
+
+#: Step window used for WORKER_RPC / NET triggers, whose operation
+#: counters live in worker processes / transports and are not probeable
+#: in advance.  ``begin`` is armed RPC #1, steps count from #2, and the
+#: cluster chaos matrix shows nth ∈ [2, 6] lands mid-query for the step
+#: budgets the simulator uses.
+_REMOTE_STEP_WINDOW = (2, 6)
+
+
+class Violation:
+    """One schedule that broke an invariant, with its evidence."""
+
+    def __init__(self, run: SimRun) -> None:
+        self.schedule = run.schedule
+        self.run = run
+
+    def describe(self) -> str:
+        names = ", ".join(v.name for v in self.run.report.violations()) if self.run.report else "?"
+        return f"{' + '.join(self.schedule.describe()) or '<empty>'} -> {names}"
+
+    def __repr__(self) -> str:
+        return f"Violation({self.describe()})"
+
+
+class ExploreStats:
+    """Search accounting for reports and the CLI."""
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.random_runs = 0
+        self.perturbed_runs = 0
+        self.violations = 0
+        self.wall_seconds = 0.0
+        self.warped_seconds = 0.0
+
+    def record(self, run: SimRun, perturbed: bool) -> None:
+        self.runs += 1
+        if perturbed:
+            self.perturbed_runs += 1
+        else:
+            self.random_runs += 1
+        if not run.ok():
+            self.violations += 1
+        self.wall_seconds += run.wall_seconds
+        self.warped_seconds += run.warped_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": self.runs,
+            "random_runs": self.random_runs,
+            "perturbed_runs": self.perturbed_runs,
+            "violations": self.violations,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "warped_seconds": round(self.warped_seconds, 4),
+        }
+
+
+class ScheduleExplorer:
+    """Budgeted random + perturbation search over fault schedules."""
+
+    def __init__(
+        self,
+        harness: SimHarness,
+        seed: int = 0,
+        max_triggers: int = 3,
+    ) -> None:
+        self.harness = harness
+        self.seed = seed
+        self.max_triggers = max_triggers
+        self.stats = ExploreStats()
+        self._rng = Random(seed)
+        self._yield_points: Optional[Dict[str, int]] = None
+
+    # -- sampling ----------------------------------------------------------------
+
+    def yield_points(self) -> Dict[str, int]:
+        """Per-site operation counts from a fault-free probe run (cached)."""
+        if self._yield_points is None:
+            self._yield_points = self.harness.probe_yield_points()
+        return self._yield_points
+
+    def _engine_sites(self) -> List[Tuple[FaultSite, Optional[str], int]]:
+        """(site, target, observed count) triples for engine-family draws."""
+        out: List[Tuple[FaultSite, Optional[str], int]] = []
+        for key, count in sorted(self.yield_points().items()):
+            site_name, _, target = key.partition(":")
+            try:
+                site = FaultSite(site_name)
+            except ValueError:
+                continue
+            if site in ENGINE_SITES and count > 0:
+                out.append((site, target, count))
+        if not out:
+            # Degenerate scenario (no observed operations): fall back to
+            # server ops on server 0 with a small window.
+            out = [(FaultSite.SERVER_OP, "0", _REMOTE_STEP_WINDOW[1])]
+        return out
+
+    def _random_trigger(self) -> SimTrigger:
+        families = self.harness.scenario.families()
+        family = self._rng.choice(families)
+        if family == "engine":
+            site, target, count = self._rng.choice(self._engine_sites())
+            step = self._rng.randint(1, max(count, 1))
+            action = self._rng.choice(_ENGINE_ACTIONS)
+            # Targeted engine sites (server_op/queue_*) fire for a
+            # specific label; the schedule keeps the one we observed.
+            return SimTrigger(site, step, action, target=target or None)
+        lo, hi = _REMOTE_STEP_WINDOW
+        step = self._rng.randint(lo, hi)
+        shard = str(self._rng.randrange(self.harness.scenario.shards))
+        if family == "process":
+            action = self._rng.choice(list(FaultPlan.PROCESS_ACTIONS))
+            return SimTrigger(FaultSite.WORKER_RPC, step, action, target=shard)
+        action = self._rng.choice(list(FaultPlan.NET_ACTIONS))
+        return SimTrigger(FaultSite.NET, step, action, target=shard)
+
+    def random_schedule(self) -> FaultSchedule:
+        count = self._rng.randint(1, self.max_triggers)
+        triggers: List[SimTrigger] = []
+        seen = set()
+        for _ in range(count):
+            trigger = self._random_trigger()
+            if trigger.key() in seen:
+                continue
+            seen.add(trigger.key())
+            triggers.append(trigger)
+        return FaultSchedule(triggers)
+
+    # -- perturbation ------------------------------------------------------------
+
+    def perturbations(self, schedule: FaultSchedule) -> List[FaultSchedule]:
+        """Shift each trigger's step by ±1/±2 (one trigger at a time).
+
+        This is the systematic half of the search: once a schedule lands
+        near a yield point, its neighbours in operation-index space are
+        the timing races random search would need luck to hit.
+        """
+        out: List[FaultSchedule] = []
+        for index, trigger in enumerate(schedule.triggers):
+            for delta in (-2, -1, 1, 2):
+                step = trigger.step + delta
+                if step < 1:
+                    continue
+                shifted = SimTrigger(
+                    trigger.site,
+                    step,
+                    trigger.action,
+                    target=trigger.target,
+                    delay_seconds=trigger.delay_seconds,
+                    message=trigger.message,
+                )
+                triggers = list(schedule.triggers)
+                triggers[index] = shifted
+                candidate = FaultSchedule(triggers)
+                if candidate != schedule:
+                    out.append(candidate)
+        return out
+
+    # -- the search loop ---------------------------------------------------------
+
+    def explore(self, budget: int = 40) -> List[Violation]:
+        """Run up to ``budget`` simulated schedules; return all violations.
+
+        Roughly the first half of the budget is random draws; every
+        violating schedule (and the last clean random schedule, to keep
+        the perturbation phase exercised even on healthy code) is then
+        perturbed around its steps until the budget runs out.
+        """
+        violations: List[Violation] = []
+        frontier: List[FaultSchedule] = []
+        tried = set()
+        random_budget = max(budget // 2, 1)
+
+        def execute(schedule: FaultSchedule, perturbed: bool) -> Optional[SimRun]:
+            if schedule in tried or not schedule.triggers:
+                return None
+            tried.add(schedule)
+            run = self.harness.run(schedule)
+            self.stats.record(run, perturbed)
+            if not run.ok():
+                violations.append(Violation(run))
+                frontier.append(schedule)
+            return run
+
+        last_clean: Optional[FaultSchedule] = None
+        while self.stats.runs < random_budget:
+            schedule = self.random_schedule()
+            run = execute(schedule, perturbed=False)
+            if run is not None and run.ok():
+                last_clean = schedule
+        if not frontier and last_clean is not None:
+            frontier.append(last_clean)
+
+        for schedule in list(frontier):
+            for candidate in self.perturbations(schedule):
+                if self.stats.runs >= budget:
+                    return violations
+                execute(candidate, perturbed=True)
+        return violations
+
+
+def explore(
+    scenario: SimScenario,
+    budget: int = 40,
+    seed: int = 0,
+    harness: Optional[SimHarness] = None,
+    max_triggers: int = 3,
+) -> Tuple[List[Violation], ExploreStats]:
+    """Convenience wrapper: search ``scenario`` and return (violations, stats)."""
+    explorer = ScheduleExplorer(
+        harness or SimHarness(scenario), seed=seed, max_triggers=max_triggers
+    )
+    found = explorer.explore(budget)
+    return found, explorer.stats

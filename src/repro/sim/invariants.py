@@ -1,0 +1,213 @@
+"""The invariant suite checked after every simulated run.
+
+Each invariant is one facet of the paper's correctness-under-adversity
+contract (docs/robustness.md): whatever a fault schedule does to the
+run, the result must be *exact or certified*.  Checks are pure functions
+from results to :class:`Verdict` values with deterministic detail
+strings — a corpus fixture records its verdicts and the replay test
+compares them byte-for-byte, so nothing time- or id-dependent may leak
+into a detail.
+
+The five invariants:
+
+- ``reference_clean`` — the fault-free baseline itself ran undegraded
+  (a broken baseline would vacuously pass everything else);
+- ``topk_identity`` — a run that does not claim degradation returns the
+  *bit-identical* top-k (roots and scores) of the fault-free run;
+- ``pending_bound_sound`` — a degraded run's certificate covers every
+  fault-free answer it lost: no missing answer scores above
+  ``pending_bound``;
+- ``single_outcome`` — the harness observed exactly one terminal
+  outcome for the run (one result, or one crash resolved by exactly one
+  recovery) — the engine-level mirror of the service's
+  exactly-one-outcome-per-ticket drain audit;
+- ``no_leaked_state`` — the run left nothing behind: a fault-free rerun
+  on the same engine reproduces the baseline (no poisoned caches or
+  stuck in-flight work), and a cluster coordinator reports itself idle
+  with no live shard still holding query state;
+- ``missing_shards_named`` (cluster runs) — degraded answers *name* the
+  shards whose work they lost; an undegraded answer names none.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.base import TopKResult
+
+#: Score comparisons tolerate only float-formatting noise, nothing
+#: semantic: identity checks round-trip through ``repr`` equality.
+_EPS = 1e-9
+
+
+class Verdict:
+    """One invariant's outcome for one simulated run."""
+
+    __slots__ = ("name", "ok", "detail")
+
+    def __init__(self, name: str, ok: bool, detail: str) -> None:
+        self.name = name
+        self.ok = ok
+        self.detail = detail
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Verdict":
+        return cls(str(payload["name"]), bool(payload["ok"]), str(payload["detail"]))
+
+    def __repr__(self) -> str:
+        flag = "ok" if self.ok else "VIOLATED"
+        return f"Verdict({self.name}: {flag} — {self.detail})"
+
+
+class InvariantReport:
+    """All verdicts for one simulated run, in canonical order."""
+
+    def __init__(self, verdicts: Sequence[Verdict]) -> None:
+        self.verdicts: List[Verdict] = list(verdicts)
+
+    def ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    def violations(self) -> List[Verdict]:
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def as_dict(self) -> List[Dict[str, Any]]:
+        return [verdict.as_dict() for verdict in self.verdicts]
+
+    def to_json(self) -> str:
+        """Canonical JSON — the byte-for-byte replay comparison form."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: Sequence[Mapping[str, Any]]) -> "InvariantReport":
+        return cls([Verdict.from_dict(entry) for entry in payload])
+
+    def __repr__(self) -> str:
+        bad = len(self.violations())
+        return f"InvariantReport({len(self.verdicts)} checks, {bad} violated)"
+
+
+def _answer_keys(result: TopKResult) -> List[Tuple[str, str]]:
+    """(dewey, repr(score)) pairs — the bit-identity comparison key."""
+    return [
+        (".".join(str(c) for c in answer.root_node.dewey), repr(answer.score))
+        for answer in result.answers
+    ]
+
+
+# -- the checks ----------------------------------------------------------------
+
+
+def check_reference_clean(reference: TopKResult) -> Verdict:
+    if reference.degraded:
+        return Verdict(
+            "reference_clean", False, "fault-free baseline run reported degraded"
+        )
+    return Verdict(
+        "reference_clean",
+        True,
+        f"baseline returned {len(reference.answers)} undegraded answers",
+    )
+
+
+def check_topk_identity(reference: TopKResult, result: TopKResult) -> Verdict:
+    """A non-degraded run must equal the fault-free run bit-for-bit."""
+    if result.degraded:
+        return Verdict(
+            "topk_identity",
+            True,
+            "run is degraded: identity waived, certificate checked instead",
+        )
+    want, got = _answer_keys(reference), _answer_keys(result)
+    if want == got:
+        return Verdict(
+            "topk_identity", True, f"{len(got)} answers bit-identical to baseline"
+        )
+    missing = [key[0] for key in want if key not in got]
+    extra = [key[0] for key in got if key not in want]
+    return Verdict(
+        "topk_identity",
+        False,
+        f"undegraded run diverged from baseline (missing={missing!r}, "
+        f"unexpected={extra!r})",
+    )
+
+
+def check_pending_bound_sound(reference: TopKResult, result: TopKResult) -> Verdict:
+    """Nothing the run lost may score above its ``pending_bound``."""
+    bound = result.pending_bound
+    if bound < 0.0 or bound == float("inf"):
+        return Verdict(
+            "pending_bound_sound", False, f"certificate is not finite/sane: {bound!r}"
+        )
+    reported = {key[0] for key in _answer_keys(result)}
+    worst: Optional[Tuple[str, float]] = None
+    for answer in reference.answers:
+        dewey = ".".join(str(c) for c in answer.root_node.dewey)
+        if dewey in reported:
+            continue
+        if answer.score > bound + _EPS and (worst is None or answer.score > worst[1]):
+            worst = (dewey, answer.score)
+    if worst is not None:
+        return Verdict(
+            "pending_bound_sound",
+            False,
+            f"lost answer {worst[0]} scores {worst[1]!r} above "
+            f"pending_bound {bound!r}",
+        )
+    lost = len(reference.answers) - sum(
+        1
+        for answer in reference.answers
+        if ".".join(str(c) for c in answer.root_node.dewey) in reported
+    )
+    return Verdict(
+        "pending_bound_sound",
+        True,
+        f"{lost} lost answers all covered by the certificate",
+    )
+
+
+def check_single_outcome(outcomes: int) -> Verdict:
+    """Exactly one terminal outcome (result / crash-then-recovery) per run."""
+    if outcomes == 1:
+        return Verdict("single_outcome", True, "exactly one terminal outcome observed")
+    return Verdict(
+        "single_outcome", False, f"{outcomes} terminal outcomes observed (expected 1)"
+    )
+
+
+def check_no_leaked_state(leak: Optional[str]) -> Verdict:
+    """``leak`` is the harness's finding (None when everything drained)."""
+    if leak is None:
+        return Verdict(
+            "no_leaked_state", True, "fault-free rerun clean; no resident query state"
+        )
+    return Verdict("no_leaked_state", False, leak)
+
+
+def check_missing_shards_named(
+    degraded: bool, missing_shards: Sequence[int], shards: int
+) -> Verdict:
+    """Degraded cluster answers must say *which* shards they lost."""
+    bogus = [shard for shard in missing_shards if not 0 <= shard < shards]
+    if bogus:
+        return Verdict(
+            "missing_shards_named", False, f"missing shards out of range: {bogus!r}"
+        )
+    if not degraded and missing_shards:
+        return Verdict(
+            "missing_shards_named",
+            False,
+            f"undegraded answer names missing shards {list(missing_shards)!r}",
+        )
+    if degraded:
+        return Verdict(
+            "missing_shards_named",
+            True,
+            f"degraded answer names shards {sorted(missing_shards)!r}",
+        )
+    return Verdict("missing_shards_named", True, "no shards missing, none named")

@@ -1,0 +1,260 @@
+"""Timing-precise fault schedules: ordered ``(site, step, action)`` triggers.
+
+:class:`~repro.faults.plan.FaultPlan` generates *seeded-random* chaos —
+good for coverage lotteries, useless for reproducing or minimizing one
+specific failure.  A :class:`FaultSchedule` is the timing-precise
+extension: an explicit ordered list of :class:`SimTrigger` entries, each
+firing exactly once at the ``step``-th operation of one fault site.
+Because every injection boundary in the repo already counts operations
+per ``(site, target)`` deterministically, a schedule pins fault *timing*
+to the run's own progress, independent of wall clock and (for the
+single-threaded engines) of thread interleaving — the property the
+explorer and shrinker in this package rely on.
+
+Schedules serialize to JSON (``tests/fixtures/sim/`` is a corpus of
+shrunk reproducers) and compile back onto the existing injection
+machinery via :meth:`FaultSchedule.engine_plan`,
+:meth:`FaultSchedule.process_plan` and :meth:`FaultSchedule.net_plan` —
+one plan per fault boundary, so nothing about the injectors, workers or
+transports needed to change to become schedulable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.faults.plan import ENGINE_SITES, FaultAction, FaultPlan, FaultRule, FaultSite
+
+#: Serialization format version (bump on incompatible change).
+SCHEDULE_VERSION = 1
+
+#: Actions a trigger may carry, per fault site family.
+_ENGINE_ACTIONS = (
+    FaultAction.ERROR,
+    FaultAction.DELAY,
+    FaultAction.DROP,
+    FaultAction.CRASH,
+)
+_PROCESS_ACTIONS = FaultPlan.PROCESS_ACTIONS
+_NET_ACTIONS = FaultPlan.NET_ACTIONS
+
+_ALLOWED: Dict[FaultSite, Sequence[FaultAction]] = {
+    **{site: _ENGINE_ACTIONS for site in ENGINE_SITES},
+    FaultSite.WORKER_RPC: _PROCESS_ACTIONS,
+    FaultSite.NET: _NET_ACTIONS,
+}
+
+
+class ScheduleError(ReproError):
+    """A malformed trigger or schedule payload."""
+
+
+class SimTrigger:
+    """One timing-precise fault: fire ``action`` at the ``step``-th
+    operation of ``(site, target)``.
+
+    ``step`` is 1-based and counts the same operation index the live
+    injectors count (:class:`~repro.faults.inject.FaultInjector` for
+    engine sites, the worker's RPC boundary for ``WORKER_RPC``, the
+    transport's outbound-frame counter for ``NET``), so a trigger means
+    exactly "the Nth time this site is reached".
+    """
+
+    __slots__ = ("site", "step", "action", "target", "delay_seconds", "message")
+
+    def __init__(
+        self,
+        site: Union[FaultSite, str],
+        step: int,
+        action: Union[FaultAction, str],
+        target: Optional[Union[int, str]] = None,
+        delay_seconds: float = 0.001,
+        message: str = "",
+    ) -> None:
+        self.site = site if isinstance(site, FaultSite) else FaultSite(site)
+        self.action = action if isinstance(action, FaultAction) else FaultAction(action)
+        if step < 1:
+            raise ScheduleError(f"trigger step is 1-based, got {step}")
+        if self.action not in _ALLOWED[self.site]:
+            raise ScheduleError(
+                f"action {self.action.value!r} is not valid at site "
+                f"{self.site.value!r} (allowed: "
+                f"{', '.join(a.value for a in _ALLOWED[self.site])})"
+            )
+        if self.site in (FaultSite.WORKER_RPC, FaultSite.NET) and target is None:
+            raise ScheduleError(
+                f"site {self.site.value!r} requires a shard-id target"
+            )
+        if delay_seconds < 0:
+            raise ScheduleError(f"delay_seconds must be >= 0, got {delay_seconds}")
+        self.step = step
+        self.target = str(target) if target is not None else None
+        self.delay_seconds = float(delay_seconds)
+        self.message = message
+
+    def family(self) -> str:
+        """Which fault boundary executes this trigger."""
+        if self.site is FaultSite.WORKER_RPC:
+            return "process"
+        if self.site is FaultSite.NET:
+            return "net"
+        return "engine"
+
+    def rule(self) -> FaultRule:
+        """Compile to a single-fire :class:`FaultRule` (``nth=step``)."""
+        return FaultRule(
+            site=self.site,
+            action=self.action,
+            target=self.target,
+            nth=self.step,
+            times=1,
+            delay_seconds=self.delay_seconds,
+            message=self.message or f"sim trigger {self.describe()}",
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable JSON form (keys sorted by the schedule serializer)."""
+        return {
+            "site": self.site.value,
+            "step": self.step,
+            "action": self.action.value,
+            "target": self.target,
+            "delay_seconds": self.delay_seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimTrigger":
+        try:
+            return cls(
+                site=str(payload["site"]),
+                step=int(payload["step"]),
+                action=str(payload["action"]),
+                target=payload.get("target"),
+                delay_seconds=float(payload.get("delay_seconds", 0.001)),
+                message=str(payload.get("message", "")),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ScheduleError(f"malformed trigger payload: {exc}") from exc
+
+    def describe(self) -> str:
+        where = (
+            self.site.value if self.target is None else f"{self.site.value}:{self.target}"
+        )
+        return f"{self.action.value}@{where}#{self.step}"
+
+    def key(self) -> Any:
+        """Dedup/sort identity (two equal-key triggers are redundant)."""
+        return (self.site.value, self.target or "", self.step, self.action.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SimTrigger) and (
+            self.key() == other.key()
+            and self.delay_seconds == other.delay_seconds
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key(), self.delay_seconds))
+
+    def __repr__(self) -> str:
+        return f"SimTrigger({self.describe()})"
+
+
+class FaultSchedule:
+    """An ordered, explicit fault schedule — pure data, JSON-serializable.
+
+    Order is presentation only (each trigger pins its own firing step);
+    the shrinker preserves it so minimized reproducers stay readable.
+    """
+
+    def __init__(self, triggers: Sequence[SimTrigger], name: str = "") -> None:
+        self.triggers: List[SimTrigger] = list(triggers)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.triggers)
+
+    def __iter__(self) -> Iterator[SimTrigger]:
+        return iter(self.triggers)
+
+    def describe(self) -> List[str]:
+        return [trigger.describe() for trigger in self.triggers]
+
+    def families(self) -> List[str]:
+        """The fault boundaries this schedule touches (sorted, unique)."""
+        return sorted({trigger.family() for trigger in self.triggers})
+
+    # -- compilation onto the existing fault boundaries ---------------------------
+
+    def _plan_for(self, family: str) -> Optional[FaultPlan]:
+        rules = [t.rule() for t in self.triggers if t.family() == family]
+        if not rules:
+            return None
+        return FaultPlan(rules, seed=0)
+
+    def engine_plan(self) -> Optional[FaultPlan]:
+        """The in-engine plan (ERROR/DELAY/DROP/CRASH at engine sites)."""
+        return self._plan_for("engine")
+
+    def process_plan(self) -> Optional[FaultPlan]:
+        """The worker-boundary plan (KILL/HANG/SLOW_PIPE at WORKER_RPC)."""
+        return self._plan_for("process")
+
+    def net_plan(self) -> Optional[FaultPlan]:
+        """The transport plan (PARTITION/... at NET)."""
+        return self._plan_for("net")
+
+    # -- serialization -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SCHEDULE_VERSION,
+            "name": self.name,
+            "triggers": [trigger.as_dict() for trigger in self.triggers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSchedule":
+        version = int(payload.get("version", SCHEDULE_VERSION))
+        if version != SCHEDULE_VERSION:
+            raise ScheduleError(
+                f"unsupported schedule version {version} "
+                f"(this build reads version {SCHEDULE_VERSION})"
+            )
+        triggers = [SimTrigger.from_dict(entry) for entry in payload.get("triggers", ())]
+        return cls(triggers, name=str(payload.get("name", "")))
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, stable indent) — byte-for-byte
+        reproducible for fixture comparison."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScheduleError(f"schedule is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ScheduleError("schedule JSON must be an object")
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSchedule":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.triggers == other.triggers
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.triggers))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"FaultSchedule({len(self.triggers)} triggers{label})"

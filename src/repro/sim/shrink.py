@@ -1,0 +1,230 @@
+"""Delta-debugging shrinker: reduce a violating schedule to a minimal
+reproducer.
+
+Given a schedule whose run violates the invariant suite, the shrinker
+finds a (locally) minimal sub-schedule that *still* violates it, in two
+passes:
+
+1. **Trigger minimization** — classic ddmin over the trigger list:
+   try dropping chunks of triggers (halves, then quarters, …) and keep
+   any reduction that still reproduces a violation.  Converges to a
+   1-minimal set: removing any single remaining trigger loses the bug.
+2. **Step minimization** — for each surviving trigger, walk its firing
+   step toward 1 (binary first, then linear) while the violation
+   persists, so the reproducer fires as early as possible and replays
+   fast.
+
+"Still violates" means *any* invariant breaks, not necessarily the same
+one — for minimization purposes a schedule that trips a different
+invariant is still a counterexample worth keeping small.  (Callers that
+care can post-filter on the report.)
+
+Minimal reproducers serialize to ``tests/fixtures/sim/`` via
+:func:`write_fixture`: one JSON document carrying the scenario, the
+shrunk schedule, and the invariant verdicts the replay test asserts
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.sim.harness import SimHarness, SimRun, SimScenario
+from repro.sim.schedule import FaultSchedule, SimTrigger
+
+#: Fixture format version (bump on incompatible change).
+FIXTURE_VERSION = 1
+
+
+class ShrinkStats:
+    """Shrink accounting: how many candidate runs minimization cost."""
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.reductions = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"runs": self.runs, "reductions": self.reductions}
+
+
+class ScheduleShrinker:
+    """ddmin over triggers, then per-trigger step minimization."""
+
+    def __init__(self, harness: SimHarness, max_runs: int = 200) -> None:
+        self.harness = harness
+        self.max_runs = max_runs
+        self.stats = ShrinkStats()
+        self._cache: Dict[FaultSchedule, bool] = {}
+
+    # -- the oracle --------------------------------------------------------------
+
+    def _violates(self, schedule: FaultSchedule) -> bool:
+        if not schedule.triggers:
+            return False
+        cached = self._cache.get(schedule)
+        if cached is not None:
+            return cached
+        if self.stats.runs >= self.max_runs:
+            return False
+        self.stats.runs += 1
+        verdict = not self.harness.run(schedule).ok()
+        self._cache[schedule] = verdict
+        return verdict
+
+    # -- pass 1: ddmin over the trigger list -------------------------------------
+
+    def _ddmin(self, triggers: List[SimTrigger]) -> List[SimTrigger]:
+        granularity = 2
+        while len(triggers) >= 2:
+            chunk = max(len(triggers) // granularity, 1)
+            reduced = False
+            start = 0
+            while start < len(triggers):
+                candidate = triggers[:start] + triggers[start + chunk :]
+                if candidate and self._violates(FaultSchedule(candidate)):
+                    triggers = candidate
+                    granularity = max(granularity - 1, 2)
+                    self.stats.reductions += 1
+                    reduced = True
+                    break
+                start += chunk
+            if not reduced:
+                if granularity >= len(triggers):
+                    break
+                granularity = min(granularity * 2, len(triggers))
+        return triggers
+
+    # -- pass 2: pull each step toward 1 ----------------------------------------
+
+    def _with_step(
+        self, triggers: List[SimTrigger], index: int, step: int
+    ) -> List[SimTrigger]:
+        out = list(triggers)
+        old = out[index]
+        out[index] = SimTrigger(
+            old.site,
+            step,
+            old.action,
+            target=old.target,
+            delay_seconds=old.delay_seconds,
+            message=old.message,
+        )
+        return out
+
+    def _minimize_steps(self, triggers: List[SimTrigger]) -> List[SimTrigger]:
+        for index in range(len(triggers)):
+            # Binary descent: biggest halving of the step that still fails.
+            while triggers[index].step > 1:
+                half = triggers[index].step // 2
+                candidate = self._with_step(triggers, index, half)
+                if self._violates(FaultSchedule(candidate)):
+                    triggers = candidate
+                    self.stats.reductions += 1
+                    continue
+                break
+            # Linear tail: step-1 probes catch the off-by-one boundary.
+            while triggers[index].step > 1:
+                candidate = self._with_step(triggers, index, triggers[index].step - 1)
+                if self._violates(FaultSchedule(candidate)):
+                    triggers = candidate
+                    self.stats.reductions += 1
+                    continue
+                break
+        return triggers
+
+    # -- entry point -------------------------------------------------------------
+
+    def shrink(self, schedule: FaultSchedule) -> FaultSchedule:
+        """Minimize ``schedule``; raises if it does not violate at all."""
+        if not self._violates(schedule):
+            raise ValueError(
+                "shrink() needs a violating schedule "
+                f"({' + '.join(schedule.describe()) or '<empty>'} passed all invariants)"
+            )
+        triggers = self._ddmin(list(schedule.triggers))
+        triggers = self._minimize_steps(triggers)
+        minimal = FaultSchedule(triggers, name=schedule.name)
+        # The result must still reproduce — guaranteed by construction,
+        # but assert it so a future harness regression fails loudly here.
+        assert self._violates(minimal)
+        return minimal
+
+
+def shrink(
+    harness: SimHarness, schedule: FaultSchedule, max_runs: int = 200
+) -> FaultSchedule:
+    """Convenience wrapper around :class:`ScheduleShrinker`."""
+    return ScheduleShrinker(harness, max_runs=max_runs).shrink(schedule)
+
+
+# -- fixture corpus -----------------------------------------------------------
+
+
+def fixture_payload(
+    scenario: SimScenario, run: SimRun, name: str
+) -> Dict[str, Any]:
+    """The JSON document a corpus fixture stores: scenario + schedule +
+    the invariant verdicts a replay must reproduce byte-for-byte."""
+    assert run.report is not None
+    return {
+        "version": FIXTURE_VERSION,
+        "name": name,
+        "scenario": scenario.as_dict(),
+        "schedule": run.schedule.as_dict(),
+        "verdicts": run.report.as_dict(),
+    }
+
+
+def write_fixture(
+    path: Union[str, Path], scenario: SimScenario, run: SimRun, name: str
+) -> Path:
+    """Serialize a shrunk reproducer (canonical JSON) to ``path``."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(fixture_payload(scenario, run, name), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_fixture(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a corpus fixture back into (scenario, schedule, verdicts)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = int(payload.get("version", FIXTURE_VERSION))
+    if version != FIXTURE_VERSION:
+        raise ValueError(
+            f"unsupported sim fixture version {version} in {path} "
+            f"(this build reads version {FIXTURE_VERSION})"
+        )
+    return {
+        "name": str(payload.get("name", "")),
+        "scenario": SimScenario.from_dict(payload["scenario"]),
+        "schedule": FaultSchedule.from_dict(payload["schedule"]),
+        "verdicts": payload["verdicts"],
+    }
+
+
+def replay_fixture(
+    path: Union[str, Path],
+    virtual: bool = True,
+) -> Dict[str, Any]:
+    """Re-run a corpus fixture; returns recorded vs replayed verdicts.
+
+    The replay contract: ``replayed`` must equal ``recorded`` exactly
+    (same JSON bytes), run after run — that is what "deterministic
+    simulation" means here.
+    """
+    fixture = load_fixture(path)
+    harness = SimHarness(fixture["scenario"], virtual=virtual)
+    run = harness.run(fixture["schedule"])
+    assert run.report is not None
+    return {
+        "name": fixture["name"],
+        "recorded": fixture["verdicts"],
+        "replayed": run.report.as_dict(),
+        "matches": fixture["verdicts"] == run.report.as_dict(),
+        "run": run,
+    }

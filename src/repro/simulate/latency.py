@@ -17,9 +17,9 @@ says adaptivity pays.)
 
 from __future__ import annotations
 
-import time
 from typing import List
 
+import repro.sim.clock as simclock
 from repro.xmldb.dewey import DepthRange, Dewey
 from repro.xmldb.index import DatabaseIndex
 from repro.xmldb.model import XMLNode
@@ -46,7 +46,7 @@ class LatencyIndex:
         """One simulated storage round-trip, then the real probe."""
         self.probe_count += 1
         if self.probe_latency > 0:
-            time.sleep(self.probe_latency)
+            simclock.sleep(self.probe_latency)
         return self.inner.related(tag, anchor, axis)
 
     # -- fast delegations ----------------------------------------------------------

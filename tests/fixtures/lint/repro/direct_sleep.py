@@ -1,0 +1,19 @@
+"""WPL010 fixture: direct sleeps that bypass the clock seam."""
+
+import time
+from time import sleep as snooze
+
+from repro.sim import clock as simclock
+
+
+def pace_badly() -> None:
+    time.sleep(0.01)
+    snooze(0.02)
+
+
+def pace_well() -> None:
+    simclock.sleep(0.01)
+
+
+def suppressed() -> None:
+    time.sleep(0.5)  # wpl: noqa=WPL010

@@ -165,6 +165,38 @@ class TestRuleFixtures:
         copy.write_text((FIXTURES / "repro" / "pickle_snapshot.py").read_text())
         assert lint_paths([copy]) == []
 
+    def test_no_direct_sleep_fires(self):
+        findings = lint_paths([FIXTURES / "repro" / "direct_sleep.py"])
+        assert codes_and_lines(findings) == [
+            ("WPL010", 4),
+            ("WPL010", 10),
+            ("WPL010", 11),
+        ]
+        by_line = {f.line: f.message for f in findings}
+        assert "repro.sim.clock" in by_line[10]
+        # The aliased `from time import sleep as snooze` call is caught too.
+        assert "snooze" in by_line[11]
+
+    def test_no_direct_sleep_spares_seam_and_noqa(self):
+        findings = lint_paths([FIXTURES / "repro" / "direct_sleep.py"])
+        lines = {f.line for f in findings}
+        # The simclock.sleep call (line 15) and the noqa'd sleep (line 19).
+        assert not lines & {15, 19}
+
+    def test_no_direct_sleep_is_path_scoped(self, tmp_path):
+        # The same source outside a repro package directory is clean.
+        copy = tmp_path / "direct_sleep.py"
+        copy.write_text((FIXTURES / "repro" / "direct_sleep.py").read_text())
+        assert lint_paths([copy]) == []
+
+    def test_no_direct_sleep_exempts_clock_seam(self, tmp_path):
+        # The one sanctioned caller: repro/**/sim/clock.py itself.
+        seam = tmp_path / "repro" / "sim"
+        seam.mkdir(parents=True)
+        copy = seam / "clock.py"
+        copy.write_text("import time\n\n\ndef nap():\n    time.sleep(0.01)\n")
+        assert lint_paths([copy]) == []
+
 
 class TestSuppressions:
     def test_noqa_silences_named_code(self):

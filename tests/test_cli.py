@@ -138,3 +138,33 @@ class TestBench:
         assert code == 0
         assert "series" in payload
         clear_cache()
+
+
+class TestSim:
+    def test_explore_clean_code_exits_zero(self, capsys):
+        code = main(["sim", "explore", "--budget", "6", "--items", "30", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["stats"]["runs"] <= 6
+        assert payload["reproducers"] == []
+
+    def test_replay_corpus_exits_zero(self, capsys):
+        code = main(["sim", "replay", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["replays"]) == 3
+        assert all(entry["matches"] for entry in payload["replays"])
+
+    def test_walltime_reports_reduction_and_equivalence(self, capsys):
+        code = main(
+            ["sim", "walltime", "--seeds", "3", "--items", "30", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["equivalent"] is True
+        assert payload["reduction"] > 1.0
+
+    def test_replay_missing_corpus_exits_two(self, tmp_path, capsys):
+        code = main(["sim", "replay", "--corpus", str(tmp_path)])
+        assert code == 2
+        assert "no fixtures" in capsys.readouterr().err

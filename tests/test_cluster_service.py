@@ -107,6 +107,45 @@ def test_concurrent_submissions_serialize_on_the_coordinator(database):
     assert all(response.outcome is Outcome.SERVED for response in responses)
 
 
+def test_blocked_submit_wakes_promptly_when_slot_frees(database):
+    # The busy path is a condition wait on the coordinator's idle
+    # condition (wait_idle), not a spin poll: a submit that found the
+    # slot taken must wake essentially the moment the active query
+    # finishes, and an idle coordinator must not block at all.
+    import threading
+    import time
+
+    backend = ClusterBackend({"auction": database}, shards=2)
+    try:
+        coordinator = backend._coordinator_for("auction")
+        assert coordinator.wait_idle(timeout=1.0) is True  # idle: immediate
+        finished = {}
+
+        def occupy_slot():
+            coordinator.run_query(QUERY, K)
+            finished["at"] = time.monotonic()
+
+        holder = threading.Thread(target=occupy_slot)
+        holder.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while not coordinator.health().get("active"):
+                assert time.monotonic() < deadline, "first query never started"
+                time.sleep(0.005)
+            # While the slot is held, a bounded wait times out (False)...
+            assert coordinator.wait_idle(timeout=0.05) is False
+            # ...and a blocked submit rides the condition to completion.
+            result = backend.run_query(QueryRequest("auction", QUERY, k=K), K)
+            woke_at = time.monotonic()
+        finally:
+            holder.join(timeout=30.0)
+        assert not holder.is_alive()
+        assert result.answers
+        assert woke_at - finished["at"] < 1.0  # woke with the notify, not a poll
+    finally:
+        backend.close()
+
+
 def test_register_document_replaces_coordinator(database):
     other = generate_database(XMarkConfig(items=20, seed=9))
     backend = ClusterBackend({"auction": database}, shards=1)

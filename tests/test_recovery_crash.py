@@ -89,6 +89,60 @@ class TestCrashMatrix:
         assert result.scores() == pytest.approx(oracle.scores(), abs=1e-9)
         assert result.root_deweys() == oracle.root_deweys()
 
+    def test_drop_before_checkpoint_carries_loss_through_recovery(
+        self, engine, oracle
+    ):
+        """A DROP that fired *before* the last checkpoint is work the
+        snapshot can never describe as queued — the dropped match is gone
+        from every queue.  The snapshot's ``lost`` record must carry it,
+        so the restored run reports degraded with a certificate covering
+        the dropped answer instead of claiming exactness.  (Found by the
+        simulation explorer; see docs/simulation.md.)"""
+        plan = FaultPlan(
+            [
+                FaultRule(FaultSite.SERVER_OP, FaultAction.DROP, nth=9, times=1),
+                FaultRule(FaultSite.QUEUE_GET, FaultAction.CRASH, nth=80, times=1),
+            ]
+        )
+        result, crashed, snapshots = crash_then_recover(engine, "whirlpool_s", plan)
+        assert crashed
+        assert snapshots
+        assert "lost" in snapshots[-1], "checkpoint must record the dropped work"
+        assert result.degraded
+        # Certificate soundness: every oracle answer the recovered run
+        # lost scores at or below its pending_bound.
+        reported = set(result.root_deweys())
+        for answer in oracle.answers:
+            if tuple(answer.root_node.dewey) not in reported:
+                assert answer.score <= result.pending_bound + 1e-9
+
+    def test_drop_after_checkpoint_is_healed_by_restore(self, engine, oracle):
+        """The converse timing: a DROP *after* the last checkpoint is
+        healed for free — the snapshot still holds the match, and the
+        fault-free resumed run re-processes it to the exact answer."""
+        plan = FaultPlan(
+            [
+                FaultRule(FaultSite.SERVER_OP, FaultAction.DROP, nth=9, times=1),
+                FaultRule(FaultSite.SERVER_OP, FaultAction.CRASH, nth=10, times=1),
+            ]
+        )
+        snapshots = []
+        with pytest.raises(EngineCrashError):
+            engine.run(
+                K,
+                algorithm="whirlpool_s",
+                faults=plan,
+                # One early checkpoint, then a long quiet stretch: the
+                # drop at op 9 and crash at op 10 both land after it.
+                checkpoint_policy=CheckpointPolicy(every_operations=6),
+                checkpoint_sink=snapshots.append,
+            )
+        assert snapshots and "lost" not in snapshots[0]
+        result = engine.run(K, algorithm="whirlpool_s", restore_from=snapshots[0])
+        assert not result.degraded
+        assert result.root_deweys() == oracle.root_deweys()
+        assert result.scores() == pytest.approx(oracle.scores(), abs=1e-9)
+
     def test_crash_error_is_not_retried(self, engine):
         """CRASH escalates straight out of the run — no retry/requeue."""
         plan = FaultPlan(

@@ -1,0 +1,180 @@
+"""The simulation harness: invariants, explorer, and shrinker.
+
+The flow under test is the whole counterexample pipeline: run schedules
+against a real engine under a :class:`VirtualClock`, judge every run
+with the invariant suite, search fault timing with the explorer, and
+delta-debug any violation down to a minimal reproducer.  The violation
+is planted through ``invariant_tap`` (the documented test-only hook) so
+the pipeline is exercised end-to-end without needing a real bug.
+"""
+
+import pytest
+
+from repro.sim.harness import SimError, SimHarness, SimScenario
+from repro.sim.explore import ScheduleExplorer, explore
+from repro.sim.schedule import FaultSchedule, SimTrigger
+from repro.sim.shrink import (
+    ScheduleShrinker,
+    load_fixture,
+    replay_fixture,
+    write_fixture,
+)
+
+CRASH = FaultSchedule([SimTrigger("server_op", 10, "crash")], name="crash")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return SimScenario(kind="engine")
+
+
+@pytest.fixture(scope="module")
+def harness(scenario):
+    return SimHarness(scenario, virtual=True)
+
+
+def outcome_tap(run):
+    """Planted violation: report a duplicated terminal outcome whenever
+    the schedule crashed the engine (breaks ``single_outcome`` only)."""
+    if run.crashed:
+        run.outcomes = 2
+
+
+class TestInvariantJudgement:
+    def test_crash_schedule_passes_the_full_suite(self, harness):
+        run = harness.run(CRASH)
+        assert run.crashed is True
+        assert run.report is not None
+        names = [verdict.name for verdict in run.report.verdicts]
+        assert names == [
+            "reference_clean",
+            "topk_identity",
+            "pending_bound_sound",
+            "single_outcome",
+            "no_leaked_state",
+        ]
+        assert run.ok(), run.report.to_json()
+
+    def test_runs_are_deterministic(self, harness):
+        first = harness.run(CRASH)
+        second = harness.run(CRASH)
+        assert first.report.to_json() == second.report.to_json()
+
+    def test_cluster_families_rejected_on_engine_scenario(self, harness):
+        remote = FaultSchedule([SimTrigger("worker_rpc", 2, "kill", target=0)])
+        with pytest.raises(SimError, match="cannot execute fault families"):
+            harness.run(remote)
+
+    def test_drop_then_crash_recovers_with_sound_certificate(self, harness):
+        # The explorer's first real catch: a DROP before the last
+        # checkpoint followed by a CRASH.  Recovery must carry the lost
+        # work (snapshot "lost" record) so the resumed run degrades with
+        # a certificate instead of claiming exactness.
+        schedule = FaultSchedule(
+            [
+                SimTrigger("server_op", 31, "drop", target="2"),
+                SimTrigger("queue_get", 67, "crash", target="router"),
+            ]
+        )
+        run = harness.run(schedule)
+        assert run.crashed
+        assert run.result.degraded
+        assert run.ok(), run.report.to_json()
+
+    def test_probe_finds_yield_points(self, harness):
+        points = harness.probe_yield_points()
+        assert points  # at least one engine site observed operations
+        assert all(count > 0 for count in points.values())
+        assert any(key.startswith("server_op") for key in points)
+
+
+class TestExplorer:
+    def test_explorer_finds_the_planted_violation(self, scenario):
+        tapped = SimHarness(scenario, virtual=True, invariant_tap=outcome_tap)
+        violations, stats = explore(scenario, budget=24, seed=0, harness=tapped)
+        assert violations, "explorer missed the planted violation"
+        assert stats.violations == len(violations)
+        assert stats.runs <= 24
+        broken = {
+            verdict.name
+            for violation in violations
+            for verdict in violation.run.report.violations()
+        }
+        assert broken == {"single_outcome"}
+
+    def test_explorer_is_deterministic_per_seed(self, scenario):
+        def found(seed):
+            tapped = SimHarness(scenario, virtual=True, invariant_tap=outcome_tap)
+            violations, _ = explore(scenario, budget=16, seed=seed, harness=tapped)
+            return sorted(violation.describe() for violation in violations)
+
+        assert found(3) == found(3)
+
+    def test_perturbations_shift_one_step_at_a_time(self, harness):
+        explorer = ScheduleExplorer(harness)
+        schedule = FaultSchedule([SimTrigger("server_op", 5, "error")])
+        neighbours = explorer.perturbations(schedule)
+        steps = sorted(t.step for candidate in neighbours for t in candidate.triggers)
+        assert steps == [3, 4, 6, 7]
+
+    def test_clean_code_yields_no_violations(self, harness):
+        violations, stats = explore(
+            harness.scenario, budget=8, seed=1, harness=harness
+        )
+        assert violations == []
+        assert stats.violations == 0
+
+
+class TestShrinker:
+    def _noisy_schedule(self):
+        # The planted bug needs only the crash; the delays are chaff the
+        # shrinker must strip, and step 10 must descend to 1.
+        return FaultSchedule(
+            [
+                SimTrigger("server_op", 3, "delay", delay_seconds=0.001),
+                SimTrigger("server_op", 10, "crash"),
+                SimTrigger("queue_put", 6, "delay", delay_seconds=0.001),
+            ],
+            name="noisy",
+        )
+
+    def test_shrinks_to_a_single_step_one_trigger(self, scenario):
+        tapped = SimHarness(scenario, virtual=True, invariant_tap=outcome_tap)
+        shrinker = ScheduleShrinker(tapped)
+        minimal = shrinker.shrink(self._noisy_schedule())
+        assert len(minimal.triggers) <= 3  # the acceptance bar...
+        assert minimal.describe() == ["crash@server_op#1"]  # ...and the fact
+        assert shrinker.stats.reductions >= 2
+
+    def test_shrink_is_deterministic(self, scenario):
+        def minimized():
+            tapped = SimHarness(scenario, virtual=True, invariant_tap=outcome_tap)
+            return ScheduleShrinker(tapped).shrink(self._noisy_schedule())
+
+        assert minimized().describe() == minimized().describe()
+
+    def test_shrink_rejects_a_passing_schedule(self, harness):
+        with pytest.raises(ValueError, match="passed all invariants"):
+            ScheduleShrinker(harness).shrink(CRASH)
+
+
+class TestFixtureRoundTrip:
+    def test_write_load_replay(self, tmp_path, scenario, harness):
+        run = harness.run(CRASH)
+        path = write_fixture(tmp_path / "crash.json", scenario, run, "crash")
+        fixture = load_fixture(path)
+        assert fixture["name"] == "crash"
+        assert fixture["schedule"] == CRASH
+        assert fixture["scenario"].as_dict() == scenario.as_dict()
+        replay = replay_fixture(path)
+        assert replay["matches"], (replay["recorded"], replay["replayed"])
+
+    def test_unsupported_fixture_version_rejected(self, tmp_path, scenario, harness):
+        run = harness.run(CRASH)
+        path = write_fixture(tmp_path / "crash.json", scenario, run, "crash")
+        mangled = path.read_text(encoding="utf-8").replace(
+            '"version": 1', '"version": 99'
+        )
+        path.write_text(mangled, encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported sim fixture version"):
+            load_fixture(path)

@@ -1,0 +1,135 @@
+"""Timing-precise fault schedules: validation, compilation, serialization.
+
+A :class:`~repro.sim.schedule.FaultSchedule` is pure data; these tests
+pin the three contracts the rest of the sim layer builds on: triggers
+reject combinations the fault boundaries cannot execute, schedules
+compile onto the existing :class:`~repro.faults.plan.FaultPlan`
+machinery one plan per family, and the JSON form is canonical enough to
+round-trip byte-for-byte (the corpus replay contract).
+"""
+
+import pytest
+
+from repro.faults.plan import FaultAction, FaultSite
+from repro.sim.schedule import (
+    SCHEDULE_VERSION,
+    FaultSchedule,
+    ScheduleError,
+    SimTrigger,
+)
+
+
+def three_family_schedule():
+    return FaultSchedule(
+        [
+            SimTrigger("server_op", 10, "crash"),
+            SimTrigger("worker_rpc", 3, "kill", target=0),
+            SimTrigger("net", 4, "partition", target=1),
+        ],
+        name="mixed",
+    )
+
+
+class TestTriggerValidation:
+    def test_step_is_one_based(self):
+        with pytest.raises(ScheduleError, match="1-based"):
+            SimTrigger("server_op", 0, "error")
+
+    def test_engine_site_rejects_process_action(self):
+        with pytest.raises(ScheduleError, match="not valid at site"):
+            SimTrigger("server_op", 1, "kill")
+
+    def test_net_site_rejects_engine_action(self):
+        with pytest.raises(ScheduleError, match="not valid at site"):
+            SimTrigger("net", 1, "crash", target=0)
+
+    def test_remote_sites_require_a_target(self):
+        with pytest.raises(ScheduleError, match="requires a shard-id target"):
+            SimTrigger("worker_rpc", 2, "kill")
+        with pytest.raises(ScheduleError, match="requires a shard-id target"):
+            SimTrigger("net", 2, "partition")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ScheduleError, match="delay_seconds"):
+            SimTrigger("server_op", 1, "delay", delay_seconds=-0.1)
+
+    def test_unknown_site_and_action_rejected(self):
+        with pytest.raises(ValueError):
+            SimTrigger("warp_core", 1, "error")
+        with pytest.raises(ValueError):
+            SimTrigger("server_op", 1, "explode")
+
+    def test_describe_is_compact_and_stable(self):
+        assert SimTrigger("server_op", 7, "crash").describe() == "crash@server_op#7"
+        assert (
+            SimTrigger("worker_rpc", 3, "kill", target=1).describe()
+            == "kill@worker_rpc:1#3"
+        )
+
+
+class TestPlanCompilation:
+    def test_families_partition_the_triggers(self):
+        schedule = three_family_schedule()
+        assert schedule.families() == ["engine", "net", "process"]
+
+    def test_each_family_compiles_to_its_own_plan(self):
+        schedule = three_family_schedule()
+        engine = schedule.engine_plan()
+        process = schedule.process_plan()
+        net = schedule.net_plan()
+        assert engine is not None and len(engine.rules) == 1
+        assert process is not None and len(process.rules) == 1
+        assert net is not None and len(net.rules) == 1
+        assert engine.rules[0].site is FaultSite.SERVER_OP
+        assert process.rules[0].site is FaultSite.WORKER_RPC
+        assert net.rules[0].site is FaultSite.NET
+
+    def test_absent_family_compiles_to_none(self):
+        schedule = FaultSchedule([SimTrigger("server_op", 2, "error")])
+        assert schedule.process_plan() is None
+        assert schedule.net_plan() is None
+
+    def test_trigger_compiles_to_single_fire_nth_rule(self):
+        rule = SimTrigger("queue_put", 5, "drop", target="srv0").rule()
+        assert rule.nth == 5
+        assert rule.times == 1
+        assert rule.action is FaultAction.DROP
+        assert rule.target == "srv0"
+
+
+class TestSerialization:
+    def test_json_round_trip_is_byte_identical(self):
+        schedule = three_family_schedule()
+        text = schedule.to_json()
+        again = FaultSchedule.from_json(text)
+        assert again == schedule
+        assert again.to_json() == text
+
+    def test_save_load_round_trip(self, tmp_path):
+        schedule = three_family_schedule()
+        path = tmp_path / "mixed.json"
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+        assert path.read_text(encoding="utf-8") == schedule.to_json()
+
+    def test_unsupported_version_rejected(self):
+        payload = three_family_schedule().as_dict()
+        payload["version"] = SCHEDULE_VERSION + 1
+        with pytest.raises(ScheduleError, match="unsupported schedule version"):
+            FaultSchedule.from_dict(payload)
+
+    def test_malformed_payloads_raise_schedule_errors(self):
+        with pytest.raises(ScheduleError, match="not valid JSON"):
+            FaultSchedule.from_json("{nope")
+        with pytest.raises(ScheduleError, match="must be an object"):
+            FaultSchedule.from_json("[1, 2]")
+        with pytest.raises(ScheduleError, match="malformed trigger"):
+            SimTrigger.from_dict({"site": "server_op"})
+
+    def test_equality_ignores_name_but_not_triggers(self):
+        one = FaultSchedule([SimTrigger("server_op", 2, "error")], name="a")
+        two = FaultSchedule([SimTrigger("server_op", 2, "error")], name="b")
+        other = FaultSchedule([SimTrigger("server_op", 3, "error")], name="a")
+        assert one == two
+        assert one != other
+        assert hash(one) == hash(two)
